@@ -1,0 +1,102 @@
+"""ENG — navigator throughput over generated DAG processes.
+
+Substrate benchmark: activities navigated per second as the process
+graph grows (width x depth sweep), plus the cost of dead-path
+elimination when conditions kill branches.
+"""
+
+import pytest
+
+from repro.wfms.engine import Engine
+from repro.workloads.generator import DAG_PROGRAM, random_dag_process
+
+from _helpers import print_table
+
+SHAPES = [(2, 2), (4, 4), (8, 4), (8, 8), (16, 8)]
+
+
+def engine_for(definition, fail_every=0):
+    engine = Engine()
+    counter = {"n": 0}
+
+    def work(ctx) -> int:
+        counter["n"] += 1
+        if fail_every and counter["n"] % fail_every == 0:
+            return 1
+        return 0
+
+    engine.register_program(DAG_PROGRAM, work)
+    engine.register_definition(definition)
+    return engine
+
+
+@pytest.mark.parametrize("layers,width", SHAPES)
+def test_navigation_throughput(benchmark, layers, width):
+    definition = random_dag_process(layers=layers, width=width, seed=42)
+    engine = engine_for(definition)
+
+    def run_instance():
+        return engine.run_process(definition.name)
+
+    result = benchmark(run_instance)
+    assert result.finished
+
+
+def test_throughput_table(benchmark):
+    rows = []
+    import time
+
+    for layers, width in SHAPES:
+        definition = random_dag_process(layers=layers, width=width, seed=42)
+        engine = engine_for(definition)
+        start = time.perf_counter()
+        runs = 20
+        for __ in range(runs):
+            engine.run_process(definition.name)
+        elapsed = time.perf_counter() - start
+        activities = layers * width * runs
+        rows.append(
+            (
+                "%dx%d" % (layers, width),
+                layers * width,
+                "%.0f" % (activities / elapsed),
+            )
+        )
+    print_table(
+        "ENG: navigator throughput (20 instances per shape)",
+        ["shape (layers x width)", "activities/instance", "activities/sec"],
+        rows,
+    )
+    definition = random_dag_process(layers=4, width=4, seed=42)
+    engine = engine_for(definition)
+    benchmark(lambda: engine.run_process(definition.name))
+
+
+def test_dead_path_elimination_cost(benchmark):
+    """Processes where conditions kill branches finish just as fast:
+    dead-path elimination is a graph walk, not program execution."""
+    definition = random_dag_process(
+        layers=8, width=4, seed=7, fail_probability=0.5
+    )
+    engine = engine_for(definition, fail_every=3)
+
+    def run_instance():
+        return engine.run_process(definition.name)
+
+    result = benchmark(run_instance)
+    assert result.finished
+    states = engine.activity_states(result.instance_id)
+    assert all(s in ("terminated", "dead") for s in states.values())
+
+
+def test_many_concurrent_instances(benchmark):
+    definition = random_dag_process(layers=3, width=3, seed=9)
+    engine = engine_for(definition)
+
+    def run_batch():
+        ids = [engine.start_process(definition.name) for __ in range(25)]
+        engine.run()
+        return ids
+
+    ids = benchmark(run_batch)
+    assert all(engine.instance_state(i) == "finished" for i in ids)

@@ -1,0 +1,99 @@
+"""FIG2 — the saga → workflow translation (Figure 2).
+
+Regenerates Figure 2 by construction and verifies the saga guarantee
+`T1..Tn or T1..Tj;Cj..C1` at every abort position for the paper's
+3-step saga and a sweep of lengths; timings cover translation and
+execution of the translated process.
+"""
+
+import pytest
+
+from repro.core.sagas import verify_saga_guarantee
+from repro.core.saga_translator import translate_saga
+
+from _helpers import (
+    abort_policy_at,
+    build_saga_engine,
+    linear_saga,
+    print_table,
+    run_saga_workflow,
+)
+
+
+def test_fig2_guarantee_all_abort_positions(benchmark):
+    """The paper's n=3 saga: exact behaviour at j = 0..3."""
+    spec = linear_saga(3)
+    rows = []
+    for position in [None, 1, 2, 3]:
+        outcome, db = run_saga_workflow(spec, abort_policy_at(spec, position))
+        assert verify_saga_guarantee(spec, outcome.executed, outcome.compensated)
+        rows.append(
+            (
+                "none" if position is None else "T%d" % position,
+                "committed" if outcome.committed else "compensated",
+                "->".join(outcome.executed) or "-",
+                "->".join("C_" + c for c in outcome.compensated) or "-",
+            )
+        )
+    print_table(
+        "FIG2: translated 3-step saga under every abort position",
+        ["abort at", "outcome", "executed", "compensations"],
+        rows,
+    )
+
+    def run_commit_case():
+        outcome, __ = run_saga_workflow(spec, {})
+        return outcome
+
+    outcome = benchmark(run_commit_case)
+    assert outcome.committed
+
+
+@pytest.mark.parametrize("n", [2, 4, 8])
+def test_translation_cost_grows_linearly(benchmark, n):
+    spec = linear_saga(n)
+    translation = benchmark(lambda: translate_saga(spec))
+    # Structure size is linear in n: n forward + n comp + NOP + 2 blocks.
+    assert len(translation.forward_block.activities) == n
+    assert len(translation.compensation_block.activities) == n + 1
+
+
+@pytest.mark.parametrize("abort_position", [None, 1, "mid", "last"])
+def test_execution_cost_per_abort_position(benchmark, abort_position):
+    n = 6
+    spec = linear_saga(n)
+    position = {
+        None: None, 1: 1, "mid": n // 2, "last": n
+    }[abort_position]
+    policies = abort_policy_at(spec, position)
+
+    def run():
+        outcome, __ = run_saga_workflow(spec, policies)
+        return outcome
+
+    outcome = benchmark(run)
+    assert verify_saga_guarantee(spec, outcome.executed, outcome.compensated)
+
+
+def test_compensation_count_equals_executed_count(benchmark):
+    """Shape check: at abort position j, exactly j-1 steps executed and
+    j-1 compensations ran, for every j (the paper's invariant)."""
+    n = 8
+    spec = linear_saga(n)
+    rows = []
+    for j in range(1, n + 1):
+        outcome, __ = run_saga_workflow(spec, abort_policy_at(spec, j))
+        assert len(outcome.executed) == j - 1
+        assert len(outcome.compensated) == j - 1
+        rows.append((j, len(outcome.executed), len(outcome.compensated)))
+    print_table(
+        "FIG2: executed vs compensated per abort position (n=8)",
+        ["abort at", "steps executed", "compensations"],
+        rows,
+    )
+
+    def full_sweep():
+        for j in range(1, n + 1):
+            run_saga_workflow(spec, abort_policy_at(spec, j))
+
+    benchmark(full_sweep)

@@ -1,0 +1,79 @@
+"""FIG3 — the flexible-transaction example of Figure 3, executed by the
+*native* model runtime (the transaction-model baseline).
+
+Regenerates the path-preference behaviour: p1 > p2 > p3, with
+compensation and retries exactly as §4.2 describes.
+"""
+
+import pytest
+
+from repro.tx import AbortScript, FailNTimes
+
+from _helpers import print_table, run_fig3_native
+
+SCENARIOS = [
+    ("all commit", {}, True, ["t1", "t2", "t4", "t5", "t6", "t8"], []),
+    ("t1 aborts", {"t1": AbortScript([1])}, False, [], []),
+    ("t2 aborts", {"t2": AbortScript([1])}, False, [], ["t1"]),
+    (
+        "t4 aborts",
+        {"t4": AbortScript([1]), "t3": FailNTimes(2)},
+        True,
+        ["t1", "t2", "t3"],
+        [],
+    ),
+    ("t5 aborts", {"t5": AbortScript([1])}, True, ["t1", "t2", "t4", "t7"], []),
+    (
+        "t6 aborts",
+        {"t6": AbortScript([1])},
+        True,
+        ["t1", "t2", "t4", "t7"],
+        ["t5"],
+    ),
+    (
+        "t8 aborts",
+        {"t8": AbortScript([1])},
+        True,
+        ["t1", "t2", "t4", "t7"],
+        ["t6", "t5"],
+    ),
+]
+
+
+def test_fig3_native_path_selection(benchmark):
+    rows = []
+    for label, policies, committed, path, compensated in SCENARIOS:
+        outcome, __ = run_fig3_native(dict(policies))
+        assert outcome.committed == committed, label
+        assert outcome.committed_path == path, label
+        assert outcome.compensated == compensated, label
+        rows.append(
+            (
+                label,
+                "commit" if outcome.committed else "abort",
+                "->".join(outcome.committed_path) or "-",
+                ",".join(outcome.compensated) or "-",
+            )
+        )
+    print_table(
+        "FIG3: native flexible-transaction behaviour (p1 > p2 > p3)",
+        ["scenario", "outcome", "committed path", "compensated"],
+        rows,
+    )
+
+    def preferred_path():
+        outcome, __ = run_fig3_native({})
+        return outcome
+
+    outcome = benchmark(preferred_path)
+    assert outcome.committed
+
+
+@pytest.mark.parametrize(
+    "label,policies",
+    [(s[0], s[1]) for s in SCENARIOS],
+    ids=[s[0].replace(" ", "_") for s in SCENARIOS],
+)
+def test_fig3_scenario_cost(benchmark, label, policies):
+    outcome, __ = benchmark(lambda: run_fig3_native(dict(policies)))
+    assert outcome is not None

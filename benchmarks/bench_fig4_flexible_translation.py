@@ -1,0 +1,85 @@
+"""FIG4 — Figure 3's flexible transaction *as a workflow process*
+(the Figure 4 construction), behaviourally identical to FIG3's native
+runs and structurally matching the figure.
+"""
+
+import pytest
+
+from repro.wfms.model import ActivityKind
+from repro.core.flexible_translator import translate_flexible
+from repro.workloads.banking import fig3_spec
+
+from _helpers import print_table, run_fig3_native, run_fig3_workflow
+from bench_fig3_flexible_model import SCENARIOS
+
+
+def test_fig4_structure(benchmark):
+    """The translated process has Figure 4's shape."""
+    translation = translate_flexible(fig3_spec())
+    process = translation.process
+    member_activities = [
+        name for name in process.activities if name.startswith("t")
+    ]
+    comp_blocks = [
+        name
+        for name, a in process.activities.items()
+        if a.kind is ActivityKind.BLOCK
+    ]
+    assert sorted(member_activities) == [
+        "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8"
+    ]
+    assert comp_blocks  # failure handlers present
+    print_table(
+        "FIG4: translated process inventory",
+        ["piece", "count", "names"],
+        [
+            ("member activities", len(member_activities),
+             ",".join(sorted(member_activities))),
+            ("compensation blocks", len(comp_blocks), ",".join(comp_blocks)),
+            ("control connectors", len(process.control_connectors), ""),
+            ("data connectors", len(process.data_connectors), ""),
+        ],
+    )
+    benchmark(lambda: translate_flexible(fig3_spec()))
+
+
+def test_fig4_matches_fig3_on_every_branch(benchmark):
+    rows = []
+    for label, policies, committed, path, compensated in SCENARIOS:
+        native, native_db = run_fig3_native(dict(policies))
+        workflow, wf_db = run_fig3_workflow(dict(policies))
+        assert workflow.committed == native.committed == committed, label
+        assert workflow.committed_path == native.committed_path == path
+        assert workflow.compensated == native.compensated == compensated
+        assert wf_db.snapshot() == native_db.snapshot(), label
+        rows.append(
+            (
+                label,
+                "commit" if workflow.committed else "abort",
+                "->".join(workflow.committed_path) or "-",
+                ",".join(workflow.compensated) or "-",
+                "yes",
+            )
+        )
+    print_table(
+        "FIG4: workflow implementation vs native model (parity)",
+        ["scenario", "outcome", "path", "compensated", "states match"],
+        rows,
+    )
+
+    def preferred():
+        outcome, __ = run_fig3_workflow({})
+        return outcome
+
+    outcome = benchmark(preferred)
+    assert outcome.committed
+
+
+@pytest.mark.parametrize(
+    "label,policies",
+    [(s[0], s[1]) for s in SCENARIOS],
+    ids=[s[0].replace(" ", "_") for s in SCENARIOS],
+)
+def test_fig4_scenario_cost(benchmark, label, policies):
+    outcome, __ = benchmark(lambda: run_fig3_workflow(dict(policies)))
+    assert outcome is not None

@@ -1,0 +1,102 @@
+"""SIM — process simulation (§3.3 lists *simulation* among workflow
+features transaction models lack).
+
+Uses the simulator to answer the designer's questions about the FIG1
+order process before running anything: expected makespan, tail
+latency, and how completion rate degrades with per-step failure
+probability — then cross-checks a deterministic prediction against an
+actual engine execution.
+"""
+
+import pytest
+
+from repro.wfms.engine import Engine
+from repro.wfms.simulate import ActivityProfile, simulate
+from repro.workloads.orders import (
+    build_order_process,
+    order_organization,
+    register_order_programs,
+)
+
+from _helpers import print_table
+
+PROFILES = {
+    "Approve": ActivityProfile(duration=5.0),
+    "CheckInventory": ActivityProfile(duration=2.0),
+    "CheckCredit": ActivityProfile(duration=3.0),
+    "ShipOrder": ActivityProfile(duration=8.0),
+    "Bill": ActivityProfile(duration=1.0),
+    "Reject": ActivityProfile(duration=1.0),
+}
+
+#: Deterministic if-then-else routing of a 100-unit approved order:
+#: the order is approved, in stock, credit-worthy, shipped normally.
+BRANCHES = {
+    ("Approve", "CheckInventory"): 1.0,
+    ("Approve", "CheckCredit"): 1.0,
+    ("Approve", "Reject"): 0.0,
+    ("CheckInventory", "ShipOrder"): 1.0,
+    ("CheckCredit", "ShipOrder"): 1.0,
+    ("ShipOrder", "Bill"): 1.0,
+    ("CheckCredit", "Bill"): 0.0,
+}
+
+
+def test_makespan_prediction(benchmark):
+    definition = build_order_process(manual_approval=False)
+    report = simulate(definition, PROFILES, runs=200, seed=1, branch_probabilities=BRANCHES)
+    # Deterministic critical path: Approve(5) + max(Inv 2, Credit 3)
+    # + Ship(8) + Bill(1) = 17 (Reject is dead-path, costs nothing).
+    assert report.mean_makespan == pytest.approx(17.0)
+    rows = [
+        ("mean", "%.1f" % report.mean_makespan),
+        ("p50", "%.1f" % report.percentile_makespan(0.5)),
+        ("p95", "%.1f" % report.percentile_makespan(0.95)),
+        ("completion rate", "%.2f" % report.completion_rate),
+    ]
+    print_table("SIM: order process, reliable steps", ["metric", "value"], rows)
+    benchmark(lambda: simulate(definition, PROFILES, runs=100, seed=1, branch_probabilities=BRANCHES))
+
+
+def test_completion_rate_vs_failure(benchmark):
+    definition = build_order_process(manual_approval=False)
+    rows = []
+    rates = []
+    for p_fail in (0.0, 0.05, 0.1, 0.2):
+        profiles = dict(PROFILES)
+        profiles["ShipOrder"] = ActivityProfile(
+            duration=8.0, success_probability=1.0 - p_fail
+        )
+        report = simulate(definition, profiles, runs=400, seed=3, branch_probabilities=BRANCHES)
+        rows.append(
+            (p_fail, "%.3f" % report.completion_rate,
+             "%.1f" % report.mean_makespan)
+        )
+        rates.append(report.completion_rate)
+    print_table(
+        "SIM: completion rate vs shipping failure probability",
+        ["p(ship fails)", "completion rate", "mean makespan"],
+        rows,
+    )
+    assert rates == sorted(rates, reverse=True)  # monotone degradation
+
+    definition2 = build_order_process(manual_approval=False)
+    benchmark(lambda: simulate(definition2, PROFILES, runs=50, seed=3))
+
+
+def test_simulation_agrees_with_engine_on_structure(benchmark):
+    """The simulator's executed/dead split matches a real run."""
+    definition = build_order_process(manual_approval=False)
+    report = simulate(definition, PROFILES, runs=1, seed=0, branch_probabilities=BRANCHES)
+    engine = Engine(organization=order_organization())
+    register_order_programs(engine)
+    engine.register_definition(definition)
+    result = engine.run_process(
+        "OrderFulfillment", {"Amount": 100, "Customer": "x"}, starter="sue"
+    )
+    executed_real = len(result.execution_order)
+    dead_real = len(result.dead_activities)
+    run = report.runs[0]
+    assert run.executed == executed_real
+    assert run.dead == dead_real
+    benchmark(lambda: simulate(definition, PROFILES, runs=10, seed=0, branch_probabilities=BRANCHES))

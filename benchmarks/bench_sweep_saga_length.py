@@ -1,0 +1,79 @@
+"""SWEEP-LEN — saga length sweep (extension experiment).
+
+Measures how translation and execution cost grow with saga length, and
+checks workflow/native parity at every length and abort position.
+Expected shape: both grow linearly in n; the workflow implementation
+pays a constant factor over the native executor (it is a general
+engine, not a bespoke runtime) while preserving behaviour exactly.
+"""
+
+import pytest
+
+from repro.core.saga_translator import translate_saga
+from repro.core.sagas import verify_saga_guarantee
+
+from _helpers import (
+    abort_policy_at,
+    linear_saga,
+    print_table,
+    run_saga_native,
+    run_saga_workflow,
+)
+
+LENGTHS = [2, 4, 8, 16, 32]
+
+
+@pytest.mark.parametrize("n", LENGTHS)
+def test_translate_cost_vs_length(benchmark, n):
+    spec = linear_saga(n)
+    translation = benchmark(lambda: translate_saga(spec))
+    assert len(translation.forward_block.activities) == n
+
+
+@pytest.mark.parametrize("n", LENGTHS)
+@pytest.mark.parametrize("abort", ["none", "mid", "last"])
+def test_workflow_execution_vs_length(benchmark, n, abort):
+    spec = linear_saga(n)
+    position = {"none": None, "mid": max(1, n // 2), "last": n}[abort]
+    policies = abort_policy_at(spec, position)
+    outcome, __ = benchmark(lambda: run_saga_workflow(spec, policies))
+    assert verify_saga_guarantee(spec, outcome.executed, outcome.compensated)
+
+
+@pytest.mark.parametrize("n", LENGTHS)
+def test_native_execution_vs_length(benchmark, n):
+    spec = linear_saga(n)
+    outcome, __ = benchmark(lambda: run_saga_native(spec, {}))
+    assert outcome.committed
+
+
+def test_parity_table_across_lengths(benchmark):
+    rows = []
+    for n in LENGTHS:
+        spec = linear_saga(n)
+        for abort in (None, max(1, n // 2), n):
+            policies = abort_policy_at(spec, abort)
+            native, native_db = run_saga_native(spec, policies)
+            workflow, wf_db = run_saga_workflow(spec, policies)
+            agree = (
+                native.executed == workflow.executed
+                and native.compensated == workflow.compensated
+                and native_db.snapshot() == wf_db.snapshot()
+            )
+            assert agree, (n, abort)
+            rows.append(
+                (
+                    n,
+                    abort if abort is not None else "-",
+                    len(workflow.executed),
+                    len(workflow.compensated),
+                    "yes",
+                )
+            )
+    print_table(
+        "SWEEP-LEN: native vs workflow parity across lengths",
+        ["n", "abort at", "executed", "compensated", "parity"],
+        rows,
+    )
+    spec = linear_saga(8)
+    benchmark(lambda: run_saga_workflow(spec, {}))

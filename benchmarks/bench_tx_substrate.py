@@ -1,0 +1,142 @@
+"""TX — the transactional substrate (lock manager, WAL, restart).
+
+Substrate benchmark: commit/abort throughput of SimDatabase, lock
+manager acquisition rates, and restart-recovery cost as a function of
+log length.
+"""
+
+import pytest
+
+from repro.tx import SimDatabase
+from repro.tx.lockmgr import LockManager, LockMode
+
+from _helpers import print_table
+
+
+def test_commit_throughput(benchmark):
+    db = SimDatabase()
+
+    def txn_cycle():
+        with db.begin() as txn:
+            txn.write("hot", 1)
+            txn.read("hot")
+
+    benchmark(txn_cycle)
+    assert db.commits > 0
+
+
+def test_abort_rollback_cost(benchmark):
+    db = SimDatabase()
+
+    def abort_cycle():
+        txn = db.begin()
+        for i in range(10):
+            txn.write("k%d" % i, i)
+        txn.abort()
+
+    benchmark(abort_cycle)
+    assert db.snapshot() == {}
+
+
+def test_lock_acquisition_rate(benchmark):
+    lm = LockManager()
+    keys = ["k%02d" % i for i in range(50)]
+    state = {"txn": 0}
+
+    def acquire_release():
+        state["txn"] += 1
+        txn = "t%d" % state["txn"]
+        for key in keys:
+            lm.acquire(txn, key, LockMode.SHARED)
+        lm.release_all(txn)
+
+    benchmark(acquire_release)
+
+
+@pytest.mark.parametrize("updates", [10, 100, 1000])
+def test_restart_recovery_cost_vs_log_length(benchmark, updates):
+    def build_crashed_db():
+        db = SimDatabase()
+        for i in range(updates):
+            with db.begin() as txn:
+                txn.write("k%d" % (i % 25), i)
+        loser = db.begin()
+        loser.write("k0", -1)
+        db.flush()
+        db.crash()
+        return db
+
+    def crash_and_recover():
+        db = build_crashed_db()
+        return db.restart()
+
+    stats = benchmark(crash_and_recover)
+    assert stats["losers"] == 1
+    assert stats["redone"] == updates + 1
+
+
+def test_recovery_stats_table(benchmark):
+    rows = []
+    for updates in (10, 100, 1000):
+        db = SimDatabase()
+        for i in range(updates):
+            with db.begin() as txn:
+                txn.write("k%d" % (i % 25), i)
+        loser = db.begin()
+        loser.write("k0", -1)
+        db.flush()
+        db.crash()
+        stats = db.restart()
+        rows.append(
+            (updates, stats["winners"], stats["losers"], stats["redone"],
+             stats["undone"])
+        )
+    print_table(
+        "TX: restart recovery statistics vs committed updates",
+        ["updates", "winners", "losers", "redone", "undone"],
+        rows,
+    )
+    db = SimDatabase()
+
+    def one_txn():
+        with db.begin() as txn:
+            txn.write("x", 1)
+
+    benchmark(one_txn)
+
+
+def test_checkpoint_bounds_recovery(benchmark):
+    """A checkpoint shortens restart: only post-checkpoint work is
+    redone (1000 pre-checkpoint updates vs 10 after)."""
+
+    def crash_and_recover():
+        db = SimDatabase()
+        for i in range(1000):
+            with db.begin() as txn:
+                txn.write("k%d" % (i % 25), i)
+        db.checkpoint()
+        for i in range(10):
+            with db.begin() as txn:
+                txn.write("t%d" % i, i)
+        db.crash()
+        return db.restart()
+
+    stats = benchmark(crash_and_recover)
+    assert stats["redone"] == 10
+
+
+def test_multidb_isolation_throughput(benchmark):
+    from repro.tx import Multidatabase
+
+    mdb = Multidatabase()
+    for i in range(4):
+        mdb.add_site("site%d" % i)
+
+    def federation_round():
+        for i in range(4):
+            with mdb.begin_at("site%d" % i) as txn:
+                txn.increment("counter", 1)
+
+    benchmark(federation_round)
+    totals = [mdb.site("site%d" % i).get("counter") for i in range(4)]
+    assert len(set(totals)) == 1  # all sites advanced equally

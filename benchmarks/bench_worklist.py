@@ -1,0 +1,114 @@
+"""ORG — worklists and load balancing (§3.3).
+
+"the same activity may appear in several worklists simultaneously,
+however, as soon as a user selects that activity for execution, it
+disappears from all other worklists.  This can be effectively used to
+perform load balancing."
+
+Offers many manual activities to a pool of clerks who claim greedily;
+asserts the claim semantics and reports the resulting load balance.
+"""
+
+import pytest
+
+from repro.wfms import Activity, Engine, ProcessDefinition
+from repro.wfms.model import StaffAssignment, StartMode
+from repro.wfms.organization import Organization
+
+from _helpers import print_table
+
+USERS = ["u1", "u2", "u3", "u4"]
+ITEMS = 200
+
+
+def build_engine():
+    org = Organization()
+    org.add_role("clerk")
+    for user in USERS:
+        org.add_person(user, roles=("clerk",))
+    engine = Engine(organization=org)
+    engine.register_program("noop", lambda ctx: 0)
+    defn = ProcessDefinition("ManualStep")
+    defn.add_activity(
+        Activity(
+            "Work",
+            program="noop",
+            start_mode=StartMode.MANUAL,
+            staff=StaffAssignment(roles=("clerk",)),
+        )
+    )
+    engine.register_definition(defn)
+    return engine
+
+
+def offer_all(engine, count=ITEMS):
+    for __ in range(count):
+        engine.start_process("ManualStep", starter="u1")
+    engine.run()
+
+
+def test_claim_semantics_and_load_balance(benchmark):
+    engine = build_engine()
+    offer_all(engine)
+    # Every item visible to every clerk before claiming:
+    assert len(engine.worklist("u1")) == ITEMS
+    assert len(engine.worklist("u4")) == ITEMS
+
+    # Clerks claim round-robin; each claim removes the item everywhere.
+    claimed = {user: 0 for user in USERS}
+    index = 0
+    while True:
+        user = USERS[index % len(USERS)]
+        items = engine.worklist(user)
+        if not items:
+            break
+        engine.claim(items[0].item_id, user)
+        claimed[user] += 1
+        index += 1
+    assert sum(claimed.values()) == ITEMS
+    for user in USERS:
+        assert engine.worklist(user) == []
+    print_table(
+        "ORG: items claimed per user (round-robin claimants)",
+        ["user", "claimed"],
+        [(u, claimed[u]) for u in USERS],
+    )
+    spread = max(claimed.values()) - min(claimed.values())
+    assert spread <= 1  # perfectly balanced under round-robin
+
+    def offer_claim_cycle():
+        fresh = build_engine()
+        offer_all(fresh, 50)
+        for user in USERS:
+            for item in fresh.worklist(user)[:5]:
+                fresh.claim(item.item_id, user)
+
+    benchmark(offer_claim_cycle)
+
+
+def test_worklist_query_cost(benchmark):
+    engine = build_engine()
+    offer_all(engine)
+
+    def query():
+        return sum(len(engine.worklist(user)) for user in USERS)
+
+    total = benchmark(query)
+    assert total == ITEMS * len(USERS)
+
+
+def test_claim_and_execute_throughput(benchmark):
+    def run_batch():
+        engine = build_engine()
+        offer_all(engine, 30)
+        done = 0
+        for user in USERS:
+            for item in list(engine.worklist(user)):
+                if item.is_open:
+                    engine.claim(item.item_id, user)
+                    engine.start_item(item.item_id)
+                    done += 1
+        return done
+
+    done = benchmark(run_batch)
+    assert done == 30

@@ -1,0 +1,7 @@
+"""Benchmark-suite configuration: make the shared helpers importable
+no matter how pytest is invoked."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

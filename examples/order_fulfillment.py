@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Order fulfilment with users, roles and worklists — §3.3's "workflow
+features not found in transaction models".
+
+The approval step is *manual*: it appears on the worklist of every
+person holding the ``approver`` role, vanishes from the others when
+one of them claims it, escalates to the supervisor if left unclaimed,
+and the rest of the process (parallel checks, a packing loop, a
+shipping block, dead-path elimination of the rejection branch) runs
+automatically once the human acts.
+
+Run with::
+
+    python examples/order_fulfillment.py
+"""
+
+from repro.wfms.engine import Engine
+from repro.workloads.orders import (
+    build_order_process,
+    order_organization,
+    register_order_programs,
+)
+
+
+def show_worklists(engine: Engine, users: list[str]) -> None:
+    for user in users:
+        items = engine.worklist(user)
+        print(
+            "   %-4s worklist: %s"
+            % (user, [(i.activity, i.item_id) for i in items] or "empty")
+        )
+
+
+def main() -> None:
+    engine = Engine(organization=order_organization())
+    register_order_programs(engine, pack_attempts=3)
+    engine.register_definition(build_order_process(manual_approval=True))
+
+    instance = engine.start_process(
+        "OrderFulfillment",
+        {"Amount": 400, "Customer": "ACME"},
+        starter="sue",
+    )
+    engine.run()
+    print("order submitted; approval is a manual step:")
+    show_worklists(engine, ["al", "amy", "pat"])
+
+    print("\nnobody acts for 90 time units — the deadline passes:")
+    notifications = engine.advance_clock(90.0)
+    for note in notifications:
+        print(
+            "   escalation for %r sent to %s"
+            % (note.activity, list(note.recipients))
+        )
+
+    print("\nAl claims the approval (it vanishes from Amy's list):")
+    item = engine.worklist("al")[0]
+    engine.claim(item.item_id, "al")
+    show_worklists(engine, ["al", "amy"])
+
+    print("\nAl executes the approval; the rest runs automatically:")
+    engine.start_item(item.item_id)
+    print("   process state:", engine.instance_state(instance))
+    print("   activity states:", engine.activity_states(instance))
+    print("   packing attempts (exit-condition loop):",
+          _pack_attempts(engine, instance))
+    print("   output:", engine.output(instance))
+
+
+def _pack_attempts(engine: Engine, instance: str) -> int:
+    for child in engine.navigator.instances():
+        if child.parent_instance == instance:
+            return engine.audit.attempts(child.instance_id, "Pack")
+    return 0
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Legacy setup script.
+
+The reproduction environment is offline and has no ``wheel`` package,
+so PEP 517 editable installs (which build a wheel) cannot work.  This
+script lets ``pip install -e .`` fall back to ``setup.py develop``.
+Metadata mirrors pyproject.toml.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Workflow-based implementation of advanced transaction models "
+        "(reproduction of Alonso et al., ICDE 1996)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

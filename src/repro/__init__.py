@@ -1,0 +1,81 @@
+"""repro — Advanced Transaction Models in Workflow Contexts.
+
+A full reproduction of Alonso, Agrawal, El Abbadi, Kamath, Günthör and
+Mohan (ICDE 1996): a FlowMark-style workflow management system
+(:mod:`repro.wfms`), the FlowMark Definition Language (:mod:`repro.fdl`),
+a transactional multidatabase substrate (:mod:`repro.tx`), and — the
+paper's contribution — implementations of Linear/Parallel Sagas and
+Flexible Transactions *as workflow processes*, produced automatically
+by the Exotica/FMTM translator (:mod:`repro.core`).
+
+Quickstart::
+
+    from repro import Engine, ProcessDefinition, Activity
+
+    engine = Engine()
+    engine.register_program("hello", lambda ctx: 0)
+    defn = ProcessDefinition("Hi")
+    defn.add_activity(Activity("Greet", program="hello"))
+    engine.register_definition(defn)
+    result = engine.run_process("Hi")
+    assert result.finished
+"""
+
+from repro.errors import (
+    ReproError,
+    WorkflowError,
+    TransactionError,
+    TransactionAborted,
+    ModelError,
+    SpecificationError,
+    WellFormednessError,
+    TranslationError,
+)
+from repro.wfms import (
+    Activity,
+    ActivityKind,
+    Condition,
+    Container,
+    ControlConnector,
+    DataConnector,
+    DataType,
+    Engine,
+    Organization,
+    ProcessDefinition,
+    ProgramRegistry,
+    StartCondition,
+    StartMode,
+    StructureType,
+    VariableDecl,
+    parse_condition,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Activity",
+    "ActivityKind",
+    "Condition",
+    "Container",
+    "ControlConnector",
+    "DataConnector",
+    "DataType",
+    "Engine",
+    "ModelError",
+    "Organization",
+    "ProcessDefinition",
+    "ProgramRegistry",
+    "ReproError",
+    "SpecificationError",
+    "StartCondition",
+    "StartMode",
+    "StructureType",
+    "TransactionAborted",
+    "TransactionError",
+    "TranslationError",
+    "VariableDecl",
+    "WellFormednessError",
+    "WorkflowError",
+    "parse_condition",
+    "__version__",
+]

@@ -1,0 +1,224 @@
+"""Bindings: connect translated processes to real subtransactions.
+
+The translators produce pure process definitions that reference
+*program names*.  This module registers the actual programs — built
+from :class:`~repro.tx.subtransaction.Subtransaction` objects with the
+right RC conventions — on an engine, and extracts model-level outcomes
+(:class:`SagaOutcome` / :class:`FlexibleOutcome`) back out of a
+workflow execution so experiments can compare the workflow
+implementation against the native executors on equal terms.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SpecificationError
+from repro.tx.subtransaction import Subtransaction
+from repro.wfms.engine import Engine
+from repro.core.compblock import NOP_PROGRAM, state_var
+from repro.core.flexible import FlexibleOutcome, FlexibleSpec
+from repro.core.flexible_translator import (
+    FLEX_ABORT_RC,
+    FLEX_COMMIT_RC,
+    FlexibleTranslation,
+)
+from repro.core.sagas import SagaOutcome, SagaSpec
+from repro.core.saga_translator import (
+    SAGA_ABORT_RC,
+    SAGA_COMMIT_RC,
+    SagaTranslation,
+    passthrough_for,
+)
+from repro.core.compblock import passthrough_for_items
+
+
+def nop_program(ctx) -> int:
+    """The null activity: copies matching input members to output."""
+    for name in list(ctx.output.members()):
+        if name != "_RC" and ctx.input.has(name):
+            ctx.output.set(name, ctx.input.get(name))
+    return 0
+
+
+def register_saga_programs(
+    engine: Engine,
+    translation: SagaTranslation,
+    actions: dict[str, Subtransaction],
+    compensations: dict[str, Subtransaction],
+) -> None:
+    """Register every program the translated saga references."""
+    spec = translation.spec
+    engine.register_program(
+        NOP_PROGRAM, nop_program, "null activity", replace=True
+    )
+    for step in spec.steps:
+        if step.name not in actions:
+            raise SpecificationError("no action bound for %r" % step.name)
+        if step.name not in compensations:
+            raise SpecificationError(
+                "no compensation bound for %r" % step.name
+            )
+        engine.register_program(
+            step.program,
+            actions[step.name].as_program(
+                commit_rc=SAGA_COMMIT_RC, abort_rc=SAGA_ABORT_RC
+            ),
+            "subtransaction %s" % step.name,
+            replace=True,
+        )
+        engine.register_program(
+            step.compensation_program,
+            compensations[step.name].as_program(
+                commit_rc=SAGA_COMMIT_RC,
+                abort_rc=SAGA_ABORT_RC,
+                passthrough=passthrough_for(spec, step.name),
+            ),
+            "compensation of %s" % step.name,
+            replace=True,
+        )
+
+
+def workflow_saga_outcome(
+    engine: Engine, translation: SagaTranslation, instance_id: str
+) -> SagaOutcome:
+    """Reconstruct the saga-level outcome of a workflow execution."""
+    spec = translation.spec
+    output = engine.output(instance_id)
+    executed = [
+        step.name
+        for step in spec.steps
+        if output.get(state_var(step.name)) == 1
+    ]
+    order = engine.execution_order(instance_id, include_children=True)
+    compensated = [
+        name[len("Comp_"):]
+        for name in order
+        if name.startswith("Comp_") and name != "NOP"
+    ]
+    committed = len(executed) == len(spec.steps) and output.get("_RC") == 0
+    return SagaOutcome(
+        committed=committed,
+        executed=executed,
+        compensated=compensated,
+    )
+
+
+def register_flexible_programs(
+    engine: Engine,
+    translation: FlexibleTranslation,
+    actions: dict[str, Subtransaction],
+    compensations: dict[str, Subtransaction],
+) -> None:
+    """Register every program the translated flexible tx references."""
+    spec = translation.spec
+    engine.register_program(
+        NOP_PROGRAM, nop_program, "null activity", replace=True
+    )
+    for name, member in spec.members.items():
+        if name not in actions:
+            raise SpecificationError("no action bound for %r" % name)
+        engine.register_program(
+            member.program,
+            actions[name].as_program(
+                commit_rc=FLEX_COMMIT_RC, abort_rc=FLEX_ABORT_RC
+            ),
+            "%s subtransaction %s" % (member.kind, name),
+            replace=True,
+        )
+        if member.compensatable:
+            if name not in compensations:
+                raise SpecificationError(
+                    "no compensation bound for %r" % name
+                )
+            engine.register_program(
+                member.compensation_program,
+                compensations[name].as_program(
+                    commit_rc=FLEX_COMMIT_RC,
+                    abort_rc=FLEX_ABORT_RC,
+                    passthrough=_flexible_passthrough(spec, translation, name),
+                ),
+                "compensation of %s" % name,
+                replace=True,
+            )
+
+
+def _flexible_passthrough(
+    spec: FlexibleSpec, translation: FlexibleTranslation, member: str
+) -> tuple[tuple[str, str], ...]:
+    """Passthrough pairs for a flexible compensation: within the tree
+    node whose segment contains ``member``, forward the previous
+    compensatable member's State as ``Next``."""
+    for segment in _segments(spec):
+        compensatable = [
+            m for m in segment if spec.member(m).compensatable
+        ]
+        if member in compensatable:
+            items = [
+                (m, spec.member(m).compensation_program)
+                for m in compensatable
+            ]
+            return passthrough_for_items(items, member)
+    raise SpecificationError(
+        "member %r is not compensatable on any segment" % member
+    )
+
+
+def _segments(spec: FlexibleSpec) -> list[list[str]]:
+    segments: list[list[str]] = []
+    stack = [spec.tree()]
+    while stack:
+        node = stack.pop()
+        segments.append(list(node.segment))
+        stack.extend(node.children)
+    return segments
+
+
+def workflow_flexible_outcome(
+    engine: Engine, translation: FlexibleTranslation, instance_id: str
+) -> FlexibleOutcome:
+    """Reconstruct the flexible-transaction outcome of a workflow run."""
+    spec = translation.spec
+    output = engine.output(instance_id)
+    order = engine.execution_order(instance_id, include_children=True)
+    compensated = [
+        name[len("Comp_"):]
+        for name in order
+        if name.startswith("Comp_") and name != "NOP"
+    ]
+    raw = [
+        _member_of(activity)
+        for activity in order
+        if not activity.startswith("Comp")
+        and activity != "NOP"
+        and _member_of(activity) in spec.members
+        and output.get(state_var(_member_of(activity))) == 1
+    ]
+    # A member may appear twice when it sits on two alternatives (the
+    # first attempt aborted, the second committed): keep the last.
+    committed_members: list[str] = []
+    seen: set[str] = set()
+    for member in reversed(raw):
+        if member not in seen:
+            seen.add(member)
+            committed_members.append(member)
+    committed_members.reverse()
+    committed_members = [
+        m for m in committed_members if m not in compensated
+    ]
+    committed = output.get("Committed") == 1
+    committed_path: list[str] = []
+    if committed:
+        for path in spec.paths:
+            if set(path) == set(committed_members):
+                committed_path = list(path)
+                break
+    return FlexibleOutcome(
+        committed=committed,
+        committed_path=committed_path,
+        committed_members=committed_members,
+        compensated=compensated,
+    )
+
+
+def _member_of(activity: str) -> str:
+    """Strip the sibling-qualification suffix from an activity name."""
+    return activity.split("__", 1)[0]

@@ -1,0 +1,126 @@
+"""Shared compensation-block construction.
+
+Both translations need Figure 2's second phase: a block holding the
+compensating activities in reverse order, entered through a null (NOP)
+activity whose outgoing connectors test which forward activities
+executed.  The saga translation compensates a whole saga; the flexible
+translation builds one such block per alternative branch (covering
+§4.2 rule 5's grouping of consecutive compensatable subtransactions
+and rule 6's compensating block).
+
+Wiring recap (see :mod:`repro.core.saga_translator` for the rationale):
+
+* the block's input container carries ``State_<m>`` (1 = member *m*
+  committed, 0 = never ran or rolled itself back);
+* the NOP copies these flags to its output so its outgoing transition
+  conditions can read them;
+* NOP → Comp_m fires only for the most recently executed member
+  (``State_m = 1 AND State_next = 0``);
+* the reverse chain Comp_m → Comp_prev advances on a ``Next`` flag each
+  compensating activity passes through, so compensation runs strictly
+  in reverse execution order;
+* dead-path elimination silently skips members that never executed;
+* each compensating activity is retried until its exit condition
+  (``RC = commit``) holds — "compensations are in general considered
+  retriable".
+"""
+
+from __future__ import annotations
+
+from repro.wfms.datatypes import DataType, VariableDecl
+from repro.wfms.model import (
+    PROCESS_INPUT,
+    PROCESS_OUTPUT,
+    Activity,
+    ProcessDefinition,
+    StartCondition,
+)
+
+#: Program name of the null (no-operation) trigger activity.
+NOP_PROGRAM = "nop"
+
+
+def state_var(name: str) -> str:
+    """Container member recording whether member ``name`` committed."""
+    return "State_%s" % name
+
+
+def comp_activity_name(member: str) -> str:
+    return "Comp_%s" % member
+
+
+def build_compensation_block(
+    block_name: str,
+    items: list[tuple[str, str]],
+    *,
+    commit_rc: int,
+    max_attempts: int,
+    description: str = "",
+) -> ProcessDefinition:
+    """Build a compensation block.
+
+    ``items`` lists ``(member_name, compensation_program)`` in *forward
+    execution order*; compensation runs in the reverse order.
+    ``commit_rc`` is the return code meaning "compensation committed"
+    under the enclosing model's convention.
+    """
+    states = [state_var(member) for member, __ in items]
+    block = ProcessDefinition(
+        block_name,
+        description=description or "compensation block",
+        input_spec=[VariableDecl(s, DataType.LONG) for s in states],
+        output_spec=[VariableDecl("Done", DataType.LONG)],
+    )
+    state_decls = [VariableDecl(s, DataType.LONG) for s in states]
+    block.add_activity(
+        Activity(
+            "NOP",
+            program=NOP_PROGRAM,
+            input_spec=list(state_decls),
+            output_spec=list(state_decls),
+            description="null activity triggering compensation",
+        )
+    )
+    if states:
+        block.map_data(PROCESS_INPUT, "NOP", [(s, s) for s in states])
+    for index, (member, comp_program) in enumerate(items):
+        comp_name = comp_activity_name(member)
+        block.add_activity(
+            Activity(
+                comp_name,
+                program=comp_program,
+                input_spec=list(state_decls),
+                output_spec=[VariableDecl("Next", DataType.LONG)],
+                start_condition=StartCondition.ANY,
+                exit_condition="RC = %d" % commit_rc,
+                max_iterations=max_attempts,
+                description="compensation of %s" % member,
+            )
+        )
+        block.map_data(PROCESS_INPUT, comp_name, [(s, s) for s in states])
+        if index == len(items) - 1:
+            trigger = "%s = 1" % states[index]
+        else:
+            trigger = "%s = 1 AND %s = 0" % (states[index], states[index + 1])
+        block.connect("NOP", comp_name, trigger)
+        if index > 0:
+            block.connect(
+                comp_name, comp_activity_name(items[index - 1][0]), "Next = 1"
+            )
+        block.map_data(
+            comp_name, PROCESS_OUTPUT, [("Next", "Done"), ("_RC", "_RC")]
+        )
+    return block
+
+
+def passthrough_for_items(
+    items: list[tuple[str, str]], member: str
+) -> tuple[tuple[str, str], ...]:
+    """Passthrough pairs for ``member``'s compensation program: forward
+    the *previous* member's State flag as ``Next`` so the reverse chain
+    can continue (the first member forwards its own flag, which simply
+    terminates the chain)."""
+    names = [name for name, __ in items]
+    index = names.index(member)
+    source = names[index - 1] if index > 0 else member
+    return ((state_var(source), "Next"),)

@@ -1,0 +1,428 @@
+"""ConTract-lite: a third advanced transaction model for FMTM.
+
+The paper notes that conditions "provide the means for discarding some
+branches of the control flow and for implementing structures similar
+to if-then-else.  Such features are not found in any transaction
+model, except in the ConTract model [WR92]" — and §5 claims the
+pre-processor "can [be extended] to convert any advanced transaction
+model specification".  This module is that extension: a minimal
+ConTract model — a script of steps with *entry invariants* and
+compensation-based backward recovery — and its translation.
+
+Model semantics (native executor):
+
+* steps run in script order;
+* before a step runs, its entry invariant (a condition over the
+  contract's context) is evaluated; if false the step is **skipped**,
+  unless it is marked ``critical``, in which case the contract fails;
+* a step whose subtransaction aborts fails the contract;
+* a failed contract compensates every *executed* step in reverse
+  order (backward recovery); a completed one commits.
+
+Translation: each step becomes an ``Eval`` activity (a NOP that copies
+the context so its outgoing transition conditions can read it)
+followed by the step activity; the invariant and its negation label
+the two outgoing connectors — exactly the if-then-else the paper says
+transaction models lack.  Failures route to a guarded compensation
+block (shared with the parallel-saga construction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import SpecificationError
+from repro.tx.subtransaction import Subtransaction, SubtransactionOutcome
+from repro.wfms.conditions import parse_condition
+from repro.wfms.datatypes import DataType, VariableDecl
+from repro.wfms.engine import Engine
+from repro.wfms.model import (
+    PROCESS_INPUT,
+    PROCESS_OUTPUT,
+    Activity,
+    ActivityKind,
+    ProcessDefinition,
+    StartCondition,
+)
+from repro.core.bindings import nop_program
+from repro.core.compblock import NOP_PROGRAM, state_var
+from repro.core.parallel_saga import guarded_compensation_program
+from repro.core.saga_translator import SAGA_ABORT_RC, SAGA_COMMIT_RC
+
+
+@dataclass(frozen=True)
+class ContractStep:
+    """One step of a ConTract script."""
+
+    name: str
+    entry_condition: str = ""     # empty = always runs
+    critical: bool = False        # invariant failure aborts the contract
+    program: str = ""
+    compensation_program: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecificationError("contract step needs a name")
+        parse_condition(self.entry_condition or None)  # validate early
+        if not self.program:
+            object.__setattr__(self, "program", "txn_%s" % self.name)
+        if not self.compensation_program:
+            object.__setattr__(
+                self, "compensation_program", "comp_%s" % self.name
+            )
+
+
+class ContractSpec:
+    """A ConTract: typed context plus a script of steps."""
+
+    def __init__(
+        self,
+        name: str,
+        context: list[VariableDecl],
+        steps: list[ContractStep],
+    ):
+        if not name:
+            raise SpecificationError("contract needs a name")
+        if not steps:
+            raise SpecificationError("contract %s has no steps" % name)
+        names = [step.name for step in steps]
+        if len(set(names)) != len(names):
+            raise SpecificationError(
+                "contract %s has duplicate steps" % name
+            )
+        self.name = name
+        self.context = list(context)
+        self.steps = list(steps)
+        context_members = {decl.name for decl in self.context}
+        for step in steps:
+            for path in parse_condition(step.entry_condition or None).variables():
+                root = path.split(".", 1)[0]
+                if root not in context_members:
+                    raise SpecificationError(
+                        "contract %s step %s: entry condition references "
+                        "%r which is not a context member"
+                        % (name, step.name, path)
+                    )
+
+    def __repr__(self) -> str:
+        return "ContractSpec(%r, %d steps)" % (self.name, len(self.steps))
+
+
+@dataclass
+class ContractOutcome:
+    committed: bool
+    executed: list[str] = field(default_factory=list)
+    skipped: list[str] = field(default_factory=list)
+    compensated: list[str] = field(default_factory=list)
+    failed_step: str = ""
+    history: list[SubtransactionOutcome] = field(default_factory=list)
+
+
+class NativeContractExecutor:
+    """The ConTract model's own runtime (the baseline)."""
+
+    def __init__(
+        self,
+        spec: ContractSpec,
+        actions: dict[str, Subtransaction],
+        compensations: dict[str, Subtransaction],
+        *,
+        max_compensation_attempts: int = 100,
+    ):
+        for step in spec.steps:
+            if step.name not in actions:
+                raise SpecificationError(
+                    "no action bound for %r" % step.name
+                )
+            if step.name not in compensations:
+                raise SpecificationError(
+                    "no compensation bound for %r" % step.name
+                )
+        self.spec = spec
+        self.actions = actions
+        self.compensations = compensations
+        self.max_compensation_attempts = max_compensation_attempts
+
+    def run(self, context: dict[str, Any]) -> ContractOutcome:
+        outcome = ContractOutcome(committed=True)
+        env = dict(context)
+        for step in self.spec.steps:
+            condition = parse_condition(step.entry_condition or None)
+            if not condition.evaluate(lambda p: env.get(p)):
+                if step.critical:
+                    outcome.failed_step = step.name
+                    outcome.committed = False
+                    break
+                outcome.skipped.append(step.name)
+                continue
+            result = self.actions[step.name].execute()
+            outcome.history.append(result)
+            if result.committed:
+                outcome.executed.append(step.name)
+            else:
+                outcome.failed_step = step.name
+                outcome.committed = False
+                break
+        if not outcome.committed:
+            for name in reversed(outcome.executed):
+                self._compensate(name, outcome)
+        return outcome
+
+    def _compensate(self, name: str, outcome: ContractOutcome) -> None:
+        compensation = self.compensations[name]
+        for __ in range(self.max_compensation_attempts):
+            result = compensation.execute()
+            outcome.history.append(result)
+            if result.committed:
+                outcome.compensated.append(name)
+                return
+        raise SpecificationError(
+            "compensation of %s never committed" % name
+        )
+
+
+@dataclass
+class ContractTranslation:
+    spec: ContractSpec
+    process: ProcessDefinition
+    required_programs: dict[str, str]
+
+    @property
+    def process_name(self) -> str:
+        return self.process.name
+
+
+def translate_contract(
+    spec: ContractSpec, *, max_compensation_attempts: int = 100
+) -> ContractTranslation:
+    """Translate a ConTract into a workflow process.
+
+    Shape per step i: ``Eval_i`` (NOP copying the context) with two
+    outgoing connectors — the entry invariant to ``Step_i`` and its
+    complement to ``Eval_{i+1}`` (the skip, or ``Done`` for the last
+    step; a critical step's complement routes to the compensation
+    block instead).  ``Step_i`` commits to ``Eval_{i+1}`` / ``Done``
+    and aborts to the compensation block.
+    """
+    context_decls = list(spec.context)
+    state_decls = [
+        VariableDecl(state_var(step.name), DataType.LONG)
+        for step in spec.steps
+    ]
+    process = ProcessDefinition(
+        "Contract_%s" % spec.name,
+        description="ConTract-lite translation of %r" % spec.name,
+        input_spec=context_decls,
+        output_spec=[VariableDecl("Committed", DataType.LONG)]
+        + list(state_decls),
+    )
+    required = {NOP_PROGRAM: "null activity"}
+
+    comp_items = [(s.name, s.compensation_program) for s in spec.steps]
+    comp_block = _contract_compensation_block(
+        spec, max_compensation_attempts
+    )
+    states = [state_var(s.name) for s in spec.steps]
+
+    def eval_name(index: int) -> str:
+        return "Eval_%s" % spec.steps[index].name
+
+    # Done marker: committed contracts end here.
+    process.add_activity(
+        Activity(
+            "Done",
+            program="contract_done",
+            output_spec=[VariableDecl("Committed", DataType.LONG)],
+            start_condition=StartCondition.ANY,
+            description="contract completed",
+        )
+    )
+    required["contract_done"] = "marks the contract committed"
+
+    failure_edges: list[tuple[str, str]] = []
+    for index, step in enumerate(spec.steps):
+        evaluator = eval_name(index)
+        process.add_activity(
+            Activity(
+                evaluator,
+                program=NOP_PROGRAM,
+                input_spec=list(context_decls),
+                output_spec=list(context_decls),
+                start_condition=StartCondition.ANY,
+                description="entry invariant of %s" % step.name,
+            )
+        )
+        if context_decls:
+            process.map_data(
+                PROCESS_INPUT,
+                evaluator,
+                [(d.name, d.name) for d in context_decls],
+            )
+        process.add_activity(
+            Activity(
+                step.name,
+                program=step.program,
+                output_spec=[VariableDecl("State", DataType.LONG)],
+                description="contract step %s" % step.name,
+            )
+        )
+        process.map_data(
+            step.name, PROCESS_OUTPUT, [("State", state_var(step.name))]
+        )
+        entry = step.entry_condition.strip() or "TRUE"
+        complement = "NOT (%s)" % entry if entry != "TRUE" else "FALSE"
+        next_target = (
+            eval_name(index + 1) if index + 1 < len(spec.steps) else "Done"
+        )
+        process.connect(evaluator, step.name, entry)
+        if step.critical:
+            # Invariant violation fails the contract.
+            failure_edges.append((evaluator, complement))
+        else:
+            if complement != "FALSE":
+                process.connect(evaluator, next_target, complement)
+        process.connect(step.name, next_target, "RC = %d" % SAGA_COMMIT_RC)
+        failure_edges.append((step.name, "RC <> %d" % SAGA_COMMIT_RC))
+        required[step.program] = "contract step %s" % step.name
+        required["g" + step.compensation_program] = (
+            "guarded compensation of %s" % step.name
+        )
+
+    process.add_activity(
+        Activity(
+            "Backward",
+            kind=ActivityKind.BLOCK,
+            block=comp_block,
+            input_spec=[VariableDecl(s, DataType.LONG) for s in states],
+            output_spec=[VariableDecl("Done", DataType.LONG)],
+            start_condition=StartCondition.ANY,
+            description="backward recovery (guarded compensation)",
+        )
+    )
+    for source, condition in failure_edges:
+        process.connect(source, "Backward", condition)
+    for step in spec.steps:
+        process.map_data(
+            step.name, "Backward", [("State", state_var(step.name))]
+        )
+    process.map_data("Done", PROCESS_OUTPUT, [("Committed", "Committed")])
+    process.validate()
+    return ContractTranslation(spec, process, required)
+
+
+def _contract_compensation_block(
+    spec: ContractSpec, max_attempts: int
+) -> ProcessDefinition:
+    # Reverse-chain guarded compensation (skipped/never-run steps have
+    # State 0 and their guards pass through).
+    states = [state_var(s.name) for s in spec.steps]
+    state_decls = [VariableDecl(s, DataType.LONG) for s in states]
+    block = ProcessDefinition(
+        "Backward_%s" % spec.name,
+        description="backward recovery of contract %s" % spec.name,
+        input_spec=list(state_decls),
+        output_spec=[VariableDecl("Done", DataType.LONG)],
+    )
+    block.add_activity(
+        Activity(
+            "NOP",
+            program=NOP_PROGRAM,
+            input_spec=list(state_decls),
+            output_spec=list(state_decls),
+        )
+    )
+    block.map_data(PROCESS_INPUT, "NOP", [(s, s) for s in states])
+    previous = "NOP"
+    for step in reversed(spec.steps):
+        comp_name = "Comp_%s" % step.name
+        block.add_activity(
+            Activity(
+                comp_name,
+                program="g" + step.compensation_program,
+                input_spec=list(state_decls),
+                output_spec=[VariableDecl("DidRun", DataType.LONG)],
+                exit_condition="RC = %d" % SAGA_COMMIT_RC,
+                max_iterations=max_attempts,
+            )
+        )
+        block.map_data(PROCESS_INPUT, comp_name, [(s, s) for s in states])
+        block.map_data(
+            comp_name, PROCESS_OUTPUT, [("DidRun", "Done"), ("_RC", "_RC")]
+        )
+        block.connect(previous, comp_name)
+        previous = comp_name
+    return block
+
+
+def register_contract_programs(
+    engine: Engine,
+    translation: ContractTranslation,
+    actions: dict[str, Subtransaction],
+    compensations: dict[str, Subtransaction],
+) -> None:
+    spec = translation.spec
+    engine.register_program(NOP_PROGRAM, nop_program, replace=True)
+
+    def done_program(ctx) -> int:
+        ctx.output.set("Committed", 1)
+        return 0
+
+    engine.register_program("contract_done", done_program, replace=True)
+    for step in spec.steps:
+        if step.name not in actions:
+            raise SpecificationError("no action bound for %r" % step.name)
+        if step.name not in compensations:
+            raise SpecificationError(
+                "no compensation bound for %r" % step.name
+            )
+        engine.register_program(
+            step.program,
+            actions[step.name].as_program(
+                commit_rc=SAGA_COMMIT_RC, abort_rc=SAGA_ABORT_RC
+            ),
+            replace=True,
+        )
+        engine.register_program(
+            "g" + step.compensation_program,
+            guarded_compensation_program(compensations[step.name], step.name),
+            replace=True,
+        )
+
+
+def workflow_contract_outcome(
+    engine: Engine, translation: ContractTranslation, instance_id: str
+) -> ContractOutcome:
+    spec = translation.spec
+    output = engine.output(instance_id)
+    order = engine.execution_order(instance_id, include_children=False)
+    executed = [
+        step.name
+        for step in spec.steps
+        if output.get(state_var(step.name)) == 1
+    ]
+    ran = set(order)
+    skipped = [
+        step.name
+        for step in spec.steps
+        if not step.critical  # a critical step fails, it never skips
+        and step.name not in ran
+        and "Eval_%s" % step.name in ran
+    ]
+    compensated: list[str] = []
+    instance = engine.navigator.instance(instance_id)
+    backward = instance.activities.get("Backward")
+    if backward is not None and backward.child_instance:
+        child = engine.navigator.instance(backward.child_instance)
+        for name in engine.audit.execution_order(backward.child_instance):
+            if name.startswith("Comp_"):
+                ai = child.activity(name)
+                if ai.output is not None and ai.output.resolver("DidRun") == 1:
+                    compensated.append(name[len("Comp_"):])
+    committed = output.get("Committed") == 1
+    return ContractOutcome(
+        committed=committed,
+        executed=executed,
+        skipped=skipped,
+        compensated=compensated,
+    )

@@ -1,0 +1,358 @@
+"""Flexible Transactions [ELLR90, MRSK92, ZNBB94] (§4.2).
+
+A flexible transaction is a set of typed subtransactions —
+*compensatable* (undoable after commit), *retriable* (will eventually
+commit if retried), *pivot* (neither) — organised into alternative
+execution paths in preference order.  The transaction commits when any
+path completes; failures switch paths after compensating the committed
+subtransactions unique to the abandoned path.
+
+This module holds the specification (:class:`FlexibleSpec`), the
+alternative-path tree the translator consumes (:class:`PathTree`), the
+outcome record, and the native executor used as the baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    ExecutionContractViolation,
+    SpecificationError,
+)
+from repro.tx.subtransaction import Subtransaction, SubtransactionOutcome
+
+
+@dataclass(frozen=True)
+class FlexibleMember:
+    """One subtransaction of a flexible transaction.
+
+    A member may be compensatable, retriable, both, or neither
+    (a *pivot*) [MRSK92].
+    """
+
+    name: str
+    compensatable: bool = False
+    retriable: bool = False
+    program: str = ""
+    compensation_program: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecificationError("flexible member needs a name")
+        if not self.program:
+            object.__setattr__(self, "program", "txn_%s" % self.name)
+        if self.compensatable and not self.compensation_program:
+            object.__setattr__(
+                self, "compensation_program", "comp_%s" % self.name
+            )
+
+    @property
+    def pivot(self) -> bool:
+        return not self.compensatable and not self.retriable
+
+    @property
+    def kind(self) -> str:
+        if self.pivot:
+            return "pivot"
+        parts = []
+        if self.compensatable:
+            parts.append("compensatable")
+        if self.retriable:
+            parts.append("retriable")
+        return "+".join(parts)
+
+
+@dataclass
+class PathTree:
+    """Alternative paths folded into a prefix-sharing tree.
+
+    ``segment`` is the run of members executed in order at this node;
+    ``children`` are the alternative continuations in preference order
+    (empty for a leaf).
+    """
+
+    segment: list[str] = field(default_factory=list)
+    children: list["PathTree"] = field(default_factory=list)
+
+    def paths(self) -> list[list[str]]:
+        if not self.children:
+            return [list(self.segment)]
+        out = []
+        for child in self.children:
+            for suffix in child.paths():
+                out.append(list(self.segment) + suffix)
+        return out
+
+
+class FlexibleSpec:
+    """A flexible transaction: members plus preference-ordered paths."""
+
+    def __init__(
+        self,
+        name: str,
+        members: list[FlexibleMember],
+        paths: list[list[str]],
+    ):
+        if not name:
+            raise SpecificationError("flexible transaction needs a name")
+        if not members:
+            raise SpecificationError("flexible transaction %s has no members" % name)
+        if not paths:
+            raise SpecificationError("flexible transaction %s has no paths" % name)
+        self.name = name
+        self.members = {m.name: m for m in members}
+        if len(self.members) != len(members):
+            raise SpecificationError(
+                "flexible transaction %s has duplicate members" % name
+            )
+        self.paths = [list(p) for p in paths]
+        for path in self.paths:
+            if not path:
+                raise SpecificationError("empty path in %s" % name)
+            if len(set(path)) != len(path):
+                raise SpecificationError(
+                    "path %s repeats a member" % (path,)
+                )
+            for member in path:
+                if member not in self.members:
+                    raise SpecificationError(
+                        "path references unknown member %r" % member
+                    )
+        if len({tuple(p) for p in self.paths}) != len(self.paths):
+            raise SpecificationError("duplicate paths in %s" % name)
+        for shorter in self.paths:
+            for longer in self.paths:
+                if len(shorter) < len(longer) and longer[: len(shorter)] == shorter:
+                    raise SpecificationError(
+                        "path %s is a strict prefix of %s: the shorter "
+                        "one could never be chosen" % (shorter, longer)
+                    )
+        on_paths = {m for p in self.paths for m in p}
+        unused = set(self.members) - on_paths
+        if unused:
+            raise SpecificationError(
+                "members %s appear on no path" % sorted(unused)
+            )
+
+    def member(self, name: str) -> FlexibleMember:
+        try:
+            return self.members[name]
+        except KeyError:
+            raise SpecificationError(
+                "flexible transaction %s has no member %r" % (self.name, name)
+            ) from None
+
+    def tree(self) -> PathTree:
+        """Fold the preference-ordered paths into a prefix tree."""
+        return _build_tree(self.paths)
+
+    def validate(self) -> None:
+        """Structural + well-formedness validation."""
+        from repro.core.wellformed import check_well_formed
+
+        check_well_formed(self)
+
+    def __repr__(self) -> str:
+        return "FlexibleSpec(%r, %d members, %d paths)" % (
+            self.name,
+            len(self.members),
+            len(self.paths),
+        )
+
+
+def _build_tree(paths: list[list[str]]) -> PathTree:
+    # Longest common prefix of all paths becomes this node's segment;
+    # paths then group by their next member, preserving preference
+    # order of first appearance.
+    prefix: list[str] = []
+    for position in range(min(len(p) for p in paths)):
+        candidates = {p[position] for p in paths}
+        if len(candidates) == 1:
+            prefix.append(paths[0][position])
+        else:
+            break
+    suffixes = [p[len(prefix):] for p in paths]
+    if all(not s for s in suffixes):
+        return PathTree(segment=prefix)
+    if any(not s for s in suffixes):
+        raise SpecificationError(
+            "a path may not be a strict prefix of another "
+            "(the shorter one could never be chosen): %s" % (paths,)
+        )
+    groups: dict[str, list[list[str]]] = {}
+    order: list[str] = []
+    for suffix in suffixes:
+        head = suffix[0]
+        if head not in groups:
+            groups[head] = []
+            order.append(head)
+        groups[head].append(suffix)
+    children = [_build_tree(groups[head]) for head in order]
+    return PathTree(segment=prefix, children=children)
+
+
+@dataclass
+class FlexibleOutcome:
+    """What a flexible transaction execution did."""
+
+    committed: bool
+    committed_path: list[str] = field(default_factory=list)
+    committed_members: list[str] = field(default_factory=list)
+    compensated: list[str] = field(default_factory=list)
+    dead: list[str] = field(default_factory=list)  # permanently aborted
+    history: list[SubtransactionOutcome] = field(default_factory=list)
+
+
+class NativeFlexibleExecutor:
+    """The flexible-transaction model's own runtime (the baseline).
+
+    Semantics: try paths in preference order; a retriable member is
+    retried until it commits; a non-retriable member that aborts is
+    *dead* — every path containing it becomes unviable.  On switching
+    paths, committed members not on the new path are compensated in
+    reverse commit order.  If no path remains viable, the transaction
+    aborts and everything compensatable is compensated.
+    """
+
+    def __init__(
+        self,
+        spec: FlexibleSpec,
+        actions: dict[str, Subtransaction],
+        compensations: dict[str, Subtransaction],
+        *,
+        max_retries: int = 100,
+    ):
+        for name in spec.members:
+            if name not in actions:
+                raise SpecificationError("no action bound for %r" % name)
+        for name, member in spec.members.items():
+            if member.compensatable and name not in compensations:
+                raise SpecificationError(
+                    "no compensation bound for compensatable %r" % name
+                )
+        self.spec = spec
+        self.actions = actions
+        self.compensations = compensations
+        self.max_retries = max_retries
+
+    def run(self) -> FlexibleOutcome:
+        outcome = FlexibleOutcome(committed=False)
+        committed: list[str] = []  # in commit order
+        dead: set[str] = set()
+        for path in self.spec.paths:
+            if dead & set(path):
+                continue  # path contains a permanently failed member
+            self._switch_to(path, committed, outcome)
+            if self._run_path(path, committed, dead, outcome):
+                outcome.committed = True
+                outcome.committed_path = list(path)
+                break
+        if not outcome.committed:
+            self._compensate_all(committed, outcome)
+        outcome.committed_members = list(committed)
+        outcome.dead = sorted(dead)
+        self._check_contract(outcome)
+        return outcome
+
+    # -- internals -------------------------------------------------------
+
+    def _run_path(
+        self,
+        path: list[str],
+        committed: list[str],
+        dead: set[str],
+        outcome: FlexibleOutcome,
+    ) -> bool:
+        for name in path:
+            if name in committed:
+                continue  # shared prefix already done
+            member = self.spec.member(name)
+            if member.retriable:
+                if not self._run_retriable(name, outcome):
+                    raise ExecutionContractViolation(
+                        "retriable %s did not commit within %d attempts"
+                        % (name, self.max_retries)
+                    )
+                committed.append(name)
+                continue
+            result = self.actions[name].execute()
+            outcome.history.append(result)
+            if result.committed:
+                committed.append(name)
+            else:
+                dead.add(name)
+                return False
+        return True
+
+    def _run_retriable(self, name: str, outcome: FlexibleOutcome) -> bool:
+        for __ in range(self.max_retries):
+            result = self.actions[name].execute()
+            outcome.history.append(result)
+            if result.committed:
+                return True
+        return False
+
+    def _switch_to(
+        self,
+        path: list[str],
+        committed: list[str],
+        outcome: FlexibleOutcome,
+    ) -> None:
+        """Compensate committed members that are not on ``path``."""
+        for name in reversed(list(committed)):
+            if name in path:
+                continue
+            member = self.spec.member(name)
+            if not member.compensatable:
+                raise ExecutionContractViolation(
+                    "would need to compensate non-compensatable %s to "
+                    "switch paths (specification is not well-formed)" % name
+                )
+            self._compensate(name, outcome)
+            committed.remove(name)
+
+    def _compensate_all(
+        self, committed: list[str], outcome: FlexibleOutcome
+    ) -> None:
+        for name in reversed(list(committed)):
+            member = self.spec.member(name)
+            if not member.compensatable:
+                raise ExecutionContractViolation(
+                    "flexible transaction aborted with committed "
+                    "non-compensatable member %s" % name
+                )
+            self._compensate(name, outcome)
+            committed.remove(name)
+
+    def _compensate(self, name: str, outcome: FlexibleOutcome) -> None:
+        compensation = self.compensations[name]
+        for __ in range(self.max_retries):
+            result = compensation.execute()
+            outcome.history.append(result)
+            if result.committed:
+                outcome.compensated.append(name)
+                return
+        raise ExecutionContractViolation(
+            "compensation of %s did not commit within %d attempts"
+            % (name, self.max_retries)
+        )
+
+    def _check_contract(self, outcome: FlexibleOutcome) -> None:
+        if outcome.committed:
+            missing = [
+                m
+                for m in outcome.committed_path
+                if m not in outcome.committed_members
+            ]
+            if missing:
+                raise ExecutionContractViolation(
+                    "committed path %s has uncommitted members %s"
+                    % (outcome.committed_path, missing)
+                )
+        else:
+            if outcome.committed_members:
+                raise ExecutionContractViolation(
+                    "aborted flexible transaction left members committed: %s"
+                    % outcome.committed_members
+                )

@@ -1,0 +1,194 @@
+"""Exotica/FMTM — the Figure 5 pre-processor pipeline (§5).
+
+"The pre-processor checks that the user specification meets the format
+of the advanced transaction model specified.  It then takes the user
+specification and converts it into a FlowMark process in FDL format.
+... This FDL output is then imported into FlowMark and an internal
+representation of the process is created.  During this conversion the
+import module checks for inconsistencies in the syntax of the process
+definition.  Finally this internal format is translated into an
+executable FlowMark process.  Here the translator checks the semantics
+of the FlowMark process to see if the specified user transactions are
+valid, i.e., a suitable program definition exists, if the control
+connectors are legal, etc.  This executable FlowMark process is
+essentially a template that will be utilized to create run-time
+instances of the process."
+
+:class:`FMTMPipeline` reproduces each stage and records what every
+stage produced and how long it took, so the FIG5 benchmark can report
+per-stage costs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import SpecificationError
+from repro.fdl.exporter import export_document
+from repro.fdl.importer import ImportResult, import_text
+from repro.wfms.engine import Engine
+from repro.core.contract import (
+    ContractSpec,
+    ContractTranslation,
+    translate_contract,
+)
+from repro.core.flexible import FlexibleSpec
+from repro.core.flexible_translator import FlexibleTranslation, translate_flexible
+from repro.core.parallel_saga import translate_parallel_saga
+from repro.core.sagas import SagaSpec
+from repro.core.saga_translator import SagaTranslation, translate_saga
+from repro.core.speclang import parse_spec
+from repro.core.wellformed import check_well_formed
+
+
+@dataclass
+class StageRecord:
+    name: str
+    seconds: float
+    detail: str = ""
+
+
+@dataclass
+class PipelineReport:
+    """Everything the pipeline produced, stage by stage."""
+
+    spec: SagaSpec | FlexibleSpec | ContractSpec | None = None
+    translation: (
+        SagaTranslation | FlexibleTranslation | ContractTranslation | None
+    ) = None
+    fdl_text: str = ""
+    import_result: ImportResult | None = None
+    process_name: str = ""
+    stages: list[StageRecord] = field(default_factory=list)
+
+    def stage(self, name: str) -> StageRecord:
+        for record in self.stages:
+            if record.name == name:
+                return record
+        raise KeyError(name)
+
+    def stage_names(self) -> list[str]:
+        return [record.name for record in self.stages]
+
+
+#: The stages of Figure 5, in order.
+STAGES = (
+    "parse_specification",
+    "check_model_format",
+    "translate_to_process",
+    "emit_fdl",
+    "import_fdl",
+    "build_template",
+)
+
+
+class FMTMPipeline:
+    """The pre-processor, bound to one engine (the "FlowMark")."""
+
+    def __init__(self, engine: Engine, *, max_retries: int = 100):
+        self.engine = engine
+        self.max_retries = max_retries
+
+    def process_specification(
+        self,
+        text: str,
+        *,
+        compensate_completed: bool = False,
+    ) -> PipelineReport:
+        """Run the full pipeline on a specification text.
+
+        On return the executable template is registered with the
+        engine; ``report.process_name`` starts instances.
+        """
+        report = PipelineReport()
+
+        # Stage 1: parse the user specification.
+        spec = self._timed(
+            report, "parse_specification", lambda: parse_spec(text)
+        )
+        report.spec = spec
+
+        # Stage 2: "checks that the user specification meets the
+        # format of the advanced transaction model specified".
+        def check() -> str:
+            if isinstance(spec, FlexibleSpec):
+                check_well_formed(spec)
+                return "well-formed flexible transaction"
+            if isinstance(spec, SagaSpec):
+                # SagaSpec construction already validated structure.
+                return "valid saga" if spec.is_linear else "valid DAG saga"
+            if isinstance(spec, ContractSpec):
+                # ContractSpec construction validated context references.
+                return "valid contract"
+            raise SpecificationError(
+                "unsupported model %r" % type(spec).__name__
+            )
+
+        self._timed(report, "check_model_format", check)
+
+        # Stage 3: convert into a process definition.
+        def translate():
+            if isinstance(spec, SagaSpec):
+                if spec.is_linear:
+                    return translate_saga(
+                        spec,
+                        compensate_completed=compensate_completed,
+                        max_compensation_attempts=self.max_retries,
+                    )
+                return translate_parallel_saga(
+                    spec, max_compensation_attempts=self.max_retries
+                )
+            if isinstance(spec, ContractSpec):
+                return translate_contract(
+                    spec, max_compensation_attempts=self.max_retries
+                )
+            return translate_flexible(spec, max_retries=self.max_retries)
+
+        translation = self._timed(report, "translate_to_process", translate)
+        report.translation = translation
+
+        # Stage 4: emit FDL.
+        def emit() -> str:
+            definitions = [translation.process]
+            return export_document(
+                definitions, translation.required_programs
+            )
+
+        report.fdl_text = self._timed(report, "emit_fdl", emit)
+
+        # Stage 5: import the FDL (syntax + structural checks).
+        report.import_result = self._timed(
+            report, "import_fdl", lambda: import_text(report.fdl_text)
+        )
+
+        # Stage 6: build the executable template (semantic checks:
+        # "a suitable program definition exists, ... the control
+        # connectors are legal").
+        def build() -> str:
+            definition = report.import_result.definition(
+                translation.process_name
+            )
+            self.engine.register_definition(definition)
+            self.engine.verify_executable(definition.name)
+            return definition.name
+
+        report.process_name = self._timed(report, "build_template", build)
+        return report
+
+    def create_instance(
+        self, report: PipelineReport, input_values: dict[str, Any] | None = None
+    ) -> str:
+        """Create a run-time instance from the template."""
+        return self.engine.start_process(report.process_name, input_values)
+
+    def _timed(self, report: PipelineReport, name: str, thunk):
+        start = time.perf_counter()
+        result = thunk()
+        elapsed = time.perf_counter() - start
+        detail = ""
+        if isinstance(result, str):
+            detail = result if len(result) < 60 else "%d chars" % len(result)
+        report.stages.append(StageRecord(name, elapsed, detail))
+        return result

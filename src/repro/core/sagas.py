@@ -1,0 +1,250 @@
+"""Sagas [GMS87] (§4.1).
+
+A saga is a sequence of subtransactions ``T1..Tn`` with compensations
+``C1..Cn``; the system guarantees either ``T1..Tn`` executes, or
+``T1..Tj; Cj..C1`` for some ``0 <= j < n``.
+
+This module holds the *specification* (:class:`SagaSpec` — pure
+structure plus program names, consumed by the Figure 2 translator) and
+the *native executor* (:class:`NativeSagaExecutor`) — the transaction
+model's own runtime, used as the baseline the workflow implementation
+is compared against.
+
+Parallel/generalised sagas [GMGK+91b] are supported as a DAG of steps
+(``order`` edges); the linear case is an empty/chained order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from graphlib import CycleError, TopologicalSorter
+
+from repro.errors import ExecutionContractViolation, SpecificationError
+from repro.tx.subtransaction import Subtransaction, SubtransactionOutcome
+
+
+@dataclass(frozen=True)
+class SagaStep:
+    """One subtransaction of a saga, with its compensation.
+
+    ``program`` / ``compensation_program`` are the *registered program
+    names* the translated workflow will invoke; they default to the
+    conventional ``txn_<name>`` / ``comp_<name>``.
+    """
+
+    name: str
+    program: str = ""
+    compensation_program: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecificationError("saga step needs a name")
+        if not self.program:
+            object.__setattr__(self, "program", "txn_%s" % self.name)
+        if not self.compensation_program:
+            object.__setattr__(
+                self, "compensation_program", "comp_%s" % self.name
+            )
+
+
+class SagaSpec:
+    """A saga specification: ordered steps plus optional DAG edges."""
+
+    def __init__(
+        self,
+        name: str,
+        steps: list[SagaStep],
+        order: list[tuple[str, str]] | None = None,
+    ):
+        if not name:
+            raise SpecificationError("saga needs a name")
+        if not steps:
+            raise SpecificationError("saga %s has no steps" % name)
+        self.name = name
+        self.steps = list(steps)
+        names = [step.name for step in steps]
+        if len(set(names)) != len(names):
+            raise SpecificationError("saga %s has duplicate steps" % name)
+        self._by_name = {step.name: step for step in steps}
+        if order is None:
+            # Linear saga: chain the steps in list order.
+            order = [
+                (steps[i].name, steps[i + 1].name)
+                for i in range(len(steps) - 1)
+            ]
+        self.order = list(order)
+        for source, target in self.order:
+            if source not in self._by_name or target not in self._by_name:
+                raise SpecificationError(
+                    "saga %s: order edge %s -> %s references unknown step"
+                    % (name, source, target)
+                )
+        self._check_acyclic()
+
+    @property
+    def is_linear(self) -> bool:
+        """Whether the order is a single chain in list order."""
+        expected = [
+            (self.steps[i].name, self.steps[i + 1].name)
+            for i in range(len(self.steps) - 1)
+        ]
+        return self.order == expected
+
+    def step(self, name: str) -> SagaStep:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SpecificationError(
+                "saga %s has no step %r" % (self.name, name)
+            ) from None
+
+    def topological_names(self) -> list[str]:
+        sorter: TopologicalSorter[str] = TopologicalSorter()
+        for step in self.steps:
+            sorter.add(step.name)
+        for source, target in self.order:
+            sorter.add(target, source)
+        return list(sorter.static_order())
+
+    def predecessors(self, name: str) -> list[str]:
+        return [s for s, t in self.order if t == name]
+
+    def _check_acyclic(self) -> None:
+        try:
+            self.topological_names()
+        except CycleError as exc:
+            raise SpecificationError(
+                "saga %s has a cyclic order: %s" % (self.name, exc.args[1])
+            ) from exc
+
+    def __repr__(self) -> str:
+        return "SagaSpec(%r, %d steps)" % (self.name, len(self.steps))
+
+
+@dataclass
+class SagaOutcome:
+    """What a saga execution did."""
+
+    committed: bool
+    executed: list[str] = field(default_factory=list)
+    compensated: list[str] = field(default_factory=list)
+    history: list[SubtransactionOutcome] = field(default_factory=list)
+
+    def sequence(self) -> list[str]:
+        """The full T/C sequence, compensations marked ``comp_<name>``."""
+        return list(self.executed) + [
+            "comp_%s" % name for name in self.compensated
+        ]
+
+
+class NativeSagaExecutor:
+    """The saga model's own runtime (the paper's baseline).
+
+    ``actions`` / ``compensations`` map step names to
+    :class:`Subtransaction` objects.  Compensations are treated as
+    retriable ("compensations are in general considered retriable, in
+    the sense that the compensation must be executed"): each is retried
+    until it commits, bounded by ``max_compensation_attempts``.
+    """
+
+    def __init__(
+        self,
+        spec: SagaSpec,
+        actions: dict[str, Subtransaction],
+        compensations: dict[str, Subtransaction],
+        *,
+        max_compensation_attempts: int = 100,
+    ):
+        missing = [s.name for s in spec.steps if s.name not in actions]
+        if missing:
+            raise SpecificationError(
+                "saga %s: no action bound for steps %s" % (spec.name, missing)
+            )
+        missing = [s.name for s in spec.steps if s.name not in compensations]
+        if missing:
+            raise SpecificationError(
+                "saga %s: no compensation bound for steps %s"
+                % (spec.name, missing)
+            )
+        self.spec = spec
+        self.actions = actions
+        self.compensations = compensations
+        self.max_compensation_attempts = max_compensation_attempts
+
+    def run(self, *, compensate_completed: bool = False) -> SagaOutcome:
+        """Execute the saga; returns the outcome.
+
+        With ``compensate_completed`` the saga is compensated even when
+        every step commits (§4.1: "it is possible that users may
+        require to compensate an already completed saga").
+        """
+        outcome = SagaOutcome(committed=True)
+        aborted = False
+        for name in self.spec.topological_names():
+            result = self.actions[name].execute()
+            outcome.history.append(result)
+            if result.committed:
+                outcome.executed.append(name)
+            else:
+                aborted = True
+                break
+        if aborted or compensate_completed:
+            outcome.committed = not aborted
+            for name in reversed(outcome.executed):
+                self._compensate(name, outcome)
+            if aborted:
+                outcome.committed = False
+        self._check_contract(outcome, compensate_completed)
+        return outcome
+
+    def _compensate(self, name: str, outcome: SagaOutcome) -> None:
+        compensation = self.compensations[name]
+        for __ in range(self.max_compensation_attempts):
+            result = compensation.execute()
+            outcome.history.append(result)
+            if result.committed:
+                outcome.compensated.append(name)
+                return
+        raise ExecutionContractViolation(
+            "compensation of %s did not commit within %d attempts"
+            % (name, self.max_compensation_attempts)
+        )
+
+    def _check_contract(
+        self, outcome: SagaOutcome, compensate_completed: bool
+    ) -> None:
+        """Assert the saga guarantee on the produced history."""
+        if outcome.committed and not compensate_completed:
+            if outcome.compensated:
+                raise ExecutionContractViolation(
+                    "committed saga must not compensate"
+                )
+            if len(outcome.executed) != len(self.spec.steps):
+                raise ExecutionContractViolation(
+                    "committed saga executed %d of %d steps"
+                    % (len(outcome.executed), len(self.spec.steps))
+                )
+            return
+        if outcome.compensated != list(reversed(outcome.executed)):
+            raise ExecutionContractViolation(
+                "compensations %s are not the reverse of executions %s"
+                % (outcome.compensated, outcome.executed)
+            )
+
+
+def verify_saga_guarantee(
+    spec: SagaSpec, executed: list[str], compensated: list[str]
+) -> bool:
+    """Check ``T1..Tn`` or ``T1..Tj;Cj..C1`` against a *linear* spec.
+
+    Used by the experiments to validate histories produced by the
+    *workflow* implementation, which the native executor's built-in
+    check does not see.
+    """
+    names = [step.name for step in spec.steps]
+    if executed == names and not compensated:
+        return True
+    j = len(executed)
+    if j >= len(names):
+        return compensated == list(reversed(names))
+    return executed == names[:j] and compensated == list(reversed(executed))

@@ -1,0 +1,427 @@
+"""The FMTM specification language (§5).
+
+"The user creates a specification that contains the advanced
+transaction model to be used and the set of transactions to be
+executed."  The language is line-oriented; names are single-quoted;
+``//`` starts a comment.
+
+Saga::
+
+    MODEL SAGA 'travel'
+      STEP 'book_flight' PROGRAM 'p_book_flight' COMPENSATION 'p_cancel'
+      STEP 'book_hotel'
+    END 'travel'
+
+Flexible transaction (Figure 3's example)::
+
+    MODEL FLEXIBLE 'reservation'
+      SUBTRANSACTION 't1' COMPENSATABLE
+      SUBTRANSACTION 't2' PIVOT
+      SUBTRANSACTION 't3' RETRIABLE
+      SUBTRANSACTION 't4' PIVOT
+      SUBTRANSACTION 't5' COMPENSATABLE
+      SUBTRANSACTION 't6' COMPENSATABLE
+      SUBTRANSACTION 't7' RETRIABLE
+      SUBTRANSACTION 't8' PIVOT
+      PATH 't1' 't2' 't4' 't5' 't6' 't8'
+      PATH 't1' 't2' 't4' 't7'
+      PATH 't1' 't2' 't3'
+    END 'reservation'
+
+``PATH`` lines are in preference order.  ``PROGRAM``/``COMPENSATION``
+override the default program names (``txn_<name>`` / ``comp_<name>``).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SpecSyntaxError
+from repro.core.flexible import FlexibleMember, FlexibleSpec
+from repro.core.sagas import SagaSpec, SagaStep
+
+_KEYWORDS = {
+    "MODEL",
+    "SAGA",
+    "FLEXIBLE",
+    "CONTRACT",
+    "STEP",
+    "PROGRAM",
+    "COMPENSATION",
+    "SUBTRANSACTION",
+    "COMPENSATABLE",
+    "RETRIABLE",
+    "PIVOT",
+    "PATH",
+    "ORDER",
+    "CONTEXT",
+    "WHEN",
+    "CRITICAL",
+    "LONG",
+    "FLOAT",
+    "STRING",
+    "BINARY",
+    "END",
+}
+
+_CONTEXT_TYPES = {"LONG", "FLOAT", "STRING", "BINARY"}
+
+
+def _tokenize_line(line: str, lineno: int) -> list[tuple[str, str]]:
+    """Tokens of one line: (kind, value) with kind KEYWORD or NAME."""
+    tokens: list[tuple[str, str]] = []
+    i, n = 0, len(line)
+    while i < n:
+        ch = line[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if line[i : i + 2] == "//":
+            break
+        if ch == "'":
+            end = line.find("'", i + 1)
+            if end < 0:
+                raise SpecSyntaxError("unterminated name", lineno)
+            tokens.append(("NAME", line[i + 1 : end]))
+            i = end + 1
+            continue
+        if ch == '"':
+            end = line.find('"', i + 1)
+            if end < 0:
+                raise SpecSyntaxError("unterminated condition", lineno)
+            tokens.append(("STRING", line[i + 1 : end]))
+            i = end + 1
+            continue
+        if ch.isalpha():
+            start = i
+            while i < n and (line[i].isalnum() or line[i] == "_"):
+                i += 1
+            word = line[start:i].upper()
+            if word not in _KEYWORDS:
+                raise SpecSyntaxError(
+                    "unknown keyword %r (names are quoted)" % line[start:i],
+                    lineno,
+                )
+            tokens.append(("KEYWORD", word))
+            continue
+        raise SpecSyntaxError("illegal character %r" % ch, lineno)
+    return tokens
+
+
+def parse_spec(text: str) -> SagaSpec | FlexibleSpec:
+    """Parse one FMTM specification into a model spec object."""
+    specs = parse_specs(text)
+    if len(specs) != 1:
+        raise SpecSyntaxError(
+            "expected exactly one MODEL, found %d" % len(specs)
+        )
+    return specs[0]
+
+
+def parse_specs(text: str) -> list[SagaSpec | FlexibleSpec]:
+    """Parse a document that may contain several MODEL sections."""
+    lines = [
+        (lineno, _tokenize_line(raw, lineno))
+        for lineno, raw in enumerate(text.splitlines(), start=1)
+    ]
+    lines = [(lineno, tokens) for lineno, tokens in lines if tokens]
+    specs: list[SagaSpec | FlexibleSpec] = []
+    index = 0
+    while index < len(lines):
+        lineno, tokens = lines[index]
+        if tokens[0] != ("KEYWORD", "MODEL"):
+            raise SpecSyntaxError("expected MODEL", lineno)
+        if len(tokens) != 3 or tokens[2][0] != "NAME":
+            raise SpecSyntaxError(
+                "expected MODEL SAGA|FLEXIBLE 'name'", lineno
+            )
+        kind = tokens[1]
+        name = tokens[2][1]
+        body: list[tuple[int, list[tuple[str, str]]]] = []
+        index += 1
+        closed = False
+        while index < len(lines):
+            lineno2, tokens2 = lines[index]
+            if tokens2[0] == ("KEYWORD", "END"):
+                if len(tokens2) != 2 or tokens2[1] != ("NAME", name):
+                    raise SpecSyntaxError(
+                        "END must close %r" % name, lineno2
+                    )
+                closed = True
+                index += 1
+                break
+            body.append((lineno2, tokens2))
+            index += 1
+        if not closed:
+            raise SpecSyntaxError("missing END %r" % name, lineno)
+        if kind == ("KEYWORD", "SAGA"):
+            specs.append(_parse_saga(name, body))
+        elif kind == ("KEYWORD", "FLEXIBLE"):
+            specs.append(_parse_flexible(name, body))
+        elif kind == ("KEYWORD", "CONTRACT"):
+            specs.append(_parse_contract(name, body))
+        else:
+            raise SpecSyntaxError(
+                "unknown model kind %r" % (kind[1],), lineno
+            )
+    return specs
+
+
+def _parse_saga(
+    name: str, body: list[tuple[int, list[tuple[str, str]]]]
+) -> SagaSpec:
+    steps: list[SagaStep] = []
+    order: list[tuple[str, str]] = []
+    for lineno, tokens in body:
+        if tokens[0] == ("KEYWORD", "ORDER"):
+            # ORDER 'a' 'b' — a DAG edge (parallel/generalised sagas).
+            edge = [value for kind, value in tokens[1:] if kind == "NAME"]
+            if len(edge) != 2 or len(tokens) != 3:
+                raise SpecSyntaxError(
+                    "ORDER lines name exactly two steps", lineno
+                )
+            order.append((edge[0], edge[1]))
+            continue
+        if tokens[0] != ("KEYWORD", "STEP"):
+            raise SpecSyntaxError(
+                "saga bodies contain STEP and ORDER lines", lineno
+            )
+        if len(tokens) < 2 or tokens[1][0] != "NAME":
+            raise SpecSyntaxError("STEP needs a quoted name", lineno)
+        step_name = tokens[1][1]
+        program = ""
+        compensation = ""
+        rest = tokens[2:]
+        while rest:
+            if len(rest) >= 2 and rest[0] == ("KEYWORD", "PROGRAM") and rest[1][0] == "NAME":
+                program = rest[1][1]
+                rest = rest[2:]
+            elif (
+                len(rest) >= 2
+                and rest[0] == ("KEYWORD", "COMPENSATION")
+                and rest[1][0] == "NAME"
+            ):
+                compensation = rest[1][1]
+                rest = rest[2:]
+            else:
+                raise SpecSyntaxError(
+                    "unexpected tokens after STEP %r" % step_name, lineno
+                )
+        steps.append(
+            SagaStep(step_name, program=program, compensation_program=compensation)
+        )
+    return SagaSpec(name, steps, order=order or None)
+
+
+def _parse_flexible(
+    name: str, body: list[tuple[int, list[tuple[str, str]]]]
+) -> FlexibleSpec:
+    members: list[FlexibleMember] = []
+    paths: list[list[str]] = []
+    for lineno, tokens in body:
+        if tokens[0] == ("KEYWORD", "SUBTRANSACTION"):
+            if len(tokens) < 2 or tokens[1][0] != "NAME":
+                raise SpecSyntaxError(
+                    "SUBTRANSACTION needs a quoted name", lineno
+                )
+            member_name = tokens[1][1]
+            compensatable = False
+            retriable = False
+            pivot_stated = False
+            program = ""
+            compensation = ""
+            rest = tokens[2:]
+            while rest:
+                head = rest[0]
+                if head == ("KEYWORD", "COMPENSATABLE"):
+                    compensatable = True
+                    rest = rest[1:]
+                elif head == ("KEYWORD", "RETRIABLE"):
+                    retriable = True
+                    rest = rest[1:]
+                elif head == ("KEYWORD", "PIVOT"):
+                    pivot_stated = True
+                    rest = rest[1:]
+                elif (
+                    head == ("KEYWORD", "PROGRAM")
+                    and len(rest) >= 2
+                    and rest[1][0] == "NAME"
+                ):
+                    program = rest[1][1]
+                    rest = rest[2:]
+                elif (
+                    head == ("KEYWORD", "COMPENSATION")
+                    and len(rest) >= 2
+                    and rest[1][0] == "NAME"
+                ):
+                    compensation = rest[1][1]
+                    rest = rest[2:]
+                else:
+                    raise SpecSyntaxError(
+                        "unexpected tokens after SUBTRANSACTION %r"
+                        % member_name,
+                        lineno,
+                    )
+            if pivot_stated and (compensatable or retriable):
+                raise SpecSyntaxError(
+                    "%r: PIVOT excludes COMPENSATABLE/RETRIABLE"
+                    % member_name,
+                    lineno,
+                )
+            members.append(
+                FlexibleMember(
+                    member_name,
+                    compensatable=compensatable,
+                    retriable=retriable,
+                    program=program,
+                    compensation_program=compensation,
+                )
+            )
+        elif tokens[0] == ("KEYWORD", "PATH"):
+            path = [value for kind, value in tokens[1:] if kind == "NAME"]
+            if len(path) != len(tokens) - 1 or not path:
+                raise SpecSyntaxError(
+                    "PATH lines list quoted member names", lineno
+                )
+            paths.append(path)
+        else:
+            raise SpecSyntaxError(
+                "flexible bodies contain SUBTRANSACTION and PATH lines",
+                lineno,
+            )
+    return FlexibleSpec(name, members, paths)
+
+
+def _parse_contract(
+    name: str, body: list[tuple[int, list[tuple[str, str]]]]
+):
+    """Parse a MODEL CONTRACT section::
+
+        MODEL CONTRACT 'order'
+          CONTEXT 'Amount' LONG
+          STEP 'reserve'
+          STEP 'insure' WHEN "Amount > 100"
+          STEP 'charge' WHEN "Amount > 0" CRITICAL
+        END 'order'
+    """
+    from repro.wfms.datatypes import DataType, VariableDecl
+    from repro.core.contract import ContractSpec, ContractStep
+
+    context: list[VariableDecl] = []
+    steps: list[ContractStep] = []
+    for lineno, tokens in body:
+        if tokens[0] == ("KEYWORD", "CONTEXT"):
+            if (
+                len(tokens) != 3
+                or tokens[1][0] != "NAME"
+                or tokens[2][0] != "KEYWORD"
+                or tokens[2][1] not in _CONTEXT_TYPES
+            ):
+                raise SpecSyntaxError(
+                    "CONTEXT lines are: CONTEXT 'name' TYPE", lineno
+                )
+            context.append(
+                VariableDecl(tokens[1][1], DataType[tokens[2][1]])
+            )
+        elif tokens[0] == ("KEYWORD", "STEP"):
+            if len(tokens) < 2 or tokens[1][0] != "NAME":
+                raise SpecSyntaxError("STEP needs a quoted name", lineno)
+            step_name = tokens[1][1]
+            entry = ""
+            critical = False
+            program = ""
+            compensation = ""
+            rest = tokens[2:]
+            while rest:
+                head = rest[0]
+                if head == ("KEYWORD", "WHEN") and len(rest) >= 2 and rest[1][0] == "STRING":
+                    entry = rest[1][1]
+                    rest = rest[2:]
+                elif head == ("KEYWORD", "CRITICAL"):
+                    critical = True
+                    rest = rest[1:]
+                elif head == ("KEYWORD", "PROGRAM") and len(rest) >= 2 and rest[1][0] == "NAME":
+                    program = rest[1][1]
+                    rest = rest[2:]
+                elif (
+                    head == ("KEYWORD", "COMPENSATION")
+                    and len(rest) >= 2
+                    and rest[1][0] == "NAME"
+                ):
+                    compensation = rest[1][1]
+                    rest = rest[2:]
+                else:
+                    raise SpecSyntaxError(
+                        "unexpected tokens after STEP %r" % step_name, lineno
+                    )
+            steps.append(
+                ContractStep(
+                    step_name,
+                    entry_condition=entry,
+                    critical=critical,
+                    program=program,
+                    compensation_program=compensation,
+                )
+            )
+        else:
+            raise SpecSyntaxError(
+                "contract bodies contain CONTEXT and STEP lines", lineno
+            )
+    return ContractSpec(name, context, steps)
+
+
+def format_saga_spec(spec: SagaSpec) -> str:
+    """Serialise a saga back to the specification language."""
+    lines = ["MODEL SAGA '%s'" % spec.name]
+    for step in spec.steps:
+        lines.append(
+            "  STEP '%s' PROGRAM '%s' COMPENSATION '%s'"
+            % (step.name, step.program, step.compensation_program)
+        )
+    if not spec.is_linear:
+        for source, target in spec.order:
+            lines.append("  ORDER '%s' '%s'" % (source, target))
+    lines.append("END '%s'" % spec.name)
+    return "\n".join(lines) + "\n"
+
+
+def format_contract_spec(spec) -> str:
+    """Serialise a ConTract back to the specification language."""
+    from repro.wfms.datatypes import DataType
+
+    lines = ["MODEL CONTRACT '%s'" % spec.name]
+    for decl in spec.context:
+        assert isinstance(decl.type, DataType)
+        lines.append("  CONTEXT '%s' %s" % (decl.name, decl.type.value))
+    for step in spec.steps:
+        parts = ["  STEP '%s'" % step.name]
+        if step.entry_condition:
+            parts.append('WHEN "%s"' % step.entry_condition)
+        if step.critical:
+            parts.append("CRITICAL")
+        parts.append("PROGRAM '%s'" % step.program)
+        parts.append("COMPENSATION '%s'" % step.compensation_program)
+        lines.append(" ".join(parts))
+    lines.append("END '%s'" % spec.name)
+    return "\n".join(lines) + "\n"
+
+
+def format_flexible_spec(spec: FlexibleSpec) -> str:
+    """Serialise a flexible transaction back to the language."""
+    lines = ["MODEL FLEXIBLE '%s'" % spec.name]
+    for name in spec.members:
+        member = spec.members[name]
+        flags = []
+        if member.compensatable:
+            flags.append("COMPENSATABLE")
+        if member.retriable:
+            flags.append("RETRIABLE")
+        if member.pivot:
+            flags.append("PIVOT")
+        parts = ["  SUBTRANSACTION '%s'" % name] + flags
+        parts.append("PROGRAM '%s'" % member.program)
+        if member.compensatable:
+            parts.append("COMPENSATION '%s'" % member.compensation_program)
+        lines.append(" ".join(parts))
+    for path in spec.paths:
+        lines.append("  PATH " + " ".join("'%s'" % m for m in path))
+    lines.append("END '%s'" % spec.name)
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,140 @@
+"""Well-formedness of flexible transactions (§4.2).
+
+"A flexible transaction is well-formed when the possible orders of
+execution do not violate the data dependencies between subtransactions
+and the flexible transaction is 'atomic' (its effects can be undone or
+by retrying subtransactions it will eventually commit)."
+
+The concrete rules implemented here (after [MRSK92] and the [ZNBB94]
+relaxation):
+
+For every path *p* and every member *m* of *p* that may fail
+permanently (i.e. is not retriable), consider the worst case where all
+of *p* before *m* has committed and *m* aborts:
+
+* If every committed member is compensatable, full rollback is
+  available — fine.
+* Otherwise the committed non-compensatable members (the pivots that
+  already fired) can never be undone, so there must exist an
+  **alternative path** that (a) does not contain *m*, (b) contains
+  every committed non-compensatable member (so nothing needs undoing
+  that cannot be), and (c) whose not-yet-committed members are all
+  retriable — a *guaranteed* continuation.
+
+Corollaries the test-suite checks: a single-path flexible transaction
+must have at most one pivot, everything before it compensatable and
+everything after it retriable — exactly [MRSK92]'s statement — and the
+[ZNBB94] example of Figure 3 passes while obvious violations fail.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WellFormednessError
+from repro.core.flexible import FlexibleSpec
+
+
+def check_well_formed(spec: FlexibleSpec) -> None:
+    """Raise :class:`WellFormednessError` when ``spec`` is not
+    well-formed; otherwise return normally."""
+    problems = well_formedness_violations(spec)
+    if problems:
+        raise WellFormednessError(
+            "flexible transaction %s is not well-formed:\n  %s"
+            % (spec.name, "\n  ".join(problems))
+        )
+
+
+def well_formedness_violations(spec: FlexibleSpec) -> list[str]:
+    """All violations found (empty when well-formed)."""
+    problems: list[str] = []
+    depth = len(spec.paths)
+    for path_index, path in enumerate(spec.paths):
+        for position, name in enumerate(path):
+            if spec.member(name).retriable:
+                continue  # cannot fail permanently
+            committed = frozenset(path[:position])
+            if _recoverable(spec, committed, frozenset({name}), depth):
+                continue
+            stuck = sorted(
+                c for c in committed if not spec.member(c).compensatable
+            )
+            problems.append(
+                "path %d (%s): if %s aborts after %s committed, the "
+                "non-compensatable %s cannot be undone and no "
+                "guaranteed alternative path exists"
+                % (
+                    path_index + 1,
+                    "->".join(path),
+                    name,
+                    sorted(committed),
+                    stuck,
+                )
+            )
+    return problems
+
+
+def _recoverable(
+    spec: FlexibleSpec,
+    committed: frozenset[str],
+    dead: frozenset[str],
+    depth: int,
+) -> bool:
+    """Whether the transaction can still terminate correctly.
+
+    ``committed`` is the worst-case set of committed members, ``dead``
+    the members that aborted permanently.  Recovery means either full
+    rollback (nothing non-compensatable committed) or some viable path
+    that contains every stuck member and is itself guaranteed: each of
+    its remaining non-retriable members must be recoverable in turn.
+    """
+    stuck = {c for c in committed if not spec.member(c).compensatable}
+    if not stuck:
+        return True  # everything committed can be compensated
+    if depth <= 0:
+        return False
+    for candidate in spec.paths:
+        if dead & set(candidate):
+            continue
+        if not stuck <= set(candidate):
+            continue
+        guaranteed = True
+        for position, name in enumerate(candidate):
+            if name in committed or spec.member(name).retriable:
+                continue
+            worst_case = committed | frozenset(candidate[:position])
+            if not _recoverable(
+                spec, worst_case, dead | frozenset({name}), depth - 1
+            ):
+                guaranteed = False
+                break
+        if guaranteed:
+            return True
+    return False
+
+
+def single_path_shape(spec: FlexibleSpec) -> dict[str, list[str]]:
+    """[MRSK92] decomposition of a single-path spec around its pivot.
+
+    Returns ``{"before": [...], "pivot": [...], "after": [...]}``;
+    raises :class:`WellFormednessError` for multi-path specs or when
+    there is more than one pivot.
+    """
+    if len(spec.paths) != 1:
+        raise WellFormednessError(
+            "single_path_shape applies to single-path specifications"
+        )
+    path = spec.paths[0]
+    pivots = [m for m in path if spec.member(m).pivot]
+    if len(pivots) > 1:
+        raise WellFormednessError(
+            "a well-formed single-path flexible transaction contains at "
+            "most one pivot, found %s" % pivots
+        )
+    if not pivots:
+        return {"before": list(path), "pivot": [], "after": []}
+    index = path.index(pivots[0])
+    return {
+        "before": path[:index],
+        "pivot": [pivots[0]],
+        "after": path[index + 1:],
+    }

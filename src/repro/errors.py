@@ -1,0 +1,150 @@
+"""Exception hierarchy for the whole reproduction.
+
+Every package raises subclasses of :class:`ReproError` so callers can
+catch library failures without also swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# Workflow engine (repro.wfms)
+# ---------------------------------------------------------------------------
+
+class WorkflowError(ReproError):
+    """Base class for workflow-engine errors."""
+
+
+class DefinitionError(WorkflowError):
+    """A process definition is structurally invalid (bad graph, missing
+    activity, duplicate names, type clashes, ...)."""
+
+
+class ConditionError(WorkflowError):
+    """A transition/start/exit condition failed to parse or evaluate."""
+
+
+class ContainerError(WorkflowError):
+    """Illegal access to a data container (unknown field, type mismatch)."""
+
+
+class NavigationError(WorkflowError):
+    """The runtime was driven into an illegal state transition."""
+
+
+class ProgramError(WorkflowError):
+    """A registered program is missing or raised during invocation."""
+
+
+class StaffResolutionError(WorkflowError):
+    """No eligible user could be determined for a manual activity."""
+
+
+class WorklistError(WorkflowError):
+    """Illegal worklist operation (claiming a vanished item, ...)."""
+
+
+class RecoveryError(WorkflowError):
+    """The persistent journal is corrupt or replay failed."""
+
+
+# ---------------------------------------------------------------------------
+# FDL (repro.fdl)
+# ---------------------------------------------------------------------------
+
+class FDLError(ReproError):
+    """Base class for FlowMark Definition Language errors."""
+
+
+class FDLSyntaxError(FDLError):
+    """The FDL text could not be tokenised or parsed."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = "line %d:%d: %s" % (line, column, message)
+        super().__init__(message)
+
+
+class FDLSemanticError(FDLError):
+    """The FDL parsed but describes an inconsistent process."""
+
+
+# ---------------------------------------------------------------------------
+# Transactional substrate (repro.tx)
+# ---------------------------------------------------------------------------
+
+class TransactionError(ReproError):
+    """Base class for transactional-substrate errors."""
+
+
+class TransactionAborted(TransactionError):
+    """The transaction was rolled back (by the user, by deadlock
+    resolution, by failure injection, or by a unilateral local abort)."""
+
+    def __init__(self, message: str = "transaction aborted", *, reason: str = ""):
+        self.reason = reason or message
+        super().__init__(message)
+
+
+class DeadlockError(TransactionAborted):
+    """The transaction was chosen as a deadlock victim."""
+
+    def __init__(self, message: str = "deadlock victim"):
+        super().__init__(message, reason="deadlock")
+
+
+class LockTimeoutError(TransactionAborted):
+    """A lock could not be acquired within the configured timeout."""
+
+    def __init__(self, message: str = "lock wait timeout"):
+        super().__init__(message, reason="lock timeout")
+
+
+class InvalidTransactionState(TransactionError):
+    """An operation was issued against a finished transaction."""
+
+
+class DatabaseCrashed(TransactionError):
+    """The (simulated) database is down and must be restarted first."""
+
+
+# ---------------------------------------------------------------------------
+# Advanced transaction models (repro.core)
+# ---------------------------------------------------------------------------
+
+class ModelError(ReproError):
+    """Base class for transaction-model specification errors."""
+
+
+class SpecificationError(ModelError):
+    """A saga/flexible-transaction specification is malformed."""
+
+
+class WellFormednessError(ModelError):
+    """A flexible transaction violates the well-formedness rules of
+    [MRSK92]/[ZNBB94] (pivot placement, retriability guarantees, ...)."""
+
+
+class TranslationError(ModelError):
+    """A specification could not be translated into a workflow process."""
+
+
+class ExecutionContractViolation(ModelError):
+    """An executor produced a history outside the model's guarantee
+    (e.g. a saga history that is neither T1..Tn nor T1..Tj;Cj..C1)."""
+
+
+class SpecSyntaxError(ModelError):
+    """The FMTM textual specification could not be parsed."""
+
+    def __init__(self, message: str, line: int = 0):
+        self.line = line
+        if line:
+            message = "line %d: %s" % (line, message)
+        super().__init__(message)

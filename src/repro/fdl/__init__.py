@@ -1,0 +1,45 @@
+"""FDL — the FlowMark Definition Language (§5, Figure 5).
+
+Exotica/FMTM emits FDL text; FlowMark's import module parses it,
+"checks for inconsistencies in the syntax of the process definition",
+and builds the internal representation.  This package reproduces that
+stage: a lexer, a recursive-descent parser producing an AST
+(:mod:`repro.fdl.ast`), a document validator, an importer turning the
+AST into :class:`~repro.wfms.model.ProcessDefinition` objects, and an
+exporter serialising definitions back to FDL (round-trip tested).
+
+Dialect summary::
+
+    STRUCTURE 'Address'
+      'City': STRING;
+      'Zip':  LONG;
+    END 'Address'
+
+    PROGRAM 'book_flight'
+      DESCRIPTION "books a flight"
+    END 'book_flight'
+
+    PROCESS 'Travel'
+      INPUT_CONTAINER 'N': LONG; END
+      PROGRAM_ACTIVITY 'Book'
+        PROGRAM 'book_flight'
+        EXIT WHEN "RC = 0"
+      END 'Book'
+      CONTROL FROM 'Book' TO 'Pay' WHEN "RC = 0"
+      DATA FROM SOURCE TO 'Book' MAP 'N' TO 'In'
+    END 'Travel'
+"""
+
+from repro.fdl.ast import FDLDocument
+from repro.fdl.parser import parse_document
+from repro.fdl.importer import import_document, import_text
+from repro.fdl.exporter import export_definition, export_document
+
+__all__ = [
+    "FDLDocument",
+    "export_definition",
+    "export_document",
+    "import_document",
+    "import_text",
+    "parse_document",
+]

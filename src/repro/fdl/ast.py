@@ -1,0 +1,121 @@
+"""Abstract syntax tree for FDL documents.
+
+The AST deliberately mirrors the surface syntax rather than the engine
+model: the importer (:mod:`repro.fdl.importer`) performs the mapping,
+which is where Figure 5's semantic checks live.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class MemberNode:
+    name: str
+    type_name: str          # LONG/FLOAT/STRING/BINARY or a structure name
+    is_structure: bool = False
+    array_size: int = 0
+    line: int = 0
+
+
+@dataclass
+class StructureNode:
+    name: str
+    members: list[MemberNode] = field(default_factory=list)
+    description: str = ""
+    line: int = 0
+
+
+@dataclass
+class ProgramNode:
+    """A program *declaration* — FlowMark registers programs before
+    activities may reference them."""
+
+    name: str
+    description: str = ""
+    line: int = 0
+
+
+@dataclass
+class StaffNode:
+    roles: tuple[str, ...] = ()
+    users: tuple[str, ...] = ()
+    notify_after: float | None = None
+    notify_role: str = ""
+
+
+@dataclass
+class ActivityNode:
+    name: str
+    kind: str                      # "PROGRAM" | "PROCESS" | "BLOCK"
+    program: str = ""              # PROGRAM kind
+    subprocess: str = ""           # PROCESS kind
+    body: "ProcessBodyNode | None" = None  # BLOCK kind
+    description: str = ""
+    input_members: list[MemberNode] = field(default_factory=list)
+    output_members: list[MemberNode] = field(default_factory=list)
+    start_mode: str = "AUTOMATIC"  # "AUTOMATIC" | "MANUAL"
+    start_condition: str = "ALL"   # "ALL" | "ANY"
+    exit_condition: str = ""
+    priority: int = 0
+    max_iterations: int = 0
+    staff: StaffNode = field(default_factory=StaffNode)
+    line: int = 0
+
+
+@dataclass
+class ControlNode:
+    source: str
+    target: str
+    condition: str = ""
+    line: int = 0
+
+
+@dataclass
+class DataNode:
+    source: str                    # activity name, or "" for SOURCE
+    target: str                    # activity name, or "" for SINK
+    mappings: list[tuple[str, str]] = field(default_factory=list)
+    from_process_input: bool = False
+    to_process_output: bool = False
+    line: int = 0
+
+
+@dataclass
+class ProcessBodyNode:
+    """Shared shape of a PROCESS section and a BLOCK section."""
+
+    input_members: list[MemberNode] = field(default_factory=list)
+    output_members: list[MemberNode] = field(default_factory=list)
+    activities: list[ActivityNode] = field(default_factory=list)
+    controls: list[ControlNode] = field(default_factory=list)
+    datas: list[DataNode] = field(default_factory=list)
+
+
+@dataclass
+class ProcessNode:
+    name: str
+    body: ProcessBodyNode = field(default_factory=ProcessBodyNode)
+    description: str = ""
+    version: str = "1"
+    line: int = 0
+
+
+@dataclass
+class FDLDocument:
+    structures: list[StructureNode] = field(default_factory=list)
+    programs: list[ProgramNode] = field(default_factory=list)
+    processes: list[ProcessNode] = field(default_factory=list)
+
+    def process(self, name: str) -> ProcessNode:
+        for node in self.processes:
+            if node.name == name:
+                return node
+        raise KeyError(name)
+
+    def program_names(self) -> set[str]:
+        return {node.name for node in self.programs}
+
+    def structure_names(self) -> set[str]:
+        return {node.name for node in self.structures}

@@ -1,0 +1,212 @@
+"""FDL export: engine definitions → FDL text.
+
+The exporter is the inverse of the importer; round-tripping a
+definition through ``import_text(export_definition(d))`` reconstructs
+an equivalent definition (asserted by the FDL test suite).  Exotica/
+FMTM uses it as its back end: translators build
+:class:`ProcessDefinition` objects and the pipeline serialises them to
+FDL before re-importing, exactly as Figure 5 prescribes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.wfms.datatypes import DataType, VariableDecl
+from repro.wfms.model import (
+    PROCESS_INPUT,
+    PROCESS_OUTPUT,
+    Activity,
+    ActivityKind,
+    ProcessDefinition,
+    StartCondition,
+    StartMode,
+)
+
+_INDENT = "  "
+
+
+def export_document(
+    definitions: Iterable[ProcessDefinition],
+    program_descriptions: dict[str, str] | None = None,
+) -> str:
+    """Serialise several definitions (plus the program declarations
+    they reference) into one FDL document."""
+    definitions = list(definitions)
+    lines: list[str] = []
+    emitted_structures: set[str] = set()
+    for definition in definitions:
+        _emit_structures(definition, lines, emitted_structures)
+    programs: set[str] = set()
+    for definition in definitions:
+        programs |= definition.program_names()
+    descriptions = program_descriptions or {}
+    for name in sorted(programs):
+        lines.append("PROGRAM '%s'" % name)
+        description = descriptions.get(name, "")
+        if description:
+            lines.append(_INDENT + 'DESCRIPTION "%s"' % _escape(description))
+        lines.append("END '%s'" % name)
+        lines.append("")
+    for definition in definitions:
+        _emit_process(definition, lines)
+        lines.append("")
+    return "\n".join(lines).strip() + "\n"
+
+
+def export_definition(definition: ProcessDefinition) -> str:
+    """Serialise one definition (and its program declarations)."""
+    return export_document([definition])
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _emit_structures(
+    definition: ProcessDefinition, lines: list[str], emitted: set[str]
+) -> None:
+    for name in definition.types.names():
+        if name in emitted:
+            continue
+        emitted.add(name)
+        structure = definition.types.get(name)
+        lines.append("STRUCTURE '%s'" % name)
+        for member in structure.members:
+            lines.append(_INDENT + _member_line(member))
+        lines.append("END '%s'" % name)
+        lines.append("")
+    for activity in definition.activities.values():
+        if activity.kind is ActivityKind.BLOCK and activity.block is not None:
+            _emit_structures(activity.block, lines, emitted)
+
+
+def _member_line(member: VariableDecl) -> str:
+    if member.is_structure:
+        type_text = "'%s'" % member.type
+    else:
+        assert isinstance(member.type, DataType)
+        type_text = member.type.value
+    if member.is_array:
+        type_text += "(%d)" % member.array_size
+    return "'%s': %s;" % (member.name, type_text)
+
+
+def _emit_container(
+    keyword: str, spec: list[VariableDecl], lines: list[str], depth: int
+) -> None:
+    if not spec:
+        return
+    pad = _INDENT * depth
+    lines.append(pad + keyword)
+    for member in spec:
+        lines.append(pad + _INDENT + _member_line(member))
+    lines.append(pad + "END")
+
+
+def _emit_process(definition: ProcessDefinition, lines: list[str]) -> None:
+    lines.append("PROCESS '%s'" % definition.name)
+    if definition.description:
+        lines.append(
+            _INDENT + 'DESCRIPTION "%s"' % _escape(definition.description)
+        )
+    if definition.version != "1":
+        lines.append(_INDENT + "VERSION %s" % definition.version)
+    _emit_container("INPUT_CONTAINER", definition.input_spec, lines, 1)
+    _emit_container("OUTPUT_CONTAINER", definition.output_spec, lines, 1)
+    _emit_body(definition, lines, 1)
+    lines.append("END '%s'" % definition.name)
+
+
+def _emit_body(
+    definition: ProcessDefinition, lines: list[str], depth: int
+) -> None:
+    for activity in definition.activities.values():
+        _emit_activity(activity, lines, depth)
+    pad = _INDENT * depth
+    for connector in definition.control_connectors:
+        line = pad + "CONTROL FROM '%s' TO '%s'" % (
+            connector.source,
+            connector.target,
+        )
+        if connector.condition.source != "TRUE":
+            line += ' WHEN "%s"' % _escape(connector.condition.source)
+        lines.append(line)
+    for connector in definition.data_connectors:
+        source = (
+            "SOURCE"
+            if connector.source == PROCESS_INPUT
+            else "'%s'" % connector.source
+        )
+        target = (
+            "SINK"
+            if connector.target == PROCESS_OUTPUT
+            else "'%s'" % connector.target
+        )
+        line = pad + "DATA FROM %s TO %s" % (source, target)
+        for from_path, to_path in connector.mappings:
+            line += " MAP '%s' TO '%s'" % (from_path, to_path)
+        lines.append(line)
+
+
+def _emit_activity(activity: Activity, lines: list[str], depth: int) -> None:
+    pad = _INDENT * depth
+    if activity.kind is ActivityKind.PROGRAM:
+        lines.append(pad + "PROGRAM_ACTIVITY '%s'" % activity.name)
+        lines.append(pad + _INDENT + "PROGRAM '%s'" % activity.program)
+    elif activity.kind is ActivityKind.PROCESS:
+        lines.append(pad + "PROCESS_ACTIVITY '%s'" % activity.name)
+        lines.append(pad + _INDENT + "PROCESS '%s'" % activity.subprocess)
+    else:
+        lines.append(pad + "BLOCK '%s'" % activity.name)
+    if activity.description:
+        lines.append(
+            pad + _INDENT + 'DESCRIPTION "%s"' % _escape(activity.description)
+        )
+    start = "START %s" % (
+        "MANUAL" if activity.start_mode is StartMode.MANUAL else "AUTOMATIC"
+    )
+    start += " WHEN %s CONNECTORS TRUE" % (
+        "ANY" if activity.start_condition is StartCondition.ANY else "ALL"
+    )
+    lines.append(pad + _INDENT + start)
+    if activity.exit_condition.source != "TRUE":
+        lines.append(
+            pad
+            + _INDENT
+            + 'EXIT WHEN "%s"' % _escape(activity.exit_condition.source)
+        )
+    if activity.priority:
+        lines.append(pad + _INDENT + "PRIORITY %d" % activity.priority)
+    if activity.max_iterations:
+        lines.append(
+            pad + _INDENT + "MAX_ITERATIONS %d" % activity.max_iterations
+        )
+    if not activity.staff.is_default():
+        parts = ["DONE_BY"]
+        for role in activity.staff.roles:
+            parts.append("ROLE '%s'" % role)
+        for user in activity.staff.users:
+            parts.append("USER '%s'" % user)
+        if activity.staff.notify_after is not None:
+            parts.append("NOTIFY AFTER %d" % int(activity.staff.notify_after))
+            if activity.staff.notify_role:
+                parts.append("TO ROLE '%s'" % activity.staff.notify_role)
+        lines.append(pad + _INDENT + " ".join(parts))
+    if activity.kind is ActivityKind.BLOCK:
+        assert activity.block is not None
+        _emit_container(
+            "INPUT_CONTAINER", activity.block.input_spec, lines, depth + 1
+        )
+        _emit_container(
+            "OUTPUT_CONTAINER", activity.block.output_spec, lines, depth + 1
+        )
+        _emit_body(activity.block, lines, depth + 1)
+    else:
+        _emit_container(
+            "INPUT_CONTAINER", activity.input_spec, lines, depth + 1
+        )
+        _emit_container(
+            "OUTPUT_CONTAINER", activity.output_spec, lines, depth + 1
+        )
+    lines.append(pad + "END '%s'" % activity.name)

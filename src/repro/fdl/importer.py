@@ -1,0 +1,187 @@
+"""FDL import: AST → engine process definitions (Figure 5's import
+module).  Parsing + document validation + model construction; the
+resulting definitions are additionally validated structurally by
+:meth:`ProcessDefinition.validate` (acyclicity, container paths), so an
+FDL file that survives :func:`import_text` is executable up to program
+registration — which :meth:`Engine.verify_executable` checks last,
+matching the paper's staged pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import FDLSemanticError
+from repro.fdl.ast import (
+    ActivityNode,
+    FDLDocument,
+    MemberNode,
+    ProcessBodyNode,
+)
+from repro.fdl.parser import parse_document
+from repro.fdl.validator import validate_document
+from repro.wfms.conditions import parse_condition
+from repro.wfms.datatypes import (
+    DataType,
+    StructureType,
+    VariableDecl,
+)
+from repro.wfms.model import (
+    PROCESS_INPUT,
+    PROCESS_OUTPUT,
+    Activity,
+    ActivityKind,
+    ProcessDefinition,
+    StaffAssignment,
+    StartCondition,
+    StartMode,
+)
+
+
+@dataclass
+class ImportResult:
+    """What an FDL document contributes to an engine."""
+
+    definitions: list[ProcessDefinition] = field(default_factory=list)
+    program_declarations: dict[str, str] = field(default_factory=dict)
+
+    def definition(self, name: str) -> ProcessDefinition:
+        for definition in self.definitions:
+            if definition.name == name:
+                return definition
+        raise FDLSemanticError("document defines no process %r" % name)
+
+    def register_into(self, engine) -> None:
+        """Register all imported definitions with ``engine``."""
+        for definition in self.definitions:
+            engine.register_definition(definition)
+
+
+def import_text(text: str) -> ImportResult:
+    """Parse, validate and import FDL ``text``."""
+    return import_document(parse_document(text))
+
+
+def import_document(document: FDLDocument) -> ImportResult:
+    """Import a parsed document; definitions are fully validated."""
+    validate_document(document)
+    result = ImportResult(
+        program_declarations={
+            p.name: p.description for p in document.programs
+        }
+    )
+    for process in document.processes:
+        definition = ProcessDefinition(
+            process.name,
+            version=process.version,
+            description=process.description,
+        )
+        _register_structures(definition, document)
+        _fill_body(definition, process.body, document)
+        definition.validate()
+        result.definitions.append(definition)
+    return result
+
+
+def _register_structures(
+    definition: ProcessDefinition, document: FDLDocument
+) -> None:
+    # FDL structures are document-global; register them in dependency
+    # order (a structure may reference earlier ones).
+    pending = list(document.structures)
+    registered: set[str] = set()
+    while pending:
+        progressed = False
+        remaining = []
+        for node in pending:
+            deps = {
+                m.type_name for m in node.members if m.is_structure
+            }
+            if deps <= registered:
+                definition.types.register(
+                    StructureType(
+                        node.name,
+                        [_decl(m) for m in node.members],
+                        node.description,
+                    )
+                )
+                registered.add(node.name)
+                progressed = True
+            else:
+                remaining.append(node)
+        if not progressed:
+            raise FDLSemanticError(
+                "structures form a dependency cycle: %s"
+                % ", ".join(sorted(n.name for n in remaining))
+            )
+        pending = remaining
+
+
+def _decl(member: MemberNode) -> VariableDecl:
+    if member.is_structure:
+        return VariableDecl(member.name, member.type_name, member.array_size)
+    return VariableDecl(
+        member.name, DataType[member.type_name], member.array_size
+    )
+
+
+def _fill_body(
+    definition: ProcessDefinition,
+    body: ProcessBodyNode,
+    document: FDLDocument,
+) -> None:
+    definition.input_spec.extend(_decl(m) for m in body.input_members)
+    definition.output_spec.extend(_decl(m) for m in body.output_members)
+    for node in body.activities:
+        definition.add_activity(_activity(node, document))
+    for control in body.controls:
+        definition.connect(
+            control.source, control.target, control.condition or None
+        )
+    for data in body.datas:
+        source = PROCESS_INPUT if data.from_process_input else data.source
+        target = PROCESS_OUTPUT if data.to_process_output else data.target
+        definition.map_data(source, target, data.mappings)
+
+
+def _activity(node: ActivityNode, document: FDLDocument) -> Activity:
+    block = None
+    if node.kind == "BLOCK":
+        assert node.body is not None
+        block = ProcessDefinition(node.name, description=node.description)
+        _register_structures(block, document)
+        _fill_body(block, node.body, document)
+    activity = Activity(
+        node.name,
+        kind=ActivityKind[node.kind],
+        program=node.program,
+        subprocess=node.subprocess,
+        block=block,
+        input_spec=(
+            [_decl(m) for m in node.input_members]
+            if node.kind != "BLOCK"
+            else [_decl(m) for m in node.body.input_members]
+        ),
+        output_spec=(
+            [_decl(m) for m in node.output_members]
+            if node.kind != "BLOCK"
+            else [_decl(m) for m in node.body.output_members]
+        ),
+        start_condition=(
+            StartCondition.ANY if node.start_condition == "ANY" else StartCondition.ALL
+        ),
+        exit_condition=parse_condition(node.exit_condition or None),
+        start_mode=(
+            StartMode.MANUAL if node.start_mode == "MANUAL" else StartMode.AUTOMATIC
+        ),
+        staff=StaffAssignment(
+            roles=node.staff.roles,
+            users=node.staff.users,
+            notify_after=node.staff.notify_after,
+            notify_role=node.staff.notify_role,
+        ),
+        description=node.description,
+        priority=node.priority,
+        max_iterations=node.max_iterations,
+    )
+    return activity

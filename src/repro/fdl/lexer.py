@@ -1,0 +1,144 @@
+"""Tokenizer for FDL.
+
+Token kinds:
+
+* ``KEYWORD``  — bare upper-case words (``PROCESS``, ``END``, ...),
+* ``NAME``     — single-quoted identifiers (``'Travel'``),
+* ``STRING``   — double-quoted free text (descriptions, conditions),
+* ``NUMBER``   — integer literals,
+* punctuation  — ``:`` `;` `(` `)` as their own kinds.
+
+``//`` starts a comment running to end of line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import FDLSyntaxError
+
+KEYWORDS = {
+    "STRUCTURE", "PROGRAM", "PROCESS", "END", "DESCRIPTION", "VERSION",
+    "INPUT_CONTAINER", "OUTPUT_CONTAINER", "PROGRAM_ACTIVITY",
+    "PROCESS_ACTIVITY", "BLOCK", "CONTROL", "DATA", "FROM", "TO", "WHEN",
+    "MAP", "SOURCE", "SINK", "START", "AUTOMATIC", "MANUAL", "ALL", "ANY",
+    "CONNECTORS", "TRUE", "EXIT", "PRIORITY", "MAX_ITERATIONS", "DONE_BY",
+    "ROLE", "USER", "NOTIFY", "AFTER", "LONG", "FLOAT", "STRING", "BINARY",
+}
+
+_PUNCT = {":": "COLON", ";": "SEMI", "(": "LPAREN", ")": "RPAREN"}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    value: str | int
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return "Token(%s, %r, %d:%d)" % (
+            self.kind, self.value, self.line, self.column
+        )
+
+
+def tokenize(text: str) -> Iterator[Token]:
+    """Yield tokens for ``text``; ends with one ``EOF`` token."""
+    line, column = 1, 1
+    i, n = 0, len(text)
+
+    def error(message: str) -> FDLSyntaxError:
+        return FDLSyntaxError(message, line, column)
+
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch.isspace():
+            i += 1
+            column += 1
+            continue
+        if ch == "/" and text[i : i + 2] == "//":
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch in _PUNCT:
+            yield Token(_PUNCT[ch], ch, line, column)
+            i += 1
+            column += 1
+            continue
+        if ch == "'":
+            start_line, start_col = line, column
+            i += 1
+            column += 1
+            chars: list[str] = []
+            while i < n and text[i] != "'":
+                if text[i] == "\n":
+                    raise FDLSyntaxError(
+                        "unterminated name", start_line, start_col
+                    )
+                chars.append(text[i])
+                i += 1
+                column += 1
+            if i >= n:
+                raise FDLSyntaxError("unterminated name", start_line, start_col)
+            i += 1
+            column += 1
+            yield Token("NAME", "".join(chars), start_line, start_col)
+            continue
+        if ch == '"':
+            start_line, start_col = line, column
+            i += 1
+            column += 1
+            chars = []
+            while i < n and text[i] != '"':
+                if text[i] == "\\" and i + 1 < n and text[i + 1] in '"\\':
+                    chars.append(text[i + 1])
+                    i += 2
+                    column += 2
+                    continue
+                if text[i] == "\n":
+                    line += 1
+                    column = 1
+                else:
+                    column += 1
+                chars.append(text[i])
+                i += 1
+            if i >= n:
+                raise FDLSyntaxError(
+                    "unterminated string", start_line, start_col
+                )
+            i += 1
+            column += 1
+            yield Token("STRING", "".join(chars), start_line, start_col)
+            continue
+        if ch.isdigit():
+            start_col = column
+            start = i
+            while i < n and text[i].isdigit():
+                i += 1
+                column += 1
+            yield Token("NUMBER", int(text[start:i]), line, start_col)
+            continue
+        if ch.isalpha() or ch == "_":
+            start_col = column
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+                column += 1
+            word = text[start:i]
+            upper = word.upper()
+            if upper not in KEYWORDS:
+                raise FDLSyntaxError(
+                    "unknown keyword %r (names are quoted in FDL)" % word,
+                    line,
+                    start_col,
+                )
+            yield Token("KEYWORD", upper, line, start_col)
+            continue
+        raise error("illegal character %r" % ch)
+    yield Token("EOF", "", line, column)

@@ -1,0 +1,379 @@
+"""Recursive-descent parser for FDL.
+
+Grammar (EBNF, ``'x'`` denotes a NAME token, ``"x"`` a STRING token)::
+
+    document      := (structure | program | process)*
+    structure     := STRUCTURE 'name' member* END 'name'
+    member        := 'name' ':' type [ '(' NUMBER ')' ] ';'
+    type          := LONG | FLOAT | STRING | BINARY | 'structure-name'
+    program       := PROGRAM 'name' [DESCRIPTION "text"] END 'name'
+    process       := PROCESS 'name' [DESCRIPTION "text"] [VERSION NUMBER]
+                     container* body END 'name'
+    container     := (INPUT_CONTAINER | OUTPUT_CONTAINER) member* END
+    body          := (activity | control | data)*
+    activity      := prog_activity | proc_activity | block
+    prog_activity := PROGRAM_ACTIVITY 'name' PROGRAM 'prog'
+                     clause* END 'name'
+    proc_activity := PROCESS_ACTIVITY 'name' PROCESS 'proc'
+                     clause* END 'name'
+    block         := BLOCK 'name' clause* body END 'name'
+    clause        := DESCRIPTION "text"
+                   | START (AUTOMATIC|MANUAL) [WHEN (ALL|ANY) CONNECTORS TRUE]
+                   | EXIT WHEN "condition"
+                   | PRIORITY NUMBER
+                   | MAX_ITERATIONS NUMBER
+                   | DONE_BY (ROLE 'r' | USER 'u')+
+                         [NOTIFY AFTER NUMBER [TO ROLE 'r']]
+                   | container
+    control       := CONTROL FROM 'a' TO 'b' [WHEN "condition"]
+    data          := DATA FROM ('a'|SOURCE) TO ('b'|SINK)
+                     (MAP 'from' TO 'to')+
+"""
+
+from __future__ import annotations
+
+from repro.errors import FDLSyntaxError
+from repro.fdl.ast import (
+    ActivityNode,
+    ControlNode,
+    DataNode,
+    FDLDocument,
+    MemberNode,
+    ProcessBodyNode,
+    ProcessNode,
+    ProgramNode,
+    StaffNode,
+    StructureNode,
+)
+from repro.fdl.lexer import Token, tokenize
+
+_BASE_TYPES = {"LONG", "FLOAT", "STRING", "BINARY"}
+_BODY_STARTERS = {"PROGRAM_ACTIVITY", "PROCESS_ACTIVITY", "BLOCK", "CONTROL", "DATA"}
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self._tokens = list(tokenize(text))
+        self._index = 0
+
+    # -- token plumbing --------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        if token.kind != "EOF":
+            self._index += 1
+        return token
+
+    def _at_keyword(self, *words: str) -> bool:
+        token = self._peek()
+        return token.kind == "KEYWORD" and token.value in words
+
+    def _expect_keyword(self, word: str) -> Token:
+        token = self._advance()
+        if token.kind != "KEYWORD" or token.value != word:
+            raise FDLSyntaxError(
+                "expected %s, found %r" % (word, token.value),
+                token.line,
+                token.column,
+            )
+        return token
+
+    def _expect(self, kind: str) -> Token:
+        token = self._advance()
+        if token.kind != kind:
+            raise FDLSyntaxError(
+                "expected %s, found %r" % (kind, token.value),
+                token.line,
+                token.column,
+            )
+        return token
+
+    def _name(self) -> str:
+        return str(self._expect("NAME").value)
+
+    def _string(self) -> str:
+        return str(self._expect("STRING").value)
+
+    def _number(self) -> int:
+        return int(self._expect("NUMBER").value)
+
+    def _end(self, name: str) -> None:
+        token = self._expect_keyword("END")
+        closing = self._name()
+        if closing != name:
+            raise FDLSyntaxError(
+                "END %r does not close %r" % (closing, name),
+                token.line,
+                token.column,
+            )
+
+    # -- document ---------------------------------------------------------
+
+    def parse(self) -> FDLDocument:
+        document = FDLDocument()
+        while not self._peek().kind == "EOF":
+            token = self._peek()
+            if self._at_keyword("STRUCTURE"):
+                document.structures.append(self._structure())
+            elif self._at_keyword("PROGRAM"):
+                document.programs.append(self._program())
+            elif self._at_keyword("PROCESS"):
+                document.processes.append(self._process())
+            else:
+                raise FDLSyntaxError(
+                    "expected STRUCTURE, PROGRAM or PROCESS, found %r"
+                    % (token.value,),
+                    token.line,
+                    token.column,
+                )
+        return document
+
+    def _structure(self) -> StructureNode:
+        token = self._expect_keyword("STRUCTURE")
+        name = self._name()
+        node = StructureNode(name, line=token.line)
+        if self._at_keyword("DESCRIPTION"):
+            self._advance()
+            node.description = self._string()
+        while self._peek().kind == "NAME":
+            node.members.append(self._member())
+        self._end(name)
+        return node
+
+    def _member(self) -> MemberNode:
+        token = self._expect("NAME")
+        name = str(token.value)
+        self._expect("COLON")
+        type_token = self._advance()
+        if type_token.kind == "KEYWORD" and type_token.value in _BASE_TYPES:
+            type_name, is_structure = str(type_token.value), False
+        elif type_token.kind == "NAME":
+            type_name, is_structure = str(type_token.value), True
+        else:
+            raise FDLSyntaxError(
+                "expected a type, found %r" % (type_token.value,),
+                type_token.line,
+                type_token.column,
+            )
+        array_size = 0
+        if self._peek().kind == "LPAREN":
+            self._advance()
+            array_size = self._number()
+            self._expect("RPAREN")
+        self._expect("SEMI")
+        return MemberNode(name, type_name, is_structure, array_size, token.line)
+
+    def _program(self) -> ProgramNode:
+        token = self._expect_keyword("PROGRAM")
+        name = self._name()
+        node = ProgramNode(name, line=token.line)
+        if self._at_keyword("DESCRIPTION"):
+            self._advance()
+            node.description = self._string()
+        self._end(name)
+        return node
+
+    def _process(self) -> ProcessNode:
+        token = self._expect_keyword("PROCESS")
+        name = self._name()
+        node = ProcessNode(name, line=token.line)
+        if self._at_keyword("DESCRIPTION"):
+            self._advance()
+            node.description = self._string()
+        if self._at_keyword("VERSION"):
+            self._advance()
+            node.version = str(self._number())
+        node.body = self._body(
+            input_sink=node.body.input_members,
+            output_sink=node.body.output_members,
+        )
+        self._end(name)
+        return node
+
+    def _container_members(self) -> list[MemberNode]:
+        members: list[MemberNode] = []
+        while self._peek().kind == "NAME":
+            members.append(self._member())
+        self._expect_keyword("END")
+        return members
+
+    def _body(
+        self,
+        input_sink: list[MemberNode],
+        output_sink: list[MemberNode],
+    ) -> ProcessBodyNode:
+        body = ProcessBodyNode(
+            input_members=input_sink, output_members=output_sink
+        )
+        while True:
+            if self._at_keyword("INPUT_CONTAINER"):
+                self._advance()
+                body.input_members.extend(self._container_members())
+            elif self._at_keyword("OUTPUT_CONTAINER"):
+                self._advance()
+                body.output_members.extend(self._container_members())
+            elif self._at_keyword("PROGRAM_ACTIVITY", "PROCESS_ACTIVITY", "BLOCK"):
+                body.activities.append(self._activity())
+            elif self._at_keyword("CONTROL"):
+                body.controls.append(self._control())
+            elif self._at_keyword("DATA"):
+                body.datas.append(self._data())
+            else:
+                return body
+
+    def _activity(self) -> ActivityNode:
+        token = self._advance()
+        kind_word = str(token.value)
+        name = self._name()
+        if kind_word == "PROGRAM_ACTIVITY":
+            self._expect_keyword("PROGRAM")
+            node = ActivityNode(
+                name, "PROGRAM", program=self._name(), line=token.line
+            )
+        elif kind_word == "PROCESS_ACTIVITY":
+            self._expect_keyword("PROCESS")
+            node = ActivityNode(
+                name, "PROCESS", subprocess=self._name(), line=token.line
+            )
+        else:
+            node = ActivityNode(name, "BLOCK", line=token.line)
+        self._clauses(node)
+        if kind_word == "BLOCK":
+            node.body = self._body(
+                input_sink=[], output_sink=[]
+            )
+            # Clauses may also follow the nested body (EXIT after the
+            # inner graph reads naturally); accept them there too.
+            self._clauses(node)
+        self._end(name)
+        return node
+
+    def _clauses(self, node: ActivityNode) -> None:
+        while True:
+            if self._at_keyword("DESCRIPTION"):
+                self._advance()
+                node.description = self._string()
+            elif self._at_keyword("START"):
+                self._advance()
+                mode = self._advance()
+                if mode.kind != "KEYWORD" or mode.value not in (
+                    "AUTOMATIC",
+                    "MANUAL",
+                ):
+                    raise FDLSyntaxError(
+                        "expected AUTOMATIC or MANUAL",
+                        mode.line,
+                        mode.column,
+                    )
+                node.start_mode = str(mode.value)
+                if self._at_keyword("WHEN"):
+                    self._advance()
+                    which = self._advance()
+                    if which.kind != "KEYWORD" or which.value not in (
+                        "ALL",
+                        "ANY",
+                    ):
+                        raise FDLSyntaxError(
+                            "expected ALL or ANY", which.line, which.column
+                        )
+                    node.start_condition = str(which.value)
+                    self._expect_keyword("CONNECTORS")
+                    self._expect_keyword("TRUE")
+            elif self._at_keyword("EXIT"):
+                self._advance()
+                self._expect_keyword("WHEN")
+                node.exit_condition = self._string()
+            elif self._at_keyword("PRIORITY"):
+                self._advance()
+                node.priority = self._number()
+            elif self._at_keyword("MAX_ITERATIONS"):
+                self._advance()
+                node.max_iterations = self._number()
+            elif self._at_keyword("DONE_BY"):
+                self._advance()
+                node.staff = self._staff()
+            elif self._at_keyword("INPUT_CONTAINER") and node.kind != "BLOCK":
+                self._advance()
+                node.input_members.extend(self._container_members())
+            elif self._at_keyword("OUTPUT_CONTAINER") and node.kind != "BLOCK":
+                self._advance()
+                node.output_members.extend(self._container_members())
+            else:
+                return
+
+    def _staff(self) -> StaffNode:
+        roles: list[str] = []
+        users: list[str] = []
+        while self._at_keyword("ROLE", "USER"):
+            which = self._advance()
+            if which.value == "ROLE":
+                roles.append(self._name())
+            else:
+                users.append(self._name())
+        if not roles and not users:
+            token = self._peek()
+            raise FDLSyntaxError(
+                "DONE_BY needs at least one ROLE or USER",
+                token.line,
+                token.column,
+            )
+        notify_after = None
+        notify_role = ""
+        if self._at_keyword("NOTIFY"):
+            self._advance()
+            self._expect_keyword("AFTER")
+            notify_after = float(self._number())
+            if self._at_keyword("TO"):
+                self._advance()
+                self._expect_keyword("ROLE")
+                notify_role = self._name()
+        return StaffNode(tuple(roles), tuple(users), notify_after, notify_role)
+
+    def _control(self) -> ControlNode:
+        token = self._expect_keyword("CONTROL")
+        self._expect_keyword("FROM")
+        source = self._name()
+        self._expect_keyword("TO")
+        target = self._name()
+        condition = ""
+        if self._at_keyword("WHEN"):
+            self._advance()
+            condition = self._string()
+        return ControlNode(source, target, condition, token.line)
+
+    def _data(self) -> DataNode:
+        token = self._expect_keyword("DATA")
+        self._expect_keyword("FROM")
+        node = DataNode("", "", line=token.line)
+        if self._at_keyword("SOURCE"):
+            self._advance()
+            node.from_process_input = True
+        else:
+            node.source = self._name()
+        self._expect_keyword("TO")
+        if self._at_keyword("SINK"):
+            self._advance()
+            node.to_process_output = True
+        else:
+            node.target = self._name()
+        while self._at_keyword("MAP"):
+            self._advance()
+            from_path = self._name()
+            self._expect_keyword("TO")
+            to_path = self._name()
+            node.mappings.append((from_path, to_path))
+        if not node.mappings:
+            raise FDLSyntaxError(
+                "DATA connector needs at least one MAP",
+                token.line,
+                token.column,
+            )
+        return node
+
+
+def parse_document(text: str) -> FDLDocument:
+    """Parse FDL ``text`` into an :class:`FDLDocument`."""
+    return _Parser(text).parse()

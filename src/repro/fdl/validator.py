@@ -1,0 +1,129 @@
+"""Document-level semantic validation of parsed FDL.
+
+This is the part of FlowMark's import stage that "checks for
+inconsistencies in the syntax of the process definition" beyond pure
+grammar: duplicate names, dangling references to programs, structures
+and subprocesses, and connector endpoints that name no activity.
+Graph-level checks (acyclicity, container member existence) are done by
+the engine model when the importer builds real definitions.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FDLSemanticError
+from repro.fdl.ast import (
+    ActivityNode,
+    FDLDocument,
+    MemberNode,
+    ProcessBodyNode,
+)
+
+_BASE_TYPES = {"LONG", "FLOAT", "STRING", "BINARY"}
+
+
+def validate_document(document: FDLDocument) -> None:
+    """Raise :class:`FDLSemanticError` on inconsistencies."""
+    _check_unique("structure", [s.name for s in document.structures])
+    _check_unique("program", [p.name for p in document.programs])
+    _check_unique("process", [p.name for p in document.processes])
+    structures = document.structure_names()
+    for structure in document.structures:
+        _check_members(
+            "structure %s" % structure.name, structure.members, structures
+        )
+    programs = document.program_names()
+    processes = {p.name for p in document.processes}
+    for process in document.processes:
+        _check_body(
+            "process %s" % process.name,
+            process.body,
+            structures,
+            programs,
+            processes,
+        )
+
+
+def _check_unique(what: str, names: list[str]) -> None:
+    seen: set[str] = set()
+    for name in names:
+        if name in seen:
+            raise FDLSemanticError("duplicate %s %r" % (what, name))
+        seen.add(name)
+
+
+def _check_members(
+    where: str, members: list[MemberNode], structures: set[str]
+) -> None:
+    seen: set[str] = set()
+    for member in members:
+        if member.name in seen:
+            raise FDLSemanticError(
+                "%s: duplicate member %r" % (where, member.name)
+            )
+        seen.add(member.name)
+        if member.is_structure and member.type_name not in structures:
+            raise FDLSemanticError(
+                "%s: member %r references unknown structure %r"
+                % (where, member.name, member.type_name)
+            )
+        if not member.is_structure and member.type_name not in _BASE_TYPES:
+            raise FDLSemanticError(
+                "%s: member %r has unknown type %r"
+                % (where, member.name, member.type_name)
+            )
+
+
+def _check_body(
+    where: str,
+    body: ProcessBodyNode,
+    structures: set[str],
+    programs: set[str],
+    processes: set[str],
+) -> None:
+    _check_unique("activity in %s" % where, [a.name for a in body.activities])
+    _check_members(where + " input container", body.input_members, structures)
+    _check_members(where + " output container", body.output_members, structures)
+    names = {a.name for a in body.activities}
+    for activity in body.activities:
+        _check_activity(where, activity, structures, programs, processes)
+    for control in body.controls:
+        for endpoint in (control.source, control.target):
+            if endpoint not in names:
+                raise FDLSemanticError(
+                    "%s: CONTROL references unknown activity %r"
+                    % (where, endpoint)
+                )
+    for data in body.datas:
+        if not data.from_process_input and data.source not in names:
+            raise FDLSemanticError(
+                "%s: DATA references unknown activity %r" % (where, data.source)
+            )
+        if not data.to_process_output and data.target not in names:
+            raise FDLSemanticError(
+                "%s: DATA references unknown activity %r" % (where, data.target)
+            )
+
+
+def _check_activity(
+    where: str,
+    activity: ActivityNode,
+    structures: set[str],
+    programs: set[str],
+    processes: set[str],
+) -> None:
+    inner = "%s activity %s" % (where, activity.name)
+    _check_members(inner + " input container", activity.input_members, structures)
+    _check_members(
+        inner + " output container", activity.output_members, structures
+    )
+    if activity.kind == "PROGRAM" and activity.program not in programs:
+        raise FDLSemanticError(
+            "%s: references undeclared program %r" % (inner, activity.program)
+        )
+    if activity.kind == "PROCESS" and activity.subprocess not in processes:
+        raise FDLSemanticError(
+            "%s: references unknown process %r" % (inner, activity.subprocess)
+        )
+    if activity.kind == "BLOCK":
+        assert activity.body is not None
+        _check_body(inner, activity.body, structures, programs, processes)

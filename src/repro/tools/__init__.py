@@ -1,0 +1,9 @@
+"""Command-line tools.
+
+* ``python -m repro.tools.fmtm`` — the Exotica/FMTM pre-processor as a
+  command: parse a specification file, validate it, translate it and
+  emit FDL (optionally executing it against stub subtransactions).
+* ``python -m repro.tools.fdl`` — check or summarise FDL documents.
+
+Both expose ``main(argv) -> int`` for tests.
+"""

@@ -1,0 +1,81 @@
+"""FDL command-line tool.
+
+Usage::
+
+    python -m repro.tools.fdl check FILE        # parse + validate
+    python -m repro.tools.fdl summary FILE      # inventory per process
+    python -m repro.tools.fdl roundtrip FILE    # re-export (stability)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+from repro.fdl import export_document, import_text
+from repro.wfms.model import ActivityKind
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.fdl",
+        description="Check and inspect FDL documents.",
+    )
+    parser.add_argument(
+        "command", choices=["check", "summary", "roundtrip"]
+    )
+    parser.add_argument("file", help="FDL document")
+    return parser
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    args = _build_parser().parse_args(argv)
+    try:
+        with open(args.file, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        result = import_text(text)
+    except (OSError, ReproError) as exc:
+        print("error: %s" % exc, file=out)
+        return 1
+    if args.command == "check":
+        print(
+            "ok: %d process(es), %d program declaration(s)"
+            % (len(result.definitions), len(result.program_declarations)),
+            file=out,
+        )
+        return 0
+    if args.command == "summary":
+        for definition in result.definitions:
+            print("PROCESS %s (version %s)" % (definition.name, definition.version), file=out)
+            for name, activity in definition.activities.items():
+                kind = activity.kind.value.lower()
+                target = {
+                    ActivityKind.PROGRAM: activity.program,
+                    ActivityKind.PROCESS: activity.subprocess,
+                    ActivityKind.BLOCK: "%d inner activities"
+                    % (len(activity.block.activities) if activity.block else 0),
+                }[activity.kind]
+                print("  %-10s %-24s -> %s" % (kind, name, target), file=out)
+            print(
+                "  %d control connector(s), %d data connector(s)"
+                % (
+                    len(definition.control_connectors),
+                    len(definition.data_connectors),
+                ),
+                file=out,
+            )
+        return 0
+    # roundtrip
+    again = export_document(result.definitions, result.program_declarations)
+    stable = import_text(again)
+    same = {d.name for d in stable.definitions} == {
+        d.name for d in result.definitions
+    }
+    print("roundtrip %s (%d chars)" % ("stable" if same else "UNSTABLE", len(again)), file=out)
+    return 0 if same else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,49 @@
+"""Transactional substrate.
+
+The paper's subtransactions run against real resource managers (DB2,
+CICS).  This package provides the from-scratch equivalent: a
+transactional key-value store (:class:`SimDatabase`) built on a strict
+two-phase-locking lock manager with deadlock detection and a
+write-ahead log with ARIES-style restart recovery, plus a
+:class:`Multidatabase` — the federation of *autonomous* local databases
+that motivates Flexible Transactions (local sites may unilaterally
+abort, so global commit cannot be enforced).
+
+Failure injection (:mod:`repro.tx.failures`) drives the experiments:
+scripted and seeded-random aborts turn the paper's "if a transaction
+aborts ..." narratives into sweeps.
+"""
+
+from repro.tx.lockmgr import LockManager, LockMode
+from repro.tx.wal import LogRecord, LogKind, WriteAheadLog
+from repro.tx.database import SimDatabase, Transaction
+from repro.tx.multidb import LocalDatabase, Multidatabase
+from repro.tx.failures import (
+    AbortProbability,
+    AbortScript,
+    AlwaysAbort,
+    AlwaysCommit,
+    FailNTimes,
+    FailurePolicy,
+)
+from repro.tx.subtransaction import Subtransaction, SubtransactionOutcome
+
+__all__ = [
+    "AbortProbability",
+    "AbortScript",
+    "AlwaysAbort",
+    "AlwaysCommit",
+    "FailNTimes",
+    "FailurePolicy",
+    "LocalDatabase",
+    "LockManager",
+    "LockMode",
+    "LogKind",
+    "LogRecord",
+    "Multidatabase",
+    "SimDatabase",
+    "Subtransaction",
+    "SubtransactionOutcome",
+    "Transaction",
+    "WriteAheadLog",
+]

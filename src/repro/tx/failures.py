@@ -1,0 +1,113 @@
+"""Failure injection policies.
+
+The paper's narratives are all of the form "if Ti aborts, ...".  A
+:class:`FailurePolicy` decides, per attempt, whether a subtransaction
+commits or aborts, turning those narratives into deterministic scripts
+(:class:`AbortScript`, :class:`FailNTimes`) or seeded sweeps
+(:class:`AbortProbability`).  Policies are consulted *at commit time*
+by the subtransaction adapters and the multidatabase, modelling a
+resource manager's unilateral abort.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Protocol
+
+from repro.errors import TransactionAborted
+
+
+class FailurePolicy(Protocol):
+    """Decides whether one attempt commits."""
+
+    def should_abort(self, attempt: int) -> bool:
+        """``attempt`` counts from 1; True means abort this attempt."""
+        ...
+
+
+class AlwaysCommit:
+    """Every attempt commits."""
+
+    def should_abort(self, attempt: int) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "AlwaysCommit()"
+
+
+class AlwaysAbort:
+    """Every attempt aborts (a pivot with no way forward)."""
+
+    def should_abort(self, attempt: int) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "AlwaysAbort()"
+
+
+class FailNTimes:
+    """Abort the first ``n`` attempts, commit afterwards — the natural
+    model of a *retriable* subtransaction ("will eventually commit if
+    retried a sufficient number of times")."""
+
+    def __init__(self, n: int):
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        self.n = n
+
+    def should_abort(self, attempt: int) -> bool:
+        return attempt <= self.n
+
+    def __repr__(self) -> str:
+        return "FailNTimes(%d)" % self.n
+
+
+class AbortScript:
+    """Abort exactly the listed attempt numbers (1-based)."""
+
+    def __init__(self, aborts: Iterable[int]):
+        self.aborts = frozenset(aborts)
+
+    def should_abort(self, attempt: int) -> bool:
+        return attempt in self.aborts
+
+    def __repr__(self) -> str:
+        return "AbortScript(%s)" % sorted(self.aborts)
+
+
+class AbortProbability:
+    """Abort each attempt independently with probability ``p``.
+
+    Seeded so sweeps are reproducible; each policy instance carries its
+    own RNG to keep experiments independent of evaluation order.
+    """
+
+    def __init__(self, p: float, seed: int = 0):
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("p must be in [0, 1]")
+        self.p = p
+        self._rng = random.Random(seed)
+
+    def should_abort(self, attempt: int) -> bool:
+        return self._rng.random() < self.p
+
+    def __repr__(self) -> str:
+        return "AbortProbability(%g)" % self.p
+
+
+def unilateral_abort_hook(policy: FailurePolicy):
+    """Adapt a policy into a :attr:`SimDatabase.on_commit` hook.
+
+    The hook counts commit attempts per database and raises
+    :class:`TransactionAborted` when the policy says so.
+    """
+    counter = {"attempt": 0}
+
+    def hook(txn) -> None:
+        counter["attempt"] += 1
+        if policy.should_abort(counter["attempt"]):
+            raise TransactionAborted(
+                "unilateral abort of %s" % txn.txn_id, reason="injected"
+            )
+
+    return hook

@@ -1,0 +1,192 @@
+"""Strict two-phase locking.
+
+"The fact remains that most databases today use Strict 2 Phase Locking
+for write operations" (§2) — so that is what the substrate implements:
+shared/exclusive locks held until transaction end, lock upgrades, and
+waits-for deadlock detection.
+
+The lock manager is thread-safe (blocking waits use a condition
+variable) but also safe for single-threaded interleaved use: before a
+caller would block, the waits-for graph is checked and a
+:class:`DeadlockError` is raised for the requester if waiting would
+close a cycle — or immediately when ``wait=False``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import DeadlockError, LockTimeoutError
+
+
+class LockMode(Enum):
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+    def compatible(self, other: "LockMode") -> bool:
+        return self is LockMode.SHARED and other is LockMode.SHARED
+
+
+@dataclass
+class _LockEntry:
+    holders: dict[str, LockMode] = field(default_factory=dict)
+    #: FIFO of (txn_id, mode) waiting for this key.
+    queue: list[tuple[str, LockMode]] = field(default_factory=list)
+
+
+class LockManager:
+    """All locks of one database."""
+
+    def __init__(self, *, timeout: float = 5.0):
+        self._locks: dict[str, _LockEntry] = {}
+        self._mutex = threading.Lock()
+        self._changed = threading.Condition(self._mutex)
+        self._timeout = timeout
+        #: txn -> keys held, for O(held) release at commit/abort.
+        self._held: dict[str, set[str]] = {}
+
+    # -- public API ------------------------------------------------------
+
+    def acquire(
+        self, txn_id: str, key: str, mode: LockMode, *, wait: bool = True
+    ) -> None:
+        """Acquire (or upgrade to) ``mode`` on ``key`` for ``txn_id``.
+
+        Raises :class:`DeadlockError` when waiting would deadlock and
+        :class:`LockTimeoutError` when the wait exceeds the timeout.
+        """
+        with self._changed:
+            entry = self._locks.setdefault(key, _LockEntry())
+            if self._grantable(entry, txn_id, mode):
+                self._grant(entry, txn_id, key, mode)
+                return
+            if not wait:
+                raise DeadlockError(
+                    "lock %s on %r denied without waiting" % (mode.value, key)
+                )
+            entry.queue.append((txn_id, mode))
+            try:
+                deadline = None
+                while not self._grantable_queued(entry, txn_id, mode):
+                    blockers = self._blockers(entry, txn_id, mode)
+                    if self._would_deadlock(txn_id, blockers):
+                        raise DeadlockError(
+                            "transaction %s would deadlock on %r"
+                            % (txn_id, key)
+                        )
+                    if deadline is None:
+                        deadline = time.monotonic() + self._timeout
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._changed.wait(remaining):
+                        raise LockTimeoutError(
+                            "transaction %s timed out waiting for %r"
+                            % (txn_id, key)
+                        )
+                self._grant(entry, txn_id, key, mode)
+            finally:
+                if (txn_id, mode) in entry.queue:
+                    entry.queue.remove((txn_id, mode))
+
+    def release_all(self, txn_id: str) -> None:
+        """Release every lock of ``txn_id`` (strictness: at txn end)."""
+        with self._changed:
+            for key in self._held.pop(txn_id, set()):
+                entry = self._locks.get(key)
+                if entry is not None:
+                    entry.holders.pop(txn_id, None)
+                    if not entry.holders and not entry.queue:
+                        del self._locks[key]
+            self._changed.notify_all()
+
+    def holders(self, key: str) -> dict[str, LockMode]:
+        with self._mutex:
+            entry = self._locks.get(key)
+            return dict(entry.holders) if entry else {}
+
+    def held_by(self, txn_id: str) -> set[str]:
+        with self._mutex:
+            return set(self._held.get(txn_id, set()))
+
+    def waiting(self) -> list[tuple[str, str]]:
+        """(txn, key) pairs currently queued."""
+        with self._mutex:
+            out = []
+            for key, entry in self._locks.items():
+                out.extend((txn, key) for txn, __ in entry.queue)
+            return out
+
+    # -- internals -----------------------------------------------------------
+
+    def _grantable(self, entry: _LockEntry, txn_id: str, mode: LockMode) -> bool:
+        current = entry.holders.get(txn_id)
+        if current is LockMode.EXCLUSIVE:
+            return True  # already strongest
+        if current is LockMode.SHARED and mode is LockMode.SHARED:
+            return True
+        others = [m for t, m in entry.holders.items() if t != txn_id]
+        if mode is LockMode.SHARED:
+            return all(m is LockMode.SHARED for m in others)
+        return not others  # exclusive (fresh or upgrade): no other holder
+
+    def _grantable_queued(
+        self, entry: _LockEntry, txn_id: str, mode: LockMode
+    ) -> bool:
+        # FIFO fairness for fresh requests; upgrades jump the queue
+        # (they already hold shared and would otherwise self-block).
+        if not self._grantable(entry, txn_id, mode):
+            return False
+        if txn_id in entry.holders:
+            return True
+        for queued_txn, __ in entry.queue:
+            if queued_txn == txn_id:
+                return True
+            if queued_txn not in entry.holders:
+                return False
+        return True
+
+    def _grant(
+        self, entry: _LockEntry, txn_id: str, key: str, mode: LockMode
+    ) -> None:
+        current = entry.holders.get(txn_id)
+        if current is not LockMode.EXCLUSIVE:
+            entry.holders[txn_id] = mode if current is None else (
+                LockMode.EXCLUSIVE if mode is LockMode.EXCLUSIVE else current
+            )
+        self._held.setdefault(txn_id, set()).add(key)
+        self._changed.notify_all()
+
+    def _blockers(
+        self, entry: _LockEntry, txn_id: str, mode: LockMode
+    ) -> set[str]:
+        blockers = {
+            t
+            for t, m in entry.holders.items()
+            if t != txn_id and not mode.compatible(m)
+        }
+        if mode is LockMode.EXCLUSIVE:
+            blockers |= {t for t in entry.holders if t != txn_id}
+        return blockers
+
+    def _would_deadlock(self, requester: str, blockers: set[str]) -> bool:
+        """Cycle check on the waits-for graph with the tentative edge
+        requester -> blockers added."""
+        waits_for: dict[str, set[str]] = {requester: set(blockers)}
+        for key, entry in self._locks.items():
+            for waiter, mode in entry.queue:
+                edge_to = self._blockers(entry, waiter, mode)
+                waits_for.setdefault(waiter, set()).update(edge_to)
+        # DFS from requester looking for a path back to requester.
+        stack = list(waits_for.get(requester, ()))
+        seen: set[str] = set()
+        while stack:
+            node = stack.pop()
+            if node == requester:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(waits_for.get(node, ()))
+        return False

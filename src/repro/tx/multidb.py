@@ -1,0 +1,79 @@
+"""Multidatabase — autonomous local databases (§4.2's setting).
+
+"Flexible transactions work in the context of heterogeneous multibase
+environments.  In such environments, each local database acts
+independently from the others.  Since a local database can unilaterally
+abort a transaction, it is not possible to enforce the commit semantics
+of global transactions."
+
+A :class:`Multidatabase` is a federation of :class:`LocalDatabase`
+sites.  There is deliberately **no global commit protocol**: a global
+transaction is just a set of local transactions, each of which commits
+or aborts on its own — which is exactly the gap Flexible Transactions
+(and their workflow implementation) close with compensation, retries
+and alternative paths.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.errors import TransactionError
+from repro.tx.database import SimDatabase, Transaction
+from repro.tx.failures import FailurePolicy, unilateral_abort_hook
+
+
+class LocalDatabase(SimDatabase):
+    """A site in the federation; may unilaterally abort at commit."""
+
+    def __init__(self, name: str, *, lock_timeout: float = 5.0):
+        super().__init__(name, lock_timeout=lock_timeout)
+
+    def set_abort_policy(self, policy: FailurePolicy | None) -> None:
+        """Install (or clear) a unilateral-abort policy."""
+        self.on_commit = (
+            None if policy is None else unilateral_abort_hook(policy)
+        )
+
+
+class Multidatabase:
+    """A federation of autonomous local databases."""
+
+    def __init__(self) -> None:
+        self._sites: dict[str, LocalDatabase] = {}
+
+    def add_site(self, name: str, *, lock_timeout: float = 5.0) -> LocalDatabase:
+        if name in self._sites:
+            raise TransactionError("site %r already exists" % name)
+        site = LocalDatabase(name, lock_timeout=lock_timeout)
+        self._sites[name] = site
+        return site
+
+    def site(self, name: str) -> LocalDatabase:
+        try:
+            return self._sites[name]
+        except KeyError:
+            raise TransactionError("unknown site %r" % name) from None
+
+    def sites(self) -> Iterator[LocalDatabase]:
+        for name in sorted(self._sites):
+            yield self._sites[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._sites
+
+    def begin_at(self, site: str, txn_id: str = "") -> Transaction:
+        """Begin a *local* transaction at one site.  There is no
+        ``begin_global``: the federation offers no global atomicity —
+        that is the whole point."""
+        return self.site(site).begin(txn_id)
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """site -> committed-ish state (current values) of every site."""
+        return {name: db.snapshot() for name, db in sorted(self._sites.items())}
+
+    def total_commits(self) -> int:
+        return sum(db.commits for db in self._sites.values())
+
+    def total_aborts(self) -> int:
+        return sum(db.aborts for db in self._sites.values())

@@ -1,0 +1,94 @@
+"""ARIES-style restart recovery for :class:`SimDatabase`.
+
+Three passes over the write-ahead log:
+
+1. **Analysis** — find winners (transactions with a COMMIT record) and
+   losers (BEGIN but neither COMMIT nor ABORT-completed); a checkpoint
+   record, when present, bounds how far back analysis must look for
+   the active set.
+2. **Redo** — repeat history: re-apply *every* UPDATE and CLR after
+   image to the disk in LSN order (the cache was lost; the disk may be
+   arbitrarily stale because commit does not force pages).
+3. **Undo** — roll back the losers from the log tail using before
+   images, appending CLRs so a crash during recovery is itself
+   recoverable; finish each loser with an ABORT record.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.tx.wal import ABSENT, LogKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.tx.database import SimDatabase
+
+
+def restart(database: "SimDatabase") -> dict[str, int]:
+    """Recover ``database`` in place; returns pass counters."""
+    log = database.log
+    # A checkpoint flushes every dirty page, so redo (and the BEGIN
+    # scan) can start right after the most recent one; the checkpoint
+    # record carries the then-active transactions.
+    checkpoint = log.last_checkpoint()
+    redo_from = checkpoint.lsn + 1 if checkpoint is not None else 0
+    # ---- analysis ----
+    begun: set[str] = set(checkpoint.active) if checkpoint else set()
+    finished: set[str] = set()
+    for record in log:
+        if record.lsn < redo_from:
+            continue
+        if record.kind is LogKind.BEGIN:
+            begun.add(record.txn_id)
+        elif record.kind in (LogKind.COMMIT, LogKind.ABORT):
+            finished.add(record.txn_id)
+    losers = begun - finished
+    # ---- redo: repeat history (from the checkpoint onwards) ----
+    redone = 0
+    for record in log:
+        if record.lsn < redo_from:
+            continue
+        if record.kind is LogKind.UPDATE or record.kind is LogKind.CLR:
+            _apply(database, record.key, record.after)
+            redone += 1
+    # ---- undo the losers, newest update first across all losers ----
+    undone = 0
+    pending = [
+        r
+        for r in log
+        if r.kind is LogKind.UPDATE and r.txn_id in losers
+    ]
+    # CLRs already written for a loser (e.g. crash mid-abort) mark
+    # updates that need no second undo.
+    compensated = {
+        r.undo_next
+        for r in log
+        if r.kind is LogKind.CLR and r.txn_id in losers
+    }
+    for record in reversed(pending):
+        if record.lsn in compensated:
+            continue
+        log.append(
+            LogKind.CLR,
+            record.txn_id,
+            record.key,
+            after=record.before,
+            undo_next=record.lsn,
+        )
+        _apply(database, record.key, record.before)
+        undone += 1
+    for txn_id in sorted(losers):
+        log.append(LogKind.ABORT, txn_id)
+    return {
+        "winners": len(begun & finished),
+        "losers": len(losers),
+        "redone": redone,
+        "undone": undone,
+    }
+
+
+def _apply(database: "SimDatabase", key: str, value: object) -> None:
+    if value is ABSENT:
+        database._disk.pop(key, None)
+    else:
+        database._disk[key] = value

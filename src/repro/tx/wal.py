@@ -1,0 +1,91 @@
+"""Write-ahead log.
+
+Physical logging with before/after images, commit/abort records and
+compensation log records (CLRs) written during undo, in the ARIES
+style: the restart algorithm (:mod:`repro.tx.recovery`) repeats history
+by redoing *all* updates, then undoes the losers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Iterator
+
+from repro.errors import TransactionError
+
+#: Sentinel before/after image meaning "the key did not exist".
+ABSENT = "__absent__"
+
+
+class LogKind(Enum):
+    BEGIN = "begin"
+    UPDATE = "update"
+    CLR = "clr"            # compensation log record (redo-only)
+    COMMIT = "commit"
+    ABORT = "abort"
+    CHECKPOINT = "checkpoint"
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    lsn: int
+    kind: LogKind
+    txn_id: str
+    key: str = ""
+    before: Any = None
+    after: Any = None
+    #: For CLRs: the LSN of the next record of this txn still to undo.
+    undo_next: int = -1
+    #: For CHECKPOINT: the ids of transactions active at the time.
+    active: tuple[str, ...] = ()
+
+
+class WriteAheadLog:
+    """Append-only in-memory log with LSN addressing.
+
+    The simulated "disk" for the log is this object itself: a database
+    crash (:meth:`SimDatabase.crash`) drops the cache and the lock
+    table but keeps the log, exactly like a real WAL on stable storage.
+    """
+
+    def __init__(self) -> None:
+        self._records: list[LogRecord] = []
+
+    def append(
+        self,
+        kind: LogKind,
+        txn_id: str,
+        key: str = "",
+        before: Any = None,
+        after: Any = None,
+        undo_next: int = -1,
+        active: tuple[str, ...] = (),
+    ) -> LogRecord:
+        record = LogRecord(
+            len(self._records), kind, txn_id, key, before, after, undo_next, active
+        )
+        self._records.append(record)
+        return record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[LogRecord]:
+        return iter(self._records)
+
+    def record(self, lsn: int) -> LogRecord:
+        try:
+            return self._records[lsn]
+        except IndexError:
+            raise TransactionError("no log record with LSN %d" % lsn) from None
+
+    def records_of(self, txn_id: str) -> list[LogRecord]:
+        return [r for r in self._records if r.txn_id == txn_id]
+
+    def last_checkpoint(self) -> LogRecord | None:
+        for record in reversed(self._records):
+            if record.kind is LogKind.CHECKPOINT:
+                return record
+        return None
+

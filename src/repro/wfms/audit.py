@@ -1,0 +1,134 @@
+"""Audit trail (§3.3: monitoring and accounting).
+
+Every significant state transition of every process/activity instance
+is recorded as an :class:`AuditRecord`.  The trail is the ground truth
+the reproduction's experiments assert against: the saga guarantee
+(`T1..Tn` or `T1..Tj;Cj..C1`) and the flexible-transaction path
+selection are both checked by reading execution orders off the trail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Iterable
+
+
+class AuditEvent(Enum):
+    PROCESS_STARTED = "process_started"
+    PROCESS_FINISHED = "process_finished"
+    PROCESS_SUSPENDED = "process_suspended"
+    PROCESS_RESUMED = "process_resumed"
+    ACTIVITY_READY = "activity_ready"
+    ACTIVITY_STARTED = "activity_started"
+    ACTIVITY_FINISHED = "activity_finished"     # program returned
+    ACTIVITY_TERMINATED = "activity_terminated"  # exit condition held
+    ACTIVITY_RESCHEDULED = "activity_rescheduled"  # exit condition failed
+    ACTIVITY_DEAD = "activity_dead"             # dead-path elimination
+    ACTIVITY_FORCED = "activity_forced"         # user force-finish
+    CONNECTOR_EVALUATED = "connector_evaluated"
+    ITEM_OFFERED = "item_offered"
+    ITEM_CLAIMED = "item_claimed"
+    NOTIFICATION = "notification"
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    sequence: int
+    at: float
+    event: AuditEvent
+    instance_id: str
+    activity: str = ""
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "sequence": self.sequence,
+            "at": self.at,
+            "event": self.event.value,
+            "instance_id": self.instance_id,
+            "activity": self.activity,
+            "detail": dict(self.detail),
+        }
+
+
+class AuditTrail:
+    """Append-only in-memory trail with query helpers."""
+
+    def __init__(self) -> None:
+        self._records: list[AuditRecord] = []
+
+    def record(
+        self,
+        at: float,
+        event: AuditEvent,
+        instance_id: str,
+        activity: str = "",
+        **detail: Any,
+    ) -> AuditRecord:
+        record = AuditRecord(
+            len(self._records), at, event, instance_id, activity, detail
+        )
+        self._records.append(record)
+        return record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    def records(
+        self,
+        instance_id: str | None = None,
+        event: AuditEvent | None = None,
+        activity: str | None = None,
+    ) -> list[AuditRecord]:
+        """Filtered records in sequence order."""
+        out = []
+        for record in self._records:
+            if instance_id is not None and record.instance_id != instance_id:
+                continue
+            if event is not None and record.event != event:
+                continue
+            if activity is not None and record.activity != activity:
+                continue
+            out.append(record)
+        return out
+
+    def execution_order(self, instance_id: str) -> list[str]:
+        """Activity names in the order they *terminated* (completed
+        with a true exit condition) — the history the paper's
+        guarantees are phrased over.  Dead-path terminations are not
+        executions and are excluded."""
+        return [
+            r.activity
+            for r in self.records(instance_id, AuditEvent.ACTIVITY_TERMINATED)
+        ]
+
+    def started_order(self, instance_id: str) -> list[str]:
+        return [
+            r.activity
+            for r in self.records(instance_id, AuditEvent.ACTIVITY_STARTED)
+        ]
+
+    def dead_activities(self, instance_id: str) -> list[str]:
+        return [
+            r.activity
+            for r in self.records(instance_id, AuditEvent.ACTIVITY_DEAD)
+        ]
+
+    def attempts(self, instance_id: str, activity: str) -> int:
+        """How many times an activity ran (exit-condition loops)."""
+        return len(
+            self.records(instance_id, AuditEvent.ACTIVITY_STARTED, activity)
+        )
+
+
+def merge_orders(trails: Iterable[list[str]]) -> list[str]:
+    """Concatenate execution orders (used when a process spans blocks
+    whose instances have their own ids)."""
+    merged: list[str] = []
+    for trail in trails:
+        merged.extend(trail)
+    return merged

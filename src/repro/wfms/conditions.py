@@ -1,0 +1,410 @@
+"""Transition / start / exit condition expressions.
+
+FlowMark attaches boolean expressions over container members to control
+connectors (transition conditions) and to activities (exit conditions).
+This module implements that little language:
+
+* comparisons ``= <> < <= > >=`` over numbers and strings,
+* arithmetic ``+ - * / %``,
+* boolean ``AND OR NOT`` (case-insensitive) and literals ``TRUE FALSE``,
+* dotted identifiers resolving container members, e.g. ``Order.Total``
+  or the predefined return code ``_RC`` (plain ``RC`` is accepted as an
+  alias, matching the paper's figures).
+
+Expressions are parsed once (at definition/import time) into a small
+AST and evaluated many times against a *resolver* — any callable
+mapping a dotted path to a value.
+
+>>> cond = parse_condition("RC = 0 AND State_2 = 1")
+>>> cond.evaluate({"_RC": 0, "State_2": 1}.get)
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+from repro.errors import ConditionError
+
+Resolver = Callable[[str], Any]
+
+_KEYWORDS = {"AND", "OR", "NOT", "TRUE", "FALSE"}
+_COMPARATORS = {"=", "<>", "<", "<=", ">", ">="}
+
+
+# ---------------------------------------------------------------------------
+# Tokenizer
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # NUMBER STRING IDENT OP KEYWORD LPAREN RPAREN END
+    value: Any
+    pos: int
+
+
+def _tokenize(text: str) -> Iterator[_Token]:
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            start = i
+            seen_dot = False
+            while i < n and (text[i].isdigit() or (text[i] == "." and not seen_dot)):
+                if text[i] == ".":
+                    seen_dot = True
+                i += 1
+            lexeme = text[start:i]
+            value = float(lexeme) if seen_dot else int(lexeme)
+            yield _Token("NUMBER", value, start)
+            continue
+        if ch == '"' or ch == "'":
+            quote, start = ch, i
+            i += 1
+            chars: list[str] = []
+            while i < n and text[i] != quote:
+                chars.append(text[i])
+                i += 1
+            if i >= n:
+                raise ConditionError(
+                    "unterminated string literal at %d in %r" % (start, text)
+                )
+            i += 1
+            yield _Token("STRING", "".join(chars), start)
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] in "_."):
+                i += 1
+            lexeme = text[start:i]
+            upper = lexeme.upper()
+            if upper in _KEYWORDS:
+                yield _Token("KEYWORD", upper, start)
+            else:
+                yield _Token("IDENT", lexeme, start)
+            continue
+        if ch in "(":
+            yield _Token("LPAREN", ch, i)
+            i += 1
+            continue
+        if ch == ")":
+            yield _Token("RPAREN", ch, i)
+            i += 1
+            continue
+        two = text[i : i + 2]
+        if two in ("<>", "<=", ">="):
+            yield _Token("OP", two, i)
+            i += 2
+            continue
+        if ch in "=<>+-*/%":
+            yield _Token("OP", ch, i)
+            i += 1
+            continue
+        raise ConditionError("illegal character %r at %d in %r" % (ch, i, text))
+    yield _Token("END", None, n)
+
+
+# ---------------------------------------------------------------------------
+# AST
+# ---------------------------------------------------------------------------
+
+class _Node:
+    """Base AST node."""
+
+    def evaluate(self, resolver: Resolver) -> Any:
+        raise NotImplementedError
+
+    def variables(self) -> set[str]:
+        return set()
+
+
+@dataclass(frozen=True)
+class _Literal(_Node):
+    value: Any
+
+    def evaluate(self, resolver: Resolver) -> Any:
+        return self.value
+
+
+@dataclass(frozen=True)
+class _Variable(_Node):
+    path: str
+
+    def evaluate(self, resolver: Resolver) -> Any:
+        value = resolver(self.path)
+        if value is None and self.path == "RC":
+            # Paper figures write the predefined return code as ``RC``;
+            # containers store it as ``_RC``.
+            value = resolver("_RC")
+        if value is None:
+            raise ConditionError("unknown variable %r" % self.path)
+        return value
+
+    def variables(self) -> set[str]:
+        return {self.path}
+
+
+@dataclass(frozen=True)
+class _Unary(_Node):
+    op: str  # NOT, NEG
+    operand: _Node
+
+    def evaluate(self, resolver: Resolver) -> Any:
+        value = self.operand.evaluate(resolver)
+        if self.op == "NOT":
+            return not _truthy(value)
+        return -_numeric(value)
+
+    def variables(self) -> set[str]:
+        return self.operand.variables()
+
+
+@dataclass(frozen=True)
+class _Binary(_Node):
+    op: str
+    left: _Node
+    right: _Node
+
+    def evaluate(self, resolver: Resolver) -> Any:
+        if self.op == "AND":
+            return _truthy(self.left.evaluate(resolver)) and _truthy(
+                self.right.evaluate(resolver)
+            )
+        if self.op == "OR":
+            return _truthy(self.left.evaluate(resolver)) or _truthy(
+                self.right.evaluate(resolver)
+            )
+        lhs = self.left.evaluate(resolver)
+        rhs = self.right.evaluate(resolver)
+        if self.op in _COMPARATORS:
+            return _compare(self.op, lhs, rhs)
+        return _arith(self.op, lhs, rhs)
+
+    def variables(self) -> set[str]:
+        return self.left.variables() | self.right.variables()
+
+
+def _truthy(value: Any) -> bool:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return value != 0
+    if isinstance(value, str):
+        return value != ""
+    raise ConditionError("value %r has no boolean interpretation" % (value,))
+
+
+def _numeric(value: Any) -> float | int:
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, (int, float)):
+        return value
+    raise ConditionError("value %r is not numeric" % (value,))
+
+
+def _compare(op: str, lhs: Any, rhs: Any) -> bool:
+    both_str = isinstance(lhs, str) and isinstance(rhs, str)
+    both_num = isinstance(lhs, (int, float, bool)) and isinstance(
+        rhs, (int, float, bool)
+    )
+    if not (both_str or both_num):
+        raise ConditionError(
+            "cannot compare %r with %r (mixed types)" % (lhs, rhs)
+        )
+    if op == "=":
+        return lhs == rhs
+    if op == "<>":
+        return lhs != rhs
+    if op == "<":
+        return lhs < rhs
+    if op == "<=":
+        return lhs <= rhs
+    if op == ">":
+        return lhs > rhs
+    return lhs >= rhs
+
+
+def _arith(op: str, lhs: Any, rhs: Any) -> Any:
+    if op == "+" and isinstance(lhs, str) and isinstance(rhs, str):
+        return lhs + rhs
+    left, right = _numeric(lhs), _numeric(rhs)
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            raise ConditionError("division by zero")
+        return left / right
+    if op == "%":
+        if right == 0:
+            raise ConditionError("modulo by zero")
+        return left % right
+    raise ConditionError("unknown operator %r" % op)
+
+
+# ---------------------------------------------------------------------------
+# Parser (recursive descent, precedence: OR < AND < NOT < cmp < +- < */%)
+# ---------------------------------------------------------------------------
+
+class _Parser:
+    def __init__(self, text: str):
+        self._text = text
+        self._tokens = list(_tokenize(text))
+        self._index = 0
+
+    def parse(self) -> _Node:
+        node = self._or()
+        if self._peek().kind != "END":
+            raise ConditionError(
+                "trailing input at %d in %r" % (self._peek().pos, self._text)
+            )
+        return node
+
+    def _peek(self) -> _Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> _Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _or(self) -> _Node:
+        node = self._and()
+        while self._peek().kind == "KEYWORD" and self._peek().value == "OR":
+            self._advance()
+            node = _Binary("OR", node, self._and())
+        return node
+
+    def _and(self) -> _Node:
+        node = self._not()
+        while self._peek().kind == "KEYWORD" and self._peek().value == "AND":
+            self._advance()
+            node = _Binary("AND", node, self._not())
+        return node
+
+    def _not(self) -> _Node:
+        if self._peek().kind == "KEYWORD" and self._peek().value == "NOT":
+            self._advance()
+            return _Unary("NOT", self._not())
+        return self._comparison()
+
+    def _comparison(self) -> _Node:
+        node = self._sum()
+        token = self._peek()
+        if token.kind == "OP" and token.value in _COMPARATORS:
+            self._advance()
+            node = _Binary(token.value, node, self._sum())
+        return node
+
+    def _sum(self) -> _Node:
+        node = self._term()
+        while self._peek().kind == "OP" and self._peek().value in "+-":
+            op = self._advance().value
+            node = _Binary(op, node, self._term())
+        return node
+
+    def _term(self) -> _Node:
+        node = self._factor()
+        while self._peek().kind == "OP" and self._peek().value in "*/%":
+            op = self._advance().value
+            node = _Binary(op, node, self._factor())
+        return node
+
+    def _factor(self) -> _Node:
+        token = self._advance()
+        if token.kind == "NUMBER" or token.kind == "STRING":
+            return _Literal(token.value)
+        if token.kind == "KEYWORD" and token.value in ("TRUE", "FALSE"):
+            return _Literal(token.value == "TRUE")
+        if token.kind == "IDENT":
+            return _Variable(token.value)
+        if token.kind == "LPAREN":
+            node = self._or()
+            closing = self._advance()
+            if closing.kind != "RPAREN":
+                raise ConditionError(
+                    "expected ')' at %d in %r" % (closing.pos, self._text)
+                )
+            return node
+        if token.kind == "OP" and token.value == "-":
+            return _Unary("NEG", self._factor())
+        raise ConditionError(
+            "unexpected token %r at %d in %r"
+            % (token.value, token.pos, self._text)
+        )
+
+
+# ---------------------------------------------------------------------------
+# Public API
+# ---------------------------------------------------------------------------
+
+class Condition:
+    """A parsed boolean expression.
+
+    Instances are immutable and hash/compare on their source text, so a
+    definition carrying conditions can itself be compared for equality
+    (used by the FDL round-trip tests).
+    """
+
+    __slots__ = ("source", "_ast")
+
+    def __init__(self, source: str, ast: _Node):
+        self.source = source
+        self._ast = ast
+
+    def evaluate(self, resolver: Resolver | dict[str, Any]) -> bool:
+        """Evaluate against a resolver callable or a plain mapping."""
+        if isinstance(resolver, dict):
+            mapping = resolver
+            resolver = lambda path: mapping.get(path)  # noqa: E731
+        try:
+            return _truthy(self._ast.evaluate(resolver))
+        except ConditionError as exc:
+            raise ConditionError(
+                "evaluating %r: %s" % (self.source, exc)
+            ) from exc
+
+    def variables(self) -> set[str]:
+        """Dotted container paths referenced by the expression."""
+        return self._ast.variables()
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Condition) and other.source == self.source
+
+    def __hash__(self) -> int:
+        return hash(self.source)
+
+    def __repr__(self) -> str:
+        return "Condition(%r)" % self.source
+
+
+#: A condition that is always true (the FlowMark default when a control
+#: connector carries no explicit transition condition).
+ALWAYS = Condition("TRUE", _Literal(True))
+
+#: A condition that is always false (useful in tests).
+NEVER = Condition("FALSE", _Literal(False))
+
+
+def parse_condition(text: str | Condition | None) -> Condition:
+    """Parse ``text`` into a :class:`Condition`.
+
+    ``None`` and the empty string mean "no condition", i.e. always true.
+    Passing an already-parsed condition returns it unchanged, so model
+    code can accept either strings or conditions.
+    """
+    if text is None:
+        return ALWAYS
+    if isinstance(text, Condition):
+        return text
+    stripped = text.strip()
+    if not stripped:
+        return ALWAYS
+    return Condition(stripped, _Parser(stripped).parse())

@@ -1,0 +1,235 @@
+"""Run-time data containers.
+
+Each activity instance owns an *input* and an *output* container built
+from the activity's declarations (§3.2).  Containers are addressed with
+dotted paths (``Order.Total``, ``Items.2`` for array elements) and are
+type-checked on write.  They serialise to plain JSON-able dicts so the
+journal can persist them for forward recovery.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Iterable, Iterator
+
+from repro.errors import ContainerError
+from repro.wfms.datatypes import DataType, TypeRegistry, VariableDecl
+from repro.wfms.model import RETURN_CODE
+
+
+class Container:
+    """A typed record of container members.
+
+    >>> spec = [VariableDecl("Total", DataType.LONG)]
+    >>> c = Container(spec, TypeRegistry(), output=True)
+    >>> c.set("Total", 7)
+    >>> c.get("Total")
+    7
+    >>> c.get("_RC")     # predefined on output containers
+    0
+    """
+
+    __slots__ = ("_decls", "_types", "_values", "_output")
+
+    def __init__(
+        self,
+        spec: Iterable[VariableDecl],
+        types: TypeRegistry | None = None,
+        *,
+        output: bool = False,
+    ):
+        self._types = types if types is not None else TypeRegistry()
+        self._decls: dict[str, VariableDecl] = {}
+        self._values: dict[str, Any] = {}
+        self._output = output
+        if output:
+            rc = VariableDecl(RETURN_CODE, DataType.LONG)
+            self._decls[RETURN_CODE] = rc
+            self._values[RETURN_CODE] = 0
+        for decl in spec:
+            if decl.name in self._decls:
+                raise ContainerError("duplicate member %r" % decl.name)
+            self._decls[decl.name] = decl
+            self._values[decl.name] = self._types.default_value(decl)
+
+    # -- access --------------------------------------------------------
+
+    def has(self, path: str) -> bool:
+        try:
+            self.get(path)
+            return True
+        except ContainerError:
+            return False
+
+    def get(self, path: str) -> Any:
+        """Read the member at dotted ``path``."""
+        root, rest = _split(path)
+        if root not in self._values:
+            raise ContainerError("container has no member %r" % root)
+        value = self._values[root]
+        for part in rest:
+            value = _descend(value, part, path)
+        return copy.deepcopy(value) if isinstance(value, (dict, list)) else value
+
+    def set(self, path: str, value: Any) -> None:
+        """Write ``value`` at dotted ``path`` with type checking."""
+        root, rest = _split(path)
+        if root not in self._decls:
+            raise ContainerError("container has no member %r" % root)
+        decl = self._decls[root]
+        if not rest:
+            self._values[root] = self._coerce(decl, value, path)
+            return
+        target = self._values[root]
+        for part in rest[:-1]:
+            target = _descend(target, part, path)
+        leaf = rest[-1]
+        if isinstance(target, list):
+            index = _array_index(leaf, target, path)
+            target[index] = self._coerce_leaf(decl, rest, value, path)
+        elif isinstance(target, dict):
+            if leaf not in target:
+                raise ContainerError(
+                    "path %r: structure has no member %r" % (path, leaf)
+                )
+            target[leaf] = self._coerce_leaf(decl, rest, value, path)
+        else:
+            raise ContainerError("path %r does not address a member" % path)
+
+    def resolver(self, path: str) -> Any:
+        """Resolver for :meth:`Condition.evaluate`; None when unknown."""
+        try:
+            return self.get(path)
+        except ContainerError:
+            return None
+
+    @property
+    def return_code(self) -> int:
+        return int(self._values.get(RETURN_CODE, 0))
+
+    @return_code.setter
+    def return_code(self, value: int) -> None:
+        if RETURN_CODE not in self._decls:
+            raise ContainerError("input containers carry no return code")
+        self._values[RETURN_CODE] = int(value)
+
+    def members(self) -> Iterator[str]:
+        return iter(self._decls)
+
+    def declaration(self, name: str) -> VariableDecl:
+        try:
+            return self._decls[name]
+        except KeyError:
+            raise ContainerError("container has no member %r" % name) from None
+
+    # -- bulk ----------------------------------------------------------
+
+    def update_from(
+        self, source: "Container", mappings: Iterable[tuple[str, str]]
+    ) -> None:
+        """Apply a data connector's mappings from ``source`` into self."""
+        for from_path, to_path in mappings:
+            self.set(to_path, source.get(from_path))
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able snapshot of all member values."""
+        return copy.deepcopy(self._values)
+
+    def load_dict(self, values: dict[str, Any]) -> None:
+        """Restore a snapshot produced by :meth:`to_dict`."""
+        for name, value in values.items():
+            if name in self._decls:
+                self._values[name] = copy.deepcopy(value)
+
+    def copy(self) -> "Container":
+        clone = Container((), self._types, output=False)
+        clone._decls = dict(self._decls)
+        clone._values = copy.deepcopy(self._values)
+        clone._output = self._output
+        return clone
+
+    # -- internals -----------------------------------------------------
+
+    def _coerce(self, decl: VariableDecl, value: Any, path: str) -> Any:
+        if decl.is_array:
+            if not isinstance(value, list) or len(value) != decl.array_size:
+                raise ContainerError(
+                    "path %r expects a list of length %d" % (path, decl.array_size)
+                )
+            element = VariableDecl(decl.name, decl.type)
+            return [self._coerce(element, item, path) for item in value]
+        if decl.is_structure:
+            structure = self._types.get(str(decl.type))
+            if not isinstance(value, dict):
+                raise ContainerError(
+                    "path %r expects a structure %s" % (path, decl.type)
+                )
+            result = self._types.default_value(
+                VariableDecl(decl.name, decl.type)
+            )
+            for key, item in value.items():
+                member = structure.member(key)
+                result[key] = self._coerce(member, item, "%s.%s" % (path, key))
+            return result
+        assert isinstance(decl.type, DataType)
+        return decl.type.coerce(value)
+
+    def _coerce_leaf(
+        self, root_decl: VariableDecl, rest: list[str], value: Any, path: str
+    ) -> Any:
+        decl = self._leaf_decl(root_decl, rest)
+        if decl is None:
+            # Descending through arrays of scalars; coerce by element type.
+            return value
+        return self._coerce(decl, value, path)
+
+    def _leaf_decl(
+        self, decl: VariableDecl, rest: list[str]
+    ) -> VariableDecl | None:
+        current: VariableDecl | None = decl
+        for part in rest:
+            if current is None:
+                return None
+            if part.isdigit():
+                current = VariableDecl(current.name, current.type)
+                continue
+            if current.is_structure:
+                structure = self._types.get(str(current.type))
+                current = structure.member(part)
+            else:
+                return None
+        return current
+
+
+def _split(path: str) -> tuple[str, list[str]]:
+    if not path:
+        raise ContainerError("empty container path")
+    parts = path.split(".")
+    return parts[0], parts[1:]
+
+
+def _descend(value: Any, part: str, path: str) -> Any:
+    if isinstance(value, list):
+        index = _array_index(part, value, path)
+        return value[index]
+    if isinstance(value, dict):
+        if part not in value:
+            raise ContainerError(
+                "path %r: structure has no member %r" % (path, part)
+            )
+        return value[part]
+    raise ContainerError("path %r descends into a scalar" % path)
+
+
+def _array_index(part: str, array: list[Any], path: str) -> int:
+    if not part.isdigit():
+        raise ContainerError(
+            "path %r: array index %r is not a number" % (path, part)
+        )
+    index = int(part)
+    if index >= len(array):
+        raise ContainerError(
+            "path %r: index %d out of bounds (size %d)"
+            % (path, index, len(array))
+        )
+    return index

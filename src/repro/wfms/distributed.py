@@ -1,0 +1,291 @@
+"""Distributed workflow execution over persistent messages.
+
+"Workflow systems are orders of magnitude more heterogeneous and
+distributed than databases" (§2).  This module adds the distribution
+dimension the paper's group built as Exotica/FMQM: several autonomous
+workflow nodes, each running its own engine, cooperating through the
+persistent :class:`~repro.wfms.messaging.MessageBus`.
+
+A node *serves* process definitions; another node's process reaches
+them through a **remote activity** — an ordinary program activity
+whose program (a) sends a durable ``request`` message carrying the
+activity's input container the first time it runs and (b) polls for
+the matching ``reply`` on later attempts, its exit condition
+(``Done = 1``) rescheduling it until the reply arrives.  Requests are
+idempotent: the request id is derived from the caller's instance and
+activity, the serving node keys its instance on it, and duplicate
+requests for a finished instance simply re-send the reply.  That is
+what makes the scheme crash-safe end to end:
+
+* requester crash → journal replay reconstructs the polling activity,
+  whose next attempt re-sends the (deduplicated) request;
+* server crash → its journal replays the request instance, the bus
+  redelivers the unacknowledged request, the reply is regenerated;
+* lost/unacked messages → redelivered by the bus sweep.
+
+Use :func:`run_cluster` to drive all nodes to quiescence.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import NavigationError, WorkflowError
+from repro.wfms.datatypes import DataType, VariableDecl
+from repro.wfms.engine import Engine
+from repro.wfms.messaging import MessageBus
+from repro.wfms.model import Activity, ProcessDefinition
+from repro.wfms.organization import Organization
+
+
+def _inbox(node_name: str) -> str:
+    return "node:%s" % node_name
+
+
+def _reply_queue(node_name: str) -> str:
+    return "replies:%s" % node_name
+
+
+class WorkflowNode:
+    """One engine plus its connection to the message bus."""
+
+    def __init__(
+        self,
+        name: str,
+        bus: MessageBus,
+        *,
+        journal_path: str | None = None,
+        organization: Organization | None = None,
+    ):
+        if not name:
+            raise WorkflowError("node name must be non-empty")
+        self.name = name
+        self.bus = bus
+        self._journal_path = journal_path
+        self._organization = organization
+        self.engine = Engine(
+            journal_path=journal_path, organization=organization
+        )
+        self._served: set[str] = set()
+        #: request_id -> output snapshot (volatile reply cache).
+        self._replies: dict[str, dict[str, Any]] = {}
+        #: request ids already sent (volatile; resent after a crash,
+        #: deduplicated by the server).
+        self._requested: set[str] = set()
+        #: request_id -> reply_to for requests being served but not yet
+        #: finished (volatile; duplicates re-register it after a crash).
+        self._pending: dict[str, str] = {}
+
+    # -- serving ---------------------------------------------------------
+
+    def serve(self, definition: ProcessDefinition) -> None:
+        """Make ``definition`` executable on behalf of other nodes."""
+        if definition.name not in self.engine.definitions():
+            self.engine.register_definition(definition)
+        self._served.add(definition.name)
+
+    def remote_activity(
+        self,
+        activity_name: str,
+        *,
+        process: str,
+        node: str,
+        input_spec: list[VariableDecl] | None = None,
+        output_spec: list[VariableDecl] | None = None,
+        max_poll_attempts: int = 100_000,
+    ) -> Activity:
+        """Build an activity that executes ``process`` on ``node``.
+
+        ``input_spec`` members are shipped as the remote process's
+        input; ``output_spec`` members are filled from its output.
+        Register the returned activity in a local definition as usual.
+        """
+        inputs = list(input_spec or [])
+        outputs = list(output_spec or [])
+        program_name = "remote__%s__%s" % (node, process)
+        self.engine.register_program(
+            program_name,
+            self._make_remote_program(node, process, inputs, outputs),
+            "remote execution of %s on %s" % (process, node),
+            replace=True,
+        )
+        return Activity(
+            activity_name,
+            program=program_name,
+            input_spec=inputs,
+            output_spec=outputs + [VariableDecl("Done", DataType.LONG)],
+            exit_condition="Done = 1",
+            max_iterations=max_poll_attempts,
+            description="remote %s @ %s" % (process, node),
+        )
+
+    def _make_remote_program(self, node, process, inputs, outputs):
+        def program(ctx) -> int:
+            request_id = "%s/%s/%s" % (self.name, ctx.instance_id, ctx.activity)
+            reply = self._replies.pop(request_id, None)
+            if reply is not None:
+                for decl in outputs:
+                    if decl.name in reply:
+                        ctx.output.set(decl.name, reply[decl.name])
+                ctx.output.set("Done", 1)
+                return 0
+            if request_id not in self._requested:
+                self.bus.send(
+                    _inbox(node),
+                    {
+                        "type": "request",
+                        "request_id": request_id,
+                        "process": process,
+                        "input": {
+                            decl.name: ctx.input.get(decl.name)
+                            for decl in inputs
+                        },
+                        "reply_to": _reply_queue(self.name),
+                    },
+                )
+                self._requested.add(request_id)
+            ctx.output.set("Done", 0)
+            return 0
+
+        return program
+
+    # -- message processing ---------------------------------------------------
+
+    def pump(self, max_messages: int = 10) -> int:
+        """Process up to ``max_messages`` inbound messages and send
+        replies for served requests that have finished; returns how
+        many messages/replies were handled."""
+        handled = 0
+        for __ in range(max_messages):
+            if self._pump_one(_inbox(self.name), self._handle_request):
+                handled += 1
+                continue
+            if self._pump_one(
+                _reply_queue(self.name), self._handle_reply
+            ):
+                handled += 1
+                continue
+            break
+        handled += self._flush_pending()
+        return handled
+
+    def _flush_pending(self) -> int:
+        sent = 0
+        for request_id in list(self._pending):
+            instance_id = "req/%s" % request_id
+            try:
+                instance = self.engine.navigator.instance(instance_id)
+            except NavigationError:
+                continue  # not started yet (should not happen)
+            if instance.state.value != "finished":
+                continue
+            self.bus.send(
+                self._pending.pop(request_id),
+                {
+                    "type": "reply",
+                    "request_id": request_id,
+                    "output": instance.output.to_dict(),
+                    "state": instance.state.value,
+                },
+            )
+            sent += 1
+        return sent
+
+    def _pump_one(self, queue: str, handler) -> bool:
+        message = self.bus.receive(queue)
+        if message is None:
+            return False
+        msg_id, body = message
+        try:
+            handler(body)
+        except Exception:
+            self.bus.nack(queue, msg_id)
+            raise
+        self.bus.ack(queue, msg_id)
+        return True
+
+    def _handle_request(self, body: dict[str, Any]) -> None:
+        process = body["process"]
+        request_id = body["request_id"]
+        if process not in self._served:
+            raise WorkflowError(
+                "node %s does not serve process %r" % (self.name, process)
+            )
+        instance_id = "req/%s" % request_id
+        try:
+            self.engine.navigator.instance(instance_id)
+        except NavigationError:
+            self.engine.verify_executable(process)
+            self.engine.navigator.start_process(
+                process, body.get("input", {}), instance_id=instance_id
+            )
+        # Serve asynchronously: the instance advances through the
+        # node's normal stepping (it may itself contain remote
+        # activities); the reply goes out from _flush_pending once the
+        # instance finishes.  Duplicate requests re-register here, so
+        # replies are regenerated after a crash.
+        self._pending[request_id] = body["reply_to"]
+
+    def _handle_reply(self, body: dict[str, Any]) -> None:
+        self._replies[body["request_id"]] = dict(body.get("output", {}))
+
+    # -- crash / recovery --------------------------------------------------------
+
+    def crash(self) -> None:
+        """Lose the engine and every volatile structure; keep the bus
+        and the journal."""
+        self.engine.crash()
+        self._replies.clear()
+        self._requested.clear()
+        self._pending.clear()
+        self.bus.recover_in_flight(_inbox(self.name))
+        self.bus.recover_in_flight(_reply_queue(self.name))
+
+    def rebuild(self, configure) -> None:
+        """Build a fresh engine over the same journal and recover.
+
+        ``configure(node)`` must re-register definitions, programs and
+        remote activities (their programs), then the journal replays.
+        """
+        if self._journal_path is None:
+            raise WorkflowError("rebuild requires a journal-backed node")
+        self.engine = Engine(
+            journal_path=self._journal_path,
+            organization=self._organization,
+        )
+        served = self._served
+        self._served = set()
+        configure(self)
+        self._served |= served
+        self.engine.recover()
+
+
+def run_cluster(
+    nodes: list[WorkflowNode],
+    *,
+    watch: list[tuple[WorkflowNode, str]] | None = None,
+    max_rounds: int = 10_000,
+    steps_per_round: int = 50,
+) -> int:
+    """Drive every node until the watched instances finish (or, with no
+    watch list, until the whole cluster quiesces).  Returns rounds."""
+    for round_number in range(1, max_rounds + 1):
+        progressed = False
+        for node in nodes:
+            for __ in range(steps_per_round):
+                if not node.engine.step():
+                    break
+                progressed = True
+            if node.pump():
+                progressed = True
+        if watch is not None:
+            if all(
+                node.engine.instance_state(instance_id) == "finished"
+                for node, instance_id in watch
+            ):
+                return round_number
+        elif not progressed:
+            return round_number
+    raise WorkflowError(
+        "cluster did not converge within %d rounds" % max_rounds
+    )

@@ -1,0 +1,427 @@
+"""The workflow engine facade.
+
+Ties together the metamodel, navigator, program registry, organization,
+worklists, audit trail and persistent journal.  This is the class user
+code (and the FMTM translator pipeline) talks to::
+
+    engine = Engine()
+    engine.register_program("hello", lambda ctx: 0)
+    defn = ProcessDefinition("Hi")
+    defn.add_activity(Activity("Greet", program="hello"))
+    engine.register_definition(defn)
+    iid = engine.start_process("Hi")
+    engine.run()
+    assert engine.instance_state(iid) == "finished"
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+from repro.errors import DefinitionError, NavigationError, ProgramError
+from repro.wfms.audit import AuditTrail
+from repro.wfms.journal import Journal
+from repro.wfms.model import ActivityKind, ProcessDefinition
+from repro.wfms.navigator import Navigator
+from repro.wfms.organization import Organization
+from repro.wfms.programs import Program, ProgramRegistry
+from repro.wfms.recovery import replay
+from repro.wfms.registry import DefinitionRegistry
+from repro.wfms.worklist import Notification, WorkItem, WorklistManager
+
+
+class Engine:
+    """One workflow management system instance."""
+
+    def __init__(
+        self,
+        journal_path: str | os.PathLike[str] | None = None,
+        organization: Organization | None = None,
+    ):
+        self.programs = ProgramRegistry()
+        self.organization = (
+            organization if organization is not None else Organization()
+        )
+        self.worklists = WorklistManager()
+        self.audit = AuditTrail()
+        self.services: dict[str, Any] = {}
+        self._definitions = DefinitionRegistry()
+        self._journal = Journal(journal_path) if journal_path is not None else None
+        self._crashed = False
+        self.navigator = Navigator(
+            self._definitions,
+            self.programs,
+            self.organization,
+            self.worklists,
+            self.audit,
+            self._journal,
+            self.services,
+        )
+
+    # -- build-time ------------------------------------------------------
+
+    def register_definition(self, definition: ProcessDefinition) -> None:
+        """Validate and register a process template (FDL import step).
+
+        Several *versions* of the same process may coexist (§3.2);
+        re-registering the same name+version is an error.
+        """
+        definition.validate()
+        self._definitions.register(definition)
+
+    def definition(
+        self, name: str, version: str | None = None
+    ) -> ProcessDefinition:
+        """The registered definition (latest version by default)."""
+        return self._definitions.get(name, version)
+
+    def definition_versions(self, name: str) -> list[str]:
+        return self._definitions.versions(name)
+
+    def definitions(self) -> list[str]:
+        return self._definitions.names()
+
+    def register_program(
+        self,
+        name: str,
+        program: Program,
+        description: str = "",
+        *,
+        failure_atomic: bool = True,
+        replace: bool = False,
+    ) -> None:
+        self.programs.register(
+            name,
+            program,
+            description,
+            failure_atomic=failure_atomic,
+            replace=replace,
+        )
+
+    def verify_executable(self, name: str, version: str | None = None) -> None:
+        """Semantic check of Figure 5's translator stage: every program
+        the definition references must be registered and every
+        subprocess definition present."""
+        definition = self.definition(name, version)
+        for program in sorted(definition.program_names()):
+            if program not in self.programs:
+                raise ProgramError(
+                    "process %s references unregistered program %r"
+                    % (name, program)
+                )
+        for sub in sorted(definition.subprocess_names()):
+            if sub not in self._definitions:
+                raise DefinitionError(
+                    "process %s references unregistered subprocess %r"
+                    % (name, sub)
+                )
+            self.verify_executable(sub)
+
+    # -- run-time ----------------------------------------------------------
+
+    def start_process(
+        self,
+        name: str,
+        input_values: dict[str, Any] | None = None,
+        *,
+        starter: str = "",
+        version: str | None = None,
+    ) -> str:
+        self._check_up()
+        self.verify_executable(name, version)
+        return self.navigator.start_process(
+            name, input_values, starter=starter, version=version
+        )
+
+    def step(self) -> bool:
+        self._check_up()
+        return self.navigator.step()
+
+    def run(self, max_steps: int = 1_000_000) -> int:
+        """Drain all automatic work; manual items remain on worklists."""
+        self._check_up()
+        return self.navigator.run(max_steps)
+
+    def run_process(
+        self,
+        name: str,
+        input_values: dict[str, Any] | None = None,
+        *,
+        starter: str = "",
+    ) -> "ProcessResult":
+        """Start a process and run it to quiescence; returns its result."""
+        instance_id = self.start_process(name, input_values, starter=starter)
+        self.run()
+        return self.result(instance_id)
+
+    def instance_state(self, instance_id: str) -> str:
+        return self.navigator.instance(instance_id).state.value
+
+    def activity_states(self, instance_id: str) -> dict[str, str]:
+        return self.navigator.instance(instance_id).states()
+
+    def output(self, instance_id: str) -> dict[str, Any]:
+        return self.navigator.instance(instance_id).output.to_dict()
+
+    def result(self, instance_id: str) -> "ProcessResult":
+        instance = self.navigator.instance(instance_id)
+        return ProcessResult(
+            instance_id=instance_id,
+            process=instance.definition.name,
+            state=instance.state.value,
+            output=instance.output.to_dict(),
+            execution_order=self.audit.execution_order(instance_id),
+            dead_activities=self.audit.dead_activities(instance_id),
+        )
+
+    def execution_order(
+        self, instance_id: str, *, include_children: bool = True
+    ) -> list[str]:
+        """Activities in termination order, descending into blocks and
+        subprocesses at the point their parent activity terminated."""
+        if not include_children:
+            return self.audit.execution_order(instance_id)
+        order: list[str] = []
+        instance = self.navigator.instance(instance_id)
+        for name in self.audit.execution_order(instance_id):
+            ai = instance.activities.get(name)
+            if ai is not None and ai.activity.kind in (
+                ActivityKind.BLOCK,
+                ActivityKind.PROCESS,
+            ):
+                if ai.child_instance:
+                    order.extend(
+                        self.execution_order(
+                            ai.child_instance, include_children=True
+                        )
+                    )
+            else:
+                order.append(name)
+        return order
+
+    # -- monitoring (§3.3: "monitoring, accounting, ...") ------------------
+
+    def process_list(self) -> list[dict[str, Any]]:
+        """One summary row per process instance, root instances first."""
+        rows = []
+        for instance in self.navigator.instances():
+            states = instance.states()
+            counts: dict[str, int] = {}
+            for state in states.values():
+                counts[state] = counts.get(state, 0) + 1
+            rows.append(
+                {
+                    "instance": instance.instance_id,
+                    "definition": instance.definition.name,
+                    "state": instance.state.value,
+                    "starter": instance.starter,
+                    "parent": instance.parent_instance,
+                    "activities": counts,
+                }
+            )
+        rows.sort(key=lambda r: (r["parent"], r["instance"]))
+        return rows
+
+    def monitor(self, instance_id: str) -> dict[str, Any]:
+        """Detailed view of one instance: per-activity state, attempts,
+        return codes and any open work item."""
+        instance = self.navigator.instance(instance_id)
+        activities = {}
+        for name, ai in instance.activities.items():
+            item = self.worklists.open_item_for(instance_id, name)
+            activities[name] = {
+                "state": "dead" if ai.dead else ai.state.value,
+                "attempts": ai.attempt,
+                "rc": ai.output.return_code if ai.output is not None else None,
+                "claimed_by": ai.claimed_by,
+                "work_item": item.item_id if item is not None else "",
+            }
+        return {
+            "instance": instance_id,
+            "definition": instance.definition.name,
+            "state": instance.state.value,
+            "starter": instance.starter,
+            "output": instance.output.to_dict(),
+            "activities": activities,
+            "audit_records": len(self.audit.records(instance_id)),
+        }
+
+    def account(
+        self,
+        instance_id: str,
+        *,
+        program_rates: dict[str, float] | None = None,
+        default_rate: float = 1.0,
+        include_children: bool = True,
+    ) -> dict[str, Any]:
+        """§3.3 accounting: charge each program invocation at its rate.
+
+        Returns per-program invocation counts and costs plus the
+        instance total; block/subprocess children are included by
+        default (their invocations are where the work happens).
+        """
+        rates = program_rates or {}
+        invocations: dict[str, int] = {}
+
+        def collect(target_id: str) -> None:
+            instance = self.navigator.instance(target_id)
+            for name, ai in instance.activities.items():
+                if ai.activity.kind is ActivityKind.PROGRAM:
+                    if ai.attempt:
+                        program = ai.activity.program
+                        invocations[program] = (
+                            invocations.get(program, 0) + ai.attempt
+                        )
+                elif include_children and ai.child_instance:
+                    collect(ai.child_instance)
+
+        collect(instance_id)
+        lines = {
+            program: {
+                "invocations": count,
+                "rate": rates.get(program, default_rate),
+                "cost": count * rates.get(program, default_rate),
+            }
+            for program, count in sorted(invocations.items())
+        }
+        return {
+            "instance": instance_id,
+            "lines": lines,
+            "total": sum(line["cost"] for line in lines.values()),
+        }
+
+    # -- manual work ---------------------------------------------------------
+
+    def worklist(self, user_id: str) -> list[WorkItem]:
+        return self.worklists.worklist(user_id)
+
+    def claim(self, item_id: str, user_id: str) -> WorkItem:
+        return self.worklists.claim(item_id, user_id)
+
+    def start_item(self, item_id: str) -> None:
+        """Execute a claimed work item (then drain follow-on work)."""
+        self._check_up()
+        self.navigator.start_manual(item_id)
+        self.navigator.run()
+
+    def force_finish(
+        self,
+        instance_id: str,
+        activity: str,
+        *,
+        return_code: int = 0,
+        output_values: dict[str, Any] | None = None,
+        user: str = "",
+    ) -> None:
+        self._check_up()
+        self.navigator.force_finish(
+            instance_id,
+            activity,
+            return_code=return_code,
+            output_values=output_values,
+            user=user,
+        )
+        self.navigator.run()
+
+    def suspend(self, instance_id: str) -> None:
+        self.navigator.suspend(instance_id)
+
+    def resume(self, instance_id: str) -> None:
+        self._check_up()
+        self.navigator.resume(instance_id)
+
+    # -- clock & notifications -------------------------------------------------
+
+    @property
+    def clock(self) -> float:
+        return self.navigator.clock
+
+    def advance_clock(self, delta: float) -> list[Notification]:
+        """Advance logical time and raise deadline notifications."""
+        if delta < 0:
+            raise NavigationError("the clock cannot move backwards")
+        self.navigator.clock += delta
+        return self.worklists.check_deadlines(
+            self.navigator.clock, self._notify_recipients
+        )
+
+    def _notify_recipients(self, role: str) -> list[str]:
+        if role and self.organization.has_role(role):
+            return self.organization.members_of(role)
+        return []
+
+    # -- crash / recovery --------------------------------------------------------
+
+    def crash(self) -> None:
+        """Simulate a machine failure: volatile state is lost, the
+        journal survives.  The engine object refuses further work."""
+        if self._journal is not None:
+            self._journal.close()
+        self._crashed = True
+
+    def recover(self) -> int:
+        """Replay the journal (must be file-backed) into this engine.
+
+        Call on a *fresh* engine after re-registering definitions and
+        programs; returns the number of completions replayed.
+        """
+        if self._journal is None:
+            raise NavigationError("recovery requires a journal-backed engine")
+        self._journal.reopen()
+        records = self._journal.records()
+        return replay(self.navigator, records)
+
+    @property
+    def journal(self) -> Journal | None:
+        return self._journal
+
+    def close(self) -> None:
+        if self._journal is not None:
+            self._journal.close()
+
+    def _check_up(self) -> None:
+        if self._crashed:
+            raise NavigationError(
+                "the engine has crashed; build a new engine and recover()"
+            )
+
+
+class ProcessResult:
+    """Outcome summary of one process instance."""
+
+    __slots__ = (
+        "instance_id",
+        "process",
+        "state",
+        "output",
+        "execution_order",
+        "dead_activities",
+    )
+
+    def __init__(
+        self,
+        instance_id: str,
+        process: str,
+        state: str,
+        output: dict[str, Any],
+        execution_order: list[str],
+        dead_activities: list[str],
+    ):
+        self.instance_id = instance_id
+        self.process = process
+        self.state = state
+        self.output = output
+        self.execution_order = execution_order
+        self.dead_activities = dead_activities
+
+    @property
+    def finished(self) -> bool:
+        return self.state == "finished"
+
+    def __repr__(self) -> str:
+        return "ProcessResult(%s, %s, %s)" % (
+            self.instance_id,
+            self.process,
+            self.state,
+        )

@@ -1,0 +1,199 @@
+"""Structural validation of process definitions.
+
+The paper's workflow model is "an acyclic directed graph" (§3.2); this
+module enforces that plus referential integrity: connector endpoints
+exist, data connectors map declared members, condition variables are
+resolvable, and embedded blocks validate recursively.
+"""
+
+from __future__ import annotations
+
+from graphlib import CycleError, TopologicalSorter
+
+from repro.errors import DefinitionError
+from repro.wfms.datatypes import DataType, VariableDecl
+from repro.wfms.model import (
+    PROCESS_INPUT,
+    PROCESS_OUTPUT,
+    RETURN_CODE,
+    Activity,
+    ActivityKind,
+    ProcessDefinition,
+)
+
+#: Predefined members every output container carries (the program
+#: return code plus the engine-maintained execution-state flag used by
+#: the saga/flexible translations).
+PREDEFINED_OUTPUT_MEMBERS = (RETURN_CODE,)
+
+
+def topological_order(definition: ProcessDefinition) -> list[str]:
+    """Activities in a topological order of the control graph.
+
+    Raises :class:`DefinitionError` when the graph has a cycle.
+    """
+    sorter: TopologicalSorter[str] = TopologicalSorter()
+    for name in definition.activities:
+        sorter.add(name)
+    for connector in definition.control_connectors:
+        sorter.add(connector.target, connector.source)
+    try:
+        return list(sorter.static_order())
+    except CycleError as exc:
+        raise DefinitionError(
+            "process %s has a control-flow cycle: %s"
+            % (definition.name, exc.args[1])
+        ) from exc
+
+
+def validate_definition(definition: ProcessDefinition) -> None:
+    """Validate ``definition``; raises :class:`DefinitionError`."""
+    if not definition.activities:
+        raise DefinitionError("process %s has no activities" % definition.name)
+    _check_endpoints(definition)
+    topological_order(definition)  # acyclicity
+    _check_data_connectors(definition)
+    _check_conditions(definition)
+    for activity in definition.activities.values():
+        if activity.kind is ActivityKind.BLOCK:
+            assert activity.block is not None
+            validate_definition(activity.block)
+
+
+def _check_endpoints(definition: ProcessDefinition) -> None:
+    for connector in definition.control_connectors:
+        for endpoint in (connector.source, connector.target):
+            if endpoint not in definition.activities:
+                raise DefinitionError(
+                    "process %s: control connector %s -> %s references "
+                    "unknown activity %r"
+                    % (definition.name, connector.source, connector.target, endpoint)
+                )
+    for connector in definition.data_connectors:
+        if (
+            connector.source != PROCESS_INPUT
+            and connector.source not in definition.activities
+        ):
+            raise DefinitionError(
+                "process %s: data connector source %r is unknown"
+                % (definition.name, connector.source)
+            )
+        if (
+            connector.target != PROCESS_OUTPUT
+            and connector.target not in definition.activities
+        ):
+            raise DefinitionError(
+                "process %s: data connector target %r is unknown"
+                % (definition.name, connector.target)
+            )
+
+
+def _member_names(spec: list[VariableDecl], *, output: bool) -> set[str]:
+    names = {decl.name for decl in spec}
+    if output:
+        names.update(PREDEFINED_OUTPUT_MEMBERS)
+    return names
+
+
+def _source_members(definition: ProcessDefinition, source: str) -> set[str]:
+    if source == PROCESS_INPUT:
+        return _member_names(definition.input_spec, output=False)
+    return _member_names(definition.activity(source).output_spec, output=True)
+
+
+def _target_members(definition: ProcessDefinition, target: str) -> set[str]:
+    if target == PROCESS_OUTPUT:
+        # The process output container is itself an output container:
+        # it carries the predefined return code so blocks can expose
+        # one to the enclosing level (Figure 2's RC_FB).
+        return _member_names(definition.output_spec, output=True)
+    return _member_names(definition.activity(target).input_spec, output=False)
+
+
+def _root_member(path: str) -> str:
+    """``Order.Total`` -> ``Order`` (structure members check the root)."""
+    return path.split(".", 1)[0]
+
+
+def _check_data_connectors(definition: ProcessDefinition) -> None:
+    for connector in definition.data_connectors:
+        sources = _source_members(definition, connector.source)
+        targets = _target_members(definition, connector.target)
+        for from_path, to_path in connector.mappings:
+            if _root_member(from_path) not in sources:
+                raise DefinitionError(
+                    "process %s: data connector %s -> %s maps unknown "
+                    "source member %r"
+                    % (definition.name, connector.source, connector.target, from_path)
+                )
+            if _root_member(to_path) not in targets:
+                raise DefinitionError(
+                    "process %s: data connector %s -> %s maps unknown "
+                    "target member %r"
+                    % (definition.name, connector.source, connector.target, to_path)
+                )
+
+
+def _check_conditions(definition: ProcessDefinition) -> None:
+    # Transition conditions read the *source* activity's output
+    # container; exit conditions read the activity's own output
+    # container.  (§3.2: "The result of the execution ... can be
+    # captured through the return code of the program.")
+    for connector in definition.control_connectors:
+        available = _source_members(definition, connector.source) | {"RC"}
+        for path in connector.condition.variables():
+            if _root_member(path) not in available:
+                raise DefinitionError(
+                    "process %s: transition condition %r on %s -> %s "
+                    "references %r which is not in %s's output container"
+                    % (
+                        definition.name,
+                        connector.condition.source,
+                        connector.source,
+                        connector.target,
+                        path,
+                        connector.source,
+                    )
+                )
+    for activity in definition.activities.values():
+        available = _member_names(activity.output_spec, output=True) | {"RC"}
+        for path in activity.exit_condition.variables():
+            if _root_member(path) not in available:
+                raise DefinitionError(
+                    "process %s: exit condition %r of %s references %r "
+                    "which is not in its output container"
+                    % (
+                        definition.name,
+                        activity.exit_condition.source,
+                        activity.name,
+                        path,
+                    )
+                )
+
+
+def reachable_activities(definition: ProcessDefinition) -> set[str]:
+    """Activities reachable from the starting activities."""
+    frontier = list(definition.starting_activities())
+    seen: set[str] = set()
+    while frontier:
+        name = frontier.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        frontier.extend(c.target for c in definition.outgoing(name))
+    return seen
+
+
+def unreachable_activities(definition: ProcessDefinition) -> set[str]:
+    """Activities that can never be scheduled (definition smells)."""
+    return set(definition.activities) - reachable_activities(definition)
+
+
+def declared_long(name: str) -> VariableDecl:
+    """Convenience: a LONG member declaration (used by translators)."""
+    return VariableDecl(name, DataType.LONG)
+
+
+def declared_string(name: str) -> VariableDecl:
+    """Convenience: a STRING member declaration (used by translators)."""
+    return VariableDecl(name, DataType.STRING)

@@ -1,0 +1,147 @@
+"""Run-time instances of processes and activities.
+
+State machine (§3.2): an activity is *ready*, *running*, *finished*
+(execution completed) or *terminated* (execution completed and the exit
+condition held).  We add *waiting* for activities whose start condition
+is not yet decided, and flag dead-path terminations with ``dead`` —
+the paper folds those into "terminated" but the distinction is what the
+experiments assert on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import NavigationError
+from repro.wfms.containers import Container
+from repro.wfms.model import Activity, ProcessDefinition, StartCondition
+
+
+class ActivityState(Enum):
+    WAITING = "waiting"
+    READY = "ready"
+    RUNNING = "running"
+    FINISHED = "finished"
+    TERMINATED = "terminated"
+
+
+class ProcessState(Enum):
+    RUNNING = "running"
+    SUSPENDED = "suspended"
+    FINISHED = "finished"
+
+
+def connector_key(source: str, target: str) -> str:
+    return "%s->%s" % (source, target)
+
+
+@dataclass
+class ActivityInstance:
+    """Run-time state of one activity within one process instance."""
+
+    activity: Activity
+    state: ActivityState = ActivityState.WAITING
+    dead: bool = False
+    attempt: int = 0              # how many times execution started
+    input: Container | None = None
+    output: Container | None = None
+    #: connector key -> evaluated truth value (None = not yet evaluated)
+    incoming: dict[str, bool | None] = field(default_factory=dict)
+    claimed_by: str = ""
+    forced: bool = False
+    #: instance id of the currently running child (BLOCK/PROCESS kinds)
+    child_instance: str = ""
+
+    @property
+    def name(self) -> str:
+        return self.activity.name
+
+    @property
+    def executed(self) -> bool:
+        """Terminated by actually running (not by dead-path)."""
+        return self.state is ActivityState.TERMINATED and not self.dead
+
+    def all_incoming_evaluated(self) -> bool:
+        return all(v is not None for v in self.incoming.values())
+
+    def any_incoming_true(self) -> bool:
+        return any(v is True for v in self.incoming.values())
+
+    def all_incoming_true(self) -> bool:
+        return all(v is True for v in self.incoming.values())
+
+    def start_condition_met(self) -> bool:
+        if self.activity.start_condition is StartCondition.ANY:
+            return self.any_incoming_true()
+        return self.all_incoming_evaluated() and self.all_incoming_true()
+
+    def start_condition_dead(self) -> bool:
+        """True when the start condition can never become true."""
+        if self.activity.start_condition is StartCondition.ANY:
+            return self.all_incoming_evaluated() and not self.any_incoming_true()
+        return any(v is False for v in self.incoming.values())
+
+
+class ProcessInstance:
+    """Run-time state of one process execution."""
+
+    def __init__(
+        self,
+        instance_id: str,
+        definition: ProcessDefinition,
+        *,
+        starter: str = "",
+        parent_instance: str = "",
+        parent_activity: str = "",
+    ):
+        self.instance_id = instance_id
+        self.definition = definition
+        self.state = ProcessState.RUNNING
+        self.starter = starter
+        self.parent_instance = parent_instance
+        self.parent_activity = parent_activity
+        self.input = Container(definition.input_spec, definition.types)
+        # Process output containers carry a return code so blocks can
+        # expose one to the enclosing level (as Figure 2's RC_FB does).
+        self.output = Container(
+            definition.output_spec, definition.types, output=True
+        )
+        self.activities: dict[str, ActivityInstance] = {}
+        for name, activity in definition.activities.items():
+            ai = ActivityInstance(activity)
+            for connector in definition.incoming(name):
+                ai.incoming[connector_key(connector.source, connector.target)] = None
+            self.activities[name] = ai
+
+    def activity(self, name: str) -> ActivityInstance:
+        try:
+            return self.activities[name]
+        except KeyError:
+            raise NavigationError(
+                "instance %s has no activity %r" % (self.instance_id, name)
+            ) from None
+
+    @property
+    def is_root(self) -> bool:
+        return not self.parent_instance
+
+    def all_terminated(self) -> bool:
+        return all(
+            ai.state is ActivityState.TERMINATED
+            for ai in self.activities.values()
+        )
+
+    def states(self) -> dict[str, str]:
+        """activity -> state string (with dead-path marked)."""
+        out: dict[str, str] = {}
+        for name, ai in self.activities.items():
+            out[name] = "dead" if ai.dead else ai.state.value
+        return out
+
+    def __repr__(self) -> str:
+        return "ProcessInstance(%s, %s, %s)" % (
+            self.instance_id,
+            self.definition.name,
+            self.state.value,
+        )

@@ -1,0 +1,154 @@
+"""Persistent execution journal.
+
+"In most WFMSs the execution of a process is persistent in the sense
+that forward recovery is always guaranteed" (§3.3).  The engine records
+every *non-deterministic decision* — process starts with their inputs,
+activity completions with their outputs — as JSON records.  Navigation
+itself is deterministic, so replaying these records through the same
+navigator reconstructs the exact pre-crash state; see
+:mod:`repro.wfms.recovery`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Iterable, Iterator
+
+from repro.errors import RecoveryError
+
+RECORD_TYPES = {
+    "process_started",
+    "activity_completed",
+    "process_finished",
+    "process_suspended",
+    "process_resumed",
+}
+
+
+class Journal:
+    """Append-only record store, file-backed or in-memory.
+
+    File backing writes one JSON object per line and flushes after each
+    append (the durability point the forward-recovery guarantee needs).
+    """
+
+    def __init__(self, path: str | os.PathLike[str] | None = None):
+        self._path = os.fspath(path) if path is not None else None
+        self._memory: list[dict[str, Any]] = []
+        self._file = None
+        if self._path is not None:
+            # Load any existing records, then open for appending.
+            if os.path.exists(self._path):
+                self._memory = list(_read_file(self._path))
+            self._file = open(self._path, "a", encoding="utf-8")
+
+    @property
+    def path(self) -> str | None:
+        return self._path
+
+    def append(self, record: dict[str, Any]) -> None:
+        if record.get("type") not in RECORD_TYPES:
+            raise RecoveryError(
+                "illegal journal record type %r" % record.get("type")
+            )
+        self._memory.append(record)
+        if self._file is not None:
+            self._file.write(json.dumps(record, sort_keys=True))
+            self._file.write("\n")
+            self._file.flush()
+            os.fsync(self._file.fileno())
+
+    def records(self) -> list[dict[str, Any]]:
+        return list(self._memory)
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def reopen(self) -> None:
+        """Reopen the backing file after :meth:`close` (crash restart)."""
+        if self._path is not None and self._file is None:
+            self._file = open(self._path, "a", encoding="utf-8")
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+def _read_file(path: str) -> Iterator[dict[str, Any]]:
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                # A torn final line is the normal signature of a crash
+                # mid-append: ignore it, the decision was not durable.
+                continue
+            if not isinstance(record, dict) or "type" not in record:
+                raise RecoveryError(
+                    "%s:%d: malformed journal record" % (path, lineno)
+                )
+            yield record
+
+
+def load_journal(path: str | os.PathLike[str]) -> list[dict[str, Any]]:
+    """Read all durable records from a journal file."""
+    return list(_read_file(os.fspath(path)))
+
+
+class ReplayCursor:
+    """Recorded activity completions, consumed during recovery.
+
+    Keyed by ``(instance_id, activity, attempt)`` so exit-condition
+    loops replay each iteration's recorded output.
+    """
+
+    def __init__(self, records: Iterable[dict[str, Any]]):
+        self._completions: dict[tuple[str, str, int], dict[str, Any]] = {}
+        self.process_starts: list[dict[str, Any]] = []
+        self.finished: set[str] = set()
+        self.suspended: set[str] = set()
+        for record in records:
+            kind = record["type"]
+            if kind == "process_started":
+                self.process_starts.append(record)
+            elif kind == "activity_completed":
+                key = (
+                    record["instance"],
+                    record["activity"],
+                    int(record["attempt"]),
+                )
+                if key in self._completions:
+                    raise RecoveryError(
+                        "duplicate completion record for %s" % (key,)
+                    )
+                self._completions[key] = record
+            elif kind == "process_finished":
+                self.finished.add(record["instance"])
+            elif kind == "process_suspended":
+                self.suspended.add(record["instance"])
+            elif kind == "process_resumed":
+                self.suspended.discard(record["instance"])
+
+    def take(
+        self, instance_id: str, activity: str, attempt: int
+    ) -> dict[str, Any] | None:
+        """Pop the recorded completion for this execution, if any."""
+        return self._completions.pop((instance_id, activity, attempt), None)
+
+    def take_peek(self, instance_id: str, activity: str, attempt: int) -> bool:
+        """Whether a completion record exists, without consuming it."""
+        return (instance_id, activity, attempt) in self._completions
+
+    def pending(self) -> int:
+        return len(self._completions)

@@ -1,0 +1,98 @@
+"""Persistent message queues (after Exotica/FMQM [AAE+95]).
+
+The paper's group built distributed workflow on *persistent messages*:
+nodes exchange navigation information through durable queues, so a
+node crash loses no work — messages survive and are redelivered.
+
+:class:`MessageBus` simulates that substrate: named queues with
+at-least-once delivery (receive marks a message in-flight; ``ack``
+removes it, ``nack`` or a redelivery sweep returns it to the queue).
+The bus itself plays the role of stable storage: engines crash and are
+rebuilt around it, the bus persists.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import WorkflowError
+
+
+@dataclass
+class _Envelope:
+    msg_id: str
+    body: dict[str, Any]
+    in_flight: bool = False
+    deliveries: int = 0
+
+
+@dataclass
+class MessageBus:
+    """Named durable queues with ack/nack semantics."""
+
+    _queues: dict[str, list[_Envelope]] = field(default_factory=dict)
+    _counter: itertools.count = field(default_factory=itertools.count)
+
+    def send(self, queue: str, body: dict[str, Any]) -> str:
+        """Append a message; returns its id."""
+        if not queue:
+            raise WorkflowError("queue name must be non-empty")
+        envelope = _Envelope("m%06d" % next(self._counter), dict(body))
+        self._queues.setdefault(queue, []).append(envelope)
+        return envelope.msg_id
+
+    def receive(self, queue: str) -> tuple[str, dict[str, Any]] | None:
+        """Take the oldest available message (marks it in-flight)."""
+        for envelope in self._queues.get(queue, []):
+            if not envelope.in_flight:
+                envelope.in_flight = True
+                envelope.deliveries += 1
+                return envelope.msg_id, dict(envelope.body)
+        return None
+
+    def ack(self, queue: str, msg_id: str) -> None:
+        """Remove a delivered message permanently."""
+        envelopes = self._queues.get(queue, [])
+        for index, envelope in enumerate(envelopes):
+            if envelope.msg_id == msg_id:
+                if not envelope.in_flight:
+                    raise WorkflowError(
+                        "message %s was not in flight" % msg_id
+                    )
+                del envelopes[index]
+                return
+        raise WorkflowError("unknown message %s on %s" % (msg_id, queue))
+
+    def nack(self, queue: str, msg_id: str) -> None:
+        """Return an in-flight message to the queue (redelivery)."""
+        for envelope in self._queues.get(queue, []):
+            if envelope.msg_id == msg_id:
+                envelope.in_flight = False
+                return
+        raise WorkflowError("unknown message %s on %s" % (msg_id, queue))
+
+    def recover_in_flight(self, queue: str | None = None) -> int:
+        """Mark every in-flight message deliverable again — what the
+        queue manager does when a consumer crashes mid-processing."""
+        recovered = 0
+        queues = [queue] if queue else list(self._queues)
+        for name in queues:
+            for envelope in self._queues.get(name, []):
+                if envelope.in_flight:
+                    envelope.in_flight = False
+                    recovered += 1
+        return recovered
+
+    def depth(self, queue: str) -> int:
+        return len(self._queues.get(queue, []))
+
+    def deliveries(self, queue: str, msg_id: str) -> int:
+        for envelope in self._queues.get(queue, []):
+            if envelope.msg_id == msg_id:
+                return envelope.deliveries
+        return 0
+
+    def queues(self) -> list[str]:
+        return sorted(self._queues)

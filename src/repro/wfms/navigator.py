@@ -1,0 +1,667 @@
+"""The navigator: FlowMark's run-time state machine (§3.2).
+
+Responsibilities:
+
+* start process instances and set their starting activities ready,
+* execute ready activities (programs, blocks, subprocesses),
+* evaluate exit conditions, rescheduling activities whose exit
+  condition is false (loops),
+* evaluate outgoing control connectors on termination,
+* decide start conditions (AND/OR joins) and perform **dead-path
+  elimination** — "if an activity will never be executed because its
+  start condition evaluates to false, the activity is marked as
+  terminated and all the outgoing control connectors from that activity
+  are evaluated to false",
+* declare a process finished "when all its activities are in the
+  terminated state",
+* journal every non-deterministic decision, and consume a replay
+  cursor instead of invoking programs during forward recovery.
+
+Execution is single-threaded and deterministic: ready automatic
+activities are queued and dispatched in (priority, arrival) order.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import (
+    NavigationError,
+    ProgramError,
+    StaffResolutionError,
+    WorkflowError,
+)
+from repro.wfms.audit import AuditEvent, AuditTrail
+from repro.wfms.containers import Container
+from repro.wfms.instance import (
+    ActivityInstance,
+    ActivityState,
+    ProcessInstance,
+    ProcessState,
+    connector_key,
+)
+from repro.wfms.journal import Journal, ReplayCursor
+from repro.wfms.model import (
+    PROCESS_INPUT,
+    PROCESS_OUTPUT,
+    Activity,
+    ActivityKind,
+    ProcessDefinition,
+)
+from repro.wfms.organization import Organization
+from repro.wfms.programs import InvocationContext, ProgramRegistry
+from repro.wfms.worklist import WorklistManager
+
+
+class Navigator:
+    """Drives all process instances of one engine."""
+
+    def __init__(
+        self,
+        definitions,
+        programs: ProgramRegistry,
+        organization: Organization,
+        worklists: WorklistManager,
+        audit: AuditTrail,
+        journal: Journal | None = None,
+        services: dict[str, Any] | None = None,
+    ):
+        self._definitions = definitions
+        self._programs = programs
+        self._organization = organization
+        self._worklists = worklists
+        self._audit = audit
+        self._journal = journal
+        self._services = services if services is not None else {}
+        self._instances: dict[str, ProcessInstance] = {}
+        self._ready_queue: list[tuple[str, str]] = []  # (instance, activity)
+        self._sequence = 0
+        self._replay: ReplayCursor | None = None
+        #: work discovered during replay that has no recorded outcome;
+        #: it is executed live once replay ends.
+        self._deferred: list[tuple[str, str]] = []
+        self.clock = 0.0
+
+    # ------------------------------------------------------------------
+    # instance management
+    # ------------------------------------------------------------------
+
+    def instance(self, instance_id: str) -> ProcessInstance:
+        try:
+            return self._instances[instance_id]
+        except KeyError:
+            raise NavigationError(
+                "unknown process instance %r" % instance_id
+            ) from None
+
+    def instances(self) -> list[ProcessInstance]:
+        return list(self._instances.values())
+
+    def set_sequence(self, value: int) -> None:
+        self._sequence = max(self._sequence, value)
+
+    def start_process(
+        self,
+        definition_name: str,
+        input_values: dict[str, Any] | None = None,
+        *,
+        starter: str = "",
+        instance_id: str = "",
+        version: str | None = None,
+    ) -> str:
+        """Start a new top-level instance; returns its id.
+
+        ``version`` pins a definition version; the default is the
+        latest registered one.
+        """
+        definition = self._definition(definition_name, version)
+        if not instance_id:
+            self._sequence += 1
+            instance_id = "pi-%04d" % self._sequence
+        return self._create_instance(
+            definition,
+            instance_id,
+            input_values or {},
+            starter=starter,
+            parent_instance="",
+            parent_activity="",
+        )
+
+    def _definition(
+        self, name: str, version: str | None = None
+    ) -> ProcessDefinition:
+        from repro.errors import DefinitionError
+
+        try:
+            return self._definitions.get(name, version)
+        except DefinitionError as exc:
+            raise NavigationError(str(exc)) from exc
+
+    def _create_instance(
+        self,
+        definition: ProcessDefinition,
+        instance_id: str,
+        input_values: dict[str, Any],
+        *,
+        starter: str,
+        parent_instance: str,
+        parent_activity: str,
+    ) -> str:
+        if instance_id in self._instances:
+            raise NavigationError(
+                "instance id %r is already in use" % instance_id
+            )
+        instance = ProcessInstance(
+            instance_id,
+            definition,
+            starter=starter,
+            parent_instance=parent_instance,
+            parent_activity=parent_activity,
+        )
+        instance.input.load_dict(input_values)
+        self._instances[instance_id] = instance
+        self._audit.record(
+            self.clock,
+            AuditEvent.PROCESS_STARTED,
+            instance_id,
+            detail={"definition": definition.name, "starter": starter},
+        )
+        self._journal_write(
+            {
+                "type": "process_started",
+                "instance": instance_id,
+                "definition": definition.name,
+                "version": definition.version,
+                "input": instance.input.to_dict(),
+                "starter": starter,
+                "parent_instance": parent_instance,
+                "parent_activity": parent_activity,
+            }
+        )
+        for name in definition.starting_activities():
+            self._make_ready(instance, name)
+        return instance_id
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute one queued automatic activity; False when idle."""
+        slot = self._pop_ready()
+        if slot is None:
+            return False
+        instance_id, activity_name = slot
+        instance = self._instances.get(instance_id)
+        if instance is None or instance.state is not ProcessState.RUNNING:
+            return True  # stale entry (suspended or finished meanwhile)
+        ai = instance.activity(activity_name)
+        if ai.state is not ActivityState.READY:
+            return True  # stale entry (forced / killed meanwhile)
+        self._execute(instance, ai)
+        return True
+
+    def run(self, max_steps: int = 1_000_000) -> int:
+        """Run until no automatic work remains; returns steps taken."""
+        steps = 0
+        while steps < max_steps and self.step():
+            steps += 1
+        if steps >= max_steps:
+            raise NavigationError(
+                "navigator did not quiesce within %d steps" % max_steps
+            )
+        return steps
+
+    def has_ready_work(self) -> bool:
+        return any(
+            self._is_live_slot(instance_id, activity)
+            for instance_id, activity in self._ready_queue
+        )
+
+    def _is_live_slot(self, instance_id: str, activity: str) -> bool:
+        instance = self._instances.get(instance_id)
+        if instance is None or instance.state is not ProcessState.RUNNING:
+            return False
+        return instance.activity(activity).state is ActivityState.READY
+
+    def _pop_ready(self) -> tuple[str, str] | None:
+        while self._ready_queue:
+            best_index = 0
+            best_priority = None
+            for index, (instance_id, activity) in enumerate(self._ready_queue):
+                if not self._is_live_slot(instance_id, activity):
+                    continue
+                priority = self._instances[instance_id].activity(activity).activity.priority
+                if best_priority is None or priority > best_priority:
+                    best_priority = priority
+                    best_index = index
+            if best_priority is None:
+                self._ready_queue.clear()
+                return None
+            return self._ready_queue.pop(best_index)
+        return None
+
+    # ------------------------------------------------------------------
+    # state transitions
+    # ------------------------------------------------------------------
+
+    def _make_ready(self, instance: ProcessInstance, name: str) -> None:
+        ai = instance.activity(name)
+        ai.state = ActivityState.READY
+        self._audit.record(
+            self.clock, AuditEvent.ACTIVITY_READY, instance.instance_id, name
+        )
+        if ai.activity.is_manual and self._replay is None:
+            self._offer(instance, ai)
+        elif ai.activity.is_manual:
+            # During replay, manual completions come from the journal;
+            # only re-offer when no recorded completion remains.
+            if self._replay.take_peek(instance.instance_id, name, ai.attempt + 1):
+                self._ready_queue.append((instance.instance_id, name))
+            else:
+                self._offer(instance, ai)
+        else:
+            self._ready_queue.append((instance.instance_id, name))
+
+    def _offer(self, instance: ProcessInstance, ai: ActivityInstance) -> None:
+        try:
+            eligible = self._organization.resolve(
+                ai.activity.staff, starter=instance.starter
+            )
+        except StaffResolutionError:
+            if instance.starter:
+                raise
+            # No organization configured and no starter: run it
+            # automatically rather than stall (engines used purely for
+            # transaction-model execution have no users).
+            self._ready_queue.append((instance.instance_id, ai.name))
+            return
+        item = self._worklists.offer(
+            instance.instance_id,
+            ai.name,
+            instance.definition.name,
+            eligible,
+            self.clock,
+            priority=ai.activity.priority,
+            notify_after=ai.activity.staff.notify_after,
+            notify_role=ai.activity.staff.notify_role,
+        )
+        self._audit.record(
+            self.clock,
+            AuditEvent.ITEM_OFFERED,
+            instance.instance_id,
+            ai.name,
+            item=item.item_id,
+            eligible=list(eligible),
+        )
+
+    def start_manual(self, item_id: str) -> None:
+        """Execute the activity behind a *claimed* work item."""
+        item = self._worklists.item(item_id)
+        if not item.claimed_by:
+            raise WorkflowError("work item %s must be claimed first" % item_id)
+        instance = self.instance(item.instance_id)
+        ai = instance.activity(item.activity)
+        if ai.state is not ActivityState.READY:
+            raise NavigationError(
+                "activity %s is %s, not ready" % (ai.name, ai.state.value)
+            )
+        ai.claimed_by = item.claimed_by
+        self._audit.record(
+            self.clock,
+            AuditEvent.ITEM_CLAIMED,
+            instance.instance_id,
+            ai.name,
+            item=item_id,
+            user=item.claimed_by,
+        )
+        self._execute(instance, ai, user=item.claimed_by)
+        if item.state.value == "claimed":
+            self._worklists.complete(item_id)
+
+    def force_finish(
+        self,
+        instance_id: str,
+        activity: str,
+        *,
+        return_code: int = 0,
+        output_values: dict[str, Any] | None = None,
+        user: str = "",
+    ) -> None:
+        """§3.3: a user may "force [an activity] to finish"."""
+        instance = self.instance(instance_id)
+        ai = instance.activity(activity)
+        if ai.state not in (ActivityState.READY, ActivityState.RUNNING):
+            raise NavigationError(
+                "cannot force-finish %s from state %s"
+                % (activity, ai.state.value)
+            )
+        ai.attempt += 1
+        ai.forced = True
+        ai.output = Container(
+            ai.activity.output_spec, instance.definition.types, output=True
+        )
+        if output_values:
+            ai.output.load_dict(output_values)
+        ai.output.return_code = return_code
+        self._worklists.withdraw(instance_id, activity)
+        self._audit.record(
+            self.clock,
+            AuditEvent.ACTIVITY_FORCED,
+            instance_id,
+            activity,
+            user=user,
+            rc=return_code,
+        )
+        self._finish(instance, ai, forced=True, user=user)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def _execute(
+        self, instance: ProcessInstance, ai: ActivityInstance, user: str = ""
+    ) -> None:
+        ai.attempt += 1
+        ai.state = ActivityState.RUNNING
+        ai.input = self._build_input(instance, ai)
+        self._audit.record(
+            self.clock,
+            AuditEvent.ACTIVITY_STARTED,
+            instance.instance_id,
+            ai.name,
+            attempt=ai.attempt,
+            user=user,
+        )
+        if ai.activity.kind is not ActivityKind.PROGRAM:
+            if self._replay is not None:
+                # A block/subprocess completion is *derived* from its
+                # child's execution; consume (and discard) the parent
+                # record — replaying the child recomputes it exactly.
+                self._replay.take(instance.instance_id, ai.name, ai.attempt)
+            self._start_child(instance, ai)
+            return
+        recorded = None
+        if self._replay is not None:
+            recorded = self._replay.take(
+                instance.instance_id, ai.name, ai.attempt
+            )
+            if recorded is None:
+                # Crash interrupted this execution: the paper's rule is
+                # that the activity "will be rescheduled to be executed
+                # from the beginning" — defer it to after replay.
+                ai.state = ActivityState.READY
+                ai.attempt -= 1
+                self._deferred.append((instance.instance_id, ai.name))
+                return
+        if recorded is not None:
+            ai.output = Container(
+                ai.activity.output_spec, instance.definition.types, output=True
+            )
+            ai.output.load_dict(recorded["output"])
+            ai.forced = bool(recorded.get("forced"))
+            self._finish(instance, ai, replayed=True, user=recorded.get("user", ""))
+            return
+        self._run_program(instance, ai, user)
+
+    def _build_input(
+        self, instance: ProcessInstance, ai: ActivityInstance
+    ) -> Container:
+        container = Container(
+            ai.activity.input_spec, instance.definition.types
+        )
+        for connector in instance.definition.data_into(ai.name):
+            if connector.source == PROCESS_INPUT:
+                source = instance.input
+            else:
+                source_ai = instance.activity(connector.source)
+                if not source_ai.executed or source_ai.output is None:
+                    continue  # source never ran: leave defaults
+                source = source_ai.output
+            container.update_from(source, connector.mappings)
+        return container
+
+    def _run_program(
+        self, instance: ProcessInstance, ai: ActivityInstance, user: str
+    ) -> None:
+        assert ai.input is not None
+        ai.output = Container(
+            ai.activity.output_spec, instance.definition.types, output=True
+        )
+        ctx = InvocationContext(
+            activity=ai.name,
+            process=instance.definition.name,
+            instance_id=instance.instance_id,
+            input=ai.input,
+            output=ai.output,
+            user=user,
+            attempt=ai.attempt,
+            services=self._services,
+        )
+        self._programs.invoke(ai.activity.program, ctx)
+        self._finish(instance, ai, user=user)
+
+    def _start_child(
+        self, instance: ProcessInstance, ai: ActivityInstance
+    ) -> None:
+        if ai.activity.kind is ActivityKind.BLOCK:
+            definition = ai.activity.block
+            assert definition is not None
+        else:
+            definition = self._definition(ai.activity.subprocess)
+        child_id = "%s/%s@%d" % (instance.instance_id, ai.name, ai.attempt)
+        ai.child_instance = child_id
+        assert ai.input is not None
+        input_values = {
+            name: ai.input.get(name)
+            for name in ai.input.members()
+            if any(decl.name == name for decl in definition.input_spec)
+        }
+        self._create_instance(
+            definition,
+            child_id,
+            input_values,
+            starter=instance.starter,
+            parent_instance=instance.instance_id,
+            parent_activity=ai.name,
+        )
+        # If the child has no automatic work at all (degenerate), the
+        # queue drains and _check_finished fires from its last activity.
+
+    def _on_child_finished(self, child: ProcessInstance) -> None:
+        parent = self.instance(child.parent_instance)
+        ai = parent.activity(child.parent_activity)
+        if ai.state is not ActivityState.RUNNING:
+            raise NavigationError(
+                "child %s finished but parent activity %s is %s"
+                % (child.instance_id, ai.name, ai.state.value)
+            )
+        ai.output = Container(
+            ai.activity.output_spec, parent.definition.types, output=True
+        )
+        for name in ai.output.members():
+            if child.output.has(name):
+                ai.output.set(name, child.output.get(name))
+        self._finish(parent, ai)
+
+    # ------------------------------------------------------------------
+    # completion
+    # ------------------------------------------------------------------
+
+    def _finish(
+        self,
+        instance: ProcessInstance,
+        ai: ActivityInstance,
+        *,
+        forced: bool = False,
+        replayed: bool = False,
+        user: str = "",
+    ) -> None:
+        assert ai.output is not None
+        ai.state = ActivityState.FINISHED
+        self._audit.record(
+            self.clock,
+            AuditEvent.ACTIVITY_FINISHED,
+            instance.instance_id,
+            ai.name,
+            rc=ai.output.return_code,
+            attempt=ai.attempt,
+        )
+        if not replayed:
+            self._journal_write(
+                {
+                    "type": "activity_completed",
+                    "instance": instance.instance_id,
+                    "activity": ai.name,
+                    "attempt": ai.attempt,
+                    "output": ai.output.to_dict(),
+                    "forced": forced or ai.forced,
+                    "user": user,
+                }
+            )
+        exit_ok = ai.activity.exit_condition.evaluate(ai.output.resolver)
+        if not exit_ok:
+            limit = ai.activity.max_iterations
+            if limit and ai.attempt >= limit:
+                raise NavigationError(
+                    "activity %s exceeded %d iterations without satisfying "
+                    "its exit condition %r"
+                    % (ai.name, limit, ai.activity.exit_condition.source)
+                )
+            self._audit.record(
+                self.clock,
+                AuditEvent.ACTIVITY_RESCHEDULED,
+                instance.instance_id,
+                ai.name,
+                attempt=ai.attempt,
+            )
+            self._make_ready(instance, ai.name)
+            return
+        self._terminate(instance, ai)
+
+    def _terminate(
+        self, instance: ProcessInstance, ai: ActivityInstance
+    ) -> None:
+        ai.state = ActivityState.TERMINATED
+        self._audit.record(
+            self.clock,
+            AuditEvent.ACTIVITY_TERMINATED,
+            instance.instance_id,
+            ai.name,
+            rc=ai.output.return_code if ai.output is not None else 0,
+        )
+        self._push_process_output(instance, ai)
+        resolver = ai.output.resolver if ai.output is not None else (lambda _p: None)
+        for connector in instance.definition.outgoing(ai.name):
+            value = bool(connector.condition.evaluate(resolver))
+            self._connector_evaluated(instance, connector.source, connector.target, value)
+        self._check_finished(instance)
+
+    def _push_process_output(
+        self, instance: ProcessInstance, ai: ActivityInstance
+    ) -> None:
+        if ai.output is None:
+            return
+        for connector in instance.definition.data_out_of(ai.name):
+            if connector.target == PROCESS_OUTPUT:
+                instance.output.update_from(ai.output, connector.mappings)
+
+    def _connector_evaluated(
+        self, instance: ProcessInstance, source: str, target: str, value: bool
+    ) -> None:
+        self._audit.record(
+            self.clock,
+            AuditEvent.CONNECTOR_EVALUATED,
+            instance.instance_id,
+            target,
+            source=source,
+            value=value,
+        )
+        ai = instance.activity(target)
+        ai.incoming[connector_key(source, target)] = value
+        if ai.state is not ActivityState.WAITING:
+            return  # decision already made (e.g. OR-join already fired)
+        if ai.start_condition_met():
+            self._make_ready(instance, target)
+        elif ai.start_condition_dead():
+            self._kill(instance, ai)
+
+    def _kill(self, instance: ProcessInstance, ai: ActivityInstance) -> None:
+        """Dead-path elimination (§3.2)."""
+        ai.state = ActivityState.TERMINATED
+        ai.dead = True
+        self._worklists.withdraw(instance.instance_id, ai.name)
+        self._audit.record(
+            self.clock, AuditEvent.ACTIVITY_DEAD, instance.instance_id, ai.name
+        )
+        for connector in instance.definition.outgoing(ai.name):
+            self._connector_evaluated(
+                instance, connector.source, connector.target, False
+            )
+        self._check_finished(instance)
+
+    def _check_finished(self, instance: ProcessInstance) -> None:
+        if instance.state is not ProcessState.RUNNING:
+            return
+        if not instance.all_terminated():
+            return
+        instance.state = ProcessState.FINISHED
+        self._audit.record(
+            self.clock, AuditEvent.PROCESS_FINISHED, instance.instance_id
+        )
+        self._journal_write(
+            {"type": "process_finished", "instance": instance.instance_id}
+        )
+        if not instance.is_root:
+            self._on_child_finished(instance)
+
+    # ------------------------------------------------------------------
+    # suspension (§3.3: "The user can stop an activity, restart it ...")
+    # ------------------------------------------------------------------
+
+    def suspend(self, instance_id: str) -> None:
+        instance = self.instance(instance_id)
+        if instance.state is not ProcessState.RUNNING:
+            raise NavigationError(
+                "cannot suspend instance in state %s" % instance.state.value
+            )
+        instance.state = ProcessState.SUSPENDED
+        self._audit.record(
+            self.clock, AuditEvent.PROCESS_SUSPENDED, instance_id
+        )
+        self._journal_write(
+            {"type": "process_suspended", "instance": instance_id}
+        )
+
+    def resume(self, instance_id: str) -> None:
+        instance = self.instance(instance_id)
+        if instance.state is not ProcessState.SUSPENDED:
+            raise NavigationError(
+                "cannot resume instance in state %s" % instance.state.value
+            )
+        instance.state = ProcessState.RUNNING
+        self._audit.record(self.clock, AuditEvent.PROCESS_RESUMED, instance_id)
+        self._journal_write(
+            {"type": "process_resumed", "instance": instance_id}
+        )
+        # Re-queue activities left ready while suspended.
+        for ai in instance.activities.values():
+            if ai.state is ActivityState.READY and not ai.activity.is_manual:
+                self._ready_queue.append((instance_id, ai.name))
+
+    # ------------------------------------------------------------------
+    # journaling / replay plumbing
+    # ------------------------------------------------------------------
+
+    def _journal_write(self, record: dict[str, Any]) -> None:
+        if self._journal is not None and self._replay is None:
+            self._journal.append(record)
+
+    def begin_replay(self, cursor: ReplayCursor) -> None:
+        self._replay = cursor
+        self._deferred = []
+
+    def end_replay(self) -> None:
+        self._replay = None
+        self._ready_queue.extend(self._deferred)
+        self._deferred = []

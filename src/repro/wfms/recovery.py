@@ -1,0 +1,69 @@
+"""Forward recovery (§3.3).
+
+"In case of failures, the process execution will stop.  Once the
+failures have been repaired, the process execution is resumed from the
+point where the failure occurred."
+
+Recovery replays the journal's recorded decisions through a fresh
+navigator: process starts are re-issued with their recorded inputs and
+instance ids, and each activity execution consumes its recorded output
+instead of invoking the program.  Navigation is deterministic, so the
+replayed state is exactly the pre-crash state; work that had started
+but produced no durable completion record is rescheduled "from the
+beginning", as the paper prescribes for non-failure-atomic activities.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from repro.errors import RecoveryError
+from repro.wfms.instance import ProcessState
+from repro.wfms.journal import ReplayCursor
+from repro.wfms.navigator import Navigator
+
+_ROOT_ID = re.compile(r"^pi-(\d+)$")
+
+
+def replay(navigator: Navigator, records: list[dict[str, Any]]) -> int:
+    """Replay journal ``records`` into ``navigator``.
+
+    Returns the number of activity completions consumed.  After replay
+    the navigator holds every pre-crash instance: finished ones are
+    finished, interrupted ones are RUNNING with their next activities
+    ready, suspended ones are suspended.
+    """
+    cursor = ReplayCursor(records)
+    total = cursor.pending()
+    navigator.begin_replay(cursor)
+    try:
+        highest = 0
+        for start in cursor.process_starts:
+            match = _ROOT_ID.match(start["instance"])
+            if match:
+                highest = max(highest, int(match.group(1)))
+        navigator.set_sequence(highest)
+        for start in cursor.process_starts:
+            if start.get("parent_instance"):
+                continue  # child instances are re-created by their parents
+            navigator.start_process(
+                start["definition"],
+                start.get("input", {}),
+                starter=start.get("starter", ""),
+                instance_id=start["instance"],
+                version=start.get("version"),
+            )
+            navigator.run()
+        if cursor.pending():
+            raise RecoveryError(
+                "%d journal completions were never consumed; the journal "
+                "does not match the registered definitions" % cursor.pending()
+            )
+        for instance_id in sorted(cursor.suspended):
+            instance = navigator.instance(instance_id)
+            if instance.state is ProcessState.RUNNING:
+                navigator.suspend(instance_id)
+    finally:
+        navigator.end_replay()
+    return total - cursor.pending()

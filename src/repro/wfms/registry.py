@@ -1,0 +1,68 @@
+"""Versioned process-definition registry.
+
+§3.2: a process "should have a name, version number, start and
+termination conditions ...".  The registry keeps every registered
+version of a definition; running instances stay pinned to the version
+they started with (the journal records it, so forward recovery replays
+against the right template even after newer versions appear), while
+new instances default to the latest version.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DefinitionError
+from repro.wfms.model import ProcessDefinition
+
+
+def _version_key(version: str):
+    """Sort versions numerically when possible (2 < 10), else
+    lexicographically; numeric versions sort after non-numeric."""
+    parts = version.split(".")
+    if all(part.isdigit() for part in parts):
+        return (1, tuple(int(part) for part in parts))
+    return (0, tuple(parts))
+
+
+class DefinitionRegistry:
+    """name -> version -> ProcessDefinition."""
+
+    def __init__(self) -> None:
+        self._definitions: dict[str, dict[str, ProcessDefinition]] = {}
+
+    def register(self, definition: ProcessDefinition) -> None:
+        versions = self._definitions.setdefault(definition.name, {})
+        if definition.version in versions:
+            raise DefinitionError(
+                "a definition named %r with version %r is already "
+                "registered" % (definition.name, definition.version)
+            )
+        versions[definition.version] = definition
+
+    def get(
+        self, name: str, version: str | None = None
+    ) -> ProcessDefinition:
+        versions = self._definitions.get(name)
+        if not versions:
+            raise DefinitionError("no definition named %r" % name)
+        if version is None:
+            latest = max(versions, key=_version_key)
+            return versions[latest]
+        try:
+            return versions[version]
+        except KeyError:
+            raise DefinitionError(
+                "definition %r has no version %r (have %s)"
+                % (name, version, sorted(versions))
+            ) from None
+
+    def versions(self, name: str) -> list[str]:
+        versions = self._definitions.get(name)
+        if not versions:
+            raise DefinitionError("no definition named %r" % name)
+        return sorted(versions, key=_version_key)
+
+    def names(self) -> list[str]:
+        return sorted(self._definitions)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._definitions

@@ -1,0 +1,228 @@
+"""Process simulation (§3.3 lists *simulation* among the workflow
+features transaction models lack).
+
+:func:`simulate` runs a discrete-event simulation of a process
+definition without executing any programs: each activity gets a
+:class:`ActivityProfile` (duration and success probability), parallel
+branches overlap (completion is critical-path, not sum), AND/OR joins
+and dead-path elimination follow the navigator's semantics, and
+activities with an exit condition retry with fresh samples until they
+succeed (geometric, capped).  Monte Carlo over seeds yields makespan
+percentiles and completion rates — the "how long will this process
+take, and how often does it reach the happy path?" questions a
+workflow designer asks before deployment.
+
+Approximations (documented, deliberate): transition conditions that
+reference the predefined return code are treated as success-gated; any
+other condition is treated as true with the probability supplied in
+``branch_probabilities`` (keyed by ``(source, target)``; default 1.0 —
+pass 1.0/0.0 pairs to model deterministic if-then-else branches, or
+intermediate values for data-dependent routing rates).  Blocks and
+subprocesses are simulated as single activities using their own
+profile.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from statistics import mean
+
+from repro.errors import DefinitionError
+from repro.wfms.model import ProcessDefinition, StartCondition
+
+
+@dataclass(frozen=True)
+class ActivityProfile:
+    """Simulation parameters of one activity."""
+
+    duration: float = 1.0
+    success_probability: float = 1.0
+    #: Retry cap for activities whose exit condition loops on failure.
+    max_retries: int = 25
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise DefinitionError("duration must be >= 0")
+        if not 0.0 <= self.success_probability <= 1.0:
+            raise DefinitionError("success probability must be in [0, 1]")
+
+
+@dataclass
+class RunResult:
+    makespan: float
+    executed: int
+    dead: int
+    failed: int  # activities that finished unsuccessfully
+    succeeded_all: bool
+
+
+@dataclass
+class SimulationReport:
+    """Aggregate over all Monte Carlo runs."""
+
+    runs: list[RunResult] = field(default_factory=list)
+
+    @property
+    def count(self) -> int:
+        return len(self.runs)
+
+    @property
+    def mean_makespan(self) -> float:
+        return mean(r.makespan for r in self.runs)
+
+    def percentile_makespan(self, q: float) -> float:
+        ordered = sorted(r.makespan for r in self.runs)
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[index]
+
+    @property
+    def completion_rate(self) -> float:
+        """Fraction of runs in which every activity succeeded."""
+        return sum(1 for r in self.runs if r.succeeded_all) / len(self.runs)
+
+    @property
+    def mean_executed(self) -> float:
+        return mean(r.executed for r in self.runs)
+
+
+def _is_success_gated(condition_source: str) -> bool:
+    variables_of_interest = ("RC", "_RC")
+    return any(v in condition_source for v in variables_of_interest)
+
+
+def simulate(
+    definition: ProcessDefinition,
+    profiles: dict[str, ActivityProfile] | None = None,
+    *,
+    runs: int = 100,
+    seed: int = 0,
+    default_profile: ActivityProfile = ActivityProfile(),
+    branch_probabilities: dict[tuple[str, str], float] | None = None,
+) -> SimulationReport:
+    """Monte Carlo simulation of ``definition``.
+
+    ``branch_probabilities[(source, target)]`` gives the probability
+    that a *data-dependent* transition condition on that connector
+    evaluates true (ignored for success-gated connectors).
+    """
+    if runs < 1:
+        raise DefinitionError("runs must be >= 1")
+    profiles = profiles or {}
+    branches = dict(branch_probabilities or {})
+    for (source, target), probability in branches.items():
+        if not 0.0 <= probability <= 1.0:
+            raise DefinitionError(
+                "branch probability for %s -> %s must be in [0, 1]"
+                % (source, target)
+            )
+    report = SimulationReport()
+    for run_index in range(runs):
+        rng = random.Random((seed * 1_000_003) + run_index)
+        report.runs.append(
+            _single_run(definition, profiles, default_profile, branches, rng)
+        )
+    return report
+
+
+def _single_run(
+    definition: ProcessDefinition,
+    profiles: dict[str, ActivityProfile],
+    default: ActivityProfile,
+    branches: dict[tuple[str, str], float],
+    rng: random.Random,
+) -> RunResult:
+    # Event queue of (finish_time, sequence, activity, succeeded).
+    events: list[tuple[float, int, str, bool]] = []
+    sequence = 0
+    incoming_values: dict[str, dict[str, bool | None]] = {
+        name: {
+            c.source: None for c in definition.incoming(name)
+        }
+        for name in definition.activities
+    }
+    state: dict[str, str] = {
+        name: "waiting" for name in definition.activities
+    }
+    executed = dead = failed = 0
+    clock = 0.0
+
+    def profile_of(name: str) -> ActivityProfile:
+        return profiles.get(name, default)
+
+    def sample_run(name: str, start: float) -> tuple[float, bool]:
+        """Total duration (with exit-condition retries) and success."""
+        activity = definition.activity(name)
+        profile = profile_of(name)
+        total = profile.duration
+        success = rng.random() < profile.success_probability
+        if activity.exit_condition.source != "TRUE":
+            retries = 0
+            while not success and retries < profile.max_retries:
+                retries += 1
+                total += profile.duration
+                success = rng.random() < profile.success_probability
+        return start + total, success
+
+    def start_activity(name: str, at: float) -> None:
+        nonlocal sequence
+        state[name] = "running"
+        finish, success = sample_run(name, at)
+        sequence += 1
+        heapq.heappush(events, (finish, sequence, name, success))
+
+    def kill(name: str, at: float) -> None:
+        nonlocal dead
+        if state[name] in ("dead", "terminated"):
+            return
+        state[name] = "dead"
+        dead += 1
+        for connector in definition.outgoing(name):
+            signal(connector.target, name, False, at)
+
+    def signal(target: str, source: str, value: bool, at: float) -> None:
+        incoming = incoming_values[target]
+        incoming[source] = value
+        if state[target] != "waiting":
+            return
+        activity = definition.activity(target)
+        values = list(incoming.values())
+        if activity.start_condition is StartCondition.ANY:
+            if value:
+                start_activity(target, at)
+            elif all(v is False for v in values):
+                kill(target, at)
+        else:
+            if value is False:
+                kill(target, at)
+            elif all(v is True for v in values):
+                start_activity(target, at)
+
+    for name in definition.starting_activities():
+        start_activity(name, 0.0)
+
+    while events:
+        finish, __, name, success = heapq.heappop(events)
+        clock = max(clock, finish)
+        state[name] = "terminated"
+        executed += 1
+        if not success:
+            failed += 1
+        for connector in definition.outgoing(name):
+            if _is_success_gated(connector.condition.source):
+                value = success
+            else:
+                probability = branches.get(
+                    (connector.source, connector.target), 1.0
+                )
+                value = rng.random() < probability
+            signal(connector.target, name, value, finish)
+
+    return RunResult(
+        makespan=clock,
+        executed=executed,
+        dead=dead,
+        failed=failed,
+        succeeded_all=failed == 0,
+    )

@@ -1,0 +1,214 @@
+"""Worklists (§3.3).
+
+"Regular users interact with the system using worklists. ... the same
+activity may appear in several worklists simultaneously, however, as
+soon as a user selects that activity for execution, it disappears from
+all other worklists.  This can be effectively used to perform load
+balancing."
+
+A :class:`WorkItem` represents one ready manual activity instance; it
+is *shared* between the worklists of every eligible user until claimed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable
+
+from repro.errors import WorklistError
+
+
+class WorkItemState(Enum):
+    OFFERED = "offered"      # visible on all eligible worklists
+    CLAIMED = "claimed"      # selected by one user, vanished elsewhere
+    COMPLETED = "completed"  # the activity finished
+    WITHDRAWN = "withdrawn"  # dead-path elimination removed the activity
+
+
+@dataclass
+class WorkItem:
+    item_id: str
+    instance_id: str
+    activity: str
+    process: str
+    eligible: tuple[str, ...]
+    offered_at: float
+    priority: int = 0
+    state: WorkItemState = WorkItemState.OFFERED
+    claimed_by: str = ""
+    notify_after: float | None = None
+    notify_role: str = ""
+    notified: bool = False
+
+    @property
+    def is_open(self) -> bool:
+        return self.state is WorkItemState.OFFERED
+
+
+@dataclass(frozen=True)
+class Notification:
+    """An escalation raised when an item sat unclaimed too long."""
+
+    item_id: str
+    activity: str
+    instance_id: str
+    recipients: tuple[str, ...]
+    raised_at: float
+
+
+class WorklistManager:
+    """All worklists of one engine."""
+
+    def __init__(self) -> None:
+        self._items: dict[str, WorkItem] = {}
+        self._sequence = 0
+        self.notifications: list[Notification] = []
+
+    # -- item lifecycle (driven by the engine) --------------------------
+
+    def offer(
+        self,
+        instance_id: str,
+        activity: str,
+        process: str,
+        eligible: list[str],
+        now: float,
+        *,
+        priority: int = 0,
+        notify_after: float | None = None,
+        notify_role: str = "",
+    ) -> WorkItem:
+        if not eligible:
+            raise WorklistError("cannot offer an item to nobody")
+        self._sequence += 1
+        item = WorkItem(
+            item_id="wi-%06d" % self._sequence,
+            instance_id=instance_id,
+            activity=activity,
+            process=process,
+            eligible=tuple(eligible),
+            offered_at=now,
+            priority=priority,
+            notify_after=notify_after,
+            notify_role=notify_role,
+        )
+        self._items[item.item_id] = item
+        return item
+
+    def withdraw(self, instance_id: str, activity: str) -> None:
+        """Remove any open/claimed item for an activity instance (e.g.
+        dead-path elimination, or force-finish by another user)."""
+        for item in self._items.values():
+            if (
+                item.instance_id == instance_id
+                and item.activity == activity
+                and item.state in (WorkItemState.OFFERED, WorkItemState.CLAIMED)
+            ):
+                item.state = WorkItemState.WITHDRAWN
+
+    def complete(self, item_id: str) -> None:
+        item = self._get(item_id)
+        if item.state is not WorkItemState.CLAIMED:
+            raise WorklistError(
+                "item %s cannot complete from state %s"
+                % (item_id, item.state.value)
+            )
+        item.state = WorkItemState.COMPLETED
+
+    # -- user operations -------------------------------------------------
+
+    def worklist(self, user_id: str) -> list[WorkItem]:
+        """Open items visible to ``user_id``, highest priority first."""
+        visible = [
+            item
+            for item in self._items.values()
+            if item.is_open and user_id in item.eligible
+        ]
+        return sorted(
+            visible, key=lambda i: (-i.priority, i.offered_at, i.item_id)
+        )
+
+    def claim(self, item_id: str, user_id: str) -> WorkItem:
+        """Select an item for execution; it vanishes from other lists."""
+        item = self._get(item_id)
+        if not item.is_open:
+            raise WorklistError(
+                "item %s is no longer available (state %s)"
+                % (item_id, item.state.value)
+            )
+        if user_id not in item.eligible:
+            raise WorklistError(
+                "user %s is not eligible for item %s" % (user_id, item_id)
+            )
+        item.state = WorkItemState.CLAIMED
+        item.claimed_by = user_id
+        return item
+
+    def release(self, item_id: str) -> WorkItem:
+        """Return a claimed item to every eligible worklist."""
+        item = self._get(item_id)
+        if item.state is not WorkItemState.CLAIMED:
+            raise WorklistError("item %s is not claimed" % item_id)
+        item.state = WorkItemState.OFFERED
+        item.claimed_by = ""
+        return item
+
+    # -- notifications ----------------------------------------------------
+
+    def check_deadlines(
+        self, now: float, recipients_for: Callable[[str], list[str]]
+    ) -> list[Notification]:
+        """Raise notifications for items unclaimed past their deadline.
+
+        ``recipients_for(role)`` maps the configured notify-role to user
+        ids (the engine passes organization lookup).
+        """
+        raised: list[Notification] = []
+        for item in self._items.values():
+            if (
+                item.is_open
+                and not item.notified
+                and item.notify_after is not None
+                and now - item.offered_at >= item.notify_after
+            ):
+                recipients = (
+                    tuple(recipients_for(item.notify_role))
+                    if item.notify_role
+                    else item.eligible
+                )
+                notification = Notification(
+                    item.item_id, item.activity, item.instance_id, recipients, now
+                )
+                item.notified = True
+                raised.append(notification)
+                self.notifications.append(notification)
+        return raised
+
+    # -- queries -----------------------------------------------------------
+
+    def item(self, item_id: str) -> WorkItem:
+        return self._get(item_id)
+
+    def items_for_instance(self, instance_id: str) -> list[WorkItem]:
+        return [
+            item
+            for item in self._items.values()
+            if item.instance_id == instance_id
+        ]
+
+    def open_item_for(self, instance_id: str, activity: str) -> WorkItem | None:
+        for item in self._items.values():
+            if (
+                item.instance_id == instance_id
+                and item.activity == activity
+                and item.state in (WorkItemState.OFFERED, WorkItemState.CLAIMED)
+            ):
+                return item
+        return None
+
+    def _get(self, item_id: str) -> WorkItem:
+        try:
+            return self._items[item_id]
+        except KeyError:
+            raise WorklistError("unknown work item %r" % item_id) from None

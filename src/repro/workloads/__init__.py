@@ -1,0 +1,34 @@
+"""Workloads used by the examples, tests and benchmarks.
+
+* :mod:`repro.workloads.travel` — the travel-booking saga (flight,
+  hotel, car across autonomous sites), the classic Sagas motivation.
+* :mod:`repro.workloads.banking` — multidatabase funds transfer as a
+  flexible transaction, plus the paper's Figure 3 example spec.
+* :mod:`repro.workloads.orders` — an order-fulfilment business process
+  exercising every Figure 1 metamodel element (roles, manual steps,
+  AND/OR joins, loops, data flow).
+* :mod:`repro.workloads.generator` — seeded random generators: linear
+  sagas, well-formed flexible specifications and layered DAG processes
+  for the engine benchmarks and property-based tests.
+"""
+
+from repro.workloads.travel import TravelWorkload
+from repro.workloads.banking import TransferWorkload, fig3_spec, fig3_bindings
+from repro.workloads.orders import build_order_process, order_organization
+from repro.workloads.generator import (
+    random_dag_process,
+    random_flexible_spec,
+    random_saga_spec,
+)
+
+__all__ = [
+    "TransferWorkload",
+    "TravelWorkload",
+    "build_order_process",
+    "fig3_bindings",
+    "fig3_spec",
+    "order_organization",
+    "random_dag_process",
+    "random_flexible_spec",
+    "random_saga_spec",
+]

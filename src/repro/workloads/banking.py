@@ -1,0 +1,208 @@
+"""Flexible-transaction workloads.
+
+Two pieces:
+
+* :func:`fig3_spec` / :func:`fig3_bindings` — the paper's Figure 3
+  example, verbatim: eight subtransactions (t1 compensatable; t2, t4,
+  t8 pivots; t3, t7 retriable; t5, t6 compensatable) and the three
+  preference-ordered paths.  The FIG3/FIG4/APP-F experiments run it
+  under scripted aborts.
+* :class:`TransferWorkload` — a realistic multidatabase funds
+  transfer: debit at the customer's bank (pivot), then credit through
+  the preferred clearing house, falling back to a slower-but-reliable
+  one; booking the audit record is retriable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import TransactionAborted
+from repro.tx.database import SimDatabase, Transaction
+from repro.tx.failures import FailurePolicy
+from repro.tx.multidb import Multidatabase
+from repro.tx.subtransaction import Subtransaction, write_value
+from repro.core.flexible import FlexibleMember, FlexibleSpec
+
+FIG3_MEMBERS = (
+    FlexibleMember("t1", compensatable=True),
+    FlexibleMember("t2"),                      # pivot
+    FlexibleMember("t3", retriable=True),
+    FlexibleMember("t4"),                      # pivot
+    FlexibleMember("t5", compensatable=True),
+    FlexibleMember("t6", compensatable=True),
+    FlexibleMember("t7", retriable=True),
+    FlexibleMember("t8"),                      # pivot
+)
+
+FIG3_PATHS = (
+    ("t1", "t2", "t4", "t5", "t6", "t8"),   # p1, preferred
+    ("t1", "t2", "t4", "t7"),               # p2
+    ("t1", "t2", "t3"),                     # p3
+)
+
+
+def fig3_spec() -> FlexibleSpec:
+    """The flexible transaction of the paper's Figure 3."""
+    return FlexibleSpec(
+        "fig3",
+        list(FIG3_MEMBERS),
+        [list(path) for path in FIG3_PATHS],
+    )
+
+
+def fig3_bindings(
+    database: SimDatabase,
+    policies: dict[str, FailurePolicy] | None = None,
+    recorder: list | None = None,
+) -> tuple[dict[str, Subtransaction], dict[str, Subtransaction]]:
+    """Actions/compensations for the Figure 3 example: each member
+    writes a flag key, each compensation clears it."""
+    policies = policies or {}
+    actions: dict[str, Subtransaction] = {}
+    compensations: dict[str, Subtransaction] = {}
+    for member in FIG3_MEMBERS:
+        sub = Subtransaction(
+            member.name,
+            database,
+            write_value(member.name, 1),
+            recorder=recorder,
+        )
+        if member.name in policies:
+            sub.policy = policies[member.name]
+        actions[member.name] = sub
+        compensations[member.name] = Subtransaction(
+            "c%s" % member.name,
+            database,
+            write_value(member.name, 0),
+            recorder=recorder,
+        )
+    return actions, compensations
+
+
+@dataclass
+class TransferWorkload:
+    """Funds transfer across a multidatabase as a flexible transaction.
+
+    Members:
+
+    * ``debit`` — withdraw at the customer's bank.  Compensatable (a
+      refund undoes it).
+    * ``credit_fast`` — credit through the fast clearing house.  A
+      pivot: once the beneficiary is credited there, it cannot be
+      undone, and the house may unilaterally reject.
+    * ``credit_slow`` — credit through the reliable house.  Retriable.
+    * ``audit`` — record the transfer in the audit store.  Retriable.
+
+    Paths (preference order)::
+
+        debit -> credit_fast -> audit
+        debit -> credit_slow -> audit
+    """
+
+    mdb: Multidatabase
+    spec: FlexibleSpec
+    actions: dict[str, Subtransaction]
+    compensations: dict[str, Subtransaction]
+    amount: int = 100
+    recorder: list = field(default_factory=list)
+
+    @classmethod
+    def fresh(
+        cls,
+        *,
+        balance: int = 500,
+        amount: int = 100,
+        policies: dict[str, FailurePolicy] | None = None,
+    ) -> "TransferWorkload":
+        mdb = Multidatabase()
+        bank = mdb.add_site("bank")
+        fast = mdb.add_site("fast_house")
+        slow = mdb.add_site("slow_house")
+        audit = mdb.add_site("audit")
+        with bank.begin() as txn:
+            txn.write("balance", balance)
+        spec = FlexibleSpec(
+            "transfer",
+            [
+                FlexibleMember("debit", compensatable=True),
+                FlexibleMember("credit_fast"),            # pivot
+                FlexibleMember("credit_slow", retriable=True),
+                FlexibleMember("audit", retriable=True),
+            ],
+            [
+                ["debit", "credit_fast", "audit"],
+                ["debit", "credit_slow", "audit"],
+            ],
+        )
+        recorder: list = []
+        policies = policies or {}
+        actions = {
+            "debit": Subtransaction(
+                "debit", bank, _debit(amount), recorder=recorder
+            ),
+            "credit_fast": Subtransaction(
+                "credit_fast", fast, _credit(amount), recorder=recorder
+            ),
+            "credit_slow": Subtransaction(
+                "credit_slow", slow, _credit(amount), recorder=recorder
+            ),
+            "audit": Subtransaction(
+                "audit", audit, write_value("transfer", amount),
+                recorder=recorder,
+            ),
+        }
+        for name, policy in policies.items():
+            actions[name].policy = policy
+        compensations = {
+            "debit": Subtransaction(
+                "refund", bank, _refund(amount), recorder=recorder
+            ),
+        }
+        return cls(mdb, spec, actions, compensations, amount, recorder)
+
+    def balances(self) -> dict[str, int]:
+        return {
+            "bank": self.mdb.site("bank").get("balance", 0),
+            "fast_house": self.mdb.site("fast_house").get("credited", 0),
+            "slow_house": self.mdb.site("slow_house").get("credited", 0),
+            "audit": self.mdb.site("audit").get("transfer", 0),
+        }
+
+    def money_conserved(self, initial_balance: int = 500) -> bool:
+        """Funds either moved once or not at all — never duplicated or
+        lost, the flexible-transaction 'atomicity' over the federation."""
+        balance = self.mdb.site("bank").get("balance", 0)
+        credited = self.mdb.site("fast_house").get(
+            "credited", 0
+        ) + self.mdb.site("slow_house").get("credited", 0)
+        return balance + credited == initial_balance and credited in (
+            0,
+            self.amount,
+        )
+
+
+def _debit(amount: int):
+    def body(txn: Transaction) -> None:
+        balance = txn.read("balance", 0)
+        if balance < amount:
+            raise TransactionAborted(
+                "insufficient funds", reason="insufficient funds"
+            )
+        txn.write("balance", balance - amount)
+
+    return body
+
+
+def _refund(amount: int):
+    def body(txn: Transaction) -> None:
+        txn.increment("balance", amount)
+
+    return body
+
+
+def _credit(amount: int):
+    def body(txn: Transaction) -> None:
+        txn.increment("credited", amount)
+
+    return body

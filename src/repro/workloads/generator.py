@@ -1,0 +1,201 @@
+"""Seeded random workload generators.
+
+Used by the engine-throughput benchmarks (layered DAG processes), the
+failure-rate sweeps (random sagas and flexible specifications) and the
+property-based tests.  Everything is deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.tx.database import SimDatabase
+from repro.tx.failures import AbortProbability, FailurePolicy
+from repro.tx.subtransaction import Subtransaction, write_value
+from repro.wfms.datatypes import DataType, VariableDecl
+from repro.wfms.model import Activity, ProcessDefinition, StartCondition
+from repro.core.flexible import FlexibleMember, FlexibleSpec
+from repro.core.sagas import SagaSpec, SagaStep
+
+#: Program name every generated DAG activity uses.
+DAG_PROGRAM = "work"
+
+
+def random_dag_process(
+    *,
+    layers: int,
+    width: int,
+    seed: int = 0,
+    edge_probability: float = 0.5,
+    fail_probability: float = 0.0,
+    name: str = "",
+) -> ProcessDefinition:
+    """A layered random DAG process of ``layers`` x ``width`` program
+    activities; edges only go from layer *i* to layer *i+1*.
+
+    With ``fail_probability`` > 0, some edges carry ``RC = 0``
+    conditions so dead-path elimination gets exercised (the registered
+    ``work`` program must then return 0/1 as it sees fit).
+    """
+    rng = random.Random(seed)
+    d = ProcessDefinition(
+        name or "DAG_%dx%d_s%d" % (layers, width, seed)
+    )
+    grid = [
+        ["a_%d_%d" % (layer, i) for i in range(width)]
+        for layer in range(layers)
+    ]
+    for layer in grid:
+        for node in layer:
+            d.add_activity(
+                Activity(
+                    node,
+                    program=DAG_PROGRAM,
+                    start_condition=(
+                        StartCondition.ANY
+                        if rng.random() < 0.3
+                        else StartCondition.ALL
+                    ),
+                )
+            )
+    for layer_index in range(layers - 1):
+        for target in grid[layer_index + 1]:
+            sources = [
+                node
+                for node in grid[layer_index]
+                if rng.random() < edge_probability
+            ]
+            if not sources:
+                sources = [rng.choice(grid[layer_index])]
+            for source in sources:
+                condition = None
+                if fail_probability and rng.random() < fail_probability:
+                    condition = "RC = 0"
+                d.connect(source, target, condition)
+    return d
+
+
+def random_saga_spec(*, length: int, seed: int = 0, name: str = "") -> SagaSpec:
+    """A linear saga of ``length`` steps with conventional names."""
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    rng = random.Random(seed)
+    label = name or "saga%d_s%d" % (length, seed)
+    steps = [
+        SagaStep("s%02d" % i) for i in range(1, length + 1)
+    ]
+    rng.random()  # reserved for future shape variation; keeps seeds stable
+    return SagaSpec(label, steps)
+
+
+def saga_bindings(
+    spec: SagaSpec,
+    database: SimDatabase,
+    *,
+    policies: dict[str, FailurePolicy] | None = None,
+    abort_probability: float = 0.0,
+    seed: int = 0,
+    recorder: list | None = None,
+) -> tuple[dict[str, Subtransaction], dict[str, Subtransaction]]:
+    """Bind a generated saga to a database.
+
+    Each step writes its own key; compensation clears it.  Policies can
+    be given per step or drawn i.i.d. from ``abort_probability``.
+    """
+    policies = dict(policies or {})
+    actions: dict[str, Subtransaction] = {}
+    compensations: dict[str, Subtransaction] = {}
+    for index, step in enumerate(spec.steps):
+        policy = policies.get(step.name)
+        if policy is None and abort_probability:
+            policy = AbortProbability(abort_probability, seed=seed + index)
+        sub = Subtransaction(
+            step.name, database, write_value(step.name, 1), recorder=recorder
+        )
+        if policy is not None:
+            sub.policy = policy
+        actions[step.name] = sub
+        compensations[step.name] = Subtransaction(
+            "c_%s" % step.name,
+            database,
+            write_value(step.name, 0),
+            recorder=recorder,
+        )
+    return actions, compensations
+
+
+def random_flexible_spec(
+    *, branches: int = 2, seed: int = 0, name: str = ""
+) -> FlexibleSpec:
+    """A well-formed-by-construction flexible specification.
+
+    Shape: a compensatable prefix, a pivot, then ``branches``
+    alternatives — each alternative is a run of compensatables ending
+    in a pivot, except the last, which is a single retriable member
+    (the guaranteed way out).  This is exactly the [ZNBB94] shape, so
+    `check_well_formed` accepts every generated spec (asserted by the
+    property tests).
+    """
+    if branches < 1:
+        raise ValueError("branches must be >= 1")
+    rng = random.Random(seed)
+    label = name or "flex%d_s%d" % (branches, seed)
+    members: list[FlexibleMember] = []
+    prefix: list[str] = []
+    for i in range(rng.randint(1, 3)):
+        member = FlexibleMember("pre%d" % i, compensatable=True)
+        members.append(member)
+        prefix.append(member.name)
+    pivot = FlexibleMember("pivot")
+    members.append(pivot)
+    prefix.append(pivot.name)
+    paths: list[list[str]] = []
+    for branch in range(branches - 1):
+        branch_members: list[str] = []
+        for i in range(rng.randint(1, 3)):
+            member = FlexibleMember(
+                "b%d_c%d" % (branch, i), compensatable=True
+            )
+            members.append(member)
+            branch_members.append(member.name)
+        closer = FlexibleMember("b%d_end" % branch)
+        members.append(closer)
+        branch_members.append(closer.name)
+        paths.append(prefix + branch_members)
+    fallback = FlexibleMember("fallback", retriable=True)
+    members.append(fallback)
+    paths.append(prefix + [fallback.name])
+    return FlexibleSpec(label, members, paths)
+
+
+def flexible_bindings(
+    spec: FlexibleSpec,
+    database: SimDatabase,
+    *,
+    abort_probability: float = 0.0,
+    seed: int = 0,
+    recorder: list | None = None,
+) -> tuple[dict[str, Subtransaction], dict[str, Subtransaction]]:
+    """Bind a flexible spec to a database; retriable members get a
+    bounded abort probability so they always terminate."""
+    actions: dict[str, Subtransaction] = {}
+    compensations: dict[str, Subtransaction] = {}
+    for index, (name, member) in enumerate(sorted(spec.members.items())):
+        sub = Subtransaction(
+            name, database, write_value(name, 1), recorder=recorder
+        )
+        if abort_probability:
+            # Decorrelate member RNGs across scenario seeds (a plain
+            # seed+index collides between nearby scenarios).
+            sub.policy = AbortProbability(
+                min(abort_probability, 0.9), seed=seed * 131 + index
+            )
+        actions[name] = sub
+        if member.compensatable:
+            compensations[name] = Subtransaction(
+                "c_%s" % name,
+                database,
+                write_value(name, 0),
+                recorder=recorder,
+            )
+    return actions, compensations

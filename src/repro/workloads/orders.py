@@ -1,0 +1,206 @@
+"""An order-fulfilment business process (the FIG1 workload).
+
+Exercises every element of the Figure 1 metamodel in one realistic
+process:
+
+* a process input container (the order) and output container,
+* data connectors threading the order value through the steps,
+* a **manual** approval step assigned by role, with an escalation
+  deadline (organization + worklists + notifications),
+* an AND-split / AND-join (inventory check and credit check run in
+  parallel, shipping needs both),
+* an OR-join (an order is billed whether it shipped normally or via
+  the express fallback),
+* a program activity with an exit-condition **loop** (packing retries
+  until complete),
+* a **block** activity (the shipping sub-workflow),
+* dead-path elimination (the rejection branch dies on approval, and
+  vice versa).
+"""
+
+from __future__ import annotations
+
+from repro.wfms.datatypes import DataType, VariableDecl
+from repro.wfms.engine import Engine
+from repro.wfms.model import (
+    PROCESS_INPUT,
+    PROCESS_OUTPUT,
+    Activity,
+    ActivityKind,
+    ProcessDefinition,
+    StaffAssignment,
+    StartCondition,
+    StartMode,
+)
+from repro.wfms.organization import Organization
+
+
+def order_organization() -> Organization:
+    org = Organization()
+    org.add_role("approver", "approves orders")
+    org.add_role("packer", "packs orders")
+    org.add_role("supervisor", "handles escalations")
+    org.add_person("sue", "Sue", roles=("supervisor",), level=2)
+    org.add_person("al", "Al", roles=("approver",), level=1, manager="sue")
+    org.add_person("amy", "Amy", roles=("approver",), level=1, manager="sue")
+    org.add_person("pat", "Pat", roles=("packer",), level=1, manager="sue")
+    return org
+
+
+def register_order_programs(engine: Engine, *, pack_attempts: int = 2) -> None:
+    """Register the order process's programs on ``engine``.
+
+    ``pack_attempts`` controls how many times packing must run before
+    its exit condition holds (the loop element).
+    """
+
+    def approve(ctx) -> int:
+        amount = ctx.get_input("Amount")
+        ctx.set_output("Approved", 1 if amount <= 1000 else 0)
+        return 0
+
+    def check_inventory(ctx) -> int:
+        ctx.set_output("InStock", 1)
+        return 0
+
+    def check_credit(ctx) -> int:
+        amount = ctx.get_input("Amount")
+        ctx.set_output("CreditOK", 1 if amount <= 5000 else 0)
+        return 0
+
+    def pack(ctx) -> int:
+        ctx.set_output("Complete", 1 if ctx.attempt >= pack_attempts else 0)
+        return 0
+
+    def ship(ctx) -> int:
+        ctx.set_output("Shipped", 1)
+        return 0
+
+    def bill(ctx) -> int:
+        ctx.set_output("Billed", ctx.get_input("Amount"))
+        return 0
+
+    def reject(ctx) -> int:
+        ctx.set_output("Rejected", 1)
+        return 0
+
+    for name, program in [
+        ("approve_order", approve),
+        ("check_inventory", check_inventory),
+        ("check_credit", check_credit),
+        ("pack_order", pack),
+        ("ship_order", ship),
+        ("bill_customer", bill),
+        ("reject_order", reject),
+    ]:
+        engine.register_program(name, program, replace=True)
+
+
+def build_order_process(*, manual_approval: bool = True) -> ProcessDefinition:
+    """Build the order-fulfilment definition."""
+    amount = VariableDecl("Amount", DataType.LONG)
+    d = ProcessDefinition(
+        "OrderFulfillment",
+        description="order fulfilment exercising the full metamodel",
+        input_spec=[amount, VariableDecl("Customer", DataType.STRING)],
+        output_spec=[
+            VariableDecl("Billed", DataType.LONG),
+            VariableDecl("Rejected", DataType.LONG),
+        ],
+    )
+    d.add_activity(
+        Activity(
+            "Approve",
+            program="approve_order",
+            input_spec=[amount],
+            output_spec=[VariableDecl("Approved", DataType.LONG)],
+            start_mode=(
+                StartMode.MANUAL if manual_approval else StartMode.AUTOMATIC
+            ),
+            staff=StaffAssignment(
+                roles=("approver",),
+                notify_after=60.0,
+                notify_role="supervisor",
+            ),
+            description="a person approves or rejects the order",
+        )
+    )
+    d.add_activity(
+        Activity(
+            "CheckInventory",
+            program="check_inventory",
+            output_spec=[VariableDecl("InStock", DataType.LONG)],
+        )
+    )
+    d.add_activity(
+        Activity(
+            "CheckCredit",
+            program="check_credit",
+            input_spec=[amount],
+            output_spec=[VariableDecl("CreditOK", DataType.LONG)],
+        )
+    )
+    # Shipping block: pack (loops until complete), then ship.
+    shipping = ProcessDefinition(
+        "Shipping", output_spec=[VariableDecl("Shipped", DataType.LONG)]
+    )
+    shipping.add_activity(
+        Activity(
+            "Pack",
+            program="pack_order",
+            output_spec=[VariableDecl("Complete", DataType.LONG)],
+            exit_condition="Complete = 1",
+            max_iterations=10,
+            staff=StaffAssignment(roles=("packer",)),
+        )
+    )
+    shipping.add_activity(
+        Activity(
+            "Ship",
+            program="ship_order",
+            output_spec=[VariableDecl("Shipped", DataType.LONG)],
+        )
+    )
+    shipping.connect("Pack", "Ship", "RC = 0")
+    shipping.map_data("Ship", PROCESS_OUTPUT, [("Shipped", "Shipped")])
+    d.add_activity(
+        Activity(
+            "ShipOrder",
+            kind=ActivityKind.BLOCK,
+            block=shipping,
+            output_spec=[VariableDecl("Shipped", DataType.LONG)],
+            start_condition=StartCondition.ALL,  # AND-join
+        )
+    )
+    d.add_activity(
+        Activity(
+            "Bill",
+            program="bill_customer",
+            input_spec=[amount],
+            output_spec=[VariableDecl("Billed", DataType.LONG)],
+            start_condition=StartCondition.ANY,  # OR-join
+        )
+    )
+    d.add_activity(
+        Activity(
+            "Reject",
+            program="reject_order",
+            output_spec=[VariableDecl("Rejected", DataType.LONG)],
+        )
+    )
+
+    d.connect("Approve", "CheckInventory", "Approved = 1")
+    d.connect("Approve", "CheckCredit", "Approved = 1")
+    d.connect("Approve", "Reject", "Approved = 0")
+    d.connect("CheckInventory", "ShipOrder", "InStock = 1")
+    d.connect("CheckCredit", "ShipOrder", "CreditOK = 1")
+    d.connect("ShipOrder", "Bill", "Shipped = 1")
+    # Express fallback: even an out-of-stock order is billed (deposit).
+    d.connect("CheckCredit", "Bill", "CreditOK = 0")
+
+    d.map_data(PROCESS_INPUT, "Approve", [("Amount", "Amount")])
+    d.map_data(PROCESS_INPUT, "CheckCredit", [("Amount", "Amount")])
+    d.map_data(PROCESS_INPUT, "Bill", [("Amount", "Amount")])
+    d.map_data("Bill", PROCESS_OUTPUT, [("Billed", "Billed")])
+    d.map_data("Reject", PROCESS_OUTPUT, [("Rejected", "Rejected")])
+    return d

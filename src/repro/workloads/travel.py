@@ -1,0 +1,131 @@
+"""The travel-booking saga.
+
+The canonical long-lived transaction from the Sagas paper: book a
+flight, a hotel and a car at three *autonomous* sites; if any booking
+fails, the earlier bookings are cancelled (compensated).  Bindings run
+against a :class:`Multidatabase`, so each booking really is a local
+ACID transaction that may unilaterally abort.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import TransactionAborted
+from repro.tx.database import Transaction
+from repro.tx.failures import FailurePolicy
+from repro.tx.multidb import Multidatabase
+from repro.tx.subtransaction import Subtransaction
+from repro.core.sagas import SagaSpec, SagaStep
+
+#: (step name, site, resource key) of the classic itinerary.
+ITINERARY = (
+    ("book_flight", "airline", "seats"),
+    ("book_hotel", "hotel", "rooms"),
+    ("book_car", "rental", "cars"),
+)
+
+
+@dataclass
+class TravelWorkload:
+    """A bound travel-booking saga over three sites.
+
+    >>> workload = TravelWorkload.fresh(capacity=5)
+    >>> spec = workload.spec
+    >>> sorted(workload.actions)
+    ['book_car', 'book_flight', 'book_hotel']
+    """
+
+    mdb: Multidatabase
+    spec: SagaSpec
+    actions: dict[str, Subtransaction]
+    compensations: dict[str, Subtransaction]
+    customer: str = "cust-1"
+    recorder: list = field(default_factory=list)
+
+    @classmethod
+    def fresh(
+        cls,
+        *,
+        capacity: int = 5,
+        customer: str = "cust-1",
+        policies: dict[str, FailurePolicy] | None = None,
+    ) -> "TravelWorkload":
+        """Build a workload with ``capacity`` units at each site.
+
+        ``policies`` optionally injects a failure policy per step name.
+        """
+        mdb = Multidatabase()
+        recorder: list = []
+        for __, site, key in ITINERARY:
+            database = mdb.add_site(site)
+            with database.begin() as txn:
+                txn.write(key, capacity)
+        spec = SagaSpec(
+            "travel", [SagaStep(name) for name, __, __ in ITINERARY]
+        )
+        policies = policies or {}
+        actions: dict[str, Subtransaction] = {}
+        compensations: dict[str, Subtransaction] = {}
+        for name, site, key in ITINERARY:
+            database = mdb.site(site)
+            sub = Subtransaction(
+                name,
+                database,
+                _book(key, customer),
+                recorder=recorder,
+            )
+            if name in policies:
+                sub.policy = policies[name]
+            actions[name] = sub
+            compensations[name] = Subtransaction(
+                "cancel_%s" % name,
+                database,
+                _cancel(key, customer),
+                recorder=recorder,
+            )
+        return cls(mdb, spec, actions, compensations, customer, recorder)
+
+    def bookings(self) -> dict[str, int]:
+        """site -> remaining capacity (for assertions)."""
+        out = {}
+        for __, site, key in ITINERARY:
+            out[site] = self.mdb.site(site).get(key)
+        return out
+
+    def reservation_flags(self) -> dict[str, bool]:
+        """site -> whether this customer holds a reservation."""
+        out = {}
+        for __, site, key in ITINERARY:
+            out[site] = bool(
+                self.mdb.site(site).get("resv:%s" % self.customer)
+            )
+        return out
+
+    def is_consistent(self) -> bool:
+        """All-or-nothing: either every site holds the reservation or
+        none does — the saga guarantee's effect on the data."""
+        flags = list(self.reservation_flags().values())
+        return all(flags) or not any(flags)
+
+
+def _book(key: str, customer: str):
+    def body(txn: Transaction) -> None:
+        available = txn.read(key, 0)
+        if available <= 0:
+            raise TransactionAborted(
+                "no %s left" % key, reason="sold out"
+            )
+        txn.write(key, available - 1)
+        txn.write("resv:%s" % customer, 1)
+
+    return body
+
+
+def _cancel(key: str, customer: str):
+    def body(txn: Transaction) -> None:
+        if txn.read("resv:%s" % customer, 0):
+            txn.write("resv:%s" % customer, 0)
+            txn.increment(key, 1)
+
+    return body

@@ -1,0 +1,147 @@
+"""Tests for the binding layer: program registration, passthroughs and
+outcome reconstruction."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.tx import AbortScript, SimDatabase, Subtransaction
+from repro.tx.subtransaction import write_value
+from repro.wfms.containers import Container
+from repro.wfms.datatypes import DataType, VariableDecl
+from repro.wfms.engine import Engine
+from repro.wfms.programs import InvocationContext
+from repro.core.bindings import (
+    nop_program,
+    register_flexible_programs,
+    register_saga_programs,
+    workflow_saga_outcome,
+)
+from repro.core.compblock import passthrough_for_items, state_var
+from repro.core.flexible_translator import translate_flexible
+from repro.core.saga_translator import passthrough_for, translate_saga
+from repro.core.sagas import SagaSpec, SagaStep
+from repro.workloads.banking import fig3_bindings, fig3_spec
+
+
+def make_ctx(input_spec=(), output_spec=(), input_values=None):
+    inp = Container(list(input_spec))
+    out = Container(list(output_spec), output=True)
+    if input_values:
+        inp.load_dict(input_values)
+    return InvocationContext("A", "P", "pi-1", inp, out)
+
+
+class TestNopProgram:
+    def test_copies_matching_members(self):
+        ctx = make_ctx(
+            input_spec=[VariableDecl("X", DataType.LONG)],
+            output_spec=[VariableDecl("X", DataType.LONG),
+                         VariableDecl("Y", DataType.LONG)],
+            input_values={"X": 5},
+        )
+        assert nop_program(ctx) == 0
+        assert ctx.output.get("X") == 5
+        assert ctx.output.get("Y") == 0  # untouched default
+
+    def test_never_touches_rc(self):
+        ctx = make_ctx()
+        nop_program(ctx)
+        assert ctx.output.return_code == 0
+
+
+class TestPassthroughs:
+    def test_first_item_forwards_own_state(self):
+        items = [("a", "ca"), ("b", "cb"), ("c", "cc")]
+        assert passthrough_for_items(items, "a") == ((state_var("a"), "Next"),)
+
+    def test_later_items_forward_previous_state(self):
+        items = [("a", "ca"), ("b", "cb"), ("c", "cc")]
+        assert passthrough_for_items(items, "c") == ((state_var("b"), "Next"),)
+
+    def test_saga_wrapper_matches(self):
+        spec = SagaSpec("s", [SagaStep("a"), SagaStep("b")])
+        assert passthrough_for(spec, "b") == ((state_var("a"), "Next"),)
+
+
+class TestRegistration:
+    def test_missing_saga_action_rejected(self):
+        spec = SagaSpec("s", [SagaStep("a")])
+        translation = translate_saga(spec)
+        db = SimDatabase()
+        comps = {"a": Subtransaction("ca", db, write_value("a", 0))}
+        with pytest.raises(SpecificationError, match="a"):
+            register_saga_programs(Engine(), translation, {}, comps)
+
+    def test_missing_flexible_compensation_rejected(self):
+        spec = fig3_spec()
+        translation = translate_flexible(spec)
+        db = SimDatabase()
+        actions, comps = fig3_bindings(db)
+        del comps["t5"]
+        with pytest.raises(SpecificationError, match="t5"):
+            register_flexible_programs(Engine(), translation, actions, comps)
+
+    def test_reregistration_replaces(self):
+        spec = SagaSpec("s", [SagaStep("a")])
+        translation = translate_saga(spec)
+        db = SimDatabase()
+        actions = {"a": Subtransaction("a", db, write_value("a", 1))}
+        comps = {"a": Subtransaction("ca", db, write_value("a", 0))}
+        engine = Engine()
+        register_saga_programs(engine, translation, actions, comps)
+        register_saga_programs(engine, translation, actions, comps)  # ok
+
+
+class TestOutcomeReconstruction:
+    def test_saga_outcome_orders_match_audit(self):
+        spec = SagaSpec("s", [SagaStep("a"), SagaStep("b"), SagaStep("c")])
+        db = SimDatabase()
+        actions = {
+            n: Subtransaction(n, db, write_value(n, 1)) for n in "abc"
+        }
+        actions["c"].policy = AbortScript([1])
+        comps = {
+            n: Subtransaction("c" + n, db, write_value(n, 0)) for n in "abc"
+        }
+        translation = translate_saga(spec)
+        engine = Engine()
+        register_saga_programs(engine, translation, actions, comps)
+        engine.register_definition(translation.process)
+        result = engine.run_process(translation.process_name)
+        outcome = workflow_saga_outcome(engine, translation, result.instance_id)
+        assert outcome.executed == ["a", "b"]
+        assert outcome.compensated == ["b", "a"]
+        assert not outcome.committed
+
+    def test_flexible_shared_member_counted_once(self):
+        from repro.core.bindings import workflow_flexible_outcome
+        from repro.core.flexible import FlexibleMember, FlexibleSpec
+
+        spec = FlexibleSpec(
+            "shared",
+            [
+                FlexibleMember("a", compensatable=True),
+                FlexibleMember("x"),
+                FlexibleMember("y", retriable=True),
+                FlexibleMember("b", retriable=True),
+            ],
+            [["a", "x", "b"], ["a", "y", "b"]],
+        )
+        db = SimDatabase()
+        actions = {
+            n: Subtransaction(n, db, write_value(n, 1))
+            for n in ("a", "x", "y", "b")
+        }
+        actions["x"].policy = AbortScript([1])  # force the fallback
+        comps = {"a": Subtransaction("ca", db, write_value("a", 0))}
+        translation = translate_flexible(spec)
+        engine = Engine()
+        register_flexible_programs(engine, translation, actions, comps)
+        engine.register_definition(translation.process)
+        result = engine.run_process(translation.process_name)
+        outcome = workflow_flexible_outcome(
+            engine, translation, result.instance_id
+        )
+        assert outcome.committed
+        assert outcome.committed_path == ["a", "y", "b"]
+        assert outcome.committed_members.count("b") == 1

@@ -1,0 +1,188 @@
+"""Tests for the flexible-transaction model and native executor (§4.2)."""
+
+import pytest
+
+from repro.errors import ExecutionContractViolation, SpecificationError
+from repro.tx import AbortScript, AlwaysAbort, FailNTimes, SimDatabase, Subtransaction
+from repro.tx.subtransaction import write_value
+from repro.core.flexible import (
+    FlexibleMember,
+    FlexibleSpec,
+    NativeFlexibleExecutor,
+)
+from repro.workloads.banking import fig3_bindings, fig3_spec
+
+
+class TestFlexibleMember:
+    def test_pivot_is_neither(self):
+        assert FlexibleMember("m").pivot
+        assert not FlexibleMember("m", compensatable=True).pivot
+        assert not FlexibleMember("m", retriable=True).pivot
+
+    def test_both_flags_allowed(self):
+        # "it is possible for a subtransaction to be both
+        # compensatable and retriable"
+        member = FlexibleMember("m", compensatable=True, retriable=True)
+        assert member.kind == "compensatable+retriable"
+
+    def test_default_program_names(self):
+        member = FlexibleMember("m", compensatable=True)
+        assert member.program == "txn_m"
+        assert member.compensation_program == "comp_m"
+
+
+class TestFlexibleSpec:
+    def test_duplicate_members_rejected(self):
+        with pytest.raises(SpecificationError):
+            FlexibleSpec(
+                "f",
+                [FlexibleMember("a"), FlexibleMember("a")],
+                [["a"]],
+            )
+
+    def test_unknown_path_member_rejected(self):
+        with pytest.raises(SpecificationError):
+            FlexibleSpec("f", [FlexibleMember("a")], [["a", "ghost"]])
+
+    def test_member_off_path_rejected(self):
+        with pytest.raises(SpecificationError, match="no path"):
+            FlexibleSpec(
+                "f",
+                [FlexibleMember("a"), FlexibleMember("b")],
+                [["a"]],
+            )
+
+    def test_duplicate_paths_rejected(self):
+        with pytest.raises(SpecificationError):
+            FlexibleSpec("f", [FlexibleMember("a")], [["a"], ["a"]])
+
+    def test_path_repeating_member_rejected(self):
+        with pytest.raises(SpecificationError):
+            FlexibleSpec("f", [FlexibleMember("a")], [["a", "a"]])
+
+    def test_prefix_path_rejected(self):
+        with pytest.raises(SpecificationError, match="prefix"):
+            FlexibleSpec(
+                "f",
+                [FlexibleMember("a"), FlexibleMember("b")],
+                [["a", "b"], ["a"]],
+            )
+
+    def test_tree_folds_shared_prefixes(self):
+        spec = fig3_spec()
+        tree = spec.tree()
+        assert tree.segment == ["t1", "t2"]
+        assert len(tree.children) == 2
+        assert tree.children[0].segment == ["t4"]
+        assert [c.segment for c in tree.children[0].children] == [
+            ["t5", "t6", "t8"],
+            ["t7"],
+        ]
+        assert tree.children[1].segment == ["t3"]
+
+    def test_tree_round_trips_paths(self):
+        spec = fig3_spec()
+        assert spec.tree().paths() == spec.paths
+
+
+class TestNativeExecutor:
+    def run_fig3(self, policies):
+        db = SimDatabase()
+        actions, comps = fig3_bindings(db, policies)
+        executor = NativeFlexibleExecutor(fig3_spec(), actions, comps)
+        return executor.run(), db
+
+    def test_preferred_path_when_all_commit(self):
+        out, db = self.run_fig3({})
+        assert out.committed
+        assert out.committed_path == ["t1", "t2", "t4", "t5", "t6", "t8"]
+        assert out.compensated == []
+
+    def test_t1_abort_aborts_whole_transaction(self):
+        # "First T1 is executed, if it aborts, then the entire
+        # transaction is considered to be aborted."
+        out, db = self.run_fig3({"t1": AbortScript([1])})
+        assert not out.committed
+        assert out.compensated == []
+        assert out.committed_members == []
+
+    def test_t2_abort_compensates_t1(self):
+        out, db = self.run_fig3({"t2": AbortScript([1])})
+        assert not out.committed
+        assert out.compensated == ["t1"]
+        assert db.get("t1") == 0
+
+    def test_t4_abort_falls_back_to_retriable_t3(self):
+        # "If T4 aborts, T3 is executed until it successfully commits."
+        out, db = self.run_fig3(
+            {"t4": AbortScript([1]), "t3": FailNTimes(3)}
+        )
+        assert out.committed
+        assert out.committed_path == ["t1", "t2", "t3"]
+        assert out.compensated == []
+
+    def test_t8_abort_compensates_block_then_runs_t7(self):
+        # "In the case that T8 is the one that aborts, T5 and T6 will
+        # be compensated before T7 is executed."
+        out, db = self.run_fig3({"t8": AbortScript([1])})
+        assert out.committed
+        assert out.committed_path == ["t1", "t2", "t4", "t7"]
+        assert out.compensated == ["t6", "t5"]
+        assert db.get("t5") == 0 and db.get("t6") == 0 and db.get("t7") == 1
+
+    def test_t5_abort_switches_to_t7(self):
+        out, db = self.run_fig3({"t5": AbortScript([1])})
+        assert out.committed
+        assert out.committed_path == ["t1", "t2", "t4", "t7"]
+        assert out.compensated == []  # t5 rolled itself back
+
+    def test_t6_abort_compensates_t5(self):
+        out, db = self.run_fig3({"t6": AbortScript([1])})
+        assert out.committed
+        assert out.compensated == ["t5"]
+
+    def test_retriable_counts_attempts(self):
+        db = SimDatabase()
+        actions, comps = fig3_bindings(
+            db, {"t8": AbortScript([1]), "t7": FailNTimes(4)}
+        )
+        out = NativeFlexibleExecutor(fig3_spec(), actions, comps).run()
+        assert out.committed
+        assert actions["t7"].attempts == 5
+
+    def test_retriable_exceeding_cap_raises(self):
+        db = SimDatabase()
+        actions, comps = fig3_bindings(
+            db, {"t4": AbortScript([1]), "t3": AlwaysAbort()}
+        )
+        executor = NativeFlexibleExecutor(
+            fig3_spec(), actions, comps, max_retries=5
+        )
+        with pytest.raises(ExecutionContractViolation):
+            executor.run()
+
+    def test_missing_action_binding_rejected(self):
+        db = SimDatabase()
+        actions, comps = fig3_bindings(db)
+        del actions["t4"]
+        with pytest.raises(SpecificationError, match="t4"):
+            NativeFlexibleExecutor(fig3_spec(), actions, comps)
+
+    def test_missing_compensation_binding_rejected(self):
+        db = SimDatabase()
+        actions, comps = fig3_bindings(db)
+        del comps["t5"]
+        with pytest.raises(SpecificationError, match="t5"):
+            NativeFlexibleExecutor(fig3_spec(), actions, comps)
+
+    def test_history_shows_path_switching(self):
+        db = SimDatabase()
+        actions, comps = fig3_bindings(db, {"t8": AbortScript([1])})
+        out = NativeFlexibleExecutor(fig3_spec(), actions, comps).run()
+        names = [(h.name, h.committed) for h in out.history]
+        assert names == [
+            ("t1", True), ("t2", True), ("t4", True), ("t5", True),
+            ("t6", True), ("t8", False),
+            ("ct6", True), ("ct5", True),   # compensation, reverse order
+            ("t7", True),
+        ]

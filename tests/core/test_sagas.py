@@ -1,0 +1,191 @@
+"""Tests for the saga model and its native executor (§4.1)."""
+
+import pytest
+
+from repro.errors import ExecutionContractViolation, SpecificationError
+from repro.tx import AbortScript, AlwaysCommit, FailNTimes, SimDatabase, Subtransaction
+from repro.tx.subtransaction import write_value
+from repro.core.sagas import (
+    NativeSagaExecutor,
+    SagaSpec,
+    SagaStep,
+    verify_saga_guarantee,
+)
+
+
+def make_saga(n=3, abort_at=None, abort_policy=None, comp_policies=None):
+    db = SimDatabase()
+    names = ["t%d" % i for i in range(1, n + 1)]
+    spec = SagaSpec("s", [SagaStep(x) for x in names])
+    actions, comps = {}, {}
+    for name in names:
+        sub = Subtransaction(name, db, write_value(name, 1))
+        if name == abort_at:
+            sub.policy = abort_policy or AbortScript([1])
+        actions[name] = sub
+        comp = Subtransaction("c" + name, db, write_value(name, 0))
+        if comp_policies and name in comp_policies:
+            comp.policy = comp_policies[name]
+        comps[name] = comp
+    return db, spec, actions, comps
+
+
+class TestSagaSpec:
+    def test_empty_rejected(self):
+        with pytest.raises(SpecificationError):
+            SagaSpec("s", [])
+
+    def test_duplicate_steps_rejected(self):
+        with pytest.raises(SpecificationError):
+            SagaSpec("s", [SagaStep("a"), SagaStep("a")])
+
+    def test_default_program_names(self):
+        step = SagaStep("book")
+        assert step.program == "txn_book"
+        assert step.compensation_program == "comp_book"
+
+    def test_explicit_program_names(self):
+        step = SagaStep("book", program="p", compensation_program="c")
+        assert step.program == "p" and step.compensation_program == "c"
+
+    def test_linear_order_derived(self):
+        spec = SagaSpec("s", [SagaStep("a"), SagaStep("b"), SagaStep("c")])
+        assert spec.order == [("a", "b"), ("b", "c")]
+        assert spec.is_linear
+
+    def test_dag_order_accepted(self):
+        spec = SagaSpec(
+            "s",
+            [SagaStep("a"), SagaStep("b"), SagaStep("c")],
+            order=[("a", "b"), ("a", "c")],
+        )
+        assert not spec.is_linear
+        topo = spec.topological_names()
+        assert topo.index("a") < topo.index("b")
+        assert topo.index("a") < topo.index("c")
+
+    def test_cyclic_order_rejected(self):
+        with pytest.raises(SpecificationError, match="cyclic"):
+            SagaSpec(
+                "s",
+                [SagaStep("a"), SagaStep("b")],
+                order=[("a", "b"), ("b", "a")],
+            )
+
+    def test_order_unknown_step_rejected(self):
+        with pytest.raises(SpecificationError):
+            SagaSpec("s", [SagaStep("a")], order=[("a", "ghost")])
+
+
+class TestNativeExecutor:
+    def test_all_commit(self):
+        db, spec, actions, comps = make_saga()
+        out = NativeSagaExecutor(spec, actions, comps).run()
+        assert out.committed
+        assert out.executed == ["t1", "t2", "t3"]
+        assert out.compensated == []
+        assert db.get("t1") == db.get("t2") == db.get("t3") == 1
+
+    @pytest.mark.parametrize("abort_at,expected_j", [("t1", 0), ("t2", 1), ("t3", 2)])
+    def test_guarantee_at_every_abort_position(self, abort_at, expected_j):
+        db, spec, actions, comps = make_saga(abort_at=abort_at)
+        out = NativeSagaExecutor(spec, actions, comps).run()
+        assert not out.committed
+        assert len(out.executed) == expected_j
+        assert out.compensated == list(reversed(out.executed))
+        # Database effect: everything rolled back / compensated.
+        assert all(db.get("t%d" % i) in (None, 0) for i in range(1, 4))
+
+    def test_compensations_retried_until_commit(self):
+        db, spec, actions, comps = make_saga(
+            abort_at="t3",
+            comp_policies={"t1": FailNTimes(3)},
+        )
+        out = NativeSagaExecutor(spec, actions, comps).run()
+        assert out.compensated == ["t2", "t1"]
+        assert comps["t1"].attempts == 4  # 3 failures + 1 success
+
+    def test_compensation_never_committing_raises(self):
+        db, spec, actions, comps = make_saga(
+            abort_at="t2", comp_policies={"t1": FailNTimes(10_000)}
+        )
+        executor = NativeSagaExecutor(
+            spec, actions, comps, max_compensation_attempts=5
+        )
+        with pytest.raises(ExecutionContractViolation):
+            executor.run()
+
+    def test_compensate_completed_saga(self):
+        db, spec, actions, comps = make_saga()
+        out = NativeSagaExecutor(spec, actions, comps).run(
+            compensate_completed=True
+        )
+        assert out.committed
+        assert out.executed == ["t1", "t2", "t3"]
+        assert out.compensated == ["t3", "t2", "t1"]
+        assert all(db.get("t%d" % i) == 0 for i in range(1, 4))
+
+    def test_missing_binding_rejected(self):
+        db, spec, actions, comps = make_saga()
+        del actions["t2"]
+        with pytest.raises(SpecificationError, match="t2"):
+            NativeSagaExecutor(spec, actions, comps)
+
+    def test_dag_saga_compensates_in_reverse_completion_order(self):
+        db = SimDatabase()
+        spec = SagaSpec(
+            "s",
+            [SagaStep("a"), SagaStep("b"), SagaStep("c"), SagaStep("d")],
+            order=[("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")],
+        )
+        actions = {
+            n: Subtransaction(n, db, write_value(n, 1)) for n in "abcd"
+        }
+        actions["d"].policy = AbortScript([1])
+        comps = {
+            n: Subtransaction("c" + n, db, write_value(n, 0)) for n in "abcd"
+        }
+        out = NativeSagaExecutor(spec, actions, comps).run()
+        assert not out.committed
+        assert out.compensated == list(reversed(out.executed))
+
+    def test_history_records_every_attempt(self):
+        db, spec, actions, comps = make_saga(abort_at="t2")
+        out = NativeSagaExecutor(spec, actions, comps).run()
+        assert [(h.name, h.committed) for h in out.history] == [
+            ("t1", True),
+            ("t2", False),
+            ("ct1", True),
+        ]
+
+    def test_sequence_view(self):
+        db, spec, actions, comps = make_saga(abort_at="t3")
+        out = NativeSagaExecutor(spec, actions, comps).run()
+        assert out.sequence() == ["t1", "t2", "comp_t2", "comp_t1"]
+
+
+class TestGuaranteeChecker:
+    def test_full_commit_ok(self):
+        spec = SagaSpec("s", [SagaStep("a"), SagaStep("b")])
+        assert verify_saga_guarantee(spec, ["a", "b"], [])
+
+    def test_prefix_with_reverse_compensation_ok(self):
+        spec = SagaSpec("s", [SagaStep("a"), SagaStep("b"), SagaStep("c")])
+        assert verify_saga_guarantee(spec, ["a", "b"], ["b", "a"])
+        assert verify_saga_guarantee(spec, [], [])
+
+    def test_wrong_order_rejected(self):
+        spec = SagaSpec("s", [SagaStep("a"), SagaStep("b"), SagaStep("c")])
+        assert not verify_saga_guarantee(spec, ["a", "b"], ["a", "b"])
+
+    def test_partial_compensation_rejected(self):
+        spec = SagaSpec("s", [SagaStep("a"), SagaStep("b"), SagaStep("c")])
+        assert not verify_saga_guarantee(spec, ["a", "b"], ["b"])
+
+    def test_non_prefix_execution_rejected(self):
+        spec = SagaSpec("s", [SagaStep("a"), SagaStep("b"), SagaStep("c")])
+        assert not verify_saga_guarantee(spec, ["b"], ["b"])
+
+    def test_full_compensation_of_completed_saga_ok(self):
+        spec = SagaSpec("s", [SagaStep("a"), SagaStep("b")])
+        assert verify_saga_guarantee(spec, ["a", "b"], ["b", "a"])

@@ -1,0 +1,149 @@
+"""Tests for the well-formedness rules of [MRSK92]/[ZNBB94]."""
+
+import pytest
+
+from repro.errors import WellFormednessError
+from repro.core.flexible import FlexibleMember, FlexibleSpec
+from repro.core.wellformed import (
+    check_well_formed,
+    single_path_shape,
+    well_formedness_violations,
+)
+from repro.workloads.banking import fig3_spec
+
+
+def spec_of(path_defs, **member_flags):
+    """Build a spec from ``{"name": "c|r|p|cr"}`` flags and paths."""
+    members = []
+    for name, flags in member_flags.items():
+        members.append(
+            FlexibleMember(
+                name,
+                compensatable="c" in flags,
+                retriable="r" in flags,
+            )
+        )
+    return FlexibleSpec("t", members, path_defs)
+
+
+class TestSinglePathRules:
+    """[MRSK92]: compensatable* pivot retriable* is the legal shape."""
+
+    def test_canonical_shape_accepted(self):
+        spec = spec_of([["c1", "p", "r1"]], c1="c", p="p", r1="r")
+        check_well_formed(spec)
+
+    def test_all_compensatable_accepted(self):
+        check_well_formed(spec_of([["a", "b"]], a="c", b="c"))
+
+    def test_all_retriable_accepted(self):
+        check_well_formed(spec_of([["a", "b"]], a="r", b="r"))
+
+    def test_pivot_after_pivot_rejected(self):
+        # Two pivots on one path with no alternatives: if the second
+        # aborts, the first cannot be undone.
+        spec = spec_of([["p1", "p2"]], p1="p", p2="p")
+        with pytest.raises(WellFormednessError):
+            check_well_formed(spec)
+
+    def test_compensatable_after_pivot_rejected(self):
+        # A compensatable can still *abort*; after the pivot that
+        # failure is unrecoverable on a single path.
+        spec = spec_of([["p", "c1"]], p="p", c1="c")
+        with pytest.raises(WellFormednessError):
+            check_well_formed(spec)
+
+    def test_non_retriable_tail_detected_with_position(self):
+        spec = spec_of([["c1", "p", "c2"]], c1="c", p="p", c2="c")
+        problems = well_formedness_violations(spec)
+        assert len(problems) == 1
+        assert "c2" in problems[0]
+
+    def test_pivot_then_retriables_accepted(self):
+        spec = spec_of(
+            [["c1", "c2", "p", "r1", "r2"]],
+            c1="c", c2="c", p="p", r1="r", r2="r",
+        )
+        check_well_formed(spec)
+
+    def test_compensatable_retriable_after_pivot_accepted(self):
+        # both-flags member cannot fail permanently (retriable).
+        spec = spec_of([["p", "cr"]], p="p", cr="cr")
+        check_well_formed(spec)
+
+    def test_single_path_shape_decomposition(self):
+        spec = spec_of([["c1", "p", "r1"]], c1="c", p="p", r1="r")
+        shape = single_path_shape(spec)
+        assert shape == {"before": ["c1"], "pivot": ["p"], "after": ["r1"]}
+
+    def test_single_path_shape_without_pivot(self):
+        spec = spec_of([["a", "b"]], a="c", b="c")
+        shape = single_path_shape(spec)
+        assert shape["pivot"] == []
+
+    def test_single_path_shape_two_pivots_rejected(self):
+        spec = spec_of([["p1", "p2"]], p1="p", p2="p")
+        with pytest.raises(WellFormednessError, match="at most one pivot"):
+            single_path_shape(spec)
+
+    def test_single_path_shape_needs_single_path(self):
+        with pytest.raises(WellFormednessError):
+            single_path_shape(fig3_spec())
+
+
+class TestAlternativePathRules:
+    """[ZNBB94]: alternatives legitimise multiple pivots."""
+
+    def test_fig3_example_is_well_formed(self):
+        check_well_formed(fig3_spec())
+        assert well_formedness_violations(fig3_spec()) == []
+
+    def test_two_pivots_with_retriable_fallback_accepted(self):
+        # p2 may abort after p1 committed because the fallback path
+        # (containing p1) finishes the job with a retriable.
+        spec = spec_of(
+            [["p1", "p2"], ["p1", "r1"]],
+            p1="p", p2="p", r1="r",
+        )
+        check_well_formed(spec)
+
+    def test_fallback_missing_stuck_pivot_rejected(self):
+        # The alternative does not contain p1, so p1's commit could
+        # never be reconciled.
+        spec = spec_of(
+            [["p1", "p2"], ["r1"]],
+            p1="p", p2="p", r1="r",
+        )
+        with pytest.raises(WellFormednessError):
+            check_well_formed(spec)
+
+    def test_fallback_that_can_itself_fail_rejected(self):
+        # The "alternative" ends in another pivot with no further way
+        # out: not guaranteed.
+        spec = spec_of(
+            [["p1", "p2"], ["p1", "p3"]],
+            p1="p", p2="p", p3="p",
+        )
+        with pytest.raises(WellFormednessError):
+            check_well_formed(spec)
+
+    def test_chained_alternatives_accepted(self):
+        # p2's failure falls back to p3's path; p3's failure falls back
+        # to the retriable tail — two levels of recursion.
+        spec = spec_of(
+            [["p1", "p2"], ["p1", "p3"], ["p1", "r1"]],
+            p1="p", p2="p", p3="p", r1="r",
+        )
+        check_well_formed(spec)
+
+    def test_compensatable_branches_accepted(self):
+        spec = spec_of(
+            [["c1", "p1", "c2", "p2"], ["c1", "p1", "r1"]],
+            c1="c", p1="p", c2="c", p2="p", r1="r",
+        )
+        check_well_formed(spec)
+
+    def test_validate_method_delegates(self):
+        spec = spec_of([["p1", "p2"]], p1="p", p2="p")
+        with pytest.raises(WellFormednessError):
+            spec.validate()

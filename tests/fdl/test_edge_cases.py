@@ -1,0 +1,161 @@
+"""FDL edge cases: escaping, comments, tricky round-trips."""
+
+import pytest
+
+from repro.errors import FDLSemanticError, FDLSyntaxError
+from repro.fdl import export_definition, import_text, parse_document
+from repro.wfms import (
+    Activity,
+    ActivityKind,
+    DataType,
+    ProcessDefinition,
+    VariableDecl,
+)
+
+
+class TestEscaping:
+    def test_description_with_quotes_round_trips(self):
+        d = ProcessDefinition("P", description='say "hi" to \\ everyone')
+        d.add_activity(Activity("A", program="p"))
+        restored = import_text(export_definition(d)).definition("P")
+        assert restored.description == 'say "hi" to \\ everyone'
+
+    def test_condition_with_string_literal_round_trips(self):
+        d = ProcessDefinition("P")
+        d.add_activity(
+            Activity(
+                "A",
+                program="p",
+                output_spec=[VariableDecl("Name", DataType.STRING)],
+            )
+        )
+        d.add_activity(Activity("B", program="p"))
+        d.connect("A", "B", "Name = 'bob'")
+        restored = import_text(export_definition(d)).definition("P")
+        assert restored.control_connectors[0].condition.source == "Name = 'bob'"
+
+
+class TestComments:
+    def test_comments_anywhere(self):
+        text = """
+        // leading comment
+        PROGRAM 'p' END 'p'  // trailing comment
+        PROCESS 'P' // here too
+          PROGRAM_ACTIVITY 'A' PROGRAM 'p' END 'A'
+        END 'P'
+        """
+        assert import_text(text).definition("P") is not None
+
+
+class TestDeepNesting:
+    def test_block_within_block_round_trips(self):
+        innermost = ProcessDefinition("Inner2")
+        innermost.add_activity(Activity("Leaf", program="p"))
+        middle = ProcessDefinition("Inner1")
+        middle.add_activity(
+            Activity("Mid", kind=ActivityKind.BLOCK, block=innermost)
+        )
+        outer = ProcessDefinition("P")
+        outer.add_activity(
+            Activity("Top", kind=ActivityKind.BLOCK, block=middle)
+        )
+        restored = import_text(export_definition(outer)).definition("P")
+        top = restored.activity("Top")
+        mid = top.block.activity("Mid")
+        assert "Leaf" in mid.block.activities
+
+    def test_nested_block_structures_exported_once(self):
+        from repro.wfms.datatypes import StructureType
+
+        inner = ProcessDefinition("Inner")
+        inner.types.register(
+            StructureType("Pair", [VariableDecl("x", DataType.LONG)])
+        )
+        inner.add_activity(
+            Activity(
+                "A",
+                program="p",
+                output_spec=[VariableDecl("P", "Pair")],
+            )
+        )
+        outer = ProcessDefinition("P")
+        outer.types.register(
+            StructureType("Pair", [VariableDecl("x", DataType.LONG)])
+        )
+        outer.add_activity(
+            Activity("Blk", kind=ActivityKind.BLOCK, block=inner)
+        )
+        text = export_definition(outer)
+        assert text.count("STRUCTURE 'Pair'") == 1
+        import_text(text)
+
+
+class TestSemanticEdges:
+    def test_duplicate_activity_in_block_rejected(self):
+        text = """
+        PROGRAM 'p' END 'p'
+        PROCESS 'P'
+          BLOCK 'B'
+            PROGRAM_ACTIVITY 'X' PROGRAM 'p' END 'X'
+            PROGRAM_ACTIVITY 'X' PROGRAM 'p' END 'X'
+          END 'B'
+        END 'P'
+        """
+        with pytest.raises(FDLSemanticError, match="duplicate"):
+            import_text(text)
+
+    def test_block_program_checked(self):
+        text = """
+        PROCESS 'P'
+          BLOCK 'B'
+            PROGRAM_ACTIVITY 'X' PROGRAM 'ghost' END 'X'
+          END 'B'
+        END 'P'
+        """
+        with pytest.raises(FDLSemanticError, match="ghost"):
+            import_text(text)
+
+    def test_duplicate_structure_rejected(self):
+        text = """
+        STRUCTURE 'S' 'a': LONG; END 'S'
+        STRUCTURE 'S' 'a': LONG; END 'S'
+        PROGRAM 'p' END 'p'
+        PROCESS 'P' PROGRAM_ACTIVITY 'A' PROGRAM 'p' END 'A' END 'P'
+        """
+        with pytest.raises(FDLSemanticError, match="duplicate structure"):
+            import_text(text)
+
+    def test_unknown_member_type_rejected(self):
+        doc = parse_document(
+            "STRUCTURE 'S' 'a': 'Nope'; END 'S'\n"
+            "PROGRAM 'p' END 'p'\n"
+            "PROCESS 'P' PROGRAM_ACTIVITY 'A' PROGRAM 'p' END 'A' END 'P'\n"
+        )
+        from repro.fdl.validator import validate_document
+
+        with pytest.raises(FDLSemanticError, match="Nope"):
+            validate_document(doc)
+
+
+class TestSyntaxErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "PROCESS 'P'",                      # unterminated
+            "PROCESS 'P' PROGRAM_ACTIVITY END 'P'",  # missing name
+            "PROGRAM 'p' END 'p' PROCESS 'P' CONTROL FROM 'a' 'b' END 'P'",
+            "STRUCTURE 'S' 'a' LONG; END 'S'",  # missing colon
+            "STRUCTURE 'S' 'a': LONG END 'S'",  # missing semicolon
+        ],
+    )
+    def test_rejected(self, text):
+        with pytest.raises(FDLSyntaxError):
+            parse_document(text)
+
+    def test_error_carries_position(self):
+        try:
+            parse_document("PROGRAM 'a'\nEND 'b'")
+        except FDLSyntaxError as exc:
+            assert exc.line == 2
+        else:
+            pytest.fail("expected FDLSyntaxError")

@@ -1,0 +1,292 @@
+"""Tests for FDL validation, import, export and round-tripping."""
+
+import pytest
+
+from repro.errors import FDLSemanticError
+from repro.fdl import export_definition, export_document, import_text
+from repro.wfms import (
+    Activity,
+    ActivityKind,
+    DataType,
+    Engine,
+    ProcessDefinition,
+    StartCondition,
+    StartMode,
+    StructureType,
+    VariableDecl,
+)
+from repro.wfms.model import PROCESS_INPUT, PROCESS_OUTPUT, StaffAssignment
+
+VALID = """
+PROGRAM 'work' DESCRIPTION "does work" END 'work'
+
+PROCESS 'P'
+  INPUT_CONTAINER
+    'N': LONG;
+  END
+  OUTPUT_CONTAINER
+    'Out': LONG;
+  END
+  PROGRAM_ACTIVITY 'A'
+    PROGRAM 'work'
+    OUTPUT_CONTAINER
+      'X': LONG;
+    END
+  END 'A'
+  PROGRAM_ACTIVITY 'B'
+    PROGRAM 'work'
+    INPUT_CONTAINER
+      'Seed': LONG;
+    END
+  END 'B'
+  CONTROL FROM 'A' TO 'B' WHEN "RC = 0"
+  DATA FROM 'A' TO 'B' MAP 'X' TO 'Seed'
+  DATA FROM 'A' TO SINK MAP 'X' TO 'Out'
+END 'P'
+"""
+
+
+class TestImport:
+    def test_valid_document_imports(self):
+        result = import_text(VALID)
+        assert [d.name for d in result.definitions] == ["P"]
+        assert result.program_declarations == {"work": "does work"}
+        definition = result.definition("P")
+        assert set(definition.activities) == {"A", "B"}
+        assert definition.control_connectors[0].condition.source == "RC = 0"
+
+    def test_imported_definition_is_executable(self):
+        result = import_text(VALID)
+        engine = Engine()
+        engine.register_program("work", lambda ctx: 0)
+        result.register_into(engine)
+        run = engine.run_process("P", {"N": 1})
+        assert run.finished
+        assert run.execution_order == ["A", "B"]
+
+    def test_undeclared_program_rejected(self):
+        text = """
+        PROCESS 'P'
+          PROGRAM_ACTIVITY 'A' PROGRAM 'ghost' END 'A'
+        END 'P'
+        """
+        with pytest.raises(FDLSemanticError, match="ghost"):
+            import_text(text)
+
+    def test_unknown_subprocess_rejected(self):
+        text = """
+        PROCESS 'P'
+          PROCESS_ACTIVITY 'A' PROCESS 'Ghost' END 'A'
+        END 'P'
+        """
+        with pytest.raises(FDLSemanticError, match="Ghost"):
+            import_text(text)
+
+    def test_subprocess_defined_in_same_document_ok(self):
+        text = """
+        PROGRAM 'p' END 'p'
+        PROCESS 'Child'
+          PROGRAM_ACTIVITY 'X' PROGRAM 'p' END 'X'
+        END 'Child'
+        PROCESS 'Parent'
+          PROCESS_ACTIVITY 'Call' PROCESS 'Child' END 'Call'
+        END 'Parent'
+        """
+        result = import_text(text)
+        assert {d.name for d in result.definitions} == {"Child", "Parent"}
+
+    def test_duplicate_process_rejected(self):
+        text = """
+        PROGRAM 'p' END 'p'
+        PROCESS 'P' PROGRAM_ACTIVITY 'A' PROGRAM 'p' END 'A' END 'P'
+        PROCESS 'P' PROGRAM_ACTIVITY 'A' PROGRAM 'p' END 'A' END 'P'
+        """
+        with pytest.raises(FDLSemanticError, match="duplicate process"):
+            import_text(text)
+
+    def test_unknown_structure_rejected(self):
+        text = """
+        PROGRAM 'p' END 'p'
+        PROCESS 'P'
+          INPUT_CONTAINER 'x': 'Ghost'; END
+          PROGRAM_ACTIVITY 'A' PROGRAM 'p' END 'A'
+        END 'P'
+        """
+        with pytest.raises(FDLSemanticError, match="Ghost"):
+            import_text(text)
+
+    def test_control_unknown_activity_rejected(self):
+        text = """
+        PROGRAM 'p' END 'p'
+        PROCESS 'P'
+          PROGRAM_ACTIVITY 'A' PROGRAM 'p' END 'A'
+          CONTROL FROM 'A' TO 'Ghost'
+        END 'P'
+        """
+        with pytest.raises(FDLSemanticError, match="Ghost"):
+            import_text(text)
+
+    def test_cycle_rejected_at_definition_validation(self):
+        text = """
+        PROGRAM 'p' END 'p'
+        PROCESS 'P'
+          PROGRAM_ACTIVITY 'A' PROGRAM 'p' END 'A'
+          PROGRAM_ACTIVITY 'B' PROGRAM 'p' END 'B'
+          CONTROL FROM 'A' TO 'B'
+          CONTROL FROM 'B' TO 'A'
+        END 'P'
+        """
+        with pytest.raises(Exception, match="cycle"):
+            import_text(text)
+
+    def test_structures_register_in_dependency_order(self):
+        text = """
+        STRUCTURE 'Outer'
+          'inner': 'Inner';
+        END 'Outer'
+        STRUCTURE 'Inner'
+          'x': LONG;
+        END 'Inner'
+        PROGRAM 'p' END 'p'
+        PROCESS 'P'
+          INPUT_CONTAINER 'o': 'Outer'; END
+          PROGRAM_ACTIVITY 'A' PROGRAM 'p' END 'A'
+        END 'P'
+        """
+        result = import_text(text)
+        definition = result.definition("P")
+        assert definition.types.default_value(
+            VariableDecl("o", "Outer")
+        ) == {"inner": {"x": 0}}
+
+
+def build_rich_definition():
+    """A definition exercising every exportable feature."""
+    d = ProcessDefinition(
+        "Rich",
+        version="3",
+        description="everything at once",
+        input_spec=[VariableDecl("N", DataType.LONG)],
+        output_spec=[VariableDecl("Out", DataType.LONG)],
+    )
+    d.types.register(
+        StructureType(
+            "Pair",
+            [VariableDecl("a", DataType.LONG), VariableDecl("b", DataType.STRING)],
+        )
+    )
+    d.add_activity(
+        Activity(
+            "First",
+            program="work",
+            description="the first step",
+            input_spec=[VariableDecl("In", DataType.LONG)],
+            output_spec=[
+                VariableDecl("X", DataType.LONG),
+                VariableDecl("P", "Pair"),
+                VariableDecl("Tags", DataType.STRING, array_size=2),
+            ],
+            exit_condition="RC = 0",
+            priority=4,
+            max_iterations=9,
+        )
+    )
+    d.add_activity(
+        Activity(
+            "Second",
+            program="work",
+            start_condition=StartCondition.ANY,
+            start_mode=StartMode.MANUAL,
+            staff=StaffAssignment(
+                roles=("clerk",), notify_after=30.0, notify_role="manager"
+            ),
+            input_spec=[VariableDecl("Seed", DataType.LONG)],
+        )
+    )
+    inner = ProcessDefinition("Blk")
+    inner.add_activity(Activity("InnerA", program="work"))
+    inner.add_activity(Activity("InnerB", program="work"))
+    inner.connect("InnerA", "InnerB", "RC = 0")
+    d.add_activity(Activity("Blk", kind=ActivityKind.BLOCK, block=inner))
+    d.connect("First", "Second", "RC = 0")
+    d.connect("First", "Blk", "X > 2")
+    d.map_data(PROCESS_INPUT, "First", [("N", "In")])
+    d.map_data("First", "Second", [("X", "Seed")])
+    d.map_data("First", PROCESS_OUTPUT, [("X", "Out")])
+    return d
+
+
+class TestRoundTrip:
+    def test_export_parses_back(self):
+        text = export_definition(build_rich_definition())
+        result = import_text(text)
+        assert result.definition("Rich") is not None
+
+    def test_round_trip_preserves_structure(self):
+        original = build_rich_definition()
+        restored = import_text(export_definition(original)).definition("Rich")
+        assert set(restored.activities) == set(original.activities)
+        assert restored.version == original.version
+        assert restored.description == original.description
+        assert [
+            (c.source, c.target, c.condition.source)
+            for c in restored.control_connectors
+        ] == [
+            (c.source, c.target, c.condition.source)
+            for c in original.control_connectors
+        ]
+        assert [
+            (c.source, c.target, tuple(c.mappings))
+            for c in restored.data_connectors
+        ] == [
+            (c.source, c.target, tuple(c.mappings))
+            for c in original.data_connectors
+        ]
+
+    def test_round_trip_preserves_activity_details(self):
+        original = build_rich_definition()
+        restored = import_text(export_definition(original)).definition("Rich")
+        first = restored.activity("First")
+        assert first.exit_condition.source == "RC = 0"
+        assert first.priority == 4
+        assert first.max_iterations == 9
+        assert [m.name for m in first.output_spec] == ["X", "P", "Tags"]
+        assert first.output_spec[2].array_size == 2
+        second = restored.activity("Second")
+        assert second.start_condition is StartCondition.ANY
+        assert second.start_mode is StartMode.MANUAL
+        assert second.staff.roles == ("clerk",)
+        assert second.staff.notify_after == 30.0
+        blk = restored.activity("Blk")
+        assert blk.kind is ActivityKind.BLOCK
+        assert set(blk.block.activities) == {"InnerA", "InnerB"}
+
+    def test_double_round_trip_is_stable(self):
+        once = export_definition(build_rich_definition())
+        twice = export_document(
+            import_text(once).definitions
+        )
+        assert once == twice
+
+    def test_round_trip_execution_equivalence(self):
+        engine1, engine2 = Engine(), Engine()
+        for engine in (engine1, engine2):
+            engine.register_program("work", lambda ctx: 0)
+
+        original = ProcessDefinition("Simple")
+        original.add_activity(Activity("A", program="work"))
+        original.add_activity(Activity("B", program="work"))
+        original.connect("A", "B", "RC = 0")
+        engine1.register_definition(original)
+        restored = import_text(export_definition(original)).definition(
+            "Simple"
+        )
+        engine2.register_definition(restored)
+        r1 = engine1.run_process("Simple")
+        r2 = engine2.run_process("Simple")
+        assert r1.execution_order == r2.execution_order
+        assert r1.state == r2.state
+
+    def test_exported_document_declares_programs(self):
+        text = export_definition(build_rich_definition())
+        assert "PROGRAM 'work'" in text

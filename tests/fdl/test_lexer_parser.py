@@ -1,0 +1,199 @@
+"""Unit tests for the FDL lexer and parser."""
+
+import pytest
+
+from repro.errors import FDLSyntaxError
+from repro.fdl.lexer import tokenize
+from repro.fdl.parser import parse_document
+
+
+def toks(text):
+    return [(t.kind, t.value) for t in tokenize(text) if t.kind != "EOF"]
+
+
+class TestLexer:
+    def test_names_strings_numbers(self):
+        assert toks("'Travel' \"hi\" 42") == [
+            ("NAME", "Travel"),
+            ("STRING", "hi"),
+            ("NUMBER", 42),
+        ]
+
+    def test_keywords_case_insensitive(self):
+        assert toks("process End") == [
+            ("KEYWORD", "PROCESS"),
+            ("KEYWORD", "END"),
+        ]
+
+    def test_punctuation(self):
+        assert toks("':' ; ( )")[1:] == [
+            ("SEMI", ";"),
+            ("LPAREN", "("),
+            ("RPAREN", ")"),
+        ]
+
+    def test_comments_skipped(self):
+        assert toks("PROCESS // a comment\n'X'") == [
+            ("KEYWORD", "PROCESS"),
+            ("NAME", "X"),
+        ]
+
+    def test_escaped_quotes_in_strings(self):
+        assert toks(r'"say \"hi\""') == [("STRING", 'say "hi"')]
+
+    def test_unknown_bare_word_rejected(self):
+        with pytest.raises(FDLSyntaxError, match="quoted"):
+            toks("Travel")
+
+    def test_unterminated_name(self):
+        with pytest.raises(FDLSyntaxError, match="unterminated"):
+            toks("'Travel")
+
+    def test_unterminated_string(self):
+        with pytest.raises(FDLSyntaxError, match="unterminated"):
+            toks('"Travel')
+
+    def test_line_numbers(self):
+        tokens = list(tokenize("PROCESS\n'X'"))
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+
+
+SAMPLE = """
+STRUCTURE 'Address'
+  'City': STRING;
+  'Zip':  LONG;
+END 'Address'
+
+PROGRAM 'book'
+  DESCRIPTION "books something"
+END 'book'
+
+PROCESS 'Travel'
+  DESCRIPTION "travel booking"
+  VERSION 2
+  INPUT_CONTAINER
+    'Where': 'Address';
+  END
+  OUTPUT_CONTAINER
+    'Result': LONG;
+  END
+
+  PROGRAM_ACTIVITY 'Book'
+    PROGRAM 'book'
+    START AUTOMATIC WHEN ALL CONNECTORS TRUE
+    EXIT WHEN "RC = 0"
+    PRIORITY 3
+    MAX_ITERATIONS 5
+    DONE_BY ROLE 'clerk' NOTIFY AFTER 10 TO ROLE 'manager'
+    INPUT_CONTAINER
+      'Dest': 'Address';
+    END
+    OUTPUT_CONTAINER
+      'Price': LONG;
+      'Tags': STRING(3);
+    END
+  END 'Book'
+
+  PROGRAM_ACTIVITY 'Pay'
+    PROGRAM 'book'
+    START MANUAL WHEN ANY CONNECTORS TRUE
+  END 'Pay'
+
+  CONTROL FROM 'Book' TO 'Pay' WHEN "RC = 0"
+  DATA FROM SOURCE TO 'Book' MAP 'Where' TO 'Dest'
+  DATA FROM 'Book' TO SINK MAP 'Price' TO 'Result'
+END 'Travel'
+"""
+
+
+class TestParser:
+    def test_sample_parses(self):
+        doc = parse_document(SAMPLE)
+        assert [s.name for s in doc.structures] == ["Address"]
+        assert [p.name for p in doc.programs] == ["book"]
+        process = doc.process("Travel")
+        assert process.description == "travel booking"
+        assert process.version == "2"
+        assert [m.name for m in process.body.input_members] == ["Where"]
+        assert process.body.input_members[0].is_structure
+
+    def test_activity_clauses(self):
+        doc = parse_document(SAMPLE)
+        book = doc.process("Travel").body.activities[0]
+        assert book.kind == "PROGRAM"
+        assert book.program == "book"
+        assert book.exit_condition == "RC = 0"
+        assert book.priority == 3
+        assert book.max_iterations == 5
+        assert book.staff.roles == ("clerk",)
+        assert book.staff.notify_after == 10.0
+        assert book.staff.notify_role == "manager"
+        assert [m.name for m in book.output_members] == ["Price", "Tags"]
+        assert book.output_members[1].array_size == 3
+
+    def test_manual_any_start(self):
+        doc = parse_document(SAMPLE)
+        pay = doc.process("Travel").body.activities[1]
+        assert pay.start_mode == "MANUAL"
+        assert pay.start_condition == "ANY"
+
+    def test_connectors(self):
+        body = parse_document(SAMPLE).process("Travel").body
+        assert len(body.controls) == 1
+        assert body.controls[0].condition == "RC = 0"
+        assert body.datas[0].from_process_input
+        assert body.datas[1].to_process_output
+        assert body.datas[0].mappings == [("Where", "Dest")]
+
+    def test_block_parses_nested_body(self):
+        text = """
+        PROGRAM 'p' END 'p'
+        PROCESS 'P'
+          BLOCK 'Fwd'
+            PROGRAM_ACTIVITY 'A'
+              PROGRAM 'p'
+            END 'A'
+            PROGRAM_ACTIVITY 'B'
+              PROGRAM 'p'
+            END 'B'
+            CONTROL FROM 'A' TO 'B'
+            EXIT WHEN "RC = 0"
+          END 'Fwd'
+        END 'P'
+        """
+        doc = parse_document(text)
+        block = doc.process("P").body.activities[0]
+        assert block.kind == "BLOCK"
+        assert [a.name for a in block.body.activities] == ["A", "B"]
+        assert block.exit_condition == "RC = 0"
+
+    def test_mismatched_end_rejected(self):
+        with pytest.raises(FDLSyntaxError, match="does not close"):
+            parse_document("PROGRAM 'a' END 'b'")
+
+    def test_data_without_map_rejected(self):
+        text = """
+        PROGRAM 'p' END 'p'
+        PROCESS 'P'
+          PROGRAM_ACTIVITY 'A' PROGRAM 'p' END 'A'
+          PROGRAM_ACTIVITY 'B' PROGRAM 'p' END 'B'
+          DATA FROM 'A' TO 'B'
+        END 'P'
+        """
+        with pytest.raises(FDLSyntaxError, match="MAP"):
+            parse_document(text)
+
+    def test_done_by_requires_role_or_user(self):
+        text = """
+        PROGRAM 'p' END 'p'
+        PROCESS 'P'
+          PROGRAM_ACTIVITY 'A' PROGRAM 'p' DONE_BY END 'A'
+        END 'P'
+        """
+        with pytest.raises(FDLSyntaxError, match="DONE_BY"):
+            parse_document(text)
+
+    def test_top_level_garbage_rejected(self):
+        with pytest.raises(FDLSyntaxError):
+            parse_document("CONTROL FROM 'a' TO 'b'")

@@ -1,0 +1,97 @@
+"""Tests for the exception hierarchy and the public API surface."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    ConditionError,
+    DeadlockError,
+    FDLSyntaxError,
+    LockTimeoutError,
+    ModelError,
+    ReproError,
+    SpecSyntaxError,
+    TransactionAborted,
+    TransactionError,
+    WellFormednessError,
+    WorkflowError,
+)
+
+
+class TestHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for exc_type in (
+            WorkflowError,
+            TransactionError,
+            ModelError,
+            FDLSyntaxError,
+        ):
+            assert issubclass(exc_type, ReproError)
+
+    def test_deadlock_and_timeout_are_aborts(self):
+        assert issubclass(DeadlockError, TransactionAborted)
+        assert issubclass(LockTimeoutError, TransactionAborted)
+        assert DeadlockError().reason == "deadlock"
+        assert LockTimeoutError().reason == "lock timeout"
+
+    def test_transaction_aborted_reason_defaults_to_message(self):
+        exc = TransactionAborted("boom")
+        assert exc.reason == "boom"
+        exc2 = TransactionAborted("boom", reason="why")
+        assert exc2.reason == "why"
+
+    def test_fdl_syntax_error_carries_position(self):
+        exc = FDLSyntaxError("bad", 3, 7)
+        assert exc.line == 3 and exc.column == 7
+        assert "line 3:7" in str(exc)
+        bare = FDLSyntaxError("bad")
+        assert "line" not in str(bare)
+
+    def test_spec_syntax_error_carries_line(self):
+        exc = SpecSyntaxError("bad", 9)
+        assert "line 9" in str(exc)
+
+    def test_wellformedness_is_model_error(self):
+        assert issubclass(WellFormednessError, ModelError)
+
+    def test_condition_error_is_workflow_error(self):
+        assert issubclass(ConditionError, WorkflowError)
+
+
+class TestPublicAPI:
+    def test_all_names_importable(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_core_package_exports(self):
+        import repro.core
+
+        for name in repro.core.__all__:
+            assert getattr(repro.core, name, None) is not None, name
+
+    def test_wfms_package_exports(self):
+        import repro.wfms
+
+        for name in repro.wfms.__all__:
+            assert getattr(repro.wfms, name, None) is not None, name
+
+    def test_tx_package_exports(self):
+        import repro.tx
+
+        for name in repro.tx.__all__:
+            assert getattr(repro.tx, name, None) is not None, name
+
+    def test_version_string(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_quickstart_from_docstring(self):
+        # The module docstring's quickstart must keep working verbatim.
+        from repro import Activity, Engine, ProcessDefinition
+
+        engine = Engine()
+        engine.register_program("hello", lambda ctx: 0)
+        defn = ProcessDefinition("Hi")
+        defn.add_activity(Activity("Greet", program="hello"))
+        engine.register_definition(defn)
+        result = engine.run_process("Hi")
+        assert result.finished

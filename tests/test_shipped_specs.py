@@ -1,0 +1,45 @@
+"""The specification files shipped under examples/specs/ must keep
+parsing, validating and translating."""
+
+import glob
+import os
+
+import pytest
+
+from repro.core.contract import ContractSpec, translate_contract
+from repro.core.flexible import FlexibleSpec
+from repro.core.flexible_translator import translate_flexible
+from repro.core.parallel_saga import translate_parallel_saga
+from repro.core.sagas import SagaSpec
+from repro.core.saga_translator import translate_saga
+from repro.core.speclang import parse_spec
+
+SPEC_DIR = os.path.join(
+    os.path.dirname(__file__), os.pardir, "examples", "specs"
+)
+SPEC_FILES = sorted(glob.glob(os.path.join(SPEC_DIR, "*.fmtm")))
+
+
+def test_spec_directory_is_populated():
+    assert len(SPEC_FILES) >= 4
+
+
+@pytest.mark.parametrize(
+    "path", SPEC_FILES, ids=[os.path.basename(p) for p in SPEC_FILES]
+)
+def test_shipped_spec_translates(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        spec = parse_spec(handle.read())
+    if isinstance(spec, SagaSpec):
+        translation = (
+            translate_saga(spec)
+            if spec.is_linear
+            else translate_parallel_saga(spec)
+        )
+    elif isinstance(spec, FlexibleSpec):
+        translation = translate_flexible(spec)
+    else:
+        assert isinstance(spec, ContractSpec)
+        translation = translate_contract(spec)
+    translation.process.validate()
+    assert translation.required_programs

@@ -1,0 +1,162 @@
+"""Tests for the command-line tools."""
+
+import io
+
+import pytest
+
+from repro.tools.fdl import main as fdl_main
+from repro.tools.fmtm import main as fmtm_main
+
+SAGA = """
+MODEL SAGA 'travel'
+  STEP 'flight'
+  STEP 'hotel'
+END 'travel'
+"""
+
+FLEX = """
+MODEL FLEXIBLE 'f'
+  SUBTRANSACTION 'a' COMPENSATABLE
+  SUBTRANSACTION 'p' PIVOT
+  SUBTRANSACTION 'r' RETRIABLE
+  PATH 'a' 'p'
+  PATH 'a' 'r'
+END 'f'
+"""
+
+CONTRACT = """
+MODEL CONTRACT 'order'
+  CONTEXT 'Amount' LONG
+  STEP 'reserve'
+  STEP 'insure' WHEN "Amount > 100"
+END 'order'
+"""
+
+
+@pytest.fixture
+def spec_file(tmp_path):
+    def write(text, name="spec.fmtm"):
+        path = tmp_path / name
+        path.write_text(text)
+        return str(path)
+
+    return write
+
+
+def run_fmtm(*argv):
+    out = io.StringIO()
+    code = fmtm_main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def run_fdl(*argv):
+    out = io.StringIO()
+    code = fdl_main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestFmtmTool:
+    def test_translate_saga(self, spec_file):
+        code, output = run_fmtm(spec_file(SAGA))
+        assert code == 0
+        assert "Saga_travel" in output
+        assert "build_template" in output
+
+    def test_run_saga_success(self, spec_file):
+        code, output = run_fmtm(spec_file(SAGA), "--run")
+        assert code == 0
+        assert "committed: True" in output
+        assert "'flight': 1" in output
+
+    def test_run_saga_with_abort(self, spec_file):
+        code, output = run_fmtm(spec_file(SAGA), "--run", "--abort", "hotel")
+        assert code == 0
+        assert "committed: False" in output
+        assert "compensated: ['flight']" in output
+
+    def test_run_flexible_fallback(self, spec_file):
+        code, output = run_fmtm(spec_file(FLEX), "--run", "--abort", "p")
+        assert code == 0
+        assert "committed: True" in output
+        assert "committed_path: ['a', 'r']" in output
+
+    def test_run_contract_with_input(self, spec_file):
+        code, output = run_fmtm(
+            spec_file(CONTRACT), "--run", "--input", "Amount=50"
+        )
+        assert code == 0
+        assert "skipped: ['insure']" in output
+
+    def test_fdl_out_written(self, spec_file, tmp_path):
+        fdl_path = tmp_path / "out.fdl"
+        code, output = run_fmtm(spec_file(SAGA), "--fdl-out", str(fdl_path))
+        assert code == 0
+        assert fdl_path.exists()
+        assert "PROCESS 'Saga_travel'" in fdl_path.read_text()
+
+    def test_missing_file_is_an_error(self):
+        code, output = run_fmtm("/nonexistent/spec.fmtm")
+        assert code == 1
+        assert "error:" in output
+
+    def test_bad_spec_is_an_error(self, spec_file):
+        code, output = run_fmtm(spec_file("MODEL SAGA 'x'\n"))
+        assert code == 1
+        assert "error:" in output
+
+    def test_bad_input_pair_is_an_error(self, spec_file):
+        code, output = run_fmtm(
+            spec_file(CONTRACT), "--run", "--input", "Amount"
+        )
+        assert code == 1
+        assert "NAME=VALUE" in output
+
+    def test_dag_saga_routes_to_parallel_translation(self, spec_file):
+        text = """
+        MODEL SAGA 'dag'
+          STEP 'a'
+          STEP 'b'
+          STEP 'c'
+          ORDER 'a' 'b'
+          ORDER 'a' 'c'
+        END 'dag'
+        """
+        code, output = run_fmtm(spec_file(text), "--run", "--abort", "b")
+        assert code == 0
+        assert "PSaga_dag" in output
+        assert "committed: False" in output
+
+
+class TestFdlTool:
+    @pytest.fixture
+    def fdl_file(self, spec_file, tmp_path):
+        fdl_path = tmp_path / "doc.fdl"
+        run_fmtm(spec_file(SAGA), "--fdl-out", str(fdl_path))
+        return str(fdl_path)
+
+    def test_check(self, fdl_file):
+        code, output = run_fdl("check", fdl_file)
+        assert code == 0
+        assert "ok: 1 process(es)" in output
+
+    def test_summary(self, fdl_file):
+        code, output = run_fdl("summary", fdl_file)
+        assert code == 0
+        assert "PROCESS Saga_travel" in output
+        assert "block" in output
+
+    def test_roundtrip(self, fdl_file):
+        code, output = run_fdl("roundtrip", fdl_file)
+        assert code == 0
+        assert "stable" in output
+
+    def test_check_invalid_file(self, tmp_path):
+        bad = tmp_path / "bad.fdl"
+        bad.write_text("PROCESS 'x' END 'y'")
+        code, output = run_fdl("check", str(bad))
+        assert code == 1
+        assert "error:" in output
+
+    def test_missing_file(self):
+        code, output = run_fdl("check", "/nonexistent.fdl")
+        assert code == 1

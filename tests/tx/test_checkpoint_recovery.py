@@ -1,0 +1,78 @@
+"""Checkpoint-bounded restart recovery."""
+
+from repro.tx import SimDatabase
+from repro.tx.wal import LogKind
+
+
+class TestCheckpointBoundedRedo:
+    def test_redo_starts_after_checkpoint(self):
+        db = SimDatabase()
+        for i in range(50):
+            with db.begin() as txn:
+                txn.write("k%d" % (i % 5), i)
+        db.checkpoint()  # flushes everything
+        with db.begin() as txn:
+            txn.write("tail", 1)
+        db.crash()
+        stats = db.restart()
+        # Only the post-checkpoint update is redone, not all 51.
+        assert stats["redone"] == 1
+        assert db.get("tail") == 1
+        assert db.get("k4") == 49
+
+    def test_loser_spanning_checkpoint_is_undone(self):
+        db = SimDatabase()
+        loser = db.begin()
+        loser.write("x", 111)
+        db.checkpoint()  # loser is in the checkpoint's active set
+        loser.write("y", 222)
+        db.crash()
+        stats = db.restart()
+        assert stats["losers"] == 1
+        assert db.get("x") is None
+        assert db.get("y") is None
+
+    def test_winner_spanning_checkpoint_stays_committed(self):
+        db = SimDatabase()
+        winner = db.begin()
+        winner.write("x", 1)
+        db.checkpoint()
+        winner.write("y", 2)
+        winner.commit()
+        db.crash()
+        db.restart()
+        assert db.get("x") == 1
+        assert db.get("y") == 2
+
+    def test_multiple_checkpoints_use_latest(self):
+        db = SimDatabase()
+        with db.begin() as txn:
+            txn.write("a", 1)
+        db.checkpoint()
+        with db.begin() as txn:
+            txn.write("b", 2)
+        db.checkpoint()
+        with db.begin() as txn:
+            txn.write("c", 3)
+        db.crash()
+        stats = db.restart()
+        assert stats["redone"] == 1  # only c's update
+        assert db.snapshot() == {"a": 1, "b": 2, "c": 3}
+
+    def test_checkpoint_active_set_recorded(self):
+        db = SimDatabase()
+        txn = db.begin("t-open")
+        db.checkpoint()
+        record = db.log.last_checkpoint()
+        assert record is not None
+        assert record.active == ("t-open",)
+        txn.abort()
+
+    def test_recovery_without_checkpoint_unchanged(self):
+        db = SimDatabase()
+        with db.begin() as txn:
+            txn.write("x", 1)
+        db.crash()
+        stats = db.restart()
+        assert stats["redone"] == 1
+        assert db.get("x") == 1

@@ -1,0 +1,206 @@
+"""Tests for the multidatabase federation, failure policies and the
+subtransaction adapter layer."""
+
+import pytest
+
+from repro.errors import TransactionAborted, TransactionError
+from repro.tx import (
+    AbortProbability,
+    AbortScript,
+    AlwaysAbort,
+    AlwaysCommit,
+    FailNTimes,
+    Multidatabase,
+    SimDatabase,
+    Subtransaction,
+)
+from repro.tx.subtransaction import (
+    compensate_transfer,
+    transfer,
+    write_value,
+)
+
+
+class TestFailurePolicies:
+    def test_always_commit(self):
+        policy = AlwaysCommit()
+        assert not any(policy.should_abort(i) for i in range(1, 10))
+
+    def test_always_abort(self):
+        policy = AlwaysAbort()
+        assert all(policy.should_abort(i) for i in range(1, 10))
+
+    def test_fail_n_times(self):
+        policy = FailNTimes(2)
+        assert [policy.should_abort(i) for i in (1, 2, 3, 4)] == [
+            True,
+            True,
+            False,
+            False,
+        ]
+
+    def test_fail_n_times_rejects_negative(self):
+        with pytest.raises(ValueError):
+            FailNTimes(-1)
+
+    def test_abort_script(self):
+        policy = AbortScript([1, 3])
+        assert [policy.should_abort(i) for i in (1, 2, 3, 4)] == [
+            True,
+            False,
+            True,
+            False,
+        ]
+
+    def test_abort_probability_is_seeded(self):
+        a = [AbortProbability(0.5, seed=7).should_abort(i) for i in range(20)]
+        b = [AbortProbability(0.5, seed=7).should_abort(i) for i in range(20)]
+        assert a == b
+
+    def test_abort_probability_bounds(self):
+        with pytest.raises(ValueError):
+            AbortProbability(1.5)
+        assert not AbortProbability(0.0).should_abort(1)
+        assert AbortProbability(1.0).should_abort(1)
+
+
+class TestMultidatabase:
+    def test_sites_are_independent(self):
+        mdb = Multidatabase()
+        mdb.add_site("bank_a")
+        mdb.add_site("bank_b")
+        with mdb.begin_at("bank_a") as txn:
+            txn.write("acc", 100)
+        assert mdb.site("bank_a").get("acc") == 100
+        assert mdb.site("bank_b").get("acc") is None
+
+    def test_duplicate_site_rejected(self):
+        mdb = Multidatabase()
+        mdb.add_site("s")
+        with pytest.raises(TransactionError):
+            mdb.add_site("s")
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(TransactionError):
+            Multidatabase().site("ghost")
+
+    def test_unilateral_abort_at_one_site(self):
+        # "a local database can unilaterally abort a transaction"
+        mdb = Multidatabase()
+        a = mdb.add_site("a")
+        b = mdb.add_site("b")
+        b.set_abort_policy(AbortScript([1]))
+        with mdb.begin_at("a") as txn:
+            txn.write("x", 1)
+        txn_b = mdb.begin_at("b")
+        txn_b.write("x", 1)
+        with pytest.raises(TransactionAborted):
+            txn_b.commit()
+        # No global atomicity: site a kept its commit, site b lost its
+        # write — the inconsistency flexible transactions exist to fix.
+        assert a.get("x") == 1
+        assert b.get("x") is None
+        assert mdb.total_commits() == 1
+        assert mdb.total_aborts() == 1
+
+    def test_snapshot_covers_all_sites(self):
+        mdb = Multidatabase()
+        mdb.add_site("a")
+        mdb.add_site("b")
+        with mdb.begin_at("a") as txn:
+            txn.write("k", 1)
+        assert mdb.snapshot() == {"a": {"k": 1}, "b": {}}
+
+    def test_clearing_abort_policy(self):
+        mdb = Multidatabase()
+        site = mdb.add_site("a")
+        site.set_abort_policy(AlwaysAbort())
+        site.set_abort_policy(None)
+        with mdb.begin_at("a") as txn:
+            txn.write("x", 1)
+        assert site.get("x") == 1
+
+
+class TestSubtransaction:
+    def test_commit_outcome(self):
+        db = SimDatabase()
+        sub = Subtransaction("t1", db, write_value("x", 5))
+        outcome = sub.execute()
+        assert outcome.committed and outcome.attempt == 1
+        assert db.get("x") == 5
+
+    def test_injected_abort_outcome(self):
+        db = SimDatabase()
+        sub = Subtransaction(
+            "t1", db, write_value("x", 5), policy=AbortScript([1])
+        )
+        outcome = sub.execute()
+        assert not outcome.committed
+        assert db.get("x") is None
+        assert sub.execute().committed  # attempt 2 passes
+
+    def test_body_raising_aborts(self):
+        db = SimDatabase()
+        with db.begin() as txn:
+            txn.write("src", 10)
+        sub = Subtransaction("t", db, transfer("src", "dst", 50))
+        outcome = sub.execute()
+        assert not outcome.committed
+        assert outcome.reason == "insufficient funds"
+        assert db.get("src") == 10
+
+    def test_transfer_and_compensation_are_inverse(self):
+        db = SimDatabase()
+        with db.begin() as txn:
+            txn.write("src", 100)
+        Subtransaction("fwd", db, transfer("src", "dst", 30)).execute()
+        assert db.get("src") == 70 and db.get("dst") == 30
+        Subtransaction(
+            "comp", db, compensate_transfer("src", "dst", 30)
+        ).execute()
+        assert db.get("src") == 100 and db.get("dst") == 0
+
+    def test_recorder_collects_outcomes(self):
+        db = SimDatabase()
+        events = []
+        sub = Subtransaction(
+            "t", db, write_value("x", 1),
+            policy=FailNTimes(1), recorder=events,
+        )
+        sub.execute()
+        sub.execute()
+        assert [(e.name, e.committed) for e in events] == [
+            ("t", False),
+            ("t", True),
+        ]
+
+    def test_as_program_saga_convention(self):
+        # Saga appendix: RC 0 = success.
+        from repro.wfms.containers import Container
+        from repro.wfms.datatypes import DataType, VariableDecl
+        from repro.wfms.programs import InvocationContext
+
+        db = SimDatabase()
+        sub = Subtransaction("t", db, write_value("x", 1))
+        program = sub.as_program(commit_rc=0, abort_rc=1)
+        output = Container(
+            [VariableDecl("State", DataType.LONG)], output=True
+        )
+        ctx = InvocationContext("A", "P", "pi-1", Container([]), output)
+        assert program(ctx) == 0
+        assert output.get("State") == 1
+
+    def test_as_program_flexible_convention(self):
+        # Flexible §4.2: RC 1 = commit, RC 0 = abort.
+        from repro.wfms.containers import Container
+        from repro.wfms.programs import InvocationContext
+
+        db = SimDatabase()
+        sub = Subtransaction(
+            "t", db, write_value("x", 1), policy=AlwaysAbort()
+        )
+        program = sub.as_program(commit_rc=1, abort_rc=0)
+        ctx = InvocationContext(
+            "A", "P", "pi-1", Container([]), Container([], output=True)
+        )
+        assert program(ctx) == 0

@@ -1,0 +1,130 @@
+"""Direct WAL unit tests plus a threaded 2PL serializability check."""
+
+import threading
+
+import pytest
+
+from repro.errors import TransactionAborted, TransactionError
+from repro.tx import SimDatabase
+from repro.tx.wal import ABSENT, LogKind, WriteAheadLog
+
+
+class TestWriteAheadLog:
+    def test_lsns_are_dense_and_ordered(self):
+        log = WriteAheadLog()
+        records = [
+            log.append(LogKind.BEGIN, "t1"),
+            log.append(LogKind.UPDATE, "t1", "k", before=ABSENT, after=1),
+            log.append(LogKind.COMMIT, "t1"),
+        ]
+        assert [r.lsn for r in records] == [0, 1, 2]
+        assert len(log) == 3
+
+    def test_record_lookup(self):
+        log = WriteAheadLog()
+        log.append(LogKind.BEGIN, "t1")
+        assert log.record(0).kind is LogKind.BEGIN
+        with pytest.raises(TransactionError):
+            log.record(99)
+
+    def test_records_of_filters_by_txn(self):
+        log = WriteAheadLog()
+        log.append(LogKind.BEGIN, "t1")
+        log.append(LogKind.BEGIN, "t2")
+        log.append(LogKind.UPDATE, "t1", "k", after=1)
+        assert [r.kind for r in log.records_of("t1")] == [
+            LogKind.BEGIN,
+            LogKind.UPDATE,
+        ]
+
+    def test_last_checkpoint(self):
+        log = WriteAheadLog()
+        assert log.last_checkpoint() is None
+        log.append(LogKind.CHECKPOINT, "", active=("t1",))
+        log.append(LogKind.BEGIN, "t2")
+        log.append(LogKind.CHECKPOINT, "", active=("t2",))
+        checkpoint = log.last_checkpoint()
+        assert checkpoint is not None
+        assert checkpoint.active == ("t2",)
+
+    def test_clr_records_carry_undo_next(self):
+        db = SimDatabase()
+        txn = db.begin()
+        txn.write("k", 1)
+        update_lsn = [
+            r.lsn for r in db.log if r.kind is LogKind.UPDATE
+        ][0]
+        txn.abort()
+        clr = [r for r in db.log if r.kind is LogKind.CLR][0]
+        assert clr.undo_next == update_lsn
+        assert clr.after is ABSENT
+
+
+class TestThreaded2PL:
+    def test_concurrent_transfers_conserve_money(self):
+        """Strict 2PL under real threads: concurrent transfers between
+        two accounts never create or destroy money; deadlock victims
+        retry."""
+        db = SimDatabase("bank", lock_timeout=5.0)
+        with db.begin() as txn:
+            txn.write("a", 1000)
+            txn.write("b", 1000)
+
+        transfers_per_thread = 25
+        errors: list[Exception] = []
+
+        def worker(source: str, target: str) -> None:
+            done = 0
+            while done < transfers_per_thread:
+                txn = db.begin()
+                try:
+                    balance = txn.read(source, 0)
+                    txn.write(source, balance - 1)
+                    other = txn.read(target, 0)
+                    txn.write(target, other + 1)
+                    txn.commit()
+                    done += 1
+                except TransactionAborted:
+                    # Deadlock victim or timeout: roll back and retry.
+                    if txn.state.value == "active":
+                        txn.abort()
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+                    return
+
+        threads = [
+            threading.Thread(target=worker, args=("a", "b")),
+            threading.Thread(target=worker, args=("b", "a")),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30.0)
+        assert errors == []
+        assert db.get("a") + db.get("b") == 2000
+        assert db.commits == 1 + 2 * transfers_per_thread
+
+    def test_concurrent_increments_are_isolated(self):
+        db = SimDatabase("counter", lock_timeout=5.0)
+        with db.begin() as txn:
+            txn.write("n", 0)
+        per_thread = 50
+
+        def worker() -> None:
+            done = 0
+            while done < per_thread:
+                txn = db.begin()
+                try:
+                    txn.increment("n", 1)
+                    txn.commit()
+                    done += 1
+                except TransactionAborted:
+                    if txn.state.value == "active":
+                        txn.abort()
+
+        threads = [threading.Thread(target=worker) for __ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30.0)
+        assert db.get("n") == 4 * per_thread

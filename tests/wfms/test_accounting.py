@@ -1,0 +1,72 @@
+"""Tests for the accounting view (§3.3)."""
+
+from repro.wfms import Activity, ActivityKind, Engine, ProcessDefinition
+
+
+def build_engine():
+    engine = Engine()
+    engine.register_program("cheap", lambda ctx: 0)
+    engine.register_program("pricey", lambda ctx: 0)
+    flaky = {"n": 0}
+
+    def sometimes(ctx):
+        flaky["n"] += 1
+        return 0 if flaky["n"] >= 3 else 1
+
+    engine.register_program("flaky", sometimes)
+    inner = ProcessDefinition("Inner")
+    inner.add_activity(Activity("I", program="pricey"))
+    d = ProcessDefinition("P")
+    d.add_activity(Activity("A", program="cheap"))
+    d.add_activity(
+        Activity("Retry", program="flaky", exit_condition="RC = 0")
+    )
+    d.add_activity(Activity("Blk", kind=ActivityKind.BLOCK, block=inner))
+    d.connect("A", "Retry")
+    d.connect("Retry", "Blk", "RC = 0")
+    engine.register_definition(d)
+    return engine
+
+
+class TestAccounting:
+    def test_counts_invocations_including_retries(self):
+        engine = build_engine()
+        result = engine.run_process("P")
+        account = engine.account(result.instance_id)
+        assert account["lines"]["cheap"]["invocations"] == 1
+        assert account["lines"]["flaky"]["invocations"] == 3
+        assert account["lines"]["pricey"]["invocations"] == 1
+
+    def test_rates_applied(self):
+        engine = build_engine()
+        result = engine.run_process("P")
+        account = engine.account(
+            result.instance_id,
+            program_rates={"pricey": 10.0, "flaky": 2.0},
+            default_rate=1.0,
+        )
+        assert account["lines"]["pricey"]["cost"] == 10.0
+        assert account["lines"]["flaky"]["cost"] == 6.0
+        assert account["total"] == 1.0 + 6.0 + 10.0
+
+    def test_children_optional(self):
+        engine = build_engine()
+        result = engine.run_process("P")
+        account = engine.account(
+            result.instance_id, include_children=False
+        )
+        assert "pricey" not in account["lines"]
+
+    def test_dead_activities_cost_nothing(self):
+        engine = Engine()
+        engine.register_program("fail", lambda ctx: 1)
+        engine.register_program("never", lambda ctx: 0)
+        d = ProcessDefinition("P")
+        d.add_activity(Activity("A", program="fail"))
+        d.add_activity(Activity("B", program="never"))
+        d.connect("A", "B", "RC = 0")
+        engine.register_definition(d)
+        result = engine.run_process("P")
+        account = engine.account(result.instance_id)
+        assert "never" not in account["lines"]
+        assert account["total"] == 1.0

@@ -1,0 +1,85 @@
+"""Unit tests for the audit trail."""
+
+from repro.wfms.audit import (
+    AuditEvent,
+    AuditRecord,
+    AuditTrail,
+    merge_orders,
+)
+
+
+def make_trail():
+    trail = AuditTrail()
+    trail.record(0.0, AuditEvent.PROCESS_STARTED, "pi-1")
+    trail.record(1.0, AuditEvent.ACTIVITY_READY, "pi-1", "A")
+    trail.record(2.0, AuditEvent.ACTIVITY_STARTED, "pi-1", "A", attempt=1)
+    trail.record(3.0, AuditEvent.ACTIVITY_FINISHED, "pi-1", "A", rc=0)
+    trail.record(4.0, AuditEvent.ACTIVITY_TERMINATED, "pi-1", "A", rc=0)
+    trail.record(5.0, AuditEvent.ACTIVITY_DEAD, "pi-1", "B")
+    trail.record(6.0, AuditEvent.PROCESS_STARTED, "pi-2")
+    trail.record(7.0, AuditEvent.ACTIVITY_STARTED, "pi-2", "A", attempt=1)
+    trail.record(8.0, AuditEvent.ACTIVITY_STARTED, "pi-2", "A", attempt=2)
+    trail.record(9.0, AuditEvent.PROCESS_FINISHED, "pi-1")
+    return trail
+
+
+class TestAuditTrail:
+    def test_records_are_sequenced(self):
+        trail = make_trail()
+        sequences = [r.sequence for r in trail]
+        assert sequences == sorted(sequences)
+        assert len(trail) == 10
+
+    def test_filter_by_instance(self):
+        trail = make_trail()
+        assert all(
+            r.instance_id == "pi-2" for r in trail.records("pi-2")
+        )
+        assert len(trail.records("pi-2")) == 3
+
+    def test_filter_by_event(self):
+        trail = make_trail()
+        starts = trail.records(event=AuditEvent.PROCESS_STARTED)
+        assert [r.instance_id for r in starts] == ["pi-1", "pi-2"]
+
+    def test_filter_by_activity(self):
+        trail = make_trail()
+        records = trail.records("pi-1", activity="A")
+        assert {r.event for r in records} == {
+            AuditEvent.ACTIVITY_READY,
+            AuditEvent.ACTIVITY_STARTED,
+            AuditEvent.ACTIVITY_FINISHED,
+            AuditEvent.ACTIVITY_TERMINATED,
+        }
+
+    def test_execution_order_excludes_dead(self):
+        trail = make_trail()
+        assert trail.execution_order("pi-1") == ["A"]
+        assert trail.dead_activities("pi-1") == ["B"]
+
+    def test_attempts_counts_starts(self):
+        trail = make_trail()
+        assert trail.attempts("pi-2", "A") == 2
+        assert trail.attempts("pi-1", "A") == 1
+        assert trail.attempts("pi-1", "Z") == 0
+
+    def test_started_order(self):
+        trail = make_trail()
+        assert trail.started_order("pi-2") == ["A", "A"]
+
+    def test_record_to_dict(self):
+        record = AuditRecord(
+            3, 1.5, AuditEvent.ACTIVITY_FINISHED, "pi-1", "A", {"rc": 0}
+        )
+        data = record.to_dict()
+        assert data == {
+            "sequence": 3,
+            "at": 1.5,
+            "event": "activity_finished",
+            "instance_id": "pi-1",
+            "activity": "A",
+            "detail": {"rc": 0},
+        }
+
+    def test_merge_orders(self):
+        assert merge_orders([["a", "b"], [], ["c"]]) == ["a", "b", "c"]

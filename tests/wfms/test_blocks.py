@@ -1,0 +1,251 @@
+"""Tests for block activities, subprocess activities and nesting (§3.2:
+"Process activities are used for nesting and modular design", and exit
+conditions on blocks give loops)."""
+
+import pytest
+
+from repro.wfms import (
+    Activity,
+    ActivityKind,
+    DataType,
+    Engine,
+    ProcessDefinition,
+    VariableDecl,
+)
+from repro.wfms.model import PROCESS_INPUT, PROCESS_OUTPUT
+
+
+def make_engine(**programs):
+    engine = Engine()
+    engine.register_program("ok", lambda ctx: 0)
+    for name, program in programs.items():
+        engine.register_program(name, program)
+    return engine
+
+
+def inner_producing(value):
+    """An inner definition writing ``X = value`` to its output."""
+    inner = ProcessDefinition(
+        "Inner", output_spec=[VariableDecl("X", DataType.LONG)]
+    )
+    inner.add_activity(
+        Activity(
+            "S",
+            program="emit",
+            output_spec=[VariableDecl("X", DataType.LONG)],
+        )
+    )
+    inner.map_data("S", PROCESS_OUTPUT, [("X", "X")])
+    return inner
+
+
+class TestBlocks:
+    def test_block_executes_embedded_definition(self):
+        engine = make_engine(emit=lambda ctx: (ctx.set_output("X", 5), 0)[1])
+        outer = ProcessDefinition("Outer")
+        outer.add_activity(
+            Activity(
+                "Blk",
+                kind=ActivityKind.BLOCK,
+                block=inner_producing(5),
+                output_spec=[VariableDecl("X", DataType.LONG)],
+            )
+        )
+        engine.register_definition(outer)
+        result = engine.run_process("Outer")
+        assert result.finished
+        assert engine.execution_order(result.instance_id) == ["S"]
+
+    def test_block_output_propagates_to_parent(self):
+        engine = make_engine(emit=lambda ctx: (ctx.set_output("X", 5), 0)[1])
+        outer = ProcessDefinition(
+            "Outer", output_spec=[VariableDecl("X", DataType.LONG)]
+        )
+        outer.add_activity(
+            Activity(
+                "Blk",
+                kind=ActivityKind.BLOCK,
+                block=inner_producing(5),
+                output_spec=[VariableDecl("X", DataType.LONG)],
+            )
+        )
+        outer.map_data("Blk", PROCESS_OUTPUT, [("X", "X")])
+        engine.register_definition(outer)
+        result = engine.run_process("Outer")
+        assert result.output["X"] == 5
+
+    def test_block_input_flows_into_child(self):
+        received = {}
+
+        def consume(ctx):
+            received["n"] = ctx.get_input("N")
+            return 0
+
+        engine = make_engine(consume=consume)
+        inner = ProcessDefinition(
+            "Inner", input_spec=[VariableDecl("N", DataType.LONG)]
+        )
+        inner.add_activity(
+            Activity(
+                "C",
+                program="consume",
+                input_spec=[VariableDecl("N", DataType.LONG)],
+            )
+        )
+        inner.map_data(PROCESS_INPUT, "C", [("N", "N")])
+        outer = ProcessDefinition(
+            "Outer", input_spec=[VariableDecl("N", DataType.LONG)]
+        )
+        outer.add_activity(
+            Activity(
+                "Blk",
+                kind=ActivityKind.BLOCK,
+                block=inner,
+                input_spec=[VariableDecl("N", DataType.LONG)],
+            )
+        )
+        outer.map_data(PROCESS_INPUT, "Blk", [("N", "N")])
+        engine.register_definition(outer)
+        engine.run_process("Outer", {"N": 13})
+        assert received["n"] == 13
+
+    def test_block_exit_condition_reruns_whole_block(self):
+        attempts = []
+
+        def emit(ctx):
+            attempts.append(1)
+            ctx.set_output("X", len(attempts))
+            return 0
+
+        engine = make_engine(emit=emit)
+        inner = ProcessDefinition(
+            "Inner", output_spec=[VariableDecl("X", DataType.LONG)]
+        )
+        inner.add_activity(
+            Activity(
+                "S",
+                program="emit",
+                output_spec=[VariableDecl("X", DataType.LONG)],
+            )
+        )
+        inner.map_data("S", PROCESS_OUTPUT, [("X", "X")])
+        outer = ProcessDefinition("Outer")
+        outer.add_activity(
+            Activity(
+                "Blk",
+                kind=ActivityKind.BLOCK,
+                block=inner,
+                output_spec=[VariableDecl("X", DataType.LONG)],
+                exit_condition="X >= 3",
+                max_iterations=10,
+            )
+        )
+        engine.register_definition(outer)
+        result = engine.run_process("Outer")
+        assert result.finished
+        assert len(attempts) == 3  # the block looped until X >= 3
+
+    def test_block_rc_visible_to_transition_conditions(self):
+        # Figure 2: the forward block's RC_FB gates the compensation
+        # block; an inner activity maps its RC to the block output RC.
+        ran = []
+
+        def record(ctx):
+            ran.append(ctx.activity)
+            return 0
+
+        engine = make_engine(
+            failing=lambda ctx: 3, record=record
+        )
+        inner = ProcessDefinition("Inner")
+        inner.add_activity(Activity("F", program="failing"))
+        inner.map_data("F", PROCESS_OUTPUT, [("_RC", "_RC")])
+        outer = ProcessDefinition("Outer")
+        outer.add_activity(
+            Activity("Blk", kind=ActivityKind.BLOCK, block=inner)
+        )
+        outer.add_activity(Activity("OnFail", program="record"))
+        outer.add_activity(Activity("OnOk", program="record"))
+        outer.connect("Blk", "OnFail", "RC <> 0")
+        outer.connect("Blk", "OnOk", "RC = 0")
+        engine.register_definition(outer)
+        result = engine.run_process("Outer")
+        assert ran == ["OnFail"]
+        assert "OnOk" in result.dead_activities
+
+
+class TestSubprocesses:
+    def test_process_activity_runs_named_definition(self):
+        engine = make_engine()
+        child = ProcessDefinition("Child")
+        child.add_activity(Activity("Inner", program="ok"))
+        parent = ProcessDefinition("Parent")
+        parent.add_activity(
+            Activity("CallChild", kind=ActivityKind.PROCESS, subprocess="Child")
+        )
+        engine.register_definition(child)
+        engine.register_definition(parent)
+        result = engine.run_process("Parent")
+        assert result.finished
+        assert engine.execution_order(result.instance_id) == ["Inner"]
+
+    def test_missing_subprocess_caught_at_start(self):
+        engine = make_engine()
+        parent = ProcessDefinition("Parent")
+        parent.add_activity(
+            Activity("CallChild", kind=ActivityKind.PROCESS, subprocess="Ghost")
+        )
+        engine.register_definition(parent)
+        with pytest.raises(Exception, match="Ghost"):
+            engine.start_process("Parent")
+
+    def test_three_level_nesting(self):
+        engine = make_engine()
+        leaf = ProcessDefinition("Leaf")
+        leaf.add_activity(Activity("Work", program="ok"))
+        mid = ProcessDefinition("Mid")
+        mid.add_activity(
+            Activity("CallLeaf", kind=ActivityKind.PROCESS, subprocess="Leaf")
+        )
+        top = ProcessDefinition("Top")
+        top.add_activity(
+            Activity("CallMid", kind=ActivityKind.PROCESS, subprocess="Mid")
+        )
+        for d in (leaf, mid, top):
+            engine.register_definition(d)
+        result = engine.run_process("Top")
+        assert result.finished
+        assert engine.execution_order(result.instance_id) == ["Work"]
+
+    def test_child_instance_ids_are_hierarchical(self):
+        engine = make_engine()
+        child = ProcessDefinition("Child")
+        child.add_activity(Activity("Inner", program="ok"))
+        parent = ProcessDefinition("Parent")
+        parent.add_activity(
+            Activity("Call", kind=ActivityKind.PROCESS, subprocess="Child")
+        )
+        engine.register_definition(child)
+        engine.register_definition(parent)
+        iid = engine.start_process("Parent")
+        engine.run()
+        children = [
+            pi.instance_id
+            for pi in engine.navigator.instances()
+            if pi.parent_instance == iid
+        ]
+        assert children == ["%s/Call@1" % iid]
+
+    def test_two_blocks_in_sequence(self):
+        engine = make_engine()
+        b1 = ProcessDefinition("B1")
+        b1.add_activity(Activity("X1", program="ok"))
+        b2 = ProcessDefinition("B2")
+        b2.add_activity(Activity("X2", program="ok"))
+        outer = ProcessDefinition("Outer")
+        outer.add_activity(Activity("First", kind=ActivityKind.BLOCK, block=b1))
+        outer.add_activity(Activity("Second", kind=ActivityKind.BLOCK, block=b2))
+        outer.connect("First", "Second")
+        engine.register_definition(outer)
+        result = engine.run_process("Outer")
+        assert engine.execution_order(result.instance_id) == ["X1", "X2"]

@@ -1,0 +1,122 @@
+"""Unit tests for the condition expression language."""
+
+import pytest
+
+from repro.errors import ConditionError
+from repro.wfms.conditions import ALWAYS, NEVER, Condition, parse_condition
+
+
+class TestParsing:
+    def test_empty_and_none_mean_always(self):
+        assert parse_condition(None) is ALWAYS
+        assert parse_condition("") is ALWAYS
+        assert parse_condition("   ") is ALWAYS
+
+    def test_parse_returns_condition_unchanged(self):
+        cond = parse_condition("RC = 0")
+        assert parse_condition(cond) is cond
+
+    def test_source_is_preserved_stripped(self):
+        assert parse_condition("  RC = 0 ").source == "RC = 0"
+
+    def test_equality_and_hash_follow_source(self):
+        a, b = parse_condition("RC = 0"), parse_condition("RC = 0")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert parse_condition("RC = 1") != a
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "RC = ",
+            "(RC = 0",
+            "RC == 0 0",
+            "1 +",
+            "RC = 0 AND",
+            "'unterminated",
+            "RC $ 1",
+        ],
+    )
+    def test_syntax_errors(self, text):
+        with pytest.raises(ConditionError):
+            parse_condition(text)
+
+    def test_variables_collects_all_paths(self):
+        cond = parse_condition("State_1 = 1 AND Order.Total > 10 OR RC = 0")
+        assert cond.variables() == {"State_1", "Order.Total", "RC"}
+
+
+class TestEvaluation:
+    def test_boolean_constants(self):
+        assert ALWAYS.evaluate({})
+        assert not NEVER.evaluate({})
+        assert parse_condition("TRUE OR FALSE").evaluate({})
+        assert not parse_condition("TRUE AND FALSE").evaluate({})
+
+    @pytest.mark.parametrize(
+        "text,env,expected",
+        [
+            ("RC = 0", {"RC": 0}, True),
+            ("RC = 0", {"RC": 1}, False),
+            ("RC <> 0", {"RC": 1}, True),
+            ("RC < 5", {"RC": 4}, True),
+            ("RC <= 4", {"RC": 4}, True),
+            ("RC > 5", {"RC": 4}, False),
+            ("RC >= 4", {"RC": 4}, True),
+            ("Name = 'bob'", {"Name": "bob"}, True),
+            ("Name <> 'bob'", {"Name": "ada"}, True),
+            ("A + B = 3", {"A": 1, "B": 2}, True),
+            ("A - B = -1", {"A": 1, "B": 2}, True),
+            ("A * B + 1 = 7", {"A": 2, "B": 3}, True),
+            ("A / B = 2", {"A": 4, "B": 2}, True),
+            ("A % 2 = 1", {"A": 5}, True),
+            ("-A = -3", {"A": 3}, True),
+            ("NOT RC = 1", {"RC": 0}, True),
+            ("(RC = 0 OR RC = 4) AND OK = 1", {"RC": 4, "OK": 1}, True),
+        ],
+    )
+    def test_expressions(self, text, env, expected):
+        assert parse_condition(text).evaluate(env) is expected
+
+    def test_rc_alias_resolves_underscore_rc(self):
+        # The paper writes ``RC``; containers store ``_RC``.
+        assert parse_condition("RC = 7").evaluate({"_RC": 7})
+
+    def test_explicit_rc_binding_wins_over_alias(self):
+        assert parse_condition("RC = 1").evaluate({"RC": 1, "_RC": 0})
+
+    def test_precedence_and_binds_tighter_than_or(self):
+        cond = parse_condition("A = 1 OR B = 1 AND C = 1")
+        assert cond.evaluate({"A": 1, "B": 0, "C": 0})
+        assert not cond.evaluate({"A": 0, "B": 1, "C": 0})
+
+    def test_comparison_binds_tighter_than_not(self):
+        assert parse_condition("NOT A = 1").evaluate({"A": 0})
+
+    def test_unknown_variable_raises(self):
+        with pytest.raises(ConditionError, match="Missing"):
+            parse_condition("Missing = 1").evaluate({})
+
+    def test_mixed_type_comparison_raises(self):
+        with pytest.raises(ConditionError):
+            parse_condition("A = 'x'").evaluate({"A": 1})
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ConditionError):
+            parse_condition("1 / A = 1").evaluate({"A": 0})
+
+    def test_string_concatenation(self):
+        assert parse_condition("A + B = 'xy'").evaluate({"A": "x", "B": "y"})
+
+    def test_numeric_result_is_truthiness(self):
+        assert parse_condition("A").evaluate({"A": 3})
+        assert not parse_condition("A").evaluate({"A": 0})
+        assert parse_condition("Name").evaluate({"Name": "x"})
+        assert not parse_condition("Name").evaluate({"Name": ""})
+
+    def test_resolver_callable(self):
+        cond = parse_condition("Depth = 2")
+        assert cond.evaluate(lambda p: {"Depth": 2}.get(p))
+
+    def test_keywords_case_insensitive(self):
+        assert parse_condition("true and not false").evaluate({})

@@ -1,0 +1,203 @@
+"""Unit tests for run-time data containers."""
+
+import pytest
+
+from repro.errors import ContainerError
+from repro.wfms.containers import Container
+from repro.wfms.datatypes import (
+    DataType,
+    StructureType,
+    TypeRegistry,
+    VariableDecl,
+)
+
+
+@pytest.fixture
+def registry():
+    reg = TypeRegistry()
+    reg.register(
+        StructureType(
+            "Address",
+            [VariableDecl("City", DataType.STRING), VariableDecl("Zip", DataType.LONG)],
+        )
+    )
+    reg.register(
+        StructureType(
+            "Customer",
+            [VariableDecl("Name", DataType.STRING), VariableDecl("Home", "Address")],
+        )
+    )
+    return reg
+
+
+@pytest.fixture
+def container(registry):
+    spec = [
+        VariableDecl("Total", DataType.LONG),
+        VariableDecl("Rate", DataType.FLOAT),
+        VariableDecl("Who", "Customer"),
+        VariableDecl("Items", DataType.STRING, array_size=3),
+    ]
+    return Container(spec, registry)
+
+
+class TestScalars:
+    def test_defaults(self, container):
+        assert container.get("Total") == 0
+        assert container.get("Rate") == 0.0
+        assert container.get("Items") == ["", "", ""]
+
+    def test_set_get_roundtrip(self, container):
+        container.set("Total", 42)
+        assert container.get("Total") == 42
+
+    def test_type_checked_writes(self, container):
+        with pytest.raises(ContainerError):
+            container.set("Total", "not a number")
+
+    def test_unknown_member(self, container):
+        with pytest.raises(ContainerError):
+            container.get("Nope")
+        with pytest.raises(ContainerError):
+            container.set("Nope", 1)
+
+    def test_has(self, container):
+        assert container.has("Total")
+        assert not container.has("Nope")
+
+    def test_empty_path_rejected(self, container):
+        with pytest.raises(ContainerError):
+            container.get("")
+
+
+class TestStructures:
+    def test_dotted_read_write(self, container):
+        container.set("Who.Name", "Ada")
+        container.set("Who.Home.City", "San Jose")
+        assert container.get("Who.Name") == "Ada"
+        assert container.get("Who.Home.City") == "San Jose"
+        assert container.get("Who.Home.Zip") == 0
+
+    def test_whole_structure_write(self, container):
+        container.set(
+            "Who", {"Name": "Bob", "Home": {"City": "SF", "Zip": 94110}}
+        )
+        assert container.get("Who.Home.Zip") == 94110
+
+    def test_partial_structure_write_keeps_defaults(self, container):
+        container.set("Who", {"Name": "Bob"})
+        assert container.get("Who.Home.City") == ""
+
+    def test_unknown_structure_member_rejected(self, container):
+        with pytest.raises(ContainerError):
+            container.set("Who.Age", 9)
+        with pytest.raises(ContainerError):
+            container.get("Who.Age")
+
+    def test_structure_write_type_checked(self, container):
+        with pytest.raises(ContainerError):
+            container.set("Who.Home.Zip", "not-a-zip")
+
+    def test_get_returns_copies(self, container):
+        value = container.get("Who")
+        value["Name"] = "mutated"
+        assert container.get("Who.Name") == ""
+
+    def test_descend_into_scalar_rejected(self, container):
+        with pytest.raises(ContainerError):
+            container.get("Total.x")
+
+
+class TestArrays:
+    def test_indexed_access(self, container):
+        container.set("Items.1", "book")
+        assert container.get("Items.1") == "book"
+        assert container.get("Items") == ["", "book", ""]
+
+    def test_whole_array_write_length_checked(self, container):
+        with pytest.raises(ContainerError):
+            container.set("Items", ["a", "b"])
+        container.set("Items", ["a", "b", "c"])
+        assert container.get("Items.2") == "c"
+
+    def test_out_of_bounds(self, container):
+        with pytest.raises(ContainerError):
+            container.get("Items.5")
+
+    def test_non_numeric_index(self, container):
+        with pytest.raises(ContainerError):
+            container.get("Items.x")
+
+
+class TestReturnCode:
+    def test_output_containers_carry_rc(self):
+        out = Container([], output=True)
+        assert out.return_code == 0
+        out.return_code = 4
+        assert out.get("_RC") == 4
+
+    def test_input_containers_do_not(self):
+        inp = Container([])
+        assert not inp.has("_RC")
+        with pytest.raises(ContainerError):
+            inp.return_code = 1
+
+    def test_duplicate_member_rejected(self):
+        with pytest.raises(ContainerError):
+            Container([VariableDecl("a"), VariableDecl("a")])
+
+
+class TestBulkOperations:
+    def test_update_from_applies_mappings(self, registry):
+        src = Container([VariableDecl("X", DataType.LONG)], registry, output=True)
+        src.set("X", 9)
+        src.return_code = 1
+        dst = Container(
+            [VariableDecl("Y", DataType.LONG), VariableDecl("SrcRC", DataType.LONG)],
+            registry,
+        )
+        dst.update_from(src, [("X", "Y"), ("_RC", "SrcRC")])
+        assert dst.get("Y") == 9
+        assert dst.get("SrcRC") == 1
+
+    def test_to_dict_load_dict_roundtrip(self, container):
+        container.set("Total", 5)
+        container.set("Who.Name", "Ada")
+        snapshot = container.to_dict()
+        other_spec = [
+            VariableDecl("Total", DataType.LONG),
+            VariableDecl("Rate", DataType.FLOAT),
+            VariableDecl("Who", "Customer"),
+            VariableDecl("Items", DataType.STRING, array_size=3),
+        ]
+        reg = TypeRegistry()
+        reg.register(
+            StructureType(
+                "Address",
+                [VariableDecl("City", DataType.STRING), VariableDecl("Zip", DataType.LONG)],
+            )
+        )
+        reg.register(
+            StructureType(
+                "Customer",
+                [VariableDecl("Name", DataType.STRING), VariableDecl("Home", "Address")],
+            )
+        )
+        clone = Container(other_spec, reg)
+        clone.load_dict(snapshot)
+        assert clone.get("Total") == 5
+        assert clone.get("Who.Name") == "Ada"
+
+    def test_load_dict_ignores_unknown_members(self, container):
+        container.load_dict({"Ghost": 1, "Total": 3})
+        assert container.get("Total") == 3
+
+    def test_copy_is_independent(self, container):
+        container.set("Total", 1)
+        clone = container.copy()
+        clone.set("Total", 2)
+        assert container.get("Total") == 1
+
+    def test_resolver_returns_none_for_unknown(self, container):
+        assert container.resolver("Nope") is None
+        assert container.resolver("Total") == 0

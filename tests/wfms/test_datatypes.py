@@ -1,0 +1,138 @@
+"""Unit tests for container types and the type registry."""
+
+import pytest
+
+from repro.errors import ContainerError, DefinitionError
+from repro.wfms.datatypes import (
+    DataType,
+    StructureType,
+    TypeRegistry,
+    VariableDecl,
+)
+
+
+class TestDataType:
+    def test_defaults(self):
+        assert DataType.LONG.default() == 0
+        assert DataType.FLOAT.default() == 0.0
+        assert DataType.STRING.default() == ""
+        assert DataType.BINARY.default() == b""
+
+    def test_long_accepts_int_not_bool(self):
+        assert DataType.LONG.accepts(5)
+        assert not DataType.LONG.accepts(True)
+        assert not DataType.LONG.accepts(1.5)
+
+    def test_float_accepts_int_and_float(self):
+        assert DataType.FLOAT.accepts(5)
+        assert DataType.FLOAT.accepts(5.5)
+        assert DataType.FLOAT.coerce(5) == 5.0
+        assert isinstance(DataType.FLOAT.coerce(5), float)
+
+    def test_string_and_binary(self):
+        assert DataType.STRING.accepts("x")
+        assert not DataType.STRING.accepts(b"x")
+        assert DataType.BINARY.coerce(bytearray(b"ab")) == b"ab"
+
+    def test_coerce_rejects_mismatch(self):
+        with pytest.raises(ContainerError):
+            DataType.LONG.coerce("nope")
+
+
+class TestVariableDecl:
+    def test_rejects_bad_names(self):
+        for bad in ("", "1x", "a-b", "a b"):
+            with pytest.raises(DefinitionError):
+                VariableDecl(bad)
+
+    def test_accepts_underscore_names(self):
+        assert VariableDecl("_RC", DataType.LONG).name == "_RC"
+
+    def test_array_flags(self):
+        decl = VariableDecl("Xs", DataType.LONG, array_size=3)
+        assert decl.is_array and not decl.is_structure
+
+    def test_negative_array_size_rejected(self):
+        with pytest.raises(DefinitionError):
+            VariableDecl("Xs", DataType.LONG, array_size=-1)
+
+    def test_structure_reference(self):
+        decl = VariableDecl("Order", "OrderType")
+        assert decl.is_structure
+
+
+class TestStructureType:
+    def test_duplicate_members_rejected(self):
+        with pytest.raises(DefinitionError):
+            StructureType("S", [VariableDecl("a"), VariableDecl("a")])
+
+    def test_member_lookup(self):
+        s = StructureType("S", [VariableDecl("a", DataType.LONG)])
+        assert s.member("a").type is DataType.LONG
+        with pytest.raises(ContainerError):
+            s.member("b")
+
+
+class TestTypeRegistry:
+    def test_register_and_get(self):
+        reg = TypeRegistry()
+        s = StructureType("S", [VariableDecl("a", DataType.LONG)])
+        reg.register(s)
+        assert reg.get("S") is s
+        assert "S" in reg
+        assert reg.names() == ["S"]
+
+    def test_duplicate_registration_rejected(self):
+        reg = TypeRegistry()
+        reg.register(StructureType("S"))
+        with pytest.raises(DefinitionError):
+            reg.register(StructureType("S"))
+
+    def test_unknown_member_structure_rejected(self):
+        reg = TypeRegistry()
+        with pytest.raises(DefinitionError):
+            reg.register(StructureType("S", [VariableDecl("x", "Missing")]))
+
+    def test_direct_self_reference_rejected(self):
+        reg = TypeRegistry()
+        with pytest.raises(DefinitionError):
+            reg.register(StructureType("S", [VariableDecl("x", "S")]))
+
+    def test_indirect_cycle_rejected(self):
+        reg = TypeRegistry()
+        reg.register(StructureType("A", [VariableDecl("x", DataType.LONG)]))
+        reg.register(StructureType("B", [VariableDecl("a", "A")]))
+        # C -> B is fine; a cycle C -> C via later edits is impossible
+        # because structures are immutable once registered; the check
+        # that *would* catch it is exercised directly:
+        with pytest.raises(DefinitionError):
+            reg.register(StructureType("C", [VariableDecl("c", "C")]))
+
+    def test_default_value_nested(self):
+        reg = TypeRegistry()
+        reg.register(
+            StructureType(
+                "Point",
+                [VariableDecl("x", DataType.LONG), VariableDecl("y", DataType.LONG)],
+            )
+        )
+        reg.register(StructureType("Line", [VariableDecl("p", "Point")]))
+        value = reg.default_value(VariableDecl("l", "Line"))
+        assert value == {"p": {"x": 0, "y": 0}}
+
+    def test_default_value_array(self):
+        reg = TypeRegistry()
+        value = reg.default_value(VariableDecl("xs", DataType.LONG, array_size=3))
+        assert value == [0, 0, 0]
+
+    def test_default_value_array_of_structures(self):
+        reg = TypeRegistry()
+        reg.register(StructureType("P", [VariableDecl("x", DataType.LONG)]))
+        value = reg.default_value(VariableDecl("ps", "P", array_size=2))
+        assert value == [{"x": 0}, {"x": 0}]
+        value[0]["x"] = 9
+        assert value[1]["x"] == 0  # no shared references
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(DefinitionError):
+            TypeRegistry().get("Nope")

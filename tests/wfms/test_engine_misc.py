@@ -1,0 +1,163 @@
+"""Engine facade edge cases and conveniences not covered elsewhere."""
+
+import pytest
+
+from repro.errors import NavigationError, ProgramError
+from repro.wfms import Activity, ActivityKind, Engine, ProcessDefinition
+from repro.wfms.programs import (
+    InvocationContext,
+    ProgramRegistry,
+    null_program,
+    program_from_callable,
+)
+from repro.wfms.containers import Container
+
+
+def simple_engine():
+    engine = Engine()
+    engine.register_program("ok", lambda ctx: 0)
+    d = ProcessDefinition("P")
+    d.add_activity(Activity("A", program="ok"))
+    engine.register_definition(d)
+    return engine
+
+
+class TestEngineFacade:
+    def test_definitions_listing(self):
+        engine = simple_engine()
+        assert engine.definitions() == ["P"]
+
+    def test_result_repr_and_flags(self):
+        engine = simple_engine()
+        result = engine.run_process("P")
+        assert result.finished
+        assert "P" in repr(result)
+        assert result.dead_activities == []
+
+    def test_clock_moves_forward_only(self):
+        engine = simple_engine()
+        engine.advance_clock(5.0)
+        assert engine.clock == 5.0
+        with pytest.raises(NavigationError):
+            engine.advance_clock(-1.0)
+
+    def test_run_process_convenience_equals_manual(self):
+        engine = simple_engine()
+        result = engine.run_process("P")
+        iid2 = engine.start_process("P")
+        engine.run()
+        assert engine.instance_state(iid2) == result.state == "finished"
+
+    def test_execution_order_without_children(self):
+        engine = simple_engine()
+        result = engine.run_process("P")
+        assert engine.execution_order(
+            result.instance_id, include_children=False
+        ) == ["A"]
+
+    def test_verify_executable_checks_nested_subprocesses(self):
+        engine = Engine()
+        engine.register_program("ok", lambda ctx: 0)
+        child = ProcessDefinition("Child")
+        child.add_activity(Activity("X", program="missing_prog"))
+        parent = ProcessDefinition("Parent")
+        parent.add_activity(
+            Activity("Call", kind=ActivityKind.PROCESS, subprocess="Child")
+        )
+        engine.register_definition(child)
+        engine.register_definition(parent)
+        with pytest.raises(ProgramError, match="missing_prog"):
+            engine.verify_executable("Parent")
+
+    def test_program_raising_is_a_program_error(self):
+        engine = Engine()
+
+        def boom(ctx):
+            raise RuntimeError("kaput")
+
+        engine.register_program("boom", boom)
+        d = ProcessDefinition("P")
+        d.add_activity(Activity("A", program="boom"))
+        engine.register_definition(d)
+        engine.start_process("P")
+        with pytest.raises(ProgramError, match="kaput"):
+            engine.run()
+
+
+class TestProgramRegistry:
+    def test_duplicate_registration_needs_replace(self):
+        registry = ProgramRegistry()
+        registry.register("p", lambda ctx: 0)
+        with pytest.raises(ProgramError):
+            registry.register("p", lambda ctx: 1)
+        registry.register("p", lambda ctx: 1, replace=True)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ProgramError):
+            ProgramRegistry().register("", lambda ctx: 0)
+
+    def test_names_sorted(self):
+        registry = ProgramRegistry()
+        registry.register("b", lambda ctx: 0)
+        registry.register("a", lambda ctx: 0)
+        assert registry.names() == ["a", "b"]
+        assert "a" in registry
+
+    def test_invoke_stores_return_code(self):
+        registry = ProgramRegistry()
+        registry.register("p", lambda ctx: 7)
+        ctx = InvocationContext(
+            "A", "P", "pi-1", Container([]), Container([], output=True)
+        )
+        assert registry.invoke("p", ctx) == 7
+        assert ctx.output.return_code == 7
+
+    def test_none_return_means_zero(self):
+        registry = ProgramRegistry()
+        registry.register("p", lambda ctx: None)
+        ctx = InvocationContext(
+            "A", "P", "pi-1", Container([]), Container([], output=True)
+        )
+        assert registry.invoke("p", ctx) == 0
+
+    def test_program_from_zero_arg_callable(self):
+        adapted = program_from_callable(lambda: 3)
+        ctx = InvocationContext(
+            "A", "P", "pi-1", Container([]), Container([], output=True)
+        )
+        assert adapted(ctx) == 3
+
+    def test_program_from_ctx_callable(self):
+        adapted = program_from_callable(lambda ctx: 4)
+        ctx = InvocationContext(
+            "A", "P", "pi-1", Container([]), Container([], output=True)
+        )
+        assert adapted(ctx) == 4
+
+    def test_null_program(self):
+        ctx = InvocationContext(
+            "A", "P", "pi-1", Container([]), Container([], output=True)
+        )
+        assert null_program(ctx) == 0
+
+    def test_unknown_program(self):
+        with pytest.raises(ProgramError):
+            ProgramRegistry().get("ghost")
+
+
+class TestServices:
+    def test_services_reach_programs(self):
+        engine = Engine()
+        engine.services["db"] = {"answer": 42}
+        seen = {}
+
+        def reader(ctx):
+            seen["db"] = ctx.services["db"]["answer"]
+            return 0
+
+        engine.register_program("reader", reader)
+        d = ProcessDefinition("P")
+        d.add_activity(Activity("A", program="reader"))
+        engine.register_definition(d)
+        engine.run_process("P")
+        assert seen["db"] == 42

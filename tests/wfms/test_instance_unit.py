@@ -1,0 +1,111 @@
+"""Direct unit tests for the run-time instance objects."""
+
+import pytest
+
+from repro.errors import NavigationError
+from repro.wfms.instance import (
+    ActivityInstance,
+    ActivityState,
+    ProcessInstance,
+    ProcessState,
+    connector_key,
+)
+from repro.wfms.model import Activity, ProcessDefinition, StartCondition
+
+
+def definition():
+    d = ProcessDefinition("P")
+    d.add_activity(Activity("A", program="p"))
+    d.add_activity(Activity("B", program="p"))
+    d.add_activity(
+        Activity("J", program="p", start_condition=StartCondition.ANY)
+    )
+    d.connect("A", "J")
+    d.connect("B", "J")
+    return d
+
+
+class TestActivityInstance:
+    def make(self, condition=StartCondition.ALL):
+        ai = ActivityInstance(
+            Activity("J", program="p", start_condition=condition)
+        )
+        ai.incoming = {"A->J": None, "B->J": None}
+        return ai
+
+    def test_and_join_needs_all_true(self):
+        ai = self.make()
+        assert not ai.start_condition_met()
+        ai.incoming["A->J"] = True
+        assert not ai.start_condition_met()
+        ai.incoming["B->J"] = True
+        assert ai.start_condition_met()
+
+    def test_and_join_dead_on_first_false(self):
+        ai = self.make()
+        ai.incoming["A->J"] = False
+        assert ai.start_condition_dead()
+
+    def test_or_join_fires_on_first_true(self):
+        ai = self.make(StartCondition.ANY)
+        ai.incoming["A->J"] = True
+        assert ai.start_condition_met()
+
+    def test_or_join_dead_only_when_all_false(self):
+        ai = self.make(StartCondition.ANY)
+        ai.incoming["A->J"] = False
+        assert not ai.start_condition_dead()
+        ai.incoming["B->J"] = False
+        assert ai.start_condition_dead()
+
+    def test_executed_requires_real_termination(self):
+        ai = self.make()
+        assert not ai.executed
+        ai.state = ActivityState.TERMINATED
+        assert ai.executed
+        ai.dead = True
+        assert not ai.executed
+
+
+class TestProcessInstance:
+    def test_incoming_map_prepopulated(self):
+        instance = ProcessInstance("pi-1", definition())
+        assert instance.activity("J").incoming == {
+            connector_key("A", "J"): None,
+            connector_key("B", "J"): None,
+        }
+        assert instance.activity("A").incoming == {}
+
+    def test_unknown_activity_rejected(self):
+        instance = ProcessInstance("pi-1", definition())
+        with pytest.raises(NavigationError):
+            instance.activity("Ghost")
+
+    def test_states_view_marks_dead(self):
+        instance = ProcessInstance("pi-1", definition())
+        instance.activity("A").state = ActivityState.TERMINATED
+        instance.activity("B").state = ActivityState.TERMINATED
+        instance.activity("B").dead = True
+        states = instance.states()
+        assert states["A"] == "terminated"
+        assert states["B"] == "dead"
+        assert states["J"] == "waiting"
+
+    def test_all_terminated(self):
+        instance = ProcessInstance("pi-1", definition())
+        assert not instance.all_terminated()
+        for name in ("A", "B", "J"):
+            instance.activity(name).state = ActivityState.TERMINATED
+        assert instance.all_terminated()
+
+    def test_root_flag_and_repr(self):
+        root = ProcessInstance("pi-1", definition())
+        child = ProcessInstance(
+            "pi-1/Blk@1",
+            definition(),
+            parent_instance="pi-1",
+            parent_activity="Blk",
+        )
+        assert root.is_root and not child.is_root
+        assert "pi-1" in repr(root)
+        assert root.state is ProcessState.RUNNING

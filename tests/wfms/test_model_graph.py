@@ -1,0 +1,231 @@
+"""Unit tests for the static metamodel and graph validation."""
+
+import pytest
+
+from repro.errors import DefinitionError
+from repro.wfms.datatypes import DataType, VariableDecl
+from repro.wfms.graph import (
+    reachable_activities,
+    topological_order,
+    unreachable_activities,
+    validate_definition,
+)
+from repro.wfms.model import (
+    PROCESS_INPUT,
+    PROCESS_OUTPUT,
+    Activity,
+    ActivityKind,
+    ProcessDefinition,
+    StartCondition,
+    StartMode,
+)
+
+
+def simple_definition():
+    d = ProcessDefinition("P")
+    d.add_activity(Activity("A", program="pa"))
+    d.add_activity(Activity("B", program="pb"))
+    d.connect("A", "B")
+    return d
+
+
+class TestActivity:
+    def test_program_activity_requires_program(self):
+        with pytest.raises(DefinitionError):
+            Activity("A")
+
+    def test_process_activity_requires_subprocess(self):
+        with pytest.raises(DefinitionError):
+            Activity("A", kind=ActivityKind.PROCESS)
+
+    def test_block_requires_embedded_definition(self):
+        with pytest.raises(DefinitionError):
+            Activity("A", kind=ActivityKind.BLOCK)
+
+    def test_exit_condition_parsed_from_string(self):
+        a = Activity("A", program="p", exit_condition="RC = 0")
+        assert a.exit_condition.source == "RC = 0"
+
+    def test_duplicate_container_members_rejected(self):
+        with pytest.raises(DefinitionError):
+            Activity(
+                "A",
+                program="p",
+                input_spec=[VariableDecl("x"), VariableDecl("x")],
+            )
+
+    def test_manual_flag(self):
+        assert Activity("A", program="p", start_mode=StartMode.MANUAL).is_manual
+        assert not Activity("A", program="p").is_manual
+
+
+class TestProcessDefinition:
+    def test_duplicate_activity_rejected(self):
+        d = ProcessDefinition("P")
+        d.add_activity(Activity("A", program="p"))
+        with pytest.raises(DefinitionError):
+            d.add_activity(Activity("A", program="p"))
+
+    def test_reserved_names_rejected(self):
+        d = ProcessDefinition("P")
+        with pytest.raises(DefinitionError):
+            d.add_activity(Activity(PROCESS_INPUT, program="p"))
+
+    def test_duplicate_connector_rejected(self):
+        d = simple_definition()
+        with pytest.raises(DefinitionError):
+            d.connect("A", "B")
+
+    def test_self_loop_rejected(self):
+        d = simple_definition()
+        with pytest.raises(DefinitionError):
+            d.connect("A", "A")
+
+    def test_starting_activities(self):
+        d = simple_definition()
+        d.add_activity(Activity("C", program="pc"))
+        assert sorted(d.starting_activities()) == ["A", "C"]
+
+    def test_incoming_outgoing(self):
+        d = simple_definition()
+        assert [c.target for c in d.outgoing("A")] == ["B"]
+        assert [c.source for c in d.incoming("B")] == ["A"]
+
+    def test_program_names_recurse_into_blocks(self):
+        inner = ProcessDefinition("Inner")
+        inner.add_activity(Activity("I", program="pi"))
+        d = simple_definition()
+        d.add_activity(Activity("Blk", kind=ActivityKind.BLOCK, block=inner))
+        assert d.program_names() == {"pa", "pb", "pi"}
+
+    def test_subprocess_names(self):
+        d = simple_definition()
+        d.add_activity(Activity("Sub", kind=ActivityKind.PROCESS, subprocess="Q"))
+        assert d.subprocess_names() == {"Q"}
+
+    def test_empty_data_connector_rejected(self):
+        d = simple_definition()
+        with pytest.raises(DefinitionError):
+            d.map_data("A", "B", [])
+
+    def test_process_output_cannot_be_source(self):
+        d = simple_definition()
+        with pytest.raises(DefinitionError):
+            d.map_data(PROCESS_OUTPUT, "B", [("x", "y")])
+
+
+class TestGraphValidation:
+    def test_valid_definition_passes(self):
+        validate_definition(simple_definition())
+
+    def test_empty_definition_rejected(self):
+        with pytest.raises(DefinitionError):
+            validate_definition(ProcessDefinition("P"))
+
+    def test_cycle_rejected(self):
+        d = ProcessDefinition("P")
+        for name in "ABC":
+            d.add_activity(Activity(name, program="p"))
+        d.connect("A", "B")
+        d.connect("B", "C")
+        d.connect("C", "A")
+        with pytest.raises(DefinitionError, match="cycle"):
+            validate_definition(d)
+
+    def test_unknown_connector_endpoint_rejected(self):
+        d = simple_definition()
+        d.control_connectors.append(
+            type(d.control_connectors[0])("B", "Ghost")
+        )
+        with pytest.raises(DefinitionError, match="Ghost"):
+            validate_definition(d)
+
+    def test_topological_order_respects_edges(self):
+        d = ProcessDefinition("P")
+        for name in "ABCD":
+            d.add_activity(Activity(name, program="p"))
+        d.connect("A", "C")
+        d.connect("B", "C")
+        d.connect("C", "D")
+        order = topological_order(d)
+        assert order.index("A") < order.index("C") < order.index("D")
+        assert order.index("B") < order.index("C")
+
+    def test_data_connector_unknown_source_member(self):
+        d = simple_definition()
+        d.activity("A").output_spec.append(VariableDecl("X", DataType.LONG))
+        d.map_data("A", "B", [("Ghost", "Y")])
+        with pytest.raises(DefinitionError, match="Ghost"):
+            validate_definition(d)
+
+    def test_data_connector_unknown_target_member(self):
+        d = simple_definition()
+        d.activity("A").output_spec.append(VariableDecl("X", DataType.LONG))
+        d.map_data("A", "B", [("X", "Ghost")])
+        with pytest.raises(DefinitionError, match="Ghost"):
+            validate_definition(d)
+
+    def test_data_connector_rc_is_predefined_source(self):
+        d = simple_definition()
+        d.activity("B").input_spec.append(VariableDecl("PrevRC", DataType.LONG))
+        d.map_data("A", "B", [("_RC", "PrevRC")])
+        validate_definition(d)
+
+    def test_transition_condition_must_read_source_output(self):
+        d = simple_definition()
+        d.control_connectors[0] = type(d.control_connectors[0])(
+            "A", "B", "Ghost = 1"
+        )
+        with pytest.raises(DefinitionError, match="Ghost"):
+            validate_definition(d)
+
+    def test_transition_condition_rc_allowed(self):
+        d = ProcessDefinition("P")
+        d.add_activity(Activity("A", program="p"))
+        d.add_activity(Activity("B", program="p"))
+        d.connect("A", "B", "RC = 0")
+        validate_definition(d)
+
+    def test_exit_condition_must_read_own_output(self):
+        d = ProcessDefinition("P")
+        d.add_activity(
+            Activity("A", program="p", exit_condition="Ghost = 1")
+        )
+        with pytest.raises(DefinitionError, match="Ghost"):
+            validate_definition(d)
+
+    def test_exit_condition_declared_member_allowed(self):
+        d = ProcessDefinition("P")
+        d.add_activity(
+            Activity(
+                "A",
+                program="p",
+                output_spec=[VariableDecl("Done", DataType.LONG)],
+                exit_condition="Done = 1",
+            )
+        )
+        validate_definition(d)
+
+    def test_nested_block_validated(self):
+        bad_inner = ProcessDefinition("Inner")
+        bad_inner.add_activity(Activity("X", program="p"))
+        bad_inner.add_activity(Activity("Y", program="p"))
+        bad_inner.connect("X", "Y")
+        bad_inner.connect("Y", "X")  # cycle inside the block
+        d = ProcessDefinition("P")
+        d.add_activity(Activity("Blk", kind=ActivityKind.BLOCK, block=bad_inner))
+        with pytest.raises(DefinitionError, match="cycle"):
+            validate_definition(d)
+
+    def test_reachability_helpers(self):
+        d = ProcessDefinition("P")
+        for name in "ABC":
+            d.add_activity(Activity(name, program="p"))
+        d.connect("A", "B")
+        # C has no incoming connector: it is itself a starting activity.
+        assert reachable_activities(d) == {"A", "B", "C"}
+        assert unreachable_activities(d) == set()
+
+    def test_start_condition_enum_values(self):
+        a = Activity("A", program="p", start_condition=StartCondition.ANY)
+        assert a.start_condition is StartCondition.ANY

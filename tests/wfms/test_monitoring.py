@@ -1,0 +1,95 @@
+"""Tests for the engine's monitoring API (§3.3)."""
+
+from repro.wfms import Activity, ActivityKind, Engine, ProcessDefinition
+from repro.wfms.model import StaffAssignment, StartMode
+from repro.wfms.organization import demo_organization
+
+
+def build_engine():
+    engine = Engine(organization=demo_organization())
+    engine.register_program("ok", lambda ctx: 0)
+    engine.register_program("fail", lambda ctx: 1)
+    d = ProcessDefinition("P")
+    d.add_activity(Activity("A", program="ok"))
+    d.add_activity(Activity("B", program="fail"))
+    d.add_activity(Activity("C", program="ok"))
+    d.connect("A", "B")
+    d.connect("B", "C", "RC = 0")
+    engine.register_definition(d)
+    return engine
+
+
+class TestProcessList:
+    def test_lists_all_instances(self):
+        engine = build_engine()
+        i1 = engine.start_process("P", starter="ada")
+        i2 = engine.start_process("P", starter="bob")
+        engine.run()
+        rows = engine.process_list()
+        assert {r["instance"] for r in rows} == {i1, i2}
+        assert all(r["state"] == "finished" for r in rows)
+        assert rows[0]["definition"] == "P"
+
+    def test_activity_state_counts(self):
+        engine = build_engine()
+        engine.start_process("P")
+        engine.run()
+        row = engine.process_list()[0]
+        assert row["activities"] == {"terminated": 2, "dead": 1}
+
+    def test_children_carry_parent_link(self):
+        engine = Engine()
+        engine.register_program("ok", lambda ctx: 0)
+        inner = ProcessDefinition("Inner")
+        inner.add_activity(Activity("X", program="ok"))
+        outer = ProcessDefinition("Outer")
+        outer.add_activity(
+            Activity("Blk", kind=ActivityKind.BLOCK, block=inner)
+        )
+        engine.register_definition(outer)
+        iid = engine.start_process("Outer")
+        engine.run()
+        rows = engine.process_list()
+        children = [r for r in rows if r["parent"] == iid]
+        assert len(children) == 1
+        assert children[0]["definition"] == "Inner"
+
+
+class TestMonitor:
+    def test_detail_view(self):
+        engine = build_engine()
+        iid = engine.start_process("P", starter="ada")
+        engine.run()
+        detail = engine.monitor(iid)
+        assert detail["state"] == "finished"
+        assert detail["starter"] == "ada"
+        assert detail["activities"]["A"]["attempts"] == 1
+        assert detail["activities"]["A"]["rc"] == 0
+        assert detail["activities"]["B"]["rc"] == 1
+        assert detail["activities"]["C"]["state"] == "dead"
+        assert detail["audit_records"] > 0
+
+    def test_open_work_item_visible(self):
+        engine = Engine(organization=demo_organization())
+        engine.register_program("ok", lambda ctx: 0)
+        d = ProcessDefinition("P")
+        d.add_activity(
+            Activity(
+                "M",
+                program="ok",
+                start_mode=StartMode.MANUAL,
+                staff=StaffAssignment(roles=("clerk",)),
+            )
+        )
+        engine.register_definition(d)
+        iid = engine.start_process("P", starter="ada")
+        engine.run()
+        detail = engine.monitor(iid)
+        assert detail["activities"]["M"]["state"] == "ready"
+        assert detail["activities"]["M"]["work_item"].startswith("wi-")
+        item = engine.worklist("bob")[0]
+        engine.claim(item.item_id, "bob")
+        engine.start_item(item.item_id)
+        detail = engine.monitor(iid)
+        assert detail["activities"]["M"]["claimed_by"] == "bob"
+        assert detail["activities"]["M"]["work_item"] == ""

@@ -1,0 +1,434 @@
+"""Integration tests for the navigator state machine (§3.2 semantics)."""
+
+import pytest
+
+from repro.errors import NavigationError
+from repro.wfms import (
+    Activity,
+    ActivityKind,
+    DataType,
+    Engine,
+    ProcessDefinition,
+    StartCondition,
+    VariableDecl,
+)
+from repro.wfms.audit import AuditEvent
+from repro.wfms.model import PROCESS_INPUT, PROCESS_OUTPUT
+
+
+def make_engine(**programs):
+    engine = Engine()
+    engine.register_program("ok", lambda ctx: 0)
+    engine.register_program("fail", lambda ctx: 1)
+    for name, program in programs.items():
+        engine.register_program(name, program)
+    return engine
+
+
+class TestSequencing:
+    def test_linear_sequence_runs_in_order(self):
+        engine = make_engine()
+        d = ProcessDefinition("P")
+        for name in "ABC":
+            d.add_activity(Activity(name, program="ok"))
+        d.connect("A", "B")
+        d.connect("B", "C")
+        engine.register_definition(d)
+        result = engine.run_process("P")
+        assert result.finished
+        assert result.execution_order == ["A", "B", "C"]
+
+    def test_parallel_branches_both_execute(self):
+        engine = make_engine()
+        d = ProcessDefinition("P")
+        for name in ("Split", "Left", "Right", "Join"):
+            d.add_activity(Activity(name, program="ok"))
+        d.connect("Split", "Left")
+        d.connect("Split", "Right")
+        d.connect("Left", "Join")
+        d.connect("Right", "Join")
+        engine.register_definition(d)
+        result = engine.run_process("P")
+        assert result.finished
+        assert set(result.execution_order) == {"Split", "Left", "Right", "Join"}
+        assert result.execution_order[-1] == "Join"
+
+    def test_multiple_starting_activities(self):
+        engine = make_engine()
+        d = ProcessDefinition("P")
+        d.add_activity(Activity("A", program="ok"))
+        d.add_activity(Activity("B", program="ok"))
+        engine.register_definition(d)
+        result = engine.run_process("P")
+        assert set(result.execution_order) == {"A", "B"}
+
+
+class TestJoins:
+    def build_join(self, start_condition, left_rc=0, right_rc=0):
+        engine = make_engine(
+            left=lambda ctx: left_rc, right=lambda ctx: right_rc
+        )
+        d = ProcessDefinition("P")
+        d.add_activity(Activity("L", program="left"))
+        d.add_activity(Activity("R", program="right"))
+        d.add_activity(
+            Activity("J", program="ok", start_condition=start_condition)
+        )
+        d.connect("L", "J", "RC = 0")
+        d.connect("R", "J", "RC = 0")
+        engine.register_definition(d)
+        return engine, engine.run_process("P")
+
+    def test_and_join_fires_when_all_true(self):
+        __, result = self.build_join(StartCondition.ALL)
+        assert "J" in result.execution_order
+
+    def test_and_join_dead_when_any_false(self):
+        __, result = self.build_join(StartCondition.ALL, left_rc=1)
+        assert "J" in result.dead_activities
+        assert result.finished
+
+    def test_or_join_fires_on_first_true(self):
+        __, result = self.build_join(StartCondition.ANY, left_rc=1)
+        assert "J" in result.execution_order
+
+    def test_or_join_dead_when_all_false(self):
+        __, result = self.build_join(
+            StartCondition.ANY, left_rc=1, right_rc=1
+        )
+        assert "J" in result.dead_activities
+
+    def test_or_join_executes_once_despite_two_trues(self):
+        engine, result = self.build_join(StartCondition.ANY)
+        assert result.execution_order.count("J") == 1
+        assert engine.audit.attempts(result.instance_id, "J") == 1
+
+
+class TestDeadPathElimination:
+    def test_dead_path_cascades(self):
+        engine = make_engine()
+        d = ProcessDefinition("P")
+        for name in "ABCD":
+            d.add_activity(Activity(name, program="ok"))
+        d.activities["A"].program = "fail"
+        d.connect("A", "B", "RC = 0")
+        d.connect("B", "C")
+        d.connect("C", "D")
+        engine.register_definition(d)
+        result = engine.run_process("P")
+        assert result.finished
+        assert result.execution_order == ["A"]
+        assert result.dead_activities == ["B", "C", "D"]
+
+    def test_dead_branch_still_lets_or_join_fire(self):
+        engine = make_engine()
+        d = ProcessDefinition("P")
+        d.add_activity(Activity("A", program="fail"))
+        d.add_activity(Activity("B", program="ok"))
+        d.add_activity(
+            Activity("J", program="ok", start_condition=StartCondition.ANY)
+        )
+        d.connect("A", "J", "RC = 0")
+        d.connect("B", "J", "RC = 0")
+        engine.register_definition(d)
+        result = engine.run_process("P")
+        assert "J" in result.execution_order
+
+    def test_process_finishes_with_all_paths_dead(self):
+        engine = make_engine()
+        d = ProcessDefinition("P")
+        d.add_activity(Activity("A", program="fail"))
+        d.add_activity(Activity("B", program="ok"))
+        d.connect("A", "B", "RC = 0")
+        engine.register_definition(d)
+        result = engine.run_process("P")
+        assert result.finished
+
+
+class TestExitConditions:
+    def test_loop_until_exit_condition_holds(self):
+        attempts = []
+
+        def flaky(ctx):
+            attempts.append(ctx.attempt)
+            return 0 if ctx.attempt >= 4 else 1
+
+        engine = make_engine(flaky=flaky)
+        d = ProcessDefinition("P")
+        d.add_activity(
+            Activity("T", program="flaky", exit_condition="RC = 0")
+        )
+        engine.register_definition(d)
+        result = engine.run_process("P")
+        assert result.finished
+        assert attempts == [1, 2, 3, 4]
+        rescheduled = engine.audit.records(
+            result.instance_id, AuditEvent.ACTIVITY_RESCHEDULED
+        )
+        assert len(rescheduled) == 3
+
+    def test_max_iterations_guard(self):
+        engine = make_engine()
+        d = ProcessDefinition("P")
+        d.add_activity(
+            Activity(
+                "T", program="fail", exit_condition="RC = 0", max_iterations=5
+            )
+        )
+        engine.register_definition(d)
+        engine.start_process("P")
+        with pytest.raises(NavigationError, match="5 iterations"):
+            engine.run()
+
+    def test_exit_condition_over_output_member(self):
+        def produce(ctx):
+            ctx.set_output("Done", 1 if ctx.attempt >= 2 else 0)
+            return 0
+
+        engine = make_engine(produce=produce)
+        d = ProcessDefinition("P")
+        d.add_activity(
+            Activity(
+                "T",
+                program="produce",
+                output_spec=[VariableDecl("Done", DataType.LONG)],
+                exit_condition="Done = 1",
+            )
+        )
+        engine.register_definition(d)
+        result = engine.run_process("P")
+        assert result.finished
+        assert engine.audit.attempts(result.instance_id, "T") == 2
+
+
+class TestDataFlow:
+    def test_output_to_input_mapping(self):
+        def producer(ctx):
+            ctx.set_output("X", 41)
+            return 0
+
+        received = {}
+
+        def consumer(ctx):
+            received["x"] = ctx.get_input("Seed")
+            return 0
+
+        engine = make_engine(producer=producer, consumer=consumer)
+        d = ProcessDefinition("P")
+        d.add_activity(
+            Activity(
+                "A",
+                program="producer",
+                output_spec=[VariableDecl("X", DataType.LONG)],
+            )
+        )
+        d.add_activity(
+            Activity(
+                "B",
+                program="consumer",
+                input_spec=[VariableDecl("Seed", DataType.LONG)],
+            )
+        )
+        d.connect("A", "B")
+        d.map_data("A", "B", [("X", "Seed")])
+        engine.register_definition(d)
+        engine.run_process("P")
+        assert received["x"] == 41
+
+    def test_process_input_and_output_containers(self):
+        def doubler(ctx):
+            ctx.set_output("Out", ctx.get_input("In") * 2)
+            return 0
+
+        engine = make_engine(doubler=doubler)
+        d = ProcessDefinition(
+            "P",
+            input_spec=[VariableDecl("N", DataType.LONG)],
+            output_spec=[VariableDecl("Result", DataType.LONG)],
+        )
+        d.add_activity(
+            Activity(
+                "D",
+                program="doubler",
+                input_spec=[VariableDecl("In", DataType.LONG)],
+                output_spec=[VariableDecl("Out", DataType.LONG)],
+            )
+        )
+        d.map_data(PROCESS_INPUT, "D", [("N", "In")])
+        d.map_data("D", PROCESS_OUTPUT, [("Out", "Result")])
+        engine.register_definition(d)
+        result = engine.run_process("P", {"N": 21})
+        assert result.output["Result"] == 42
+
+    def test_mapping_from_dead_source_leaves_defaults(self):
+        received = {}
+
+        def consumer(ctx):
+            received["seed"] = ctx.get_input("Seed")
+            return 0
+
+        engine = make_engine(consumer=consumer)
+        d = ProcessDefinition("P")
+        d.add_activity(Activity("A", program="fail"))
+        d.add_activity(
+            Activity(
+                "Dead",
+                program="ok",
+                output_spec=[VariableDecl("X", DataType.LONG)],
+            )
+        )
+        d.add_activity(
+            Activity(
+                "B",
+                program="consumer",
+                input_spec=[VariableDecl("Seed", DataType.LONG)],
+                start_condition=StartCondition.ANY,
+            )
+        )
+        d.connect("A", "Dead", "RC = 0")   # Dead is eliminated
+        d.connect("A", "B", "RC = 1")      # B still runs
+        d.connect("Dead", "B")
+        d.map_data("Dead", "B", [("X", "Seed")])
+        engine.register_definition(d)
+        result = engine.run_process("P")
+        assert result.finished
+        assert received["seed"] == 0  # default: Dead never produced
+
+    def test_rc_mappable_to_downstream_input(self):
+        received = {}
+
+        def consumer(ctx):
+            received["rc"] = ctx.get_input("PrevRC")
+            return 0
+
+        engine = make_engine(consumer=consumer)
+        d = ProcessDefinition("P")
+        d.add_activity(Activity("A", program="fail"))
+        d.add_activity(
+            Activity(
+                "B",
+                program="consumer",
+                input_spec=[VariableDecl("PrevRC", DataType.LONG)],
+            )
+        )
+        d.connect("A", "B")  # unconditional
+        d.map_data("A", "B", [("_RC", "PrevRC")])
+        engine.register_definition(d)
+        engine.run_process("P")
+        assert received["rc"] == 1
+
+
+class TestUserOperations:
+    def test_force_finish_skips_program(self):
+        ran = []
+
+        def record(ctx):
+            ran.append(ctx.activity)
+            return 0
+
+        engine = make_engine(record=record)
+        d = ProcessDefinition("P")
+        d.add_activity(Activity("A", program="record"))
+        d.add_activity(Activity("B", program="record"))
+        d.connect("A", "B", "RC = 0")
+        engine.register_definition(d)
+        iid = engine.start_process("P")
+        engine.force_finish(iid, "A", return_code=0, user="ada")
+        assert engine.instance_state(iid) == "finished"
+        assert ran == ["B"]
+        forced = engine.audit.records(iid, AuditEvent.ACTIVITY_FORCED)
+        assert len(forced) == 1 and forced[0].detail["user"] == "ada"
+
+    def test_force_finish_requires_ready_or_running(self):
+        engine = make_engine()
+        d = ProcessDefinition("P")
+        d.add_activity(Activity("A", program="ok"))
+        engine.register_definition(d)
+        iid = engine.start_process("P")
+        engine.run()
+        with pytest.raises(NavigationError):
+            engine.force_finish(iid, "A")
+
+    def test_suspend_blocks_and_resume_continues(self):
+        engine = make_engine()
+        d = ProcessDefinition("P")
+        d.add_activity(Activity("A", program="ok"))
+        d.add_activity(Activity("B", program="ok"))
+        d.connect("A", "B")
+        engine.register_definition(d)
+        iid = engine.start_process("P")
+        engine.suspend(iid)
+        engine.run()
+        assert engine.instance_state(iid) == "suspended"
+        assert engine.activity_states(iid)["A"] == "ready"
+        engine.resume(iid)
+        engine.run()
+        assert engine.instance_state(iid) == "finished"
+
+    def test_suspend_finished_instance_rejected(self):
+        engine = make_engine()
+        d = ProcessDefinition("P")
+        d.add_activity(Activity("A", program="ok"))
+        engine.register_definition(d)
+        result = engine.run_process("P")
+        with pytest.raises(NavigationError):
+            engine.suspend(result.instance_id)
+
+
+class TestScheduling:
+    def test_priority_order(self):
+        order = []
+
+        def record(ctx):
+            order.append(ctx.activity)
+            return 0
+
+        engine = make_engine(record=record)
+        d = ProcessDefinition("P")
+        d.add_activity(Activity("Low", program="record", priority=1))
+        d.add_activity(Activity("High", program="record", priority=9))
+        d.add_activity(Activity("Mid", program="record", priority=5))
+        engine.register_definition(d)
+        engine.run_process("P")
+        assert order == ["High", "Mid", "Low"]
+
+    def test_step_returns_false_when_idle(self):
+        engine = make_engine()
+        assert engine.step() is False
+
+    def test_two_instances_interleave_independently(self):
+        engine = make_engine()
+        d = ProcessDefinition("P")
+        d.add_activity(Activity("A", program="ok"))
+        engine.register_definition(d)
+        i1 = engine.start_process("P")
+        i2 = engine.start_process("P")
+        engine.run()
+        assert engine.instance_state(i1) == "finished"
+        assert engine.instance_state(i2) == "finished"
+        assert i1 != i2
+
+
+class TestEngineChecks:
+    def test_unknown_definition(self):
+        engine = make_engine()
+        with pytest.raises(Exception):
+            engine.start_process("Ghost")
+
+    def test_unregistered_program_caught_at_start(self):
+        engine = Engine()
+        d = ProcessDefinition("P")
+        d.add_activity(Activity("A", program="missing"))
+        engine.register_definition(d)
+        with pytest.raises(Exception, match="missing"):
+            engine.start_process("P")
+
+    def test_duplicate_definition_rejected(self):
+        engine = make_engine()
+        d = ProcessDefinition("P")
+        d.add_activity(Activity("A", program="ok"))
+        engine.register_definition(d)
+        d2 = ProcessDefinition("P")
+        d2.add_activity(Activity("A", program="ok"))
+        with pytest.raises(Exception):
+            engine.register_definition(d2)

@@ -1,0 +1,144 @@
+"""Edge cases of the navigator and manual-work plumbing."""
+
+import pytest
+
+from repro.errors import NavigationError, WorkflowError
+from repro.wfms import Activity, Engine, ProcessDefinition
+from repro.wfms.model import StaffAssignment, StartMode
+from repro.wfms.organization import demo_organization
+
+
+def manual_engine():
+    engine = Engine(organization=demo_organization())
+    engine.register_program("ok", lambda ctx: 0)
+    d = ProcessDefinition("P")
+    d.add_activity(
+        Activity(
+            "M",
+            program="ok",
+            start_mode=StartMode.MANUAL,
+            staff=StaffAssignment(roles=("clerk",)),
+        )
+    )
+    engine.register_definition(d)
+    return engine
+
+
+class TestManualPlumbing:
+    def test_start_unclaimed_item_rejected(self):
+        engine = manual_engine()
+        engine.start_process("P", starter="ada")
+        engine.run()
+        item = engine.worklist("bob")[0]
+        with pytest.raises(WorkflowError, match="claimed"):
+            engine.start_item(item.item_id)
+
+    def test_release_returns_to_all_worklists(self):
+        engine = manual_engine()
+        engine.start_process("P", starter="ada")
+        engine.run()
+        item = engine.worklist("bob")[0]
+        engine.claim(item.item_id, "bob")
+        engine.worklists.release(item.item_id)
+        assert len(engine.worklist("cleo")) == 1
+
+    def test_force_finish_withdraws_item(self):
+        engine = manual_engine()
+        iid = engine.start_process("P", starter="ada")
+        engine.run()
+        assert len(engine.worklist("bob")) == 1
+        engine.force_finish(iid, "M", return_code=0, user="ada")
+        assert engine.worklist("bob") == []
+        assert engine.instance_state(iid) == "finished"
+
+    def test_forced_output_values_flow_on(self):
+        engine = Engine(organization=demo_organization())
+        received = {}
+
+        def consumer(ctx):
+            received["v"] = ctx.get_input("V")
+            return 0
+
+        engine.register_program("ok", lambda ctx: 0)
+        engine.register_program("consumer", consumer)
+        from repro.wfms import DataType, VariableDecl
+
+        d = ProcessDefinition("P")
+        d.add_activity(
+            Activity(
+                "M",
+                program="ok",
+                start_mode=StartMode.MANUAL,
+                staff=StaffAssignment(roles=("clerk",)),
+                output_spec=[VariableDecl("X", DataType.LONG)],
+            )
+        )
+        d.add_activity(
+            Activity(
+                "C",
+                program="consumer",
+                input_spec=[VariableDecl("V", DataType.LONG)],
+            )
+        )
+        d.connect("M", "C", "RC = 0")
+        d.map_data("M", "C", [("X", "V")])
+        engine.register_definition(d)
+        iid = engine.start_process("P", starter="ada")
+        engine.run()
+        engine.force_finish(
+            iid, "M", return_code=0, output_values={"X": 99}, user="ada"
+        )
+        assert received["v"] == 99
+
+
+class TestSchedulingEdges:
+    def test_run_max_steps_guard(self):
+        engine = Engine()
+        engine.register_program("loop", lambda ctx: 1)
+        d = ProcessDefinition("P")
+        d.add_activity(
+            Activity("T", program="loop", exit_condition="RC = 0")
+        )
+        engine.register_definition(d)
+        engine.start_process("P")
+        with pytest.raises(NavigationError, match="quiesce"):
+            engine.run(max_steps=10)
+
+    def test_has_ready_work_tracks_queue(self):
+        engine = Engine()
+        engine.register_program("ok", lambda ctx: 0)
+        d = ProcessDefinition("P")
+        d.add_activity(Activity("A", program="ok"))
+        engine.register_definition(d)
+        assert not engine.navigator.has_ready_work()
+        engine.start_process("P")
+        assert engine.navigator.has_ready_work()
+        engine.run()
+        assert not engine.navigator.has_ready_work()
+
+    def test_stale_queue_entry_after_force_finish(self):
+        engine = Engine()
+        engine.register_program("ok", lambda ctx: 0)
+        d = ProcessDefinition("P")
+        d.add_activity(Activity("A", program="ok"))
+        d.add_activity(Activity("B", program="ok"))
+        engine.register_definition(d)
+        iid = engine.start_process("P")
+        # A and B are both queued; force-finish A before stepping.
+        engine.navigator.force_finish(iid, "A", return_code=0)
+        engine.run()
+        assert engine.instance_state(iid) == "finished"
+        # A executed zero times (forced), B once.
+        assert engine.audit.attempts(iid, "B") == 1
+
+    def test_clock_visible_in_audit(self):
+        engine = Engine()
+        engine.register_program("ok", lambda ctx: 0)
+        d = ProcessDefinition("P")
+        d.add_activity(Activity("A", program="ok"))
+        engine.register_definition(d)
+        engine.advance_clock(42.0)
+        iid = engine.start_process("P")
+        engine.run()
+        records = engine.audit.records(iid)
+        assert all(r.at == 42.0 for r in records)

@@ -1,0 +1,150 @@
+"""Tests for the process simulator (§3.3's simulation feature)."""
+
+import pytest
+
+from repro.errors import DefinitionError
+from repro.wfms import Activity, ProcessDefinition, StartCondition
+from repro.wfms.simulate import ActivityProfile, simulate
+
+
+def chain(n=3):
+    d = ProcessDefinition("Chain")
+    names = ["a%d" % i for i in range(n)]
+    for name in names:
+        d.add_activity(Activity(name, program="p"))
+    for left, right in zip(names, names[1:]):
+        d.connect(left, right, "RC = 0")
+    return d
+
+
+def diamond():
+    d = ProcessDefinition("Diamond")
+    for name in ("s", "l", "r", "j"):
+        d.add_activity(Activity(name, program="p"))
+    d.connect("s", "l")
+    d.connect("s", "r")
+    d.connect("l", "j")
+    d.connect("r", "j")
+    return d
+
+
+class TestProfiles:
+    def test_bounds_checked(self):
+        with pytest.raises(DefinitionError):
+            ActivityProfile(duration=-1)
+        with pytest.raises(DefinitionError):
+            ActivityProfile(success_probability=1.5)
+
+    def test_runs_bound(self):
+        with pytest.raises(DefinitionError):
+            simulate(chain(), runs=0)
+
+
+class TestDeterministicTiming:
+    def test_chain_makespan_is_sum(self):
+        report = simulate(
+            chain(3),
+            {name: ActivityProfile(duration=2.0) for name in ("a0", "a1", "a2")},
+            runs=5,
+        )
+        assert report.mean_makespan == 6.0
+        assert report.completion_rate == 1.0
+
+    def test_parallel_branches_overlap(self):
+        # Critical path: s(1) + max(l=5, r=2) + j(1) = 7, not 9.
+        profiles = {
+            "s": ActivityProfile(duration=1.0),
+            "l": ActivityProfile(duration=5.0),
+            "r": ActivityProfile(duration=2.0),
+            "j": ActivityProfile(duration=1.0),
+        }
+        report = simulate(diamond(), profiles, runs=3)
+        assert report.mean_makespan == 7.0
+
+    def test_all_activities_counted(self):
+        report = simulate(diamond(), runs=2)
+        assert report.mean_executed == 4.0
+
+
+class TestFailuresAndDeadPaths:
+    def test_failure_kills_downstream(self):
+        profiles = {
+            "a0": ActivityProfile(success_probability=0.0),
+        }
+        report = simulate(chain(3), profiles, runs=10)
+        assert report.completion_rate == 0.0
+        # a0 runs; a1 and a2 die.
+        assert report.mean_executed == 1.0
+        assert all(r.dead == 2 for r in report.runs)
+
+    def test_or_join_survives_one_dead_branch(self):
+        d = ProcessDefinition("OrJoin")
+        for name in ("s", "l", "r"):
+            d.add_activity(Activity(name, program="p"))
+        d.add_activity(
+            Activity("j", program="p", start_condition=StartCondition.ANY)
+        )
+        d.connect("s", "l", "RC = 0")
+        d.connect("s", "r")
+        d.connect("l", "j", "RC = 0")
+        d.connect("r", "j", "RC = 0")
+        # s always fails its success gate toward l, but the ungated
+        # edge toward r keeps the right branch alive.
+        profiles = {"s": ActivityProfile(success_probability=0.0)}
+        report = simulate(d, profiles, runs=5)
+        assert all(r.executed >= 3 for r in report.runs)  # s, r, j ran
+
+    def test_completion_rate_tracks_probability(self):
+        profiles = {
+            "a0": ActivityProfile(success_probability=0.5),
+        }
+        report = simulate(chain(2), profiles, runs=400, seed=7)
+        assert 0.35 < report.completion_rate < 0.65
+
+    def test_retriable_activity_extends_duration(self):
+        d = ProcessDefinition("Retry")
+        d.add_activity(
+            Activity(
+                "t", program="p", exit_condition="RC = 0", max_iterations=50
+            )
+        )
+        profiles = {
+            "t": ActivityProfile(duration=1.0, success_probability=0.5)
+        }
+        report = simulate(d, profiles, runs=300, seed=3)
+        # Geometric retries: mean total duration ~ 1/p = 2.
+        assert 1.6 < report.mean_makespan < 2.5
+        assert report.completion_rate > 0.99
+
+
+class TestReproducibility:
+    def test_same_seed_same_report(self):
+        profiles = {"a0": ActivityProfile(success_probability=0.5)}
+        a = simulate(chain(3), profiles, runs=50, seed=9)
+        b = simulate(chain(3), profiles, runs=50, seed=9)
+        assert [r.makespan for r in a.runs] == [r.makespan for r in b.runs]
+
+    def test_different_seed_differs(self):
+        profiles = {"a0": ActivityProfile(success_probability=0.5)}
+        a = simulate(chain(3), profiles, runs=50, seed=1)
+        b = simulate(chain(3), profiles, runs=50, seed=2)
+        assert [r.succeeded_all for r in a.runs] != [
+            r.succeeded_all for r in b.runs
+        ]
+
+    def test_percentiles_ordered(self):
+        profiles = {
+            "a0": ActivityProfile(duration=1.0, success_probability=0.7)
+        }
+        d = ProcessDefinition("P")
+        d.add_activity(
+            Activity(
+                "a0", program="p", exit_condition="RC = 0",
+            )
+        )
+        report = simulate(d, profiles, runs=200, seed=5)
+        assert (
+            report.percentile_makespan(0.5)
+            <= report.percentile_makespan(0.9)
+            <= report.percentile_makespan(0.99)
+        )

@@ -1,0 +1,93 @@
+"""Tests for the simulator's data-dependent branch probabilities."""
+
+import pytest
+
+from repro.errors import DefinitionError
+from repro.wfms import Activity, ProcessDefinition, StartCondition
+from repro.wfms.simulate import ActivityProfile, simulate
+
+
+def if_then_else():
+    """start -> (then | else) with data-dependent routing."""
+    d = ProcessDefinition("Ite")
+    for name in ("start", "then", "otherwise"):
+        d.add_activity(Activity(name, program="p"))
+    d.connect("start", "then", "Flag = 1")
+    d.connect("start", "otherwise", "Flag = 0")
+    return d
+
+
+class TestBranchProbabilities:
+    def test_deterministic_routing(self):
+        report = simulate(
+            if_then_else(),
+            runs=20,
+            branch_probabilities={
+                ("start", "then"): 1.0,
+                ("start", "otherwise"): 0.0,
+            },
+        )
+        # 'otherwise' is always dead-path eliminated.
+        assert all(r.executed == 2 and r.dead == 1 for r in report.runs)
+
+    def test_probabilistic_routing(self):
+        report = simulate(
+            if_then_else(),
+            runs=400,
+            seed=11,
+            branch_probabilities={
+                ("start", "then"): 0.7,
+                ("start", "otherwise"): 0.3,
+            },
+        )
+        then_taken = sum(1 for r in report.runs if r.dead == 1)
+        # With independent sampling both or neither may fire; just
+        # check the mix is not degenerate.
+        assert 0 < then_taken < 400
+
+    def test_default_probability_is_one(self):
+        report = simulate(if_then_else(), runs=5)
+        assert all(r.executed == 3 for r in report.runs)
+
+    def test_bounds_checked(self):
+        with pytest.raises(DefinitionError):
+            simulate(
+                if_then_else(),
+                branch_probabilities={("start", "then"): 1.5},
+            )
+
+    def test_rc_gated_edges_ignore_branch_probability(self):
+        d = ProcessDefinition("Gated")
+        d.add_activity(Activity("a", program="p"))
+        d.add_activity(Activity("b", program="p"))
+        d.connect("a", "b", "RC = 0")
+        report = simulate(
+            d,
+            {"a": ActivityProfile(success_probability=1.0)},
+            runs=5,
+            branch_probabilities={("a", "b"): 0.0},  # ignored: gated
+        )
+        assert all(r.executed == 2 for r in report.runs)
+
+    def test_or_join_with_probabilistic_branches_terminates(self):
+        d = ProcessDefinition("P")
+        for name in ("s", "l", "r"):
+            d.add_activity(Activity(name, program="p"))
+        d.add_activity(
+            Activity("j", program="p", start_condition=StartCondition.ANY)
+        )
+        d.connect("s", "l", "Flag = 1")
+        d.connect("s", "r", "Flag = 0")
+        d.connect("l", "j")
+        d.connect("r", "j")
+        report = simulate(
+            d,
+            runs=100,
+            seed=2,
+            branch_probabilities={
+                ("s", "l"): 0.5,
+                ("s", "r"): 0.5,
+            },
+        )
+        # Every run terminates with each activity either run or dead.
+        assert all(r.executed + r.dead == 4 for r in report.runs)

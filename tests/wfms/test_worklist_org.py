@@ -1,0 +1,254 @@
+"""Tests for the organization model, staff resolution and worklists
+(§3.3 — the features "not found in any transaction model")."""
+
+import pytest
+
+from repro.errors import (
+    DefinitionError,
+    StaffResolutionError,
+    WorklistError,
+)
+from repro.wfms import Activity, Engine, ProcessDefinition
+from repro.wfms.model import StaffAssignment, StartMode
+from repro.wfms.organization import Organization, demo_organization
+from repro.wfms.worklist import WorkItemState, WorklistManager
+
+
+class TestOrganization:
+    def test_person_with_several_roles(self):
+        org = demo_organization()
+        assert org.person("cleo").roles == {"clerk", "dba"}
+
+    def test_role_with_several_persons(self):
+        org = demo_organization()
+        assert org.members_of("clerk") == ["bob", "cleo"]
+
+    def test_unknown_role_rejected(self):
+        org = Organization()
+        with pytest.raises(DefinitionError):
+            org.add_person("x", roles=("ghost",))
+        with pytest.raises(DefinitionError):
+            org.members_of("ghost")
+
+    def test_duplicate_person_rejected(self):
+        org = demo_organization()
+        with pytest.raises(DefinitionError):
+            org.add_person("ada")
+
+    def test_absent_persons_excluded(self):
+        org = demo_organization()
+        org.set_absent("bob")
+        assert org.members_of("clerk") == ["cleo"]
+
+    def test_chain_of_command(self):
+        org = demo_organization()
+        assert org.chain_of_command("bob") == ["ada"]
+        assert org.chain_of_command("ada") == []
+
+    def test_assign_role_later(self):
+        org = demo_organization()
+        org.assign_role("bob", "dba")
+        assert "bob" in org.members_of("dba")
+
+    def test_resolve_by_role(self):
+        org = demo_organization()
+        users = org.resolve(StaffAssignment(roles=("clerk",)))
+        assert users == ["bob", "cleo"]
+
+    def test_resolve_by_explicit_users(self):
+        org = demo_organization()
+        assert org.resolve(StaffAssignment(users=("dan",))) == ["dan"]
+
+    def test_resolve_users_win_over_roles(self):
+        org = demo_organization()
+        assignment = StaffAssignment(roles=("clerk",), users=("dan",))
+        assert org.resolve(assignment) == ["dan"]
+
+    def test_resolve_falls_back_to_starter(self):
+        org = demo_organization()
+        assert org.resolve(StaffAssignment(), starter="ada") == ["ada"]
+
+    def test_resolve_nobody_raises(self):
+        org = demo_organization()
+        org.set_absent("dan")
+        with pytest.raises(StaffResolutionError):
+            org.resolve(StaffAssignment(users=("dan",)))
+
+    def test_resolve_multi_role_deduplicates(self):
+        org = demo_organization()
+        users = org.resolve(StaffAssignment(roles=("clerk", "dba")))
+        assert users == ["bob", "cleo", "dan"]
+
+
+class TestWorklistManager:
+    def make_item(self, wm, eligible=("bob", "cleo")):
+        return wm.offer("pi-1", "Act", "P", list(eligible), now=0.0)
+
+    def test_item_visible_on_all_eligible_worklists(self):
+        wm = WorklistManager()
+        item = self.make_item(wm)
+        assert [i.item_id for i in wm.worklist("bob")] == [item.item_id]
+        assert [i.item_id for i in wm.worklist("cleo")] == [item.item_id]
+        assert wm.worklist("dan") == []
+
+    def test_claim_removes_from_other_worklists(self):
+        # §3.3: "as soon as a user selects that activity for execution,
+        # it disappears from all other worklists".
+        wm = WorklistManager()
+        item = self.make_item(wm)
+        wm.claim(item.item_id, "bob")
+        assert wm.worklist("cleo") == []
+        assert wm.worklist("bob") == []  # claimed items leave the list too
+        assert item.claimed_by == "bob"
+
+    def test_double_claim_rejected(self):
+        wm = WorklistManager()
+        item = self.make_item(wm)
+        wm.claim(item.item_id, "bob")
+        with pytest.raises(WorklistError):
+            wm.claim(item.item_id, "cleo")
+
+    def test_ineligible_claim_rejected(self):
+        wm = WorklistManager()
+        item = self.make_item(wm)
+        with pytest.raises(WorklistError):
+            wm.claim(item.item_id, "dan")
+
+    def test_release_returns_item_to_worklists(self):
+        wm = WorklistManager()
+        item = self.make_item(wm)
+        wm.claim(item.item_id, "bob")
+        wm.release(item.item_id)
+        assert len(wm.worklist("cleo")) == 1
+
+    def test_withdraw_marks_item(self):
+        wm = WorklistManager()
+        item = self.make_item(wm)
+        wm.withdraw("pi-1", "Act")
+        assert item.state is WorkItemState.WITHDRAWN
+        assert wm.worklist("bob") == []
+
+    def test_priority_ordering(self):
+        wm = WorklistManager()
+        low = wm.offer("pi-1", "Low", "P", ["bob"], now=0.0, priority=1)
+        high = wm.offer("pi-1", "High", "P", ["bob"], now=1.0, priority=9)
+        ids = [i.item_id for i in wm.worklist("bob")]
+        assert ids == [high.item_id, low.item_id]
+
+    def test_deadline_notification_raised_once(self):
+        wm = WorklistManager()
+        wm.offer(
+            "pi-1", "Act", "P", ["bob"], now=0.0,
+            notify_after=5.0, notify_role="manager",
+        )
+        assert wm.check_deadlines(1.0, lambda r: ["ada"]) == []
+        raised = wm.check_deadlines(6.0, lambda r: ["ada"])
+        assert len(raised) == 1
+        assert raised[0].recipients == ("ada",)
+        assert wm.check_deadlines(9.0, lambda r: ["ada"]) == []
+
+    def test_unknown_item(self):
+        wm = WorklistManager()
+        with pytest.raises(WorklistError):
+            wm.claim("wi-999999", "bob")
+
+
+class TestManualActivitiesEndToEnd:
+    def build(self):
+        engine = Engine(organization=demo_organization())
+        ran = []
+
+        def record(ctx):
+            ran.append((ctx.activity, ctx.user))
+            return 0
+
+        engine.register_program("record", record)
+        d = ProcessDefinition("P")
+        d.add_activity(
+            Activity(
+                "Approve",
+                program="record",
+                start_mode=StartMode.MANUAL,
+                staff=StaffAssignment(roles=("clerk",)),
+            )
+        )
+        d.add_activity(Activity("Ship", program="record"))
+        d.connect("Approve", "Ship", "RC = 0")
+        engine.register_definition(d)
+        return engine, ran
+
+    def test_manual_activity_waits_for_user(self):
+        engine, ran = self.build()
+        iid = engine.start_process("P", starter="ada")
+        engine.run()
+        assert engine.instance_state(iid) == "running"
+        assert ran == []
+        assert len(engine.worklist("bob")) == 1
+        assert len(engine.worklist("cleo")) == 1
+
+    def test_claim_and_start_executes_as_user(self):
+        engine, ran = self.build()
+        iid = engine.start_process("P", starter="ada")
+        engine.run()
+        item = engine.worklist("bob")[0]
+        engine.claim(item.item_id, "bob")
+        assert engine.worklist("cleo") == []  # load balancing
+        engine.start_item(item.item_id)
+        assert engine.instance_state(iid) == "finished"
+        assert ran == [("Approve", "bob"), ("Ship", "")]
+
+    def test_dead_path_withdraws_offered_items(self):
+        engine = Engine(organization=demo_organization())
+        engine.register_program("fail", lambda ctx: 1)
+        engine.register_program("noop", lambda ctx: 0)
+        d = ProcessDefinition("P")
+        d.add_activity(Activity("Gate", program="fail"))
+        d.add_activity(
+            Activity(
+                "Manual",
+                program="noop",
+                start_mode=StartMode.MANUAL,
+                staff=StaffAssignment(roles=("clerk",)),
+            )
+        )
+        d.connect("Gate", "Manual", "RC = 0")
+        engine.register_definition(d)
+        iid = engine.start_process("P", starter="ada")
+        engine.run()
+        assert engine.instance_state(iid) == "finished"
+        assert engine.worklist("bob") == []
+
+    def test_notification_escalates_to_role(self):
+        engine = Engine(organization=demo_organization())
+        engine.register_program("noop", lambda ctx: 0)
+        d = ProcessDefinition("P")
+        d.add_activity(
+            Activity(
+                "Slow",
+                program="noop",
+                start_mode=StartMode.MANUAL,
+                staff=StaffAssignment(
+                    roles=("clerk",), notify_after=10.0, notify_role="manager"
+                ),
+            )
+        )
+        engine.register_definition(d)
+        engine.start_process("P", starter="ada")
+        engine.run()
+        assert engine.advance_clock(5.0) == []
+        notifications = engine.advance_clock(6.0)
+        assert len(notifications) == 1
+        assert notifications[0].recipients == ("ada",)
+
+    def test_engine_without_org_runs_manual_as_automatic(self):
+        # Engines used purely as transaction-model substrates have no
+        # organization; manual activities fall back to automatic.
+        engine = Engine()
+        engine.register_program("noop", lambda ctx: 0)
+        d = ProcessDefinition("P")
+        d.add_activity(
+            Activity("M", program="noop", start_mode=StartMode.MANUAL)
+        )
+        engine.register_definition(d)
+        result = engine.run_process("P")
+        assert result.finished

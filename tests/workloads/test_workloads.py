@@ -1,0 +1,207 @@
+"""Direct tests of the workload builders."""
+
+import pytest
+
+from repro.errors import DefinitionError, SpecificationError
+from repro.tx import AbortScript, SimDatabase
+from repro.wfms.engine import Engine
+from repro.core.flexible import NativeFlexibleExecutor
+from repro.core.sagas import NativeSagaExecutor
+from repro.workloads import (
+    TransferWorkload,
+    TravelWorkload,
+    build_order_process,
+    fig3_bindings,
+    fig3_spec,
+    order_organization,
+    random_dag_process,
+    random_flexible_spec,
+    random_saga_spec,
+)
+from repro.workloads.generator import flexible_bindings, saga_bindings
+from repro.workloads.orders import register_order_programs
+
+
+class TestTravelWorkload:
+    def test_fresh_capacity(self):
+        workload = TravelWorkload.fresh(capacity=7)
+        assert workload.bookings() == {
+            "airline": 7, "hotel": 7, "rental": 7
+        }
+        assert workload.is_consistent()
+
+    def test_native_success_books_everything(self):
+        workload = TravelWorkload.fresh(capacity=2)
+        outcome = NativeSagaExecutor(
+            workload.spec, workload.actions, workload.compensations
+        ).run()
+        assert outcome.committed
+        assert workload.bookings() == {
+            "airline": 1, "hotel": 1, "rental": 1
+        }
+        assert all(workload.reservation_flags().values())
+
+    def test_sold_out_site_triggers_compensation(self):
+        workload = TravelWorkload.fresh(capacity=1)
+        hotel = workload.mdb.site("hotel")
+        with hotel.begin() as txn:
+            txn.write("rooms", 0)
+        outcome = NativeSagaExecutor(
+            workload.spec, workload.actions, workload.compensations
+        ).run()
+        assert not outcome.committed
+        assert workload.is_consistent()
+        assert not any(workload.reservation_flags().values())
+
+    def test_injected_policy(self):
+        workload = TravelWorkload.fresh(
+            policies={"book_car": AbortScript([1])}
+        )
+        outcome = NativeSagaExecutor(
+            workload.spec, workload.actions, workload.compensations
+        ).run()
+        assert outcome.executed == ["book_flight", "book_hotel"]
+        assert workload.is_consistent()
+
+    def test_recorder_sees_all_events(self):
+        workload = TravelWorkload.fresh()
+        NativeSagaExecutor(
+            workload.spec, workload.actions, workload.compensations
+        ).run()
+        assert [e.name for e in workload.recorder] == [
+            "book_flight", "book_hotel", "book_car"
+        ]
+
+
+class TestTransferWorkload:
+    def test_preferred_path_moves_money_once(self):
+        workload = TransferWorkload.fresh(balance=300, amount=100)
+        outcome = NativeFlexibleExecutor(
+            workload.spec, workload.actions, workload.compensations
+        ).run()
+        assert outcome.committed
+        assert workload.balances()["bank"] == 200
+        assert workload.balances()["fast_house"] == 100
+        assert workload.money_conserved(300)
+
+    def test_fast_rejection_falls_back(self):
+        workload = TransferWorkload.fresh(
+            policies={"credit_fast": AbortScript([1])}
+        )
+        outcome = NativeFlexibleExecutor(
+            workload.spec, workload.actions, workload.compensations
+        ).run()
+        assert outcome.committed
+        assert outcome.committed_path == ["debit", "credit_slow", "audit"]
+        assert workload.money_conserved(500)
+
+    def test_insufficient_funds_aborts_cleanly(self):
+        workload = TransferWorkload.fresh(balance=50, amount=100)
+        outcome = NativeFlexibleExecutor(
+            workload.spec, workload.actions, workload.compensations
+        ).run()
+        assert not outcome.committed
+        assert workload.balances()["bank"] == 50
+        assert workload.money_conserved(50) or workload.balances()[
+            "fast_house"
+        ] == 0
+
+    def test_spec_is_well_formed(self):
+        TransferWorkload.fresh().spec.validate()
+
+
+class TestFig3Workload:
+    def test_spec_matches_paper(self):
+        spec = fig3_spec()
+        assert spec.member("t2").pivot
+        assert spec.member("t3").retriable
+        assert spec.member("t5").compensatable
+        assert len(spec.paths) == 3
+
+    def test_bindings_cover_all_members(self):
+        db = SimDatabase()
+        actions, comps = fig3_bindings(db)
+        assert set(actions) == set(fig3_spec().members)
+        assert set(comps) == set(fig3_spec().members)
+
+
+class TestOrderWorkload:
+    def test_organization_roles(self):
+        org = order_organization()
+        assert org.members_of("approver") == ["al", "amy"]
+        assert org.members_of("supervisor") == ["sue"]
+
+    def test_automatic_order_runs(self):
+        engine = Engine(organization=order_organization())
+        register_order_programs(engine)
+        engine.register_definition(build_order_process(manual_approval=False))
+        result = engine.run_process(
+            "OrderFulfillment", {"Amount": 100, "Customer": "x"},
+            starter="sue",
+        )
+        assert result.finished
+        assert result.output["Billed"] == 100
+
+    def test_rejection_path(self):
+        engine = Engine(organization=order_organization())
+        register_order_programs(engine)
+        engine.register_definition(build_order_process(manual_approval=False))
+        result = engine.run_process(
+            "OrderFulfillment", {"Amount": 5000, "Customer": "x"},
+            starter="sue",
+        )
+        assert result.output["Rejected"] == 1
+        assert "ShipOrder" in result.dead_activities
+
+
+class TestGenerators:
+    def test_dag_process_is_valid_and_seeded(self):
+        a = random_dag_process(layers=3, width=4, seed=11)
+        b = random_dag_process(layers=3, width=4, seed=11)
+        a.validate()
+        assert [
+            (c.source, c.target) for c in a.control_connectors
+        ] == [(c.source, c.target) for c in b.control_connectors]
+
+    def test_dag_different_seeds_differ(self):
+        a = random_dag_process(layers=4, width=4, seed=1)
+        b = random_dag_process(layers=4, width=4, seed=2)
+        assert [
+            (c.source, c.target) for c in a.control_connectors
+        ] != [(c.source, c.target) for c in b.control_connectors]
+
+    def test_saga_spec_length(self):
+        spec = random_saga_spec(length=5, seed=3)
+        assert len(spec.steps) == 5
+        assert spec.is_linear
+        with pytest.raises(ValueError):
+            random_saga_spec(length=0)
+
+    def test_flexible_spec_always_well_formed(self):
+        for seed in range(10):
+            random_flexible_spec(branches=3, seed=seed).validate()
+
+    def test_flexible_spec_branch_bounds(self):
+        with pytest.raises(ValueError):
+            random_flexible_spec(branches=0)
+
+    def test_saga_bindings_policy_injection(self):
+        spec = random_saga_spec(length=3, seed=0)
+        db = SimDatabase()
+        actions, comps = saga_bindings(
+            spec, db, policies={"s01": AbortScript([1])}
+        )
+        outcome = NativeSagaExecutor(spec, actions, comps).run()
+        assert outcome.executed == []
+
+    def test_flexible_bindings_seeded_reproducibly(self):
+        spec = random_flexible_spec(branches=2, seed=4)
+        results = []
+        for __ in range(2):
+            db = SimDatabase()
+            actions, comps = flexible_bindings(
+                spec, db, abort_probability=0.4, seed=4
+            )
+            outcome = NativeFlexibleExecutor(spec, actions, comps).run()
+            results.append((outcome.committed, tuple(outcome.committed_path)))
+        assert results[0] == results[1]

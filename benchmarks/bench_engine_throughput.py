@@ -12,7 +12,12 @@ from repro.workloads.generator import DAG_PROGRAM, random_dag_process
 
 from _helpers import print_table
 
-SHAPES = [(2, 2), (4, 4), (8, 4), (8, 8), (16, 8)]
+SHAPES = [(2, 2), (4, 4), (8, 4), (8, 8), (16, 8), (16, 16)]
+
+#: Large-N configuration: this is where the indexed ready queue pays —
+#: with N instances in flight the former per-pop scan was O(N x width).
+CONCURRENT_INSTANCES = 200
+CONCURRENT_SHAPE = (3, 3)
 
 
 def engine_for(definition, fail_every=0):
@@ -89,14 +94,25 @@ def test_dead_path_elimination_cost(benchmark):
     assert all(s in ("terminated", "dead") for s in states.values())
 
 
+def concurrent_batch_setup():
+    """Build the large-N concurrent scenario (shared with compare.py)."""
+    layers, width = CONCURRENT_SHAPE
+    definition = random_dag_process(layers=layers, width=width, seed=9)
+    return engine_for(definition), definition
+
+
+def run_concurrent_batch(engine, definition, count=CONCURRENT_INSTANCES):
+    ids = [engine.start_process(definition.name) for __ in range(count)]
+    engine.run()
+    return ids
+
+
 def test_many_concurrent_instances(benchmark):
-    definition = random_dag_process(layers=3, width=3, seed=9)
-    engine = engine_for(definition)
+    engine, definition = concurrent_batch_setup()
 
     def run_batch():
-        ids = [engine.start_process(definition.name) for __ in range(25)]
-        engine.run()
-        return ids
+        return run_concurrent_batch(engine, definition)
 
     ids = benchmark(run_batch)
+    assert len(ids) == CONCURRENT_INSTANCES
     assert all(engine.instance_state(i) == "finished" for i in ids)

@@ -20,6 +20,11 @@ from _helpers import print_table
 USERS = ["u1", "u2", "u3", "u4"]
 ITEMS = 200
 
+#: Large-N configuration: every claim used to rescan all items ever
+#: created, so claiming a big backlog was quadratic before the
+#: per-user / per-slot worklist indexes.
+CLAIM_ITEMS = 600
+
 
 def build_engine():
     org = Organization()
@@ -84,6 +89,33 @@ def test_claim_semantics_and_load_balance(benchmark):
                 fresh.claim(item.item_id, user)
 
     benchmark(offer_claim_cycle)
+
+
+def claim_backlog_round_robin(engine):
+    """Drain every offered item, claiming round-robin across users."""
+    claimed = 0
+    index = 0
+    while True:
+        user = USERS[index % len(USERS)]
+        items = engine.worklist(user)
+        if not items:
+            break
+        engine.claim(items[0].item_id, user)
+        claimed += 1
+        index += 1
+    return claimed
+
+
+def test_claim_backlog_throughput(benchmark):
+    """Large-N: offer a big backlog, then claim all of it round-robin."""
+
+    def cycle():
+        engine = build_engine()
+        offer_all(engine, CLAIM_ITEMS)
+        return claim_backlog_round_robin(engine)
+
+    claimed = benchmark(cycle)
+    assert claimed == CLAIM_ITEMS
 
 
 def test_worklist_query_cost(benchmark):

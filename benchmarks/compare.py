@@ -1,0 +1,214 @@
+"""Performance gate over the scheduling-core benchmarks.
+
+Measures the large-N throughput scenarios of
+:mod:`bench_engine_throughput` and :mod:`bench_worklist` and compares
+them against the committed ``BENCH_baseline.json`` snapshot; exits
+non-zero if any metric regresses more than the tolerance (default
+20%), so a PR that quietly re-introduces an O(n) scan in the
+scheduler or worklists fails loudly.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python benchmarks/compare.py             # gate
+    PYTHONPATH=src python benchmarks/compare.py --update    # re-snapshot
+
+Timings are best-of-``REPEATS`` wall-clock throughput, which is noisy
+across hosts — the snapshot is only meaningful against itself, hence
+the generous tolerance.  ``--update`` re-measures on the current host
+and rewrites the snapshot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(
+    0,
+    os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+    ),
+)
+
+BASELINE_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_baseline.json",
+)
+DEFAULT_TOLERANCE = 0.20
+REPEATS = 5
+
+
+def _best_throughput(units: int, run, setup) -> float:
+    """Best observed units/second over REPEATS runs (after one warmup)."""
+    best = 0.0
+    run(setup())  # warmup
+    for __ in range(REPEATS):
+        state = setup()
+        start = time.perf_counter()
+        run(state)
+        elapsed = time.perf_counter() - start
+        best = max(best, units / elapsed)
+    return best
+
+
+def measure_engine_large_dag() -> float:
+    """activities/sec navigating one wide-and-deep (16x16) DAG."""
+    from bench_engine_throughput import engine_for
+    from repro.workloads.generator import random_dag_process
+
+    layers, width = 16, 16
+    definition = random_dag_process(layers=layers, width=width, seed=42)
+
+    def setup():
+        return engine_for(definition)
+
+    def run(engine):
+        assert engine.run_process(definition.name).finished
+
+    return _best_throughput(layers * width, run, setup)
+
+
+def measure_engine_concurrent() -> float:
+    """activities/sec across the large-N concurrent-instance batch."""
+    from bench_engine_throughput import (
+        CONCURRENT_INSTANCES,
+        CONCURRENT_SHAPE,
+        concurrent_batch_setup,
+        run_concurrent_batch,
+    )
+
+    layers, width = CONCURRENT_SHAPE
+    units = layers * width * CONCURRENT_INSTANCES
+
+    def setup():
+        engine, definition = concurrent_batch_setup()
+        return engine, definition
+
+    def run(state):
+        engine, definition = state
+        run_concurrent_batch(engine, definition)
+
+    return _best_throughput(units, run, setup)
+
+
+def measure_worklist_offer() -> float:
+    """work items offered (process starts) per second."""
+    from bench_worklist import CLAIM_ITEMS, build_engine, offer_all
+
+    def setup():
+        return build_engine()
+
+    def run(engine):
+        offer_all(engine, CLAIM_ITEMS)
+
+    return _best_throughput(CLAIM_ITEMS, run, setup)
+
+
+def measure_worklist_claim() -> float:
+    """claims/sec draining a large offered backlog round-robin."""
+    from bench_worklist import (
+        CLAIM_ITEMS,
+        build_engine,
+        claim_backlog_round_robin,
+        offer_all,
+    )
+
+    def setup():
+        engine = build_engine()
+        offer_all(engine, CLAIM_ITEMS)
+        return engine
+
+    def run(engine):
+        assert claim_backlog_round_robin(engine) == CLAIM_ITEMS
+
+    return _best_throughput(CLAIM_ITEMS, run, setup)
+
+
+METRICS = {
+    "engine.dag_16x16.activities_per_sec": measure_engine_large_dag,
+    "engine.concurrent_200x3x3.activities_per_sec": measure_engine_concurrent,
+    "worklist.offer_600.items_per_sec": measure_worklist_offer,
+    "worklist.claim_600_round_robin.claims_per_sec": measure_worklist_claim,
+}
+
+
+def measure_all() -> dict[str, float]:
+    results = {}
+    for name, fn in METRICS.items():
+        results[name] = round(fn(), 1)
+        print("measured  %-50s %12.1f" % (name, results[name]))
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="re-measure and rewrite %s" % os.path.basename(BASELINE_PATH),
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="allowed fractional regression (default: snapshot's, else %.2f)"
+        % DEFAULT_TOLERANCE,
+    )
+    args = parser.parse_args(argv)
+
+    if args.update:
+        snapshot = {
+            "tolerance": args.tolerance or DEFAULT_TOLERANCE,
+            "metrics": measure_all(),
+        }
+        with open(BASELINE_PATH, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("wrote %s" % BASELINE_PATH)
+        return 0
+
+    if not os.path.exists(BASELINE_PATH):
+        print("no baseline snapshot at %s; run with --update" % BASELINE_PATH)
+        return 2
+    with open(BASELINE_PATH, "r", encoding="utf-8") as handle:
+        snapshot = json.load(handle)
+    tolerance = (
+        args.tolerance
+        if args.tolerance is not None
+        else snapshot.get("tolerance", DEFAULT_TOLERANCE)
+    )
+
+    current = measure_all()
+    failures = []
+    for name, baseline in sorted(snapshot["metrics"].items()):
+        now = current.get(name)
+        if now is None:
+            failures.append("%s: metric disappeared" % name)
+            continue
+        floor = baseline * (1.0 - tolerance)
+        delta = (now - baseline) / baseline
+        status = "ok" if now >= floor else "REGRESSED"
+        print(
+            "%-9s %-50s %12.1f vs %12.1f (%+6.1f%%)"
+            % (status, name, now, baseline, 100.0 * delta)
+        )
+        if now < floor:
+            failures.append(
+                "%s: %.1f is %.1f%% below baseline %.1f (tolerance %.0f%%)"
+                % (name, now, -100.0 * delta, baseline, 100.0 * tolerance)
+            )
+    if failures:
+        print("\nperformance gate FAILED:")
+        for failure in failures:
+            print("  - %s" % failure)
+        return 1
+    print("\nperformance gate passed (tolerance %.0f%%)" % (100.0 * tolerance))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -98,25 +98,50 @@ class Engine:
             failure_atomic=failure_atomic,
             replace=replace,
         )
+        # A new (or replaced) program can change the outcome of any
+        # memoized semantic check.
+        self._definitions.invalidate_verified()
 
     def verify_executable(self, name: str, version: str | None = None) -> None:
         """Semantic check of Figure 5's translator stage: every program
         the definition references must be registered and every
-        subprocess definition present."""
-        definition = self.definition(name, version)
+        subprocess definition present.
+
+        Results are memoized per resolved ``(name, version)`` in the
+        definition registry (``start_process`` calls this on every
+        start), invalidated by definition or program registration.
+        Cyclic subprocess references raise :class:`DefinitionError`
+        naming the cycle instead of recursing forever.
+        """
+        self._verify_definition(self.definition(name, version), ())
+
+    def _verify_definition(
+        self, definition: ProcessDefinition, stack: tuple[tuple[str, str], ...]
+    ) -> None:
+        key = (definition.name, definition.version)
+        if key in stack:
+            chain = [n for n, __ in stack[stack.index(key):]] + [definition.name]
+            raise DefinitionError(
+                "cyclic subprocess reference: %s" % " -> ".join(chain)
+            )
+        if self._definitions.is_verified(key):
+            return
+        name = definition.name
         for program in sorted(definition.program_names()):
             if program not in self.programs:
                 raise ProgramError(
                     "process %s references unregistered program %r"
                     % (name, program)
                 )
+        stack = stack + (key,)
         for sub in sorted(definition.subprocess_names()):
             if sub not in self._definitions:
                 raise DefinitionError(
                     "process %s references unregistered subprocess %r"
                     % (name, sub)
                 )
-            self.verify_executable(sub)
+            self._verify_definition(self._definitions.get(sub), stack)
+        self._definitions.mark_verified(key)
 
     # -- run-time ----------------------------------------------------------
 
@@ -339,6 +364,7 @@ class Engine:
 
     def advance_clock(self, delta: float) -> list[Notification]:
         """Advance logical time and raise deadline notifications."""
+        self._check_up()
         if delta < 0:
             raise NavigationError("the clock cannot move backwards")
         self.navigator.clock += delta

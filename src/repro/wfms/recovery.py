@@ -11,6 +11,13 @@ instead of invoking the program.  Navigation is deterministic, so the
 replayed state is exactly the pre-crash state; work that had started
 but produced no durable completion record is rescheduled "from the
 beginning", as the paper prescribes for non-failure-atomic activities.
+
+Replay drives the same heap-based ready queue as live execution:
+recorded completions are keyed by ``(instance, activity, attempt)``
+(order-insensitive), and interrupted work is deferred during replay
+and re-enqueued afterwards in discovery order, so the post-recovery
+dispatch order is the (priority, arrival) order the live engine would
+have used.
 """
 
 from __future__ import annotations

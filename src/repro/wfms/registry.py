@@ -24,10 +24,19 @@ def _version_key(version: str):
 
 
 class DefinitionRegistry:
-    """name -> version -> ProcessDefinition."""
+    """name -> version -> ProcessDefinition.
+
+    The registry also memoizes :meth:`Engine.verify_executable`
+    results per ``(name, version)``.  The cache is cleared wholesale
+    whenever a definition is registered (a new version changes what a
+    parent's subprocess reference resolves to) and the engine clears
+    it on program registration — see
+    :meth:`invalidate_verified`.  Failures are never cached.
+    """
 
     def __init__(self) -> None:
         self._definitions: dict[str, dict[str, ProcessDefinition]] = {}
+        self._verified: set[tuple[str, str]] = set()
 
     def register(self, definition: ProcessDefinition) -> None:
         versions = self._definitions.setdefault(definition.name, {})
@@ -37,6 +46,20 @@ class DefinitionRegistry:
                 "registered" % (definition.name, definition.version)
             )
         versions[definition.version] = definition
+        self.invalidate_verified()
+
+    # -- verify-executable memo ------------------------------------------
+
+    def is_verified(self, key: tuple[str, str]) -> bool:
+        return key in self._verified
+
+    def mark_verified(self, key: tuple[str, str]) -> None:
+        self._verified.add(key)
+
+    def invalidate_verified(self) -> None:
+        """Drop all memoized verification results (call after any
+        registration that could change what a check would find)."""
+        self._verified.clear()
 
     def get(
         self, name: str, version: str | None = None

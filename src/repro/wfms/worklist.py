@@ -8,6 +8,19 @@ balancing."
 
 A :class:`WorkItem` represents one ready manual activity instance; it
 is *shared* between the worklists of every eligible user until claimed.
+
+The manager keeps secondary indexes so the per-call cost scales with
+the answer, not with every item ever created:
+
+* ``(instance, activity) -> open items`` for ``withdraw`` /
+  ``open_item_for`` (open = offered or claimed),
+* ``user -> offered items`` for ``worklist``,
+* ``instance -> all items`` for ``items_for_instance``,
+* a deadline watch of offered, not-yet-notified items with a
+  ``notify_after`` for ``check_deadlines``.
+
+Closed items (completed/withdrawn) leave every open index immediately;
+only the id map and the per-instance history retain them.
 """
 
 from __future__ import annotations
@@ -62,8 +75,40 @@ class WorklistManager:
 
     def __init__(self) -> None:
         self._items: dict[str, WorkItem] = {}
+        #: (instance_id, activity) -> {item_id: item} with state
+        #: offered or claimed, in offer order.
+        self._open_by_slot: dict[tuple[str, str], dict[str, WorkItem]] = {}
+        #: user -> {item_id: item} with state offered, in offer order.
+        self._offered_by_user: dict[str, dict[str, WorkItem]] = {}
+        #: instance_id -> every item ever offered for it, in offer order.
+        self._by_instance: dict[str, list[WorkItem]] = {}
+        #: item_id -> offered item with an unexpired notify_after.
+        self._deadline_watch: dict[str, WorkItem] = {}
         self._sequence = 0
         self.notifications: list[Notification] = []
+
+    # -- index maintenance ----------------------------------------------
+
+    def _index_offered(self, item: WorkItem) -> None:
+        for user in item.eligible:
+            self._offered_by_user.setdefault(user, {})[item.item_id] = item
+        if item.notify_after is not None and not item.notified:
+            self._deadline_watch[item.item_id] = item
+
+    def _unindex_offered(self, item: WorkItem) -> None:
+        for user in item.eligible:
+            bucket = self._offered_by_user.get(user)
+            if bucket is not None:
+                bucket.pop(item.item_id, None)
+        self._deadline_watch.pop(item.item_id, None)
+
+    def _unindex_slot(self, item: WorkItem) -> None:
+        slot = (item.instance_id, item.activity)
+        bucket = self._open_by_slot.get(slot)
+        if bucket is not None:
+            bucket.pop(item.item_id, None)
+            if not bucket:
+                del self._open_by_slot[slot]
 
     # -- item lifecycle (driven by the engine) --------------------------
 
@@ -94,18 +139,23 @@ class WorklistManager:
             notify_role=notify_role,
         )
         self._items[item.item_id] = item
+        self._open_by_slot.setdefault((instance_id, activity), {})[
+            item.item_id
+        ] = item
+        self._by_instance.setdefault(instance_id, []).append(item)
+        self._index_offered(item)
         return item
 
     def withdraw(self, instance_id: str, activity: str) -> None:
         """Remove any open/claimed item for an activity instance (e.g.
         dead-path elimination, or force-finish by another user)."""
-        for item in self._items.values():
-            if (
-                item.instance_id == instance_id
-                and item.activity == activity
-                and item.state in (WorkItemState.OFFERED, WorkItemState.CLAIMED)
-            ):
-                item.state = WorkItemState.WITHDRAWN
+        bucket = self._open_by_slot.pop((instance_id, activity), None)
+        if bucket is None:
+            return
+        for item in bucket.values():
+            if item.state is WorkItemState.OFFERED:
+                self._unindex_offered(item)
+            item.state = WorkItemState.WITHDRAWN
 
     def complete(self, item_id: str) -> None:
         item = self._get(item_id)
@@ -115,18 +165,18 @@ class WorklistManager:
                 % (item_id, item.state.value)
             )
         item.state = WorkItemState.COMPLETED
+        self._unindex_slot(item)
 
     # -- user operations -------------------------------------------------
 
     def worklist(self, user_id: str) -> list[WorkItem]:
         """Open items visible to ``user_id``, highest priority first."""
-        visible = [
-            item
-            for item in self._items.values()
-            if item.is_open and user_id in item.eligible
-        ]
+        bucket = self._offered_by_user.get(user_id)
+        if not bucket:
+            return []
         return sorted(
-            visible, key=lambda i: (-i.priority, i.offered_at, i.item_id)
+            bucket.values(),
+            key=lambda i: (-i.priority, i.offered_at, i.item_id),
         )
 
     def claim(self, item_id: str, user_id: str) -> WorkItem:
@@ -143,6 +193,7 @@ class WorklistManager:
             )
         item.state = WorkItemState.CLAIMED
         item.claimed_by = user_id
+        self._unindex_offered(item)
         return item
 
     def release(self, item_id: str) -> WorkItem:
@@ -152,6 +203,7 @@ class WorklistManager:
             raise WorklistError("item %s is not claimed" % item_id)
         item.state = WorkItemState.OFFERED
         item.claimed_by = ""
+        self._index_offered(item)
         return item
 
     # -- notifications ----------------------------------------------------
@@ -165,13 +217,8 @@ class WorklistManager:
         ids (the engine passes organization lookup).
         """
         raised: list[Notification] = []
-        for item in self._items.values():
-            if (
-                item.is_open
-                and not item.notified
-                and item.notify_after is not None
-                and now - item.offered_at >= item.notify_after
-            ):
+        for item in list(self._deadline_watch.values()):
+            if now - item.offered_at >= item.notify_after:
                 recipients = (
                     tuple(recipients_for(item.notify_role))
                     if item.notify_role
@@ -181,6 +228,7 @@ class WorklistManager:
                     item.item_id, item.activity, item.instance_id, recipients, now
                 )
                 item.notified = True
+                del self._deadline_watch[item.item_id]
                 raised.append(notification)
                 self.notifications.append(notification)
         return raised
@@ -191,21 +239,13 @@ class WorklistManager:
         return self._get(item_id)
 
     def items_for_instance(self, instance_id: str) -> list[WorkItem]:
-        return [
-            item
-            for item in self._items.values()
-            if item.instance_id == instance_id
-        ]
+        return list(self._by_instance.get(instance_id, ()))
 
     def open_item_for(self, instance_id: str, activity: str) -> WorkItem | None:
-        for item in self._items.values():
-            if (
-                item.instance_id == instance_id
-                and item.activity == activity
-                and item.state in (WorkItemState.OFFERED, WorkItemState.CLAIMED)
-            ):
-                return item
-        return None
+        bucket = self._open_by_slot.get((instance_id, activity))
+        if not bucket:
+            return None
+        return next(iter(bucket.values()))
 
     def _get(self, item_id: str) -> WorkItem:
         try:

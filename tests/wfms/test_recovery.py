@@ -139,6 +139,18 @@ class TestCrashRecovery:
         with pytest.raises(NavigationError):
             engine.start_process("P")
 
+    def test_crashed_engine_refuses_clock_advance(self, journal_path):
+        # Regression: a crashed engine must not keep advancing its
+        # clock (and raising deadline notifications) as if alive.
+        calls = {}
+        engine = build_engine(journal_path, calls)
+        engine.start_process("P")
+        engine.advance_clock(1.0)
+        engine.crash()
+        with pytest.raises(NavigationError):
+            engine.advance_clock(1.0)
+        assert engine.clock == 1.0
+
     def test_recovered_outputs_match_pre_crash(self, journal_path):
         calls = {}
         engine = build_engine(journal_path, calls)

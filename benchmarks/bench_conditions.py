@@ -1,0 +1,109 @@
+"""COND — condition evaluation throughput: compiled closures vs the
+tree-walk interpreter.
+
+The navigator evaluates a transition/exit condition on every activity
+termination; this benchmark isolates that cost.  The closure-compiled
+form (``Condition.compiled``) lowers the AST once, so per-evaluation
+work is a chain of specialised calls instead of per-node dispatch.
+"""
+
+import time
+
+import pytest
+
+from repro.wfms.conditions import parse_condition
+
+from _helpers import print_table
+
+#: Expressions of increasing size, shaped like real transition/exit
+#: conditions (return codes, state members, a little arithmetic).
+EXPRESSIONS = [
+    ("rc_check", "RC = 0"),
+    ("guard", "RC = 0 AND State_2 = 1"),
+    (
+        "routing",
+        "(RC = 0 AND Order.Total > 100) OR (Priority >= 2 AND NOT Expedite = 0)",
+    ),
+    (
+        "arith",
+        "Order.Total * 1.21 + Shipping - Discount > 250 AND RC <> 4",
+    ),
+]
+
+VALUES = {
+    "_RC": 0,
+    "State_2": 1,
+    "Order.Total": 240.0,
+    "Priority": 3,
+    "Expedite": 1,
+    "Shipping": 12.5,
+    "Discount": 30.0,
+}
+
+EVALS = 20_000
+
+
+def run_interpreted(condition, resolver, n=EVALS):
+    evaluate = condition.evaluate
+    for __ in range(n):
+        evaluate(resolver)
+
+
+def run_compiled(condition, resolver, n=EVALS):
+    evaluate = condition.compiled
+    for __ in range(n):
+        evaluate(resolver)
+
+
+def measure(fn, condition, resolver) -> float:
+    """evaluations/second, best of 3."""
+    best = 0.0
+    for __ in range(3):
+        start = time.perf_counter()
+        fn(condition, resolver)
+        elapsed = time.perf_counter() - start
+        best = max(best, EVALS / elapsed)
+    return best
+
+
+@pytest.mark.parametrize("label,source", EXPRESSIONS)
+def test_interpreted_evaluation(benchmark, label, source):
+    condition = parse_condition(source)
+    resolver = VALUES.get
+    assert condition.evaluate(resolver) in (True, False)
+    benchmark(lambda: condition.evaluate(resolver))
+
+
+@pytest.mark.parametrize("label,source", EXPRESSIONS)
+def test_compiled_evaluation(benchmark, label, source):
+    condition = parse_condition(source)
+    compiled = condition.compiled
+    assert compiled(VALUES.get) == condition.evaluate(VALUES.get)
+    resolver = VALUES.get
+    benchmark(lambda: compiled(resolver))
+
+
+def test_compiled_vs_interpreted_table(benchmark):
+    rows = []
+    for label, source in EXPRESSIONS:
+        condition = parse_condition(source)
+        resolver = VALUES.get
+        interpreted = measure(run_interpreted, condition, resolver)
+        compiled = measure(run_compiled, condition, resolver)
+        rows.append(
+            (
+                label,
+                "%.0f" % interpreted,
+                "%.0f" % compiled,
+                "%.2fx" % (compiled / interpreted),
+            )
+        )
+    print_table(
+        "COND: evaluations/sec, interpreter vs compiled closures",
+        ["expression", "interpreted/s", "compiled/s", "speedup"],
+        rows,
+    )
+    condition = parse_condition(EXPRESSIONS[2][1])
+    compiled = condition.compiled
+    resolver = VALUES.get
+    benchmark(lambda: compiled(resolver))

@@ -16,6 +16,10 @@ from repro.errors import ContainerError
 from repro.wfms.datatypes import DataType, TypeRegistry, VariableDecl
 from repro.wfms.model import RETURN_CODE
 
+#: Shared declaration of the predefined ``_RC`` member; hoisted so output
+#: containers do not revalidate an identical declaration per construction.
+_RC_DECL = VariableDecl(RETURN_CODE, DataType.LONG)
+
 
 class Container:
     """A typed record of container members.
@@ -29,7 +33,7 @@ class Container:
     0
     """
 
-    __slots__ = ("_decls", "_types", "_values", "_output")
+    __slots__ = ("_decls", "_types", "_values", "_output", "_flat")
 
     def __init__(
         self,
@@ -43,14 +47,36 @@ class Container:
         self._values: dict[str, Any] = {}
         self._output = output
         if output:
-            rc = VariableDecl(RETURN_CODE, DataType.LONG)
-            self._decls[RETURN_CODE] = rc
+            self._decls[RETURN_CODE] = _RC_DECL
             self._values[RETURN_CODE] = 0
         for decl in spec:
             if decl.name in self._decls:
                 raise ContainerError("duplicate member %r" % decl.name)
             self._decls[decl.name] = decl
             self._values[decl.name] = self._types.default_value(decl)
+        #: all defaults scalar → a fresh copy is a plain dict copy
+        self._flat = not any(
+            isinstance(value, (dict, list)) for value in self._values.values()
+        )
+
+    def fresh_copy(self) -> "Container":
+        """A new container with this one's declarations and *current*
+        values; used by compiled navigation plans to stamp per-execution
+        containers from a prototype without re-deriving defaults.
+
+        Declarations are shared (they are never mutated after
+        construction); values are copied — a plain dict copy when every
+        member is scalar, a deep copy otherwise.
+        """
+        clone = Container.__new__(Container)
+        clone._decls = self._decls
+        clone._types = self._types
+        clone._output = self._output
+        clone._flat = self._flat
+        clone._values = (
+            dict(self._values) if self._flat else copy.deepcopy(self._values)
+        )
+        return clone
 
     # -- access --------------------------------------------------------
 
@@ -78,7 +104,10 @@ class Container:
             raise ContainerError("container has no member %r" % root)
         decl = self._decls[root]
         if not rest:
-            self._values[root] = self._coerce(decl, value, path)
+            coerced = self._coerce(decl, value, path)
+            self._values[root] = coerced
+            if self._flat and isinstance(coerced, (dict, list)):
+                self._flat = False
             return
         target = self._values[root]
         for part in rest[:-1]:
@@ -140,12 +169,17 @@ class Container:
         for name, value in values.items():
             if name in self._decls:
                 self._values[name] = copy.deepcopy(value)
+                if self._flat and isinstance(value, (dict, list)):
+                    self._flat = False
 
     def copy(self) -> "Container":
         clone = Container((), self._types, output=False)
         clone._decls = dict(self._decls)
         clone._values = copy.deepcopy(self._values)
         clone._output = self._output
+        clone._flat = not any(
+            isinstance(value, (dict, list)) for value in clone._values.values()
+        )
         return clone
 
     # -- internals -----------------------------------------------------

@@ -38,7 +38,16 @@ class Engine:
         self,
         journal_path: str | os.PathLike[str] | None = None,
         organization: Organization | None = None,
+        *,
+        journal_sync: str = "always",
+        journal_batch_size: int = 64,
+        journal_batch_interval: float = 0.05,
     ):
+        """``journal_sync`` selects the journal durability policy —
+        ``"always"`` (fsync per record, the default §3.3 guarantee),
+        ``"batch"`` (group commit every ``journal_batch_size`` records
+        or ``journal_batch_interval`` seconds, losing at most the
+        unflushed suffix on a crash) or ``"never"`` (OS-buffered)."""
         self.programs = ProgramRegistry()
         self.organization = (
             organization if organization is not None else Organization()
@@ -47,7 +56,16 @@ class Engine:
         self.audit = AuditTrail()
         self.services: dict[str, Any] = {}
         self._definitions = DefinitionRegistry()
-        self._journal = Journal(journal_path) if journal_path is not None else None
+        self._journal = (
+            Journal(
+                journal_path,
+                sync=journal_sync,
+                batch_size=journal_batch_size,
+                batch_interval=journal_batch_interval,
+            )
+            if journal_path is not None
+            else None
+        )
         self._crashed = False
         self.navigator = Navigator(
             self._definitions,
@@ -381,8 +399,15 @@ class Engine:
 
     def crash(self) -> None:
         """Simulate a machine failure: volatile state is lost, the
-        journal survives.  The engine object refuses further work."""
+        journal survives.  The engine object refuses further work.
+
+        ``flush()`` is the durability barrier: under group commit
+        (``journal_sync="batch"``) any still-buffered suffix is
+        committed before the journal closes, so an orderly ``crash()``
+        (and ``close()``) loses nothing — only a *hard* loss of the
+        process can drop the unflushed suffix."""
         if self._journal is not None:
+            self._journal.flush()
             self._journal.close()
         self._crashed = True
 
@@ -396,7 +421,10 @@ class Engine:
             raise NavigationError("recovery requires a journal-backed engine")
         self._journal.reopen()
         records = self._journal.records()
-        return replay(self.navigator, records)
+        replayed = replay(self.navigator, records)
+        # Barrier: post-replay journaling resumes from a durable file.
+        self._journal.flush()
+        return replayed
 
     @property
     def journal(self) -> Journal | None:
@@ -404,6 +432,7 @@ class Engine:
 
     def close(self) -> None:
         if self._journal is not None:
+            self._journal.flush()
             self._journal.close()
 
     def _check_up(self) -> None:

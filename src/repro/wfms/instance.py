@@ -10,12 +10,15 @@ experiments assert on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from enum import Enum
+from typing import TYPE_CHECKING
 
 from repro.errors import NavigationError
 from repro.wfms.containers import Container
 from repro.wfms.model import Activity, ProcessDefinition, StartCondition
+
+if TYPE_CHECKING:
+    from repro.wfms.plan import NavigationPlan
 
 
 class ActivityState(Enum):
@@ -36,22 +39,64 @@ def connector_key(source: str, target: str) -> str:
     return "%s->%s" % (source, target)
 
 
-@dataclass
 class ActivityInstance:
-    """Run-time state of one activity within one process instance."""
+    """Run-time state of one activity within one process instance.
 
-    activity: Activity
-    state: ActivityState = ActivityState.WAITING
-    dead: bool = False
-    attempt: int = 0              # how many times execution started
-    input: Container | None = None
-    output: Container | None = None
-    #: connector key -> evaluated truth value (None = not yet evaluated)
-    incoming: dict[str, bool | None] = field(default_factory=dict)
-    claimed_by: str = ""
-    forced: bool = False
-    #: instance id of the currently running child (BLOCK/PROCESS kinds)
-    child_instance: str = ""
+    ``state`` is a property: transitions into/out of ``TERMINATED``
+    maintain the owning :class:`ProcessInstance`'s live-activity
+    counter, which makes :meth:`ProcessInstance.all_terminated` O(1)
+    instead of an O(activities) scan per termination.
+    """
+
+    __slots__ = (
+        "activity",
+        "_state",
+        "dead",
+        "attempt",
+        "input",
+        "output",
+        "incoming",
+        "claimed_by",
+        "forced",
+        "child_instance",
+        "owner",
+    )
+
+    def __init__(
+        self,
+        activity: Activity,
+        owner: "ProcessInstance | None" = None,
+    ):
+        self.activity = activity
+        self._state = ActivityState.WAITING
+        self.dead = False
+        self.attempt = 0              # how many times execution started
+        self.input: Container | None = None
+        self.output: Container | None = None
+        #: connector key -> evaluated truth value (None = not yet evaluated)
+        self.incoming: dict[str, bool | None] = {}
+        self.claimed_by = ""
+        self.forced = False
+        #: instance id of the currently running child (BLOCK/PROCESS kinds)
+        self.child_instance = ""
+        self.owner = owner
+
+    @property
+    def state(self) -> ActivityState:
+        return self._state
+
+    @state.setter
+    def state(self, value: ActivityState) -> None:
+        old = self._state
+        if value is old:
+            return
+        self._state = value
+        owner = self.owner
+        if owner is not None:
+            if value is ActivityState.TERMINATED:
+                owner._live -= 1
+            elif old is ActivityState.TERMINATED:
+                owner._live += 1
 
     @property
     def name(self) -> str:
@@ -94,6 +139,7 @@ class ProcessInstance:
         starter: str = "",
         parent_instance: str = "",
         parent_activity: str = "",
+        plan: "NavigationPlan | None" = None,
     ):
         self.instance_id = instance_id
         self.definition = definition
@@ -101,18 +147,36 @@ class ProcessInstance:
         self.starter = starter
         self.parent_instance = parent_instance
         self.parent_activity = parent_activity
-        self.input = Container(definition.input_spec, definition.types)
-        # Process output containers carry a return code so blocks can
-        # expose one to the enclosing level (as Figure 2's RC_FB does).
-        self.output = Container(
-            definition.output_spec, definition.types, output=True
-        )
+        #: compiled navigation plan (set by the navigator; direct
+        #: constructions — unit tests — carry None and fall back to
+        #: definition queries)
+        self.plan = plan
         self.activities: dict[str, ActivityInstance] = {}
-        for name, activity in definition.activities.items():
-            ai = ActivityInstance(activity)
-            for connector in definition.incoming(name):
-                ai.incoming[connector_key(connector.source, connector.target)] = None
-            self.activities[name] = ai
+        #: count of activities not yet TERMINATED, maintained by the
+        #: ActivityInstance.state setter
+        self._live = len(definition.activities)
+        if plan is not None:
+            self.input = plan.process_input_container()
+            self.output = plan.process_output_container()
+            incoming_keys = plan.incoming_keys
+            for name, activity in definition.activities.items():
+                ai = ActivityInstance(activity, owner=self)
+                ai.incoming = dict.fromkeys(incoming_keys[name])
+                self.activities[name] = ai
+        else:
+            self.input = Container(definition.input_spec, definition.types)
+            # Process output containers carry a return code so blocks can
+            # expose one to the enclosing level (as Figure 2's RC_FB does).
+            self.output = Container(
+                definition.output_spec, definition.types, output=True
+            )
+            for name, activity in definition.activities.items():
+                ai = ActivityInstance(activity, owner=self)
+                for connector in definition.incoming(name):
+                    ai.incoming[
+                        connector_key(connector.source, connector.target)
+                    ] = None
+                self.activities[name] = ai
 
     def activity(self, name: str) -> ActivityInstance:
         try:
@@ -127,10 +191,9 @@ class ProcessInstance:
         return not self.parent_instance
 
     def all_terminated(self) -> bool:
-        return all(
-            ai.state is ActivityState.TERMINATED
-            for ai in self.activities.values()
-        )
+        """O(1): the live counter is maintained on every activity state
+        transition into/out of TERMINATED."""
+        return self._live == 0
 
     def states(self) -> dict[str, str]:
         """activity -> state string (with dead-path marked)."""

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from typing import Any, Iterable, Iterator
 
 from repro.errors import RecoveryError
@@ -25,17 +26,60 @@ RECORD_TYPES = {
     "process_resumed",
 }
 
+#: Legal values for the ``sync`` policy.
+SYNC_POLICIES = ("always", "batch", "never")
+
 
 class Journal:
     """Append-only record store, file-backed or in-memory.
 
-    File backing writes one JSON object per line and flushes after each
-    append (the durability point the forward-recovery guarantee needs).
+    File backing writes one JSON object per line.  *When* a record
+    becomes durable is governed by the ``sync`` policy:
+
+    * ``"always"`` (default) — flush + fsync after every append.  This
+      is the durability point the §3.3 forward-recovery guarantee
+      needs: a crash never loses an appended record.
+    * ``"batch"`` — **group commit**: appends are buffered in memory
+      and committed (written, flushed, fsynced) together once
+      ``batch_size`` records accumulate or ``batch_interval`` seconds
+      pass since the first buffered record.  A crash loses at most the
+      unflushed suffix; :meth:`flush` is the explicit durability
+      barrier (called by ``Engine.crash()``/``close()`` and the
+      recovery path).
+    * ``"never"`` — records are handed to the OS on every append but
+      never explicitly fsynced outside :meth:`flush`/:meth:`close`;
+      fastest, with durability left to the operating system.
+
+    In-memory state (:meth:`records`) always reflects every append
+    regardless of policy — it is volatile by definition.  A record is
+    only added to memory *after* the file write succeeded, so a failing
+    disk write cannot leave memory claiming a record that was never
+    durable.
     """
 
-    def __init__(self, path: str | os.PathLike[str] | None = None):
+    def __init__(
+        self,
+        path: str | os.PathLike[str] | None = None,
+        *,
+        sync: str = "always",
+        batch_size: int = 64,
+        batch_interval: float = 0.05,
+    ):
+        if sync not in SYNC_POLICIES:
+            raise ValueError(
+                "unknown journal sync policy %r (choose from %s)"
+                % (sync, ", ".join(SYNC_POLICIES))
+            )
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
         self._path = os.fspath(path) if path is not None else None
+        self._sync = sync
+        self._batch_size = batch_size
+        self._batch_interval = batch_interval
         self._memory: list[dict[str, Any]] = []
+        #: serialized-but-uncommitted lines (batch policy only)
+        self._buffer: list[str] = []
+        self._buffer_since: float | None = None
         self._file = None
         if self._path is not None:
             # Load any existing records, then open for appending.
@@ -47,17 +91,59 @@ class Journal:
     def path(self) -> str | None:
         return self._path
 
+    @property
+    def sync(self) -> str:
+        return self._sync
+
     def append(self, record: dict[str, Any]) -> None:
         if record.get("type") not in RECORD_TYPES:
             raise RecoveryError(
                 "illegal journal record type %r" % record.get("type")
             )
-        self._memory.append(record)
         if self._file is not None:
-            self._file.write(json.dumps(record, sort_keys=True))
+            line = json.dumps(record, sort_keys=True)
+            if self._sync == "always":
+                self._file.write(line)
+                self._file.write("\n")
+                self._file.flush()
+                os.fsync(self._file.fileno())
+            elif self._sync == "never":
+                self._file.write(line)
+                self._file.write("\n")
+            else:  # batch: group commit
+                self._buffer.append(line)
+                now = time.monotonic()
+                if self._buffer_since is None:
+                    self._buffer_since = now
+                if (
+                    len(self._buffer) >= self._batch_size
+                    or now - self._buffer_since >= self._batch_interval
+                ):
+                    self._commit()
+        # Write-then-append: memory only claims records whose file
+        # write (or buffering) succeeded.
+        self._memory.append(record)
+
+    def _commit(self) -> None:
+        """Write the buffered suffix and make the file durable."""
+        assert self._file is not None
+        if self._buffer:
+            self._file.write("\n".join(self._buffer))
             self._file.write("\n")
-            self._file.flush()
-            os.fsync(self._file.fileno())
+            self._buffer.clear()
+            self._buffer_since = None
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def flush(self) -> None:
+        """Durability barrier: every appended record is on disk after
+        this returns, whatever the sync policy."""
+        if self._file is not None:
+            self._commit()
+
+    def unflushed(self) -> int:
+        """Number of appended records not yet committed to disk."""
+        return len(self._buffer)
 
     def records(self) -> list[dict[str, Any]]:
         return list(self._memory)
@@ -67,6 +153,7 @@ class Journal:
 
     def close(self) -> None:
         if self._file is not None:
+            self._commit()
             self._file.close()
             self._file = None
 

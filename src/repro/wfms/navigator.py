@@ -27,6 +27,12 @@ they surface, so a pop is O(log n) amortised instead of the former
 O(n) scan.  Re-queueing — loop reschedules, ``resume``, post-replay
 deferral — is a fresh arrival, which keeps the dispatch order exactly
 "priority first, then first-queued first".
+
+Navigation steps run against the **compiled navigation plan** of each
+definition (:mod:`repro.wfms.plan`), obtained from the definition
+registry's plan cache: connector adjacency, compiled transition/exit
+conditions and container prototypes are all precomputed per template,
+so per-step work never rescans the :class:`ProcessDefinition`.
 """
 
 from __future__ import annotations
@@ -36,7 +42,6 @@ from typing import Any
 
 from repro.errors import (
     NavigationError,
-    ProgramError,
     StaffResolutionError,
     WorkflowError,
 )
@@ -52,14 +57,18 @@ from repro.wfms.instance import (
 from repro.wfms.journal import Journal, ReplayCursor
 from repro.wfms.model import (
     PROCESS_INPUT,
-    PROCESS_OUTPUT,
-    Activity,
     ActivityKind,
     ProcessDefinition,
 )
 from repro.wfms.organization import Organization
 from repro.wfms.programs import InvocationContext, ProgramRegistry
 from repro.wfms.worklist import WorklistManager
+
+
+def _NULL_RESOLVER(_path: str) -> None:
+    """Resolver for activities with no output container (dead paths,
+    never-executed activities); hoisted so no per-call lambda is built."""
+    return None
 
 
 class Navigator:
@@ -163,12 +172,14 @@ class Navigator:
             raise NavigationError(
                 "instance id %r is already in use" % instance_id
             )
+        plan = self._definitions.plan_for(definition)
         instance = ProcessInstance(
             instance_id,
             definition,
             starter=starter,
             parent_instance=parent_instance,
             parent_activity=parent_activity,
+            plan=plan,
         )
         instance.input.load_dict(input_values)
         self._instances[instance_id] = instance
@@ -178,19 +189,22 @@ class Navigator:
             instance_id,
             detail={"definition": definition.name, "starter": starter},
         )
-        self._journal_write(
-            {
-                "type": "process_started",
-                "instance": instance_id,
-                "definition": definition.name,
-                "version": definition.version,
-                "input": instance.input.to_dict(),
-                "starter": starter,
-                "parent_instance": parent_instance,
-                "parent_activity": parent_activity,
-            }
-        )
-        for name in definition.starting_activities():
+        if self._journal is not None and self._replay is None:
+            # The record dict (with its input snapshot) is only built
+            # when a journal will actually persist it.
+            self._journal.append(
+                {
+                    "type": "process_started",
+                    "instance": instance_id,
+                    "definition": definition.name,
+                    "version": definition.version,
+                    "input": instance.input.to_dict(),
+                    "starter": starter,
+                    "parent_instance": parent_instance,
+                    "parent_activity": parent_activity,
+                }
+            )
+        for name in plan.starting:
             self._make_ready(instance, name)
         return instance_id
 
@@ -358,9 +372,7 @@ class Navigator:
             )
         ai.attempt += 1
         ai.forced = True
-        ai.output = Container(
-            ai.activity.output_spec, instance.definition.types, output=True
-        )
+        ai.output = instance.plan.output_container(ai.name)
         if output_values:
             ai.output.load_dict(output_values)
         ai.output.return_code = return_code
@@ -415,9 +427,7 @@ class Navigator:
                 self._deferred.append((instance.instance_id, ai.name))
                 return
         if recorded is not None:
-            ai.output = Container(
-                ai.activity.output_spec, instance.definition.types, output=True
-            )
+            ai.output = instance.plan.output_container(ai.name)
             ai.output.load_dict(recorded["output"])
             ai.forced = bool(recorded.get("forced"))
             self._finish(instance, ai, replayed=True, user=recorded.get("user", ""))
@@ -427,10 +437,9 @@ class Navigator:
     def _build_input(
         self, instance: ProcessInstance, ai: ActivityInstance
     ) -> Container:
-        container = Container(
-            ai.activity.input_spec, instance.definition.types
-        )
-        for connector in instance.definition.data_into(ai.name):
+        plan = instance.plan
+        container = plan.input_container(ai.name)
+        for connector in plan.data_into.get(ai.name, ()):
             if connector.source == PROCESS_INPUT:
                 source = instance.input
             else:
@@ -445,9 +454,7 @@ class Navigator:
         self, instance: ProcessInstance, ai: ActivityInstance, user: str
     ) -> None:
         assert ai.input is not None
-        ai.output = Container(
-            ai.activity.output_spec, instance.definition.types, output=True
-        )
+        ai.output = instance.plan.output_container(ai.name)
         ctx = InvocationContext(
             activity=ai.name,
             process=instance.definition.name,
@@ -472,10 +479,11 @@ class Navigator:
         child_id = "%s/%s@%d" % (instance.instance_id, ai.name, ai.attempt)
         ai.child_instance = child_id
         assert ai.input is not None
+        child_input_names = self._definitions.plan_for(definition).input_names
         input_values = {
             name: ai.input.get(name)
             for name in ai.input.members()
-            if any(decl.name == name for decl in definition.input_spec)
+            if name in child_input_names
         }
         self._create_instance(
             definition,
@@ -496,9 +504,7 @@ class Navigator:
                 "child %s finished but parent activity %s is %s"
                 % (child.instance_id, ai.name, ai.state.value)
             )
-        ai.output = Container(
-            ai.activity.output_spec, parent.definition.types, output=True
-        )
+        ai.output = parent.plan.output_container(ai.name)
         for name in ai.output.members():
             if child.output.has(name):
                 ai.output.set(name, child.output.get(name))
@@ -527,8 +533,12 @@ class Navigator:
             rc=ai.output.return_code,
             attempt=ai.attempt,
         )
-        if not replayed:
-            self._journal_write(
+        if (
+            not replayed
+            and self._journal is not None
+            and self._replay is None
+        ):
+            self._journal.append(
                 {
                     "type": "activity_completed",
                     "instance": instance.instance_id,
@@ -539,7 +549,10 @@ class Navigator:
                     "user": user,
                 }
             )
-        exit_ok = ai.activity.exit_condition.evaluate(ai.output.resolver)
+        exit_evaluate = instance.plan.exit_conditions[ai.name]
+        exit_ok = (
+            True if exit_evaluate is None else exit_evaluate(ai.output.resolver)
+        )
         if not exit_ok:
             limit = ai.activity.max_iterations
             if limit and ai.attempt >= limit:
@@ -571,9 +584,10 @@ class Navigator:
             rc=ai.output.return_code if ai.output is not None else 0,
         )
         self._push_process_output(instance, ai)
-        resolver = ai.output.resolver if ai.output is not None else (lambda _p: None)
-        for connector in instance.definition.outgoing(ai.name):
-            value = bool(connector.condition.evaluate(resolver))
+        resolver = ai.output.resolver if ai.output is not None else _NULL_RESOLVER
+        for connector in instance.plan.outgoing[ai.name]:
+            evaluate = connector.evaluate
+            value = True if evaluate is None else bool(evaluate(resolver))
             self._connector_evaluated(instance, connector.source, connector.target, value)
         self._check_finished(instance)
 
@@ -582,9 +596,8 @@ class Navigator:
     ) -> None:
         if ai.output is None:
             return
-        for connector in instance.definition.data_out_of(ai.name):
-            if connector.target == PROCESS_OUTPUT:
-                instance.output.update_from(ai.output, connector.mappings)
+        for connector in instance.plan.output_mappings.get(ai.name, ()):
+            instance.output.update_from(ai.output, connector.mappings)
 
     def _connector_evaluated(
         self, instance: ProcessInstance, source: str, target: str, value: bool
@@ -614,7 +627,7 @@ class Navigator:
         self._audit.record(
             self.clock, AuditEvent.ACTIVITY_DEAD, instance.instance_id, ai.name
         )
-        for connector in instance.definition.outgoing(ai.name):
+        for connector in instance.plan.outgoing[ai.name]:
             self._connector_evaluated(
                 instance, connector.source, connector.target, False
             )

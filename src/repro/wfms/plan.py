@@ -1,0 +1,189 @@
+"""Compiled navigation plans — the template-compilation layer (§5).
+
+FlowMark separates build time from run time: FDL import produces an
+*executable process template*, and run-time instances navigate that
+template without re-deriving anything from the definition.  This module
+is that separation for the reproduction.  :func:`compile_plan` lowers a
+:class:`~repro.wfms.model.ProcessDefinition` once into a
+:class:`NavigationPlan` whose lookups are all O(degree) dict reads:
+
+* forward control-connector adjacency (``outgoing``) with each
+  transition condition **compiled to a Python closure** (``None`` for
+  the default ``TRUE`` condition, so unconditional edges skip the
+  evaluator call entirely),
+* per-target incoming connector keys (stamps a fresh instance's join
+  bookkeeping without scanning the connector list per activity),
+* per-target data-connector lists and per-source connectors into the
+  process output container,
+* compiled exit conditions per activity (``None`` when always true),
+* the starting activities,
+* the definition's input-spec name set (filters the values handed to a
+  block/subprocess child), and
+* prototype input/output containers per activity (and for the process
+  itself) that are cloned per execution instead of re-deriving default
+  values from declarations each time.
+
+Plans are built and cached by
+:meth:`repro.wfms.registry.DefinitionRegistry.plan_for` next to the
+memoized ``verify_executable`` results and are invalidated with them:
+registering any definition or program drops every cached plan, so a
+stale plan can never outlive the template it was compiled from.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.wfms.conditions import Resolver
+from repro.wfms.containers import Container
+from repro.wfms.model import (
+    PROCESS_OUTPUT,
+    DataConnector,
+    ProcessDefinition,
+)
+
+
+class PlanConnector:
+    """One compiled control connector.
+
+    ``evaluate`` is the closure-compiled transition condition, or
+    ``None`` when the condition is literally ``TRUE`` (the navigator
+    then takes the edge without any call).
+    """
+
+    __slots__ = ("source", "target", "key", "evaluate")
+
+    def __init__(
+        self,
+        source: str,
+        target: str,
+        evaluate: Callable[[Resolver], bool] | None,
+    ):
+        self.source = source
+        self.target = target
+        self.key = "%s->%s" % (source, target)
+        self.evaluate = evaluate
+
+
+class NavigationPlan:
+    """Everything the navigator needs per (definition name, version),
+    precomputed; see the module docstring.  Instances are immutable
+    after :func:`compile_plan` returns."""
+
+    __slots__ = (
+        "definition",
+        "starting",
+        "outgoing",
+        "incoming_keys",
+        "data_into",
+        "output_mappings",
+        "exit_conditions",
+        "input_names",
+        "_input_protos",
+        "_output_protos",
+        "_process_input_proto",
+        "_process_output_proto",
+    )
+
+    def __init__(self, definition: ProcessDefinition):
+        self.definition = definition
+        #: activity -> tuple[PlanConnector] (forward adjacency)
+        self.outgoing: dict[str, tuple[PlanConnector, ...]] = {}
+        #: activity -> tuple[connector key] (backward adjacency)
+        self.incoming_keys: dict[str, tuple[str, ...]] = {}
+        #: activity -> data connectors feeding its input container
+        self.data_into: dict[str, tuple[DataConnector, ...]] = {}
+        #: activity -> data connectors from it into the process output
+        self.output_mappings: dict[str, tuple[DataConnector, ...]] = {}
+        #: activity -> compiled exit condition (None = always true)
+        self.exit_conditions: dict[
+            str, Callable[[Resolver], bool] | None
+        ] = {}
+        #: starting activities (no incoming control connector)
+        self.starting: tuple[str, ...] = ()
+        #: names declared in the process input container
+        self.input_names: frozenset[str] = frozenset()
+        self._input_protos: dict[str, Container] = {}
+        self._output_protos: dict[str, Container] = {}
+        self._process_input_proto = Container(
+            definition.input_spec, definition.types
+        )
+        self._process_output_proto = Container(
+            definition.output_spec, definition.types, output=True
+        )
+
+    # -- per-execution container stamping ------------------------------
+
+    def input_container(self, activity: str) -> Container:
+        """A fresh input container for one execution of ``activity``."""
+        return self._input_protos[activity].fresh_copy()
+
+    def output_container(self, activity: str) -> Container:
+        """A fresh output container for one execution of ``activity``."""
+        return self._output_protos[activity].fresh_copy()
+
+    def process_input_container(self) -> Container:
+        return self._process_input_proto.fresh_copy()
+
+    def process_output_container(self) -> Container:
+        return self._process_output_proto.fresh_copy()
+
+    def __repr__(self) -> str:
+        return "NavigationPlan(%r, version=%r, activities=%d)" % (
+            self.definition.name,
+            self.definition.version,
+            len(self.exit_conditions),
+        )
+
+
+def compile_plan(definition: ProcessDefinition) -> NavigationPlan:
+    """Lower ``definition`` into a :class:`NavigationPlan` (one-time
+    cost, amortised over every instance of the template)."""
+    plan = NavigationPlan(definition)
+    outgoing: dict[str, list[PlanConnector]] = {}
+    incoming_keys: dict[str, list[str]] = {}
+    data_into: dict[str, list[DataConnector]] = {}
+    output_mappings: dict[str, list[DataConnector]] = {}
+    for name in definition.activities:
+        outgoing[name] = []
+        incoming_keys[name] = []
+    for connector in definition.control_connectors:
+        condition = connector.condition
+        compiled = None if condition.is_always() else condition.compiled
+        edge = PlanConnector(connector.source, connector.target, compiled)
+        outgoing[connector.source].append(edge)
+        incoming_keys[connector.target].append(edge.key)
+    for connector in definition.data_connectors:
+        if connector.target == PROCESS_OUTPUT:
+            output_mappings.setdefault(connector.source, []).append(connector)
+        else:
+            data_into.setdefault(connector.target, []).append(connector)
+    for name, activity in definition.activities.items():
+        exit_condition = activity.exit_condition
+        plan.exit_conditions[name] = (
+            None if exit_condition.is_always() else exit_condition.compiled
+        )
+        plan._input_protos[name] = Container(
+            activity.input_spec, definition.types
+        )
+        plan._output_protos[name] = Container(
+            activity.output_spec, definition.types, output=True
+        )
+    plan.outgoing = {
+        name: tuple(edges) for name, edges in outgoing.items()
+    }
+    plan.incoming_keys = {
+        name: tuple(keys) for name, keys in incoming_keys.items()
+    }
+    plan.data_into = {
+        name: tuple(connectors) for name, connectors in data_into.items()
+    }
+    plan.output_mappings = {
+        name: tuple(connectors)
+        for name, connectors in output_mappings.items()
+    }
+    plan.starting = tuple(
+        name for name in definition.activities if not incoming_keys[name]
+    )
+    plan.input_names = definition.input_member_names()
+    return plan

@@ -18,6 +18,17 @@ recorded completions are keyed by ``(instance, activity, attempt)``
 and re-enqueued afterwards in discovery order, so the post-recovery
 dispatch order is the (priority, arrival) order the live engine would
 have used.
+
+Under group commit (``journal_sync="batch"``) the durable journal may
+end one batch earlier than the pre-crash engine's volatile memory: a
+hard crash loses at most the unflushed suffix.  Replay only ever sees
+durable records, so the recovered state is a consistent prefix of the
+pre-crash execution and the lost suffix is simply re-executed — the
+same rule the paper prescribes for interrupted activities.  The
+default ``"always"`` policy fsyncs per record and loses nothing.
+Navigation during replay also runs on compiled navigation plans; the
+plan cache is rebuilt from the re-registered definitions, so replay
+never depends on pre-crash volatile state.
 """
 
 from __future__ import annotations

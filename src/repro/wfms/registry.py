@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from repro.errors import DefinitionError
 from repro.wfms.model import ProcessDefinition
+from repro.wfms.plan import NavigationPlan, compile_plan
 
 
 def _version_key(version: str):
@@ -32,11 +33,24 @@ class DefinitionRegistry:
     parent's subprocess reference resolves to) and the engine clears
     it on program registration — see
     :meth:`invalidate_verified`.  Failures are never cached.
+
+    Next to the verify memo sits the **navigation-plan cache**
+    (:meth:`plan_for`): each definition — registered ones and embedded
+    block definitions alike — is compiled once into a
+    :class:`~repro.wfms.plan.NavigationPlan` and reused by every
+    instance.  The cache follows the same invalidation rules as the
+    verify memo: any definition or program registration drops every
+    cached plan.  Entries are keyed by definition object identity (the
+    definition is pinned in the entry, so an id can never be reused
+    while its entry is live), which also makes a re-registered
+    name+version pair — a *different* definition object — miss the
+    cache rather than resurrect a stale plan.
     """
 
     def __init__(self) -> None:
         self._definitions: dict[str, dict[str, ProcessDefinition]] = {}
         self._verified: set[tuple[str, str]] = set()
+        self._plans: dict[int, tuple[ProcessDefinition, NavigationPlan]] = {}
 
     def register(self, definition: ProcessDefinition) -> None:
         versions = self._definitions.setdefault(definition.name, {})
@@ -57,9 +71,24 @@ class DefinitionRegistry:
         self._verified.add(key)
 
     def invalidate_verified(self) -> None:
-        """Drop all memoized verification results (call after any
-        registration that could change what a check would find)."""
+        """Drop all memoized verification results *and* cached
+        navigation plans (call after any registration that could
+        change what a check would find or what a plan compiles to)."""
         self._verified.clear()
+        self._plans.clear()
+
+    # -- navigation-plan cache -------------------------------------------
+
+    def plan_for(self, definition: ProcessDefinition) -> NavigationPlan:
+        """The compiled :class:`NavigationPlan` for ``definition``,
+        building and caching it on first use."""
+        key = id(definition)
+        entry = self._plans.get(key)
+        if entry is not None and entry[0] is definition:
+            return entry[1]
+        plan = compile_plan(definition)
+        self._plans[key] = (definition, plan)
+        return plan
 
     def get(
         self, name: str, version: str | None = None

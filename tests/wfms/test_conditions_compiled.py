@@ -1,0 +1,137 @@
+"""Property test: closure-compiled conditions ≡ the tree-walk interpreter.
+
+Randomized expressions over numbers, strings, ``AND``/``OR``/``NOT``,
+comparisons, arithmetic, the ``RC``/``_RC`` alias and missing members
+must evaluate identically through ``Condition.evaluate`` (interpreter)
+and ``Condition.compiled`` (closures) — same value or the same
+``ConditionError``.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import ConditionError
+from repro.wfms.conditions import ALWAYS, NEVER, parse_condition
+
+#: Identifier pool: some resolvable, some intermittently missing, plus
+#: the return-code alias pair.
+IDENTIFIERS = ["A", "B", "Order.Total", "State_2", "RC", "_RC", "Missing"]
+
+
+def random_expression(rng: random.Random, depth: int = 0) -> str:
+    """A random (fully parenthesized) condition source string."""
+    if depth >= 3 or rng.random() < 0.3:
+        choice = rng.randrange(5)
+        if choice == 0:
+            return str(rng.randint(-5, 20))
+        if choice == 1:
+            return "%.2f" % (rng.uniform(-3, 3))
+        if choice == 2:
+            return rng.choice(["'x'", "'workflow'", '"y"', "''"])
+        if choice == 3:
+            return rng.choice(["TRUE", "FALSE"])
+        return rng.choice(IDENTIFIERS)
+    op = rng.randrange(6)
+    left = random_expression(rng, depth + 1)
+    right = random_expression(rng, depth + 1)
+    if op == 0:
+        return "(%s AND %s)" % (left, right)
+    if op == 1:
+        return "(%s OR %s)" % (left, right)
+    if op == 2:
+        return "(NOT %s)" % left
+    if op == 3:
+        comparator = rng.choice(["=", "<>", "<", "<=", ">", ">="])
+        return "(%s %s %s)" % (left, comparator, right)
+    if op == 4:
+        arith = rng.choice(["+", "-", "*", "/", "%"])
+        return "(%s %s %s)" % (left, arith, right)
+    return "(-%s)" % left
+
+
+def random_resolver(rng: random.Random) -> dict:
+    mapping = {}
+    if rng.random() < 0.9:
+        mapping["A"] = rng.choice([0, 1, 7, -2, 3.5, "text", ""])
+    if rng.random() < 0.9:
+        mapping["B"] = rng.choice([0, 2, "b", 1.25, True])
+    if rng.random() < 0.8:
+        mapping["Order.Total"] = rng.choice([0, 100, 99.5])
+    if rng.random() < 0.8:
+        mapping["State_2"] = rng.choice([0, 1, 2])
+    if rng.random() < 0.8:
+        mapping["_RC"] = rng.choice([0, 1, 4])
+    # "RC" itself is only rarely bound directly, so the _RC alias path
+    # gets exercised; "Missing" is never bound.
+    if rng.random() < 0.2:
+        mapping["RC"] = rng.choice([0, 1])
+    return mapping
+
+
+def outcome(evaluate, mapping):
+    try:
+        return ("value", evaluate(mapping))
+    except ConditionError as exc:
+        return ("error", str(exc))
+
+
+class TestCompiledEquivalence:
+    def test_randomized_expressions(self):
+        rng = random.Random(20260806)
+        checked = errors = 0
+        for __ in range(400):
+            source = random_expression(rng)
+            try:
+                condition = parse_condition(source)
+            except ConditionError:
+                continue  # not a concern of this test
+            compiled = condition.compiled
+            for __ in range(4):
+                mapping = random_resolver(rng)
+                interpreted = outcome(condition.evaluate, dict(mapping))
+                closured = outcome(compiled, dict(mapping))
+                assert interpreted == closured, (
+                    "diverged on %r with %r: %r vs %r"
+                    % (source, mapping, interpreted, closured)
+                )
+                checked += 1
+                if interpreted[0] == "error":
+                    errors += 1
+        assert checked > 1000
+        # The generator must actually exercise the error paths too.
+        assert 0 < errors < checked
+
+    def test_rc_alias_resolves_through_underscore_member(self):
+        condition = parse_condition("RC = 0")
+        assert condition.evaluate({"_RC": 0})
+        assert condition.compiled({"_RC": 0})
+        assert not condition.compiled({"_RC": 3})
+        # A directly-bound RC wins over the alias, both paths.
+        assert not condition.evaluate({"RC": 1, "_RC": 0})
+        assert not condition.compiled({"RC": 1, "_RC": 0})
+
+    def test_missing_member_errors_match(self):
+        condition = parse_condition("Ghost = 1")
+        interpreted = outcome(condition.evaluate, {})
+        closured = outcome(condition.compiled, {})
+        assert interpreted == closured
+        assert interpreted[0] == "error"
+        assert "Ghost" in interpreted[1]
+
+    def test_compiled_is_cached(self):
+        condition = parse_condition("A = 1")
+        assert condition.compiled is condition.compiled
+
+    def test_constants(self):
+        assert ALWAYS.is_always()
+        assert ALWAYS.compiled({}) is True
+        assert not NEVER.is_always()
+        assert NEVER.compiled({}) is False
+        assert not parse_condition("1 = 1").is_always()
+
+    def test_callable_resolver_supported(self):
+        condition = parse_condition("State_2 > 1 AND A = 'go'")
+        values = {"State_2": 2, "A": "go"}
+        assert condition.compiled(values.get)
+        assert condition.compiled(values) == condition.evaluate(values)

@@ -1,0 +1,210 @@
+"""Journal sync policies: group commit, flush barriers, and the
+write-then-append durability fix."""
+
+import pytest
+
+from repro.errors import RecoveryError
+from repro.wfms.engine import Engine
+from repro.wfms.journal import Journal, load_journal
+from repro.wfms.model import Activity, ProcessDefinition
+
+
+def record(n: int) -> dict:
+    return {"type": "process_finished", "instance": "pi-%04d" % n}
+
+
+class TestSyncPolicyValidation:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            Journal(sync="sometimes")
+
+    def test_bad_batch_size_rejected(self):
+        with pytest.raises(ValueError):
+            Journal(sync="batch", batch_size=0)
+
+    def test_default_is_always(self, tmp_path):
+        journal = Journal(tmp_path / "j.log")
+        assert journal.sync == "always"
+        engine = Engine(tmp_path / "e.log")
+        assert engine.journal.sync == "always"
+
+
+class TestAlwaysPolicy:
+    def test_every_append_is_durable(self, tmp_path):
+        path = tmp_path / "j.log"
+        journal = Journal(path)
+        for n in range(3):
+            journal.append(record(n))
+            assert len(load_journal(path)) == n + 1
+        assert journal.unflushed() == 0
+
+
+class TestGroupCommit:
+    def test_batch_defers_until_size_threshold(self, tmp_path):
+        path = tmp_path / "j.log"
+        journal = Journal(path, sync="batch", batch_size=5, batch_interval=3600)
+        for n in range(4):
+            journal.append(record(n))
+        assert load_journal(path) == []          # nothing durable yet
+        assert journal.unflushed() == 4
+        assert len(journal.records()) == 4       # volatile view complete
+        journal.append(record(4))                # hits the threshold
+        assert len(load_journal(path)) == 5
+        assert journal.unflushed() == 0
+
+    def test_interval_elapse_commits(self, tmp_path):
+        path = tmp_path / "j.log"
+        journal = Journal(
+            path, sync="batch", batch_size=1000, batch_interval=0.0
+        )
+        journal.append(record(0))
+        assert len(load_journal(path)) == 1
+
+    def test_flush_is_the_durability_barrier(self, tmp_path):
+        path = tmp_path / "j.log"
+        journal = Journal(path, sync="batch", batch_size=100, batch_interval=3600)
+        for n in range(7):
+            journal.append(record(n))
+        assert load_journal(path) == []
+        journal.flush()
+        assert len(load_journal(path)) == 7
+        assert journal.unflushed() == 0
+
+    def test_close_commits_the_tail(self, tmp_path):
+        path = tmp_path / "j.log"
+        with Journal(path, sync="batch", batch_size=100, batch_interval=3600) as journal:
+            journal.append(record(0))
+        assert len(load_journal(path)) == 1
+
+    def test_hard_crash_loses_at_most_the_unflushed_suffix(self, tmp_path):
+        """The durable file is always a prefix of the volatile record
+        list; a hard crash (no flush) loses exactly the buffered tail."""
+        path = tmp_path / "j.log"
+        journal = Journal(path, sync="batch", batch_size=3, batch_interval=3600)
+        for n in range(8):
+            journal.append(record(n))
+        durable = load_journal(path)         # simulated hard crash: read
+        volatile = journal.records()         # what the engine believed
+        assert len(durable) == 6             # two full batches of 3
+        assert durable == volatile[: len(durable)]
+        assert journal.unflushed() == len(volatile) - len(durable) == 2
+
+    def test_never_policy_defers_to_flush(self, tmp_path):
+        path = tmp_path / "j.log"
+        journal = Journal(path, sync="never")
+        journal.append(record(0))
+        journal.flush()
+        assert len(load_journal(path)) == 1
+
+
+def register_chain(engine):
+    engine.register_program("p", lambda ctx: 0)
+    d = ProcessDefinition("Chain")
+    d.add_activity(Activity("A", program="p"))
+    d.add_activity(Activity("B", program="p"))
+    d.add_activity(Activity("C", program="p"))
+    d.connect("A", "B")
+    d.connect("B", "C")
+    engine.register_definition(d)
+
+
+class TestEngineIntegration:
+    def test_batch_engine_recovers_from_durable_prefix(self, tmp_path):
+        """A hard-crashed group-commit engine recovers the consistent
+        durable prefix; the lost suffix is simply re-executed work."""
+        path = tmp_path / "e.log"
+        engine = Engine(
+            path,
+            journal_sync="batch",
+            journal_batch_size=3,
+            journal_batch_interval=3600,
+        )
+        register_chain(engine)
+        iid = engine.start_process("Chain")
+        engine.run()
+        total = len(engine.journal.records())
+        lost = engine.journal.unflushed()
+        assert lost > 0                       # a suffix really is volatile
+        del engine                            # hard crash: no flush/close
+
+        durable = load_journal(path)
+        assert len(durable) == total - lost
+
+        fresh = Engine(path)
+        register_chain(fresh)
+        fresh.recover()
+        # The durable prefix replays cleanly; interrupted work is ready
+        # to be re-executed, after which the instance finishes again.
+        fresh.run()
+        assert fresh.instance_state(iid) == "finished"
+
+    def test_always_engine_loses_nothing(self, tmp_path):
+        path = tmp_path / "e.log"
+        engine = Engine(path)                  # default sync="always"
+        register_chain(engine)
+        iid = engine.start_process("Chain")
+        engine.run()
+        total = len(engine.journal.records())
+        assert engine.journal.unflushed() == 0
+        del engine                             # hard crash
+
+        assert len(load_journal(path)) == total
+        fresh = Engine(path)
+        register_chain(fresh)
+        replayed = fresh.recover()
+        assert replayed == 3                   # A, B, C completions
+        assert fresh.instance_state(iid) == "finished"
+
+    def test_orderly_crash_flushes_batch_tail(self, tmp_path):
+        path = tmp_path / "e.log"
+        engine = Engine(
+            path,
+            journal_sync="batch",
+            journal_batch_size=1000,
+            journal_batch_interval=3600,
+        )
+        register_chain(engine)
+        iid = engine.start_process("Chain")
+        engine.run()
+        total = len(engine.journal.records())
+        engine.crash()                         # orderly: flush + close
+        assert len(load_journal(path)) == total
+        fresh = Engine(path)
+        register_chain(fresh)
+        fresh.recover()
+        assert fresh.instance_state(iid) == "finished"
+
+
+class _FailingFile:
+    """File stand-in whose write always fails (disk full)."""
+
+    def write(self, data):
+        raise OSError("disk full")
+
+    def flush(self):
+        raise AssertionError("flush should not be reached")
+
+    def fileno(self):
+        raise AssertionError("fsync should not be reached")
+
+    def close(self):
+        pass
+
+
+class TestWriteThenAppend:
+    def test_failed_disk_write_does_not_corrupt_memory(self, tmp_path):
+        path = tmp_path / "j.log"
+        journal = Journal(path)
+        journal.append(record(0))
+        journal._file = _FailingFile()         # simulate disk failure
+        with pytest.raises(OSError):
+            journal.append(record(1))
+        # Memory must not claim the record that never became durable.
+        assert journal.records() == [record(0)]
+        assert len(journal) == 1
+
+    def test_illegal_record_type_still_rejected_before_any_write(self):
+        journal = Journal()
+        with pytest.raises(RecoveryError):
+            journal.append({"type": "bogus"})
+        assert journal.records() == []

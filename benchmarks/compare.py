@@ -186,6 +186,23 @@ def measure_journal_batch() -> float:
     return _measure_journal("batch")
 
 
+def measure_observability_disabled() -> float:
+    """activities/sec with observability *off* (the default).
+
+    This is the zero-overhead-when-off gate: the engine's hot paths
+    now carry instrumentation guards, and this metric regresses if a
+    change makes the disabled path pay for them (anything beyond one
+    attribute read per guarded block).
+    """
+    from bench_observability import RUNS, observability_throughput
+
+    best = 0.0
+    observability_throughput(None, runs=2)  # warmup
+    for __ in range(REPEATS):
+        best = max(best, observability_throughput(None, runs=RUNS))
+    return best
+
+
 METRICS = {
     "engine.dag_16x16.activities_per_sec": measure_engine_large_dag,
     "engine.concurrent_200x3x3.activities_per_sec": measure_engine_concurrent,
@@ -194,6 +211,9 @@ METRICS = {
     "conditions.compiled_mix.evals_per_sec": measure_conditions_compiled,
     "journal.append_always.records_per_sec": measure_journal_always,
     "journal.append_batch64.records_per_sec": measure_journal_batch,
+    "observability.disabled_dag_8x8.activities_per_sec": (
+        measure_observability_disabled
+    ),
 }
 
 
@@ -227,7 +247,20 @@ def main(argv: list[str] | None = None) -> int:
         "is snapshotted so the baseline is a conservative floor "
         "(default: 3)",
     )
+    parser.add_argument(
+        "--json-out",
+        metavar="FILE",
+        help="also write this run's measurements (and the gate verdict) "
+        "as JSON — CI uploads it as a workflow artifact",
+    )
     args = parser.parse_args(argv)
+
+    def write_json_out(payload: dict) -> None:
+        if args.json_out:
+            with open(args.json_out, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print("wrote %s" % args.json_out)
 
     if args.update:
         metrics: dict[str, float] = {}
@@ -243,6 +276,7 @@ def main(argv: list[str] | None = None) -> int:
             json.dump(snapshot, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print("wrote %s" % BASELINE_PATH)
+        write_json_out(snapshot)
         return 0
 
     if not os.path.exists(BASELINE_PATH):
@@ -275,6 +309,14 @@ def main(argv: list[str] | None = None) -> int:
                 "%s: %.1f is %.1f%% below baseline %.1f (tolerance %.0f%%)"
                 % (name, now, -100.0 * delta, baseline, 100.0 * tolerance)
             )
+    write_json_out(
+        {
+            "baseline": snapshot["metrics"],
+            "current": current,
+            "tolerance": tolerance,
+            "failures": failures,
+        }
+    )
     if failures:
         print("\nperformance gate FAILED:")
         for failure in failures:

@@ -16,16 +16,21 @@ instances of the process."
 
 :class:`FMTMPipeline` reproduces each stage and records what every
 stage produced and how long it took, so the FIG5 benchmark can report
-per-stage costs.
+per-stage costs.  Stage timing runs on :mod:`repro.obs` spans: when
+the bound engine has observability enabled the stages appear in its
+tracer (one ``fmtm.pipeline`` span with a child per stage) and feed an
+``fmtm_stage_seconds`` histogram; otherwise a private throwaway tracer
+provides the same durations for :class:`PipelineReport` without
+touching any global state.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Any
 
 from repro.errors import SpecificationError
+from repro.obs.tracing import Span, Tracer
 from repro.fdl.exporter import export_document
 from repro.fdl.importer import ImportResult, import_text
 from repro.wfms.engine import Engine
@@ -90,6 +95,19 @@ class FMTMPipeline:
     def __init__(self, engine: Engine, *, max_retries: int = 100):
         self.engine = engine
         self.max_retries = max_retries
+        obs = engine.obs
+        if obs.tracer.enabled:
+            self._tracer = obs.tracer
+            self._h_stage_seconds = obs.metrics.histogram(
+                "fmtm_stage_seconds",
+                "Seconds per Figure 5 pre-processor stage",
+                labels=("stage",),
+            )
+        else:
+            # Private tracer: stage durations still power the report,
+            # but nothing escapes the pipeline.
+            self._tracer = Tracer(max_spans=256)
+            self._h_stage_seconds = None
 
     def process_specification(
         self,
@@ -103,10 +121,35 @@ class FMTMPipeline:
         engine; ``report.process_name`` starts instances.
         """
         report = PipelineReport()
+        pipeline_span = self._tracer.start_span(
+            "fmtm.pipeline", kind="fmtm", attributes={"chars": len(text)}
+        )
+        try:
+            self._run_stages(
+                report,
+                text,
+                pipeline_span,
+                compensate_completed=compensate_completed,
+            )
+        except BaseException:
+            pipeline_span.finish(status="error")
+            raise
+        pipeline_span.set_attribute("process", report.process_name)
+        pipeline_span.finish()
+        return report
 
+    def _run_stages(
+        self,
+        report: PipelineReport,
+        text: str,
+        pipeline_span: Span,
+        *,
+        compensate_completed: bool,
+    ) -> None:
         # Stage 1: parse the user specification.
         spec = self._timed(
-            report, "parse_specification", lambda: parse_spec(text)
+            report, pipeline_span, "parse_specification",
+            lambda: parse_spec(text),
         )
         report.spec = spec
 
@@ -126,7 +169,7 @@ class FMTMPipeline:
                 "unsupported model %r" % type(spec).__name__
             )
 
-        self._timed(report, "check_model_format", check)
+        self._timed(report, pipeline_span, "check_model_format", check)
 
         # Stage 3: convert into a process definition.
         def translate():
@@ -146,7 +189,9 @@ class FMTMPipeline:
                 )
             return translate_flexible(spec, max_retries=self.max_retries)
 
-        translation = self._timed(report, "translate_to_process", translate)
+        translation = self._timed(
+            report, pipeline_span, "translate_to_process", translate
+        )
         report.translation = translation
 
         # Stage 4: emit FDL.
@@ -156,11 +201,12 @@ class FMTMPipeline:
                 definitions, translation.required_programs
             )
 
-        report.fdl_text = self._timed(report, "emit_fdl", emit)
+        report.fdl_text = self._timed(report, pipeline_span, "emit_fdl", emit)
 
         # Stage 5: import the FDL (syntax + structural checks).
         report.import_result = self._timed(
-            report, "import_fdl", lambda: import_text(report.fdl_text)
+            report, pipeline_span, "import_fdl",
+            lambda: import_text(report.fdl_text),
         )
 
         # Stage 6: build the executable template (semantic checks:
@@ -174,8 +220,9 @@ class FMTMPipeline:
             self.engine.verify_executable(definition.name)
             return definition.name
 
-        report.process_name = self._timed(report, "build_template", build)
-        return report
+        report.process_name = self._timed(
+            report, pipeline_span, "build_template", build
+        )
 
     def create_instance(
         self, report: PipelineReport, input_values: dict[str, Any] | None = None
@@ -183,12 +230,22 @@ class FMTMPipeline:
         """Create a run-time instance from the template."""
         return self.engine.start_process(report.process_name, input_values)
 
-    def _timed(self, report: PipelineReport, name: str, thunk):
-        start = time.perf_counter()
-        result = thunk()
-        elapsed = time.perf_counter() - start
+    def _timed(
+        self, report: PipelineReport, parent: Span, name: str, thunk
+    ):
+        span = self._tracer.start_span(
+            "fmtm.%s" % name, parent=parent, kind="fmtm"
+        )
+        try:
+            result = thunk()
+        except BaseException:
+            span.finish(status="error")
+            raise
+        span.finish()
         detail = ""
         if isinstance(result, str):
             detail = result if len(result) < 60 else "%d chars" % len(result)
-        report.stages.append(StageRecord(name, elapsed, detail))
+        report.stages.append(StageRecord(name, span.duration, detail))
+        if self._h_stage_seconds is not None:
+            self._h_stage_seconds.labels(name).observe(span.duration)
         return result

@@ -53,6 +53,16 @@ class RecoveryError(WorkflowError):
 
 
 # ---------------------------------------------------------------------------
+# Observability (repro.obs)
+# ---------------------------------------------------------------------------
+
+class ObservabilityError(ReproError):
+    """Illegal use of the observability subsystem (instrument
+    re-registered with a different shape, subscribing hooks on a
+    disabled engine, ...)."""
+
+
+# ---------------------------------------------------------------------------
 # FDL (repro.fdl)
 # ---------------------------------------------------------------------------
 

@@ -1,0 +1,160 @@
+"""Observability: metrics, spans and event hooks for the engine.
+
+§3.3 of the paper lists monitoring among the features a WFMS adds
+over a bare advanced transaction model; a production engine serving
+real traffic is unoperatable without it.  This package supplies three
+complementary signals, kept deliberately separate from the
+:class:`~repro.wfms.audit.AuditTrail` (which is *correctness ground
+truth*, not telemetry — see DESIGN.md §9):
+
+* :mod:`repro.obs.metrics` — cheap labeled aggregates (counters,
+  gauges, histograms) for dashboards and alerting,
+* :mod:`repro.obs.tracing` — spans with parent links for latency
+  analysis, including cross-node traces over the message bus,
+* :mod:`repro.obs.events` — typed hooks observers subscribe to.
+
+Everything hangs off one :class:`Observability` handle.  The engine
+default is the shared :data:`DISABLED` handle whose components are
+all null objects — the **zero-overhead-when-off guarantee**: the
+disabled hot path costs one attribute call (or one cached no-op
+method call) per instrumentation site, gated in CI by
+``benchmarks/compare.py`` against ``BENCH_baseline.json``.
+
+Usage::
+
+    from repro.wfms.engine import Engine
+
+    engine = Engine(observability=True)
+    engine.run_process("Order")
+    print(engine.obs.metrics.counter("wfms_activities_dispatched_total").value)
+    for span in engine.obs.tracer.spans():
+        print(span.name, span.duration)
+"""
+
+from __future__ import annotations
+
+from repro.obs.events import (
+    ActivityCompleted,
+    EngineCrashed,
+    EngineRecovered,
+    HookBus,
+    HookFailure,
+    JournalSynced,
+    NavigatorDispatched,
+    NullHookBus,
+    ProcessFinished,
+    WorklistTransition,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullInstrument,
+    NullRegistry,
+    NULL_INSTRUMENT,
+)
+from repro.obs.tracing import (
+    NULL_SPAN,
+    NullSpan,
+    NullTracer,
+    Span,
+    SpanContext,
+    Tracer,
+)
+
+
+class Observability:
+    """One engine's bundle of metrics, tracer and hook bus.
+
+    ``Observability()`` builds fully enabled components; keyword
+    overrides mix real and null parts (e.g. metrics only)::
+
+        Observability(tracer=NullTracer(), hooks=NullHookBus())
+
+    ``enabled`` is True when *any* component is real — hot paths use
+    it as the single cheap guard around instrumentation blocks.
+    """
+
+    __slots__ = ("metrics", "tracer", "hooks", "enabled")
+
+    def __init__(
+        self,
+        *,
+        metrics: "MetricsRegistry | NullRegistry | None" = None,
+        tracer: "Tracer | NullTracer | None" = None,
+        hooks: "HookBus | NullHookBus | None" = None,
+    ):
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.hooks = hooks if hooks is not None else HookBus()
+        self.enabled = bool(
+            self.metrics.enabled or self.tracer.enabled or self.hooks.enabled
+        )
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        return cls(
+            metrics=NullRegistry(), tracer=NullTracer(), hooks=NullHookBus()
+        )
+
+    def __repr__(self) -> str:
+        return "Observability(enabled=%r)" % self.enabled
+
+
+#: The shared all-null handle every engine uses by default.
+DISABLED = Observability.disabled()
+
+
+def resolve_observability(
+    value: "Observability | bool | None",
+) -> Observability:
+    """Normalise the ``Engine(observability=...)`` argument.
+
+    ``None``/``False`` → the shared :data:`DISABLED` handle;
+    ``True`` → a fresh fully enabled bundle; an :class:`Observability`
+    instance passes through (shareable between engines, e.g. the nodes
+    of a cluster or an engine rebuilt after a crash).
+    """
+    if value is None or value is False:
+        return DISABLED
+    if value is True:
+        return Observability()
+    if isinstance(value, Observability):
+        return value
+    raise TypeError(
+        "observability must be an Observability, bool or None, not %r"
+        % type(value).__name__
+    )
+
+
+__all__ = [
+    "ActivityCompleted",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "DISABLED",
+    "EngineCrashed",
+    "EngineRecovered",
+    "Gauge",
+    "Histogram",
+    "HookBus",
+    "HookFailure",
+    "JournalSynced",
+    "MetricsRegistry",
+    "NavigatorDispatched",
+    "NullHookBus",
+    "NullInstrument",
+    "NullRegistry",
+    "NullSpan",
+    "NullTracer",
+    "NULL_INSTRUMENT",
+    "NULL_SPAN",
+    "Observability",
+    "ProcessFinished",
+    "resolve_observability",
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "WorklistTransition",
+]

@@ -1,0 +1,286 @@
+"""Spans: causally linked timing records across the engine.
+
+A *span* covers one unit of engine work — a process instance, one
+activity invocation attempt, a journal group commit, a recovery
+replay.  Spans carry a ``trace_id`` shared by everything caused by the
+same root request and a ``parent_id`` pointing at the span that caused
+them, so a block activity's child instance hangs under the block's
+activity span, and a distributed request/reply chain is **one trace**
+spanning several nodes (the context travels in
+:class:`~repro.wfms.messaging.MessageBus` headers; see
+:meth:`Tracer.inject` / :meth:`Tracer.extract`).
+
+Ids are deterministic counters, not random: ``t<T>-<n>`` for traces
+and ``s<T>-<n>`` for spans, where ``<T>`` is a per-process tracer
+number.  Determinism keeps tests exact; the tracer number keeps ids
+from colliding when several engines (distributed nodes) participate
+in one trace.
+
+:class:`NullTracer` is the disabled twin: ``enabled`` is False,
+``start_span`` returns the shared no-op :data:`NULL_SPAN`, ``inject``
+returns ``{}`` and ``extract`` returns ``None`` — instrumented code
+guards bulk work behind one ``tracer.enabled`` attribute read.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import Any, NamedTuple
+
+#: Distinguishes tracers within one process so trace/span ids from
+#: different engines never collide inside a shared (distributed) trace.
+_TRACER_NUMBERS = itertools.count(1)
+
+#: Header keys used for cross-node propagation.
+TRACE_ID_HEADER = "trace_id"
+PARENT_SPAN_HEADER = "parent_span_id"
+
+
+class SpanContext(NamedTuple):
+    """The portable part of a span: enough to parent remote work."""
+
+    trace_id: str
+    span_id: str
+
+
+class Span:
+    """One timed, attributed unit of work."""
+
+    __slots__ = (
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "name",
+        "kind",
+        "start",
+        "end",
+        "attributes",
+        "status",
+    )
+
+    is_recording = True
+
+    def __init__(
+        self,
+        trace_id: str,
+        span_id: str,
+        parent_id: str,
+        name: str,
+        kind: str = "",
+        attributes: dict[str, Any] | None = None,
+    ):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.kind = kind
+        self.start = time.perf_counter()
+        self.end: float | None = None
+        self.attributes: dict[str, Any] = dict(attributes or {})
+        self.status = "ok"
+
+    @property
+    def context(self) -> SpanContext:
+        return SpanContext(self.trace_id, self.span_id)
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        """Seconds from start to finish (to *now* while still open)."""
+        end = self.end if self.end is not None else time.perf_counter()
+        return end - self.start
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        self.attributes[key] = value
+
+    def finish(self, status: str = "") -> None:
+        """Idempotent: the first finish wins."""
+        if self.end is None:
+            self.end = time.perf_counter()
+            if status:
+                self.status = status
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "kind": self.kind,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration if self.end is not None else None,
+            "status": self.status,
+            "attributes": dict(self.attributes),
+        }
+
+
+class NullSpan:
+    """The shared do-nothing span."""
+
+    __slots__ = ()
+
+    is_recording = False
+    trace_id = ""
+    span_id = ""
+    parent_id = ""
+    name = ""
+    kind = ""
+    status = "ok"
+    attributes: dict[str, Any] = {}
+    finished = True
+    duration = 0.0
+
+    @property
+    def context(self) -> SpanContext:
+        return SpanContext("", "")
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        pass
+
+    def finish(self, status: str = "") -> None:
+        pass
+
+    def to_dict(self) -> dict[str, Any]:
+        return {}
+
+
+#: Singleton handed out by :class:`NullTracer`.
+NULL_SPAN = NullSpan()
+
+
+class Tracer:
+    """Creates and retains spans for one engine.
+
+    Retention is a bounded ring: once ``max_spans`` *finished* spans
+    accumulate, the oldest finished spans are dropped (open spans are
+    never dropped — they are still being worked on)."""
+
+    enabled = True
+
+    def __init__(self, max_spans: int = 50_000):
+        self._number = next(_TRACER_NUMBERS)
+        self._trace_ids = itertools.count(1)
+        self._span_ids = itertools.count(1)
+        self._spans: list[Span] = []
+        self._max_spans = max(16, int(max_spans))
+
+    def new_trace_id(self) -> str:
+        return "t%d-%06d" % (self._number, next(self._trace_ids))
+
+    def start_span(
+        self,
+        name: str,
+        *,
+        parent: "Span | SpanContext | None" = None,
+        trace_id: str = "",
+        kind: str = "",
+        attributes: dict[str, Any] | None = None,
+    ) -> Span:
+        """Open a span.  ``parent`` links causally (and fixes the trace
+        id); an explicit ``trace_id`` joins an existing trace without a
+        local parent; with neither, a fresh trace begins."""
+        parent_id = ""
+        if parent is not None:
+            parent_id = parent.span_id
+            trace_id = parent.trace_id or trace_id
+        if not trace_id:
+            trace_id = self.new_trace_id()
+        span = Span(
+            trace_id,
+            "s%d-%06d" % (self._number, next(self._span_ids)),
+            parent_id,
+            name,
+            kind,
+            attributes,
+        )
+        self._spans.append(span)
+        if len(self._spans) > self._max_spans:
+            self._evict()
+        return span
+
+    def _evict(self) -> None:
+        keep_from = len(self._spans) - self._max_spans
+        kept = [s for s in self._spans[:keep_from] if not s.finished]
+        self._spans = kept + self._spans[keep_from:]
+
+    # -- queries ---------------------------------------------------------
+
+    def spans(
+        self, *, trace_id: str | None = None, name: str | None = None
+    ) -> list[Span]:
+        out = []
+        for span in self._spans:
+            if trace_id is not None and span.trace_id != trace_id:
+                continue
+            if name is not None and span.name != name:
+                continue
+            out.append(span)
+        return out
+
+    def open_spans(self) -> list[Span]:
+        return [s for s in self._spans if not s.finished]
+
+    def trace_ids(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for span in self._spans:
+            seen.setdefault(span.trace_id)
+        return list(seen)
+
+    def export(self) -> list[dict[str, Any]]:
+        return [span.to_dict() for span in self._spans]
+
+    # -- cross-node propagation ------------------------------------------
+
+    def inject(self, span: "Span | NullSpan") -> dict[str, str]:
+        """Headers carrying ``span``'s context to another node."""
+        if not span.is_recording:
+            return {}
+        return {
+            TRACE_ID_HEADER: span.trace_id,
+            PARENT_SPAN_HEADER: span.span_id,
+        }
+
+    def extract(self, headers: dict[str, str] | None) -> SpanContext | None:
+        """The remote context in ``headers``, if any."""
+        if not headers:
+            return None
+        trace_id = headers.get(TRACE_ID_HEADER, "")
+        if not trace_id:
+            return None
+        return SpanContext(trace_id, headers.get(PARENT_SPAN_HEADER, ""))
+
+
+class NullTracer:
+    """The disabled tracer: one attribute read tells hot paths to skip
+    all span bookkeeping; every product is a shared no-op."""
+
+    enabled = False
+
+    def new_trace_id(self) -> str:
+        return ""
+
+    def start_span(self, name, **kwargs) -> NullSpan:
+        return NULL_SPAN
+
+    def spans(self, **kwargs) -> list[Span]:
+        return []
+
+    def open_spans(self) -> list[Span]:
+        return []
+
+    def trace_ids(self) -> list[str]:
+        return []
+
+    def export(self) -> list[dict[str, Any]]:
+        return []
+
+    def inject(self, span) -> dict[str, str]:
+        return {}
+
+    def extract(self, headers) -> None:
+        return None

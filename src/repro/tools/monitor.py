@@ -1,0 +1,197 @@
+"""Engine monitor — a top-like view over an observability snapshot.
+
+Usage::
+
+    python -m repro.tools.monitor view SNAPSHOT.json    # full view
+    python -m repro.tools.monitor prom SNAPSHOT.json    # Prometheus text
+    python -m repro.tools.monitor spans SNAPSHOT.json   # span tree only
+    python -m repro.tools.monitor demo                  # run a tiny traced
+                                                        # workload and view it
+
+Snapshots are written by :func:`repro.obs.export.write_snapshot`; the
+monitor renders pure data and never touches engine state, so it can
+inspect a snapshot from another process (or a crashed one).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any
+
+from repro.obs.export import span_tree_lines, to_prometheus_text
+
+#: counters worth a headline row, in display order.
+_HEADLINE = (
+    "wfms_processes_started_total",
+    "wfms_processes_finished_total",
+    "wfms_activities_dispatched_total",
+    "wfms_activity_completions_total",
+    "wfms_journal_appends_total",
+    "wfms_journal_commits_total",
+    "wfms_worklist_transitions_total",
+    "wfms_engine_crashes_total",
+    "wfms_recoveries_total",
+)
+
+
+def _family(metrics: list[dict[str, Any]], name: str) -> dict[str, Any] | None:
+    for family in metrics:
+        if family["name"] == name:
+            return family
+    return None
+
+
+def _total(family: dict[str, Any]) -> float:
+    return sum(sample["value"] for sample in family["samples"])
+
+
+def render_snapshot(snapshot: dict[str, Any], *, max_spans: int = 40) -> list[str]:
+    """Render one snapshot as the top-like text view (line list)."""
+    lines: list[str] = []
+    metrics = snapshot.get("metrics", [])
+    running = _family(metrics, "wfms_instances_running")
+    open_items = _family(metrics, "wfms_worklist_open_items")
+    lines.append(
+        "engine clock %.3f | observability %s | running %d | "
+        "open work items %d | open spans %d"
+        % (
+            snapshot.get("clock", 0.0),
+            "on" if snapshot.get("observability_enabled") else "off",
+            int(_total(running)) if running else 0,
+            int(_total(open_items)) if open_items else 0,
+            snapshot.get("open_spans", 0),
+        )
+    )
+    lines.append("")
+
+    processes = snapshot.get("processes", [])
+    lines.append("PROCESSES (%d)" % len(processes))
+    lines.append(
+        "  %-16s %-20s %-10s %-10s %s"
+        % ("INSTANCE", "DEFINITION", "STATE", "STARTER", "ACTIVITIES")
+    )
+    for row in processes:
+        activities = ",".join(
+            "%s=%d" % (state, count)
+            for state, count in sorted(row.get("activities", {}).items())
+        )
+        lines.append(
+            "  %-16s %-20s %-10s %-10s %s"
+            % (
+                row.get("instance", ""),
+                row.get("definition", ""),
+                row.get("state", ""),
+                row.get("starter", "") or "-",
+                activities,
+            )
+        )
+    lines.append("")
+
+    lines.append("COUNTERS")
+    for name in _HEADLINE:
+        family = _family(metrics, name)
+        if family is None:
+            continue
+        samples = family["samples"]
+        if len(samples) == 1 and not samples[0].get("labels"):
+            lines.append("  %-38s %d" % (name, samples[0]["value"]))
+        else:
+            lines.append("  %-38s %d" % (name, _total(family)))
+            for sample in samples:
+                labels = ",".join(
+                    "%s=%s" % kv for kv in sorted(sample["labels"].items())
+                )
+                lines.append("    %-36s %d" % (labels, sample["value"]))
+    lines.append("")
+
+    spans = snapshot.get("spans", [])
+    lines.append("SPANS (%d retained)" % len(spans))
+    tree = span_tree_lines(spans)
+    shown = tree[:max_spans]
+    lines.extend("  " + line for line in shown)
+    if len(tree) > len(shown):
+        lines.append("  ... %d more" % (len(tree) - len(shown)))
+
+    failures = snapshot.get("hook_failures", [])
+    if failures:
+        lines.append("")
+        lines.append("HOOK FAILURES (%d)" % len(failures))
+        for failure in failures:
+            lines.append(
+                "  %s: %s" % (failure["subscriber"], failure["error"])
+            )
+    return lines
+
+
+def _demo_snapshot() -> dict[str, Any]:
+    """Run a small traced workload and snapshot it (for `demo`)."""
+    from repro.obs.export import engine_snapshot
+    from repro.wfms.engine import Engine
+    from repro.wfms.model import Activity, ProcessDefinition
+
+    engine = Engine(observability=True)
+    engine.register_program("work", lambda ctx: 0, "demo step")
+    definition = ProcessDefinition("DemoFlow")
+    definition.add_activity(Activity("Prepare", program="work"))
+    definition.add_activity(Activity("Execute", program="work"))
+    definition.add_activity(Activity("Report", program="work"))
+    definition.connect("Prepare", "Execute")
+    definition.connect("Execute", "Report")
+    engine.register_definition(definition)
+    for __ in range(3):
+        engine.start_process("DemoFlow")
+    engine.run()
+    return engine_snapshot(engine)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.monitor",
+        description="Render engine observability snapshots.",
+    )
+    parser.add_argument(
+        "command", choices=["view", "prom", "spans", "demo"]
+    )
+    parser.add_argument(
+        "file", nargs="?", help="snapshot JSON (not needed for demo)"
+    )
+    parser.add_argument(
+        "--max-spans",
+        type=int,
+        default=40,
+        help="span lines to show in the view (default 40)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    args = _build_parser().parse_args(argv)
+    if args.command == "demo":
+        snapshot = _demo_snapshot()
+    else:
+        if not args.file:
+            print("error: snapshot file required", file=out)
+            return 2
+        try:
+            with open(args.file, "r", encoding="utf-8") as handle:
+                snapshot = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            print("error: %s" % exc, file=out)
+            return 1
+    if args.command == "prom":
+        out.write(to_prometheus_text(snapshot.get("metrics", [])))
+        return 0
+    if args.command == "spans":
+        for line in span_tree_lines(snapshot.get("spans", [])):
+            print(line, file=out)
+        return 0
+    for line in render_snapshot(snapshot, max_spans=args.max_spans):
+        print(line, file=out)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

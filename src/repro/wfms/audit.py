@@ -5,6 +5,14 @@ is recorded as an :class:`AuditRecord`.  The trail is the ground truth
 the reproduction's experiments assert against: the saga guarantee
 (`T1..Tn` or `T1..Tj;Cj..C1`) and the flexible-transaction path
 selection are both checked by reading execution orders off the trail.
+
+The trail keeps two secondary indexes — ``instance_id -> records`` and
+``(instance_id, event) -> records`` — so the query helpers
+(:meth:`~AuditTrail.records` with an instance filter,
+``execution_order``, ``attempts``, ``count``) scale with the answer,
+not with every record ever written.  Records are appended to the
+indexes in sequence order, so indexed answers are bit-for-bit the
+filtered full scan.
 """
 
 from __future__ import annotations
@@ -57,6 +65,10 @@ class AuditTrail:
 
     def __init__(self) -> None:
         self._records: list[AuditRecord] = []
+        self._by_instance: dict[str, list[AuditRecord]] = {}
+        self._by_instance_event: dict[
+            tuple[str, AuditEvent], list[AuditRecord]
+        ] = {}
 
     def record(
         self,
@@ -70,6 +82,15 @@ class AuditTrail:
             len(self._records), at, event, instance_id, activity, detail
         )
         self._records.append(record)
+        bucket = self._by_instance.get(instance_id)
+        if bucket is None:
+            bucket = self._by_instance[instance_id] = []
+        bucket.append(record)
+        key = (instance_id, event)
+        bucket = self._by_instance_event.get(key)
+        if bucket is None:
+            bucket = self._by_instance_event[key] = []
+        bucket.append(record)
         return record
 
     def __len__(self) -> int:
@@ -84,17 +105,38 @@ class AuditTrail:
         event: AuditEvent | None = None,
         activity: str | None = None,
     ) -> list[AuditRecord]:
-        """Filtered records in sequence order."""
+        """Filtered records in sequence order.
+
+        An ``instance_id`` filter is answered from the secondary
+        indexes (the common monitoring path); only instance-less
+        queries scan the full trail.
+        """
+        if instance_id is not None:
+            if event is not None:
+                source = self._by_instance_event.get(
+                    (instance_id, event), ()
+                )
+            else:
+                source = self._by_instance.get(instance_id, ())
+            if activity is None:
+                return list(source)
+            return [r for r in source if r.activity == activity]
         out = []
         for record in self._records:
-            if instance_id is not None and record.instance_id != instance_id:
-                continue
             if event is not None and record.event != event:
                 continue
             if activity is not None and record.activity != activity:
                 continue
             out.append(record)
         return out
+
+    def count(
+        self, instance_id: str, event: AuditEvent | None = None
+    ) -> int:
+        """Number of records for an instance — O(1), no list built."""
+        if event is not None:
+            return len(self._by_instance_event.get((instance_id, event), ()))
+        return len(self._by_instance.get(instance_id, ()))
 
     def execution_order(self, instance_id: str) -> list[str]:
         """Activity names in the order they *terminated* (completed

@@ -23,6 +23,15 @@ what makes the scheme crash-safe end to end:
   redelivers the unacknowledged request, the reply is regenerated;
 * lost/unacked messages → redelivered by the bus sweep.
 
+When observability is enabled (``WorkflowNode(observability=True)``)
+the requesting activity's span context travels in the request's
+message *headers* and the serving node starts its instance with that
+context as trace parent, so one distributed request/reply chain is one
+trace spanning both engines.  The context is also journaled with the
+served instance's ``process_started`` record: a server crash + replay
+rejoins the same trace, and a redelivered request finds the existing
+(request-id-keyed) instance instead of starting a second trace.
+
 Use :func:`run_cluster` to drive all nodes to quiescence.
 """
 
@@ -31,6 +40,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.errors import NavigationError, WorkflowError
+from repro.obs import Observability, resolve_observability
 from repro.wfms.datatypes import DataType, VariableDecl
 from repro.wfms.engine import Engine
 from repro.wfms.messaging import MessageBus
@@ -56,6 +66,7 @@ class WorkflowNode:
         *,
         journal_path: str | None = None,
         organization: Organization | None = None,
+        observability: Observability | bool | None = None,
     ):
         if not name:
             raise WorkflowError("node name must be non-empty")
@@ -63,8 +74,13 @@ class WorkflowNode:
         self.bus = bus
         self._journal_path = journal_path
         self._organization = organization
+        # Resolved once and reused by rebuild(), so counters and spans
+        # accumulate across this node's crash/recover cycles.
+        self.obs = resolve_observability(observability)
         self.engine = Engine(
-            journal_path=journal_path, organization=organization
+            journal_path=journal_path,
+            organization=organization,
+            observability=self.obs,
         )
         self._served: set[str] = set()
         #: request_id -> output snapshot (volatile reply cache).
@@ -72,9 +88,10 @@ class WorkflowNode:
         #: request ids already sent (volatile; resent after a crash,
         #: deduplicated by the server).
         self._requested: set[str] = set()
-        #: request_id -> reply_to for requests being served but not yet
-        #: finished (volatile; duplicates re-register it after a crash).
-        self._pending: dict[str, str] = {}
+        #: request_id -> (reply_to, request headers) for requests being
+        #: served but not yet finished (volatile; duplicates re-register
+        #: it after a crash).
+        self._pending: dict[str, tuple[str, dict[str, str]]] = {}
 
     # -- serving ---------------------------------------------------------
 
@@ -142,6 +159,11 @@ class WorkflowNode:
                         },
                         "reply_to": _reply_queue(self.name),
                     },
+                    # Trace context of the requesting activity rides in
+                    # the headers; {} when observability is off.
+                    headers=self.engine.navigator.trace_headers(
+                        ctx.instance_id, ctx.activity
+                    ),
                 )
                 self._requested.add(request_id)
             ctx.output.set("Done", 0)
@@ -179,32 +201,36 @@ class WorkflowNode:
                 continue  # not started yet (should not happen)
             if instance.state.value != "finished":
                 continue
+            reply_to, headers = self._pending.pop(request_id)
             self.bus.send(
-                self._pending.pop(request_id),
+                reply_to,
                 {
                     "type": "reply",
                     "request_id": request_id,
                     "output": instance.output.to_dict(),
                     "state": instance.state.value,
                 },
+                headers=headers,  # echo the request's trace context
             )
             sent += 1
         return sent
 
     def _pump_one(self, queue: str, handler) -> bool:
-        message = self.bus.receive(queue)
+        message = self.bus.receive_with_headers(queue)
         if message is None:
             return False
-        msg_id, body = message
+        msg_id, body, headers = message
         try:
-            handler(body)
+            handler(body, headers)
         except Exception:
             self.bus.nack(queue, msg_id)
             raise
         self.bus.ack(queue, msg_id)
         return True
 
-    def _handle_request(self, body: dict[str, Any]) -> None:
+    def _handle_request(
+        self, body: dict[str, Any], headers: dict[str, str]
+    ) -> None:
         process = body["process"]
         request_id = body["request_id"]
         if process not in self._served:
@@ -216,17 +242,26 @@ class WorkflowNode:
             self.engine.navigator.instance(instance_id)
         except NavigationError:
             self.engine.verify_executable(process)
+            # The served instance joins the requester's trace via the
+            # message headers.  A redelivered request never reaches
+            # this branch (the instance exists), so it cannot start a
+            # second trace.
             self.engine.navigator.start_process(
-                process, body.get("input", {}), instance_id=instance_id
+                process,
+                body.get("input", {}),
+                instance_id=instance_id,
+                trace_parent=headers or None,
             )
         # Serve asynchronously: the instance advances through the
         # node's normal stepping (it may itself contain remote
         # activities); the reply goes out from _flush_pending once the
         # instance finishes.  Duplicate requests re-register here, so
         # replies are regenerated after a crash.
-        self._pending[request_id] = body["reply_to"]
+        self._pending[request_id] = (body["reply_to"], headers)
 
-    def _handle_reply(self, body: dict[str, Any]) -> None:
+    def _handle_reply(
+        self, body: dict[str, Any], headers: dict[str, str]
+    ) -> None:
         self._replies[body["request_id"]] = dict(body.get("output", {}))
 
     # -- crash / recovery --------------------------------------------------------
@@ -252,6 +287,7 @@ class WorkflowNode:
         self.engine = Engine(
             journal_path=self._journal_path,
             organization=self._organization,
+            observability=self.obs,
         )
         served = self._served
         self._served = set()

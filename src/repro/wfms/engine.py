@@ -20,6 +20,7 @@ import os
 from typing import Any
 
 from repro.errors import DefinitionError, NavigationError, ProgramError
+from repro.obs import EngineCrashed, EngineRecovered, resolve_observability
 from repro.wfms.audit import AuditTrail
 from repro.wfms.journal import Journal
 from repro.wfms.model import ActivityKind, ProcessDefinition
@@ -42,17 +43,25 @@ class Engine:
         journal_sync: str = "always",
         journal_batch_size: int = 64,
         journal_batch_interval: float = 0.05,
+        observability=None,
     ):
         """``journal_sync`` selects the journal durability policy —
         ``"always"`` (fsync per record, the default §3.3 guarantee),
         ``"batch"`` (group commit every ``journal_batch_size`` records
         or ``journal_batch_interval`` seconds, losing at most the
-        unflushed suffix on a crash) or ``"never"`` (OS-buffered)."""
+        unflushed suffix on a crash) or ``"never"`` (OS-buffered).
+
+        ``observability`` enables metrics/tracing/hooks
+        (:mod:`repro.obs`): ``True`` for a fresh fully enabled bundle,
+        an :class:`~repro.obs.Observability` instance to share one
+        (e.g. across a crash/recover engine pair), default off —
+        the disabled path is guaranteed near-zero overhead."""
+        self.obs = resolve_observability(observability)
         self.programs = ProgramRegistry()
         self.organization = (
             organization if organization is not None else Organization()
         )
-        self.worklists = WorklistManager()
+        self.worklists = WorklistManager(obs=self.obs)
         self.audit = AuditTrail()
         self.services: dict[str, Any] = {}
         self._definitions = DefinitionRegistry()
@@ -62,6 +71,7 @@ class Engine:
                 sync=journal_sync,
                 batch_size=journal_batch_size,
                 batch_interval=journal_batch_interval,
+                obs=self.obs,
             )
             if journal_path is not None
             else None
@@ -75,7 +85,10 @@ class Engine:
             self.audit,
             self._journal,
             self.services,
+            obs=self.obs,
         )
+        if self.obs.enabled:
+            self.worklists.bind_clock(lambda: self.navigator.clock)
 
     # -- build-time ------------------------------------------------------
 
@@ -287,7 +300,7 @@ class Engine:
             "starter": instance.starter,
             "output": instance.output.to_dict(),
             "activities": activities,
-            "audit_records": len(self.audit.records(instance_id)),
+            "audit_records": self.audit.count(instance_id),
         }
 
     def account(
@@ -410,6 +423,12 @@ class Engine:
             self._journal.flush()
             self._journal.close()
         self._crashed = True
+        if self.obs.enabled:
+            self.obs.metrics.counter(
+                "wfms_engine_crashes_total", "Simulated machine failures"
+            ).inc()
+            if self.obs.hooks.wants(EngineCrashed):
+                self.obs.hooks.publish(EngineCrashed(self.navigator.clock))
 
     def recover(self) -> int:
         """Replay the journal (must be file-backed) into this engine.
@@ -424,6 +443,18 @@ class Engine:
         replayed = replay(self.navigator, records)
         # Barrier: post-replay journaling resumes from a durable file.
         self._journal.flush()
+        if self.obs.enabled:
+            self.obs.metrics.counter(
+                "wfms_recoveries_total", "Journal replays completed"
+            ).inc()
+            self.obs.metrics.counter(
+                "wfms_recovery_replayed_total",
+                "Activity completions consumed from journals",
+            ).inc(replayed)
+            if self.obs.hooks.wants(EngineRecovered):
+                self.obs.hooks.publish(
+                    EngineRecovered(replayed, self.navigator.clock)
+                )
         return replayed
 
     @property

@@ -17,6 +17,7 @@ import time
 from typing import Any, Iterable, Iterator
 
 from repro.errors import RecoveryError
+from repro.obs import JournalSynced, resolve_observability
 
 RECORD_TYPES = {
     "process_started",
@@ -64,6 +65,7 @@ class Journal:
         sync: str = "always",
         batch_size: int = 64,
         batch_interval: float = 0.05,
+        obs=None,
     ):
         if sync not in SYNC_POLICIES:
             raise ValueError(
@@ -81,6 +83,24 @@ class Journal:
         self._buffer: list[str] = []
         self._buffer_since: float | None = None
         self._file = None
+        obs = resolve_observability(obs)
+        self._obs_on = obs.enabled
+        self._hooks = obs.hooks
+        self._tracer = obs.tracer
+        self._c_appends = obs.metrics.counter(
+            "wfms_journal_appends_total", "Journal records appended"
+        )
+        self._c_commits = obs.metrics.counter(
+            "wfms_journal_commits_total",
+            "Durability points (write + fsync) by trigger",
+            labels=("reason",),
+        )
+        self._h_commit_seconds = obs.metrics.histogram(
+            "wfms_journal_commit_seconds", "Seconds per durability point"
+        )
+        self._g_unflushed = obs.metrics.gauge(
+            "wfms_journal_unflushed", "Appended records not yet durable"
+        )
         if self._path is not None:
             # Load any existing records, then open for appending.
             if os.path.exists(self._path):
@@ -105,8 +125,16 @@ class Journal:
             if self._sync == "always":
                 self._file.write(line)
                 self._file.write("\n")
-                self._file.flush()
-                os.fsync(self._file.fileno())
+                if self._obs_on:
+                    started = time.perf_counter()
+                    self._file.flush()
+                    os.fsync(self._file.fileno())
+                    self._observe_commit(
+                        1, "append", time.perf_counter() - started
+                    )
+                else:
+                    self._file.flush()
+                    os.fsync(self._file.fileno())
             elif self._sync == "never":
                 self._file.write(line)
                 self._file.write("\n")
@@ -115,18 +143,39 @@ class Journal:
                 now = time.monotonic()
                 if self._buffer_since is None:
                     self._buffer_since = now
-                if (
-                    len(self._buffer) >= self._batch_size
-                    or now - self._buffer_since >= self._batch_interval
-                ):
-                    self._commit()
+                if len(self._buffer) >= self._batch_size:
+                    self._commit("batch_full")
+                elif now - self._buffer_since >= self._batch_interval:
+                    self._commit("batch_interval")
+                elif self._obs_on:
+                    self._g_unflushed.set(len(self._buffer))
         # Write-then-append: memory only claims records whose file
         # write (or buffering) succeeded.
         self._memory.append(record)
+        if self._obs_on:
+            self._c_appends.inc()
 
-    def _commit(self) -> None:
+    def _commit(self, reason: str = "flush") -> None:
         """Write the buffered suffix and make the file durable."""
         assert self._file is not None
+        committed = len(self._buffer)
+        if not self._obs_on:
+            if self._buffer:
+                self._file.write("\n".join(self._buffer))
+                self._file.write("\n")
+                self._buffer.clear()
+                self._buffer_since = None
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            return
+        span = None
+        if committed and self._tracer.enabled:
+            span = self._tracer.start_span(
+                "journal.commit",
+                kind="journal",
+                attributes={"records": committed, "reason": reason},
+            )
+        started = time.perf_counter()
         if self._buffer:
             self._file.write("\n".join(self._buffer))
             self._file.write("\n")
@@ -134,12 +183,26 @@ class Journal:
             self._buffer_since = None
         self._file.flush()
         os.fsync(self._file.fileno())
+        elapsed = time.perf_counter() - started
+        if span is not None:
+            span.finish()
+        self._observe_commit(committed, reason, elapsed)
+
+    def _observe_commit(
+        self, records: int, reason: str, seconds: float
+    ) -> None:
+        self._c_commits.labels(reason).inc()
+        self._h_commit_seconds.observe(seconds)
+        self._g_unflushed.set(len(self._buffer))
+        hooks = self._hooks
+        if hooks.wants(JournalSynced):
+            hooks.publish(JournalSynced(records, reason, seconds))
 
     def flush(self) -> None:
         """Durability barrier: every appended record is on disk after
         this returns, whatever the sync policy."""
         if self._file is not None:
-            self._commit()
+            self._commit("flush")
 
     def unflushed(self) -> int:
         """Number of appended records not yet committed to disk."""

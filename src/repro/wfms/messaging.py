@@ -9,6 +9,13 @@ at-least-once delivery (receive marks a message in-flight; ``ack``
 removes it, ``nack`` or a redelivery sweep returns it to the queue).
 The bus itself plays the role of stable storage: engines crash and are
 rebuilt around it, the bus persists.
+
+Messages carry optional **headers** separate from the body — the
+channel trace contexts (:mod:`repro.obs.tracing`) travel on, so a
+request/reply chain across nodes forms one distributed trace without
+polluting the application payload.  Headers are durable like the body
+and survive redelivery.  The bus also keeps per-queue delivery
+counters (``stats``) for the monitor.
 """
 
 from __future__ import annotations
@@ -24,6 +31,7 @@ from repro.errors import WorkflowError
 class _Envelope:
     msg_id: str
     body: dict[str, Any]
+    headers: dict[str, str] = field(default_factory=dict)
     in_flight: bool = False
     deliveries: int = 0
 
@@ -34,22 +42,63 @@ class MessageBus:
 
     _queues: dict[str, list[_Envelope]] = field(default_factory=dict)
     _counter: itertools.count = field(default_factory=itertools.count)
+    #: queue -> {"sent": n, "delivered": n, "acked": n, "nacked": n,
+    #: "redelivered": n} — cheap always-on accounting for the monitor.
+    _stats: dict[str, dict[str, int]] = field(default_factory=dict)
 
-    def send(self, queue: str, body: dict[str, Any]) -> str:
-        """Append a message; returns its id."""
+    def _stat(self, queue: str, key: str, amount: int = 1) -> None:
+        bucket = self._stats.get(queue)
+        if bucket is None:
+            bucket = self._stats[queue] = {
+                "sent": 0,
+                "delivered": 0,
+                "acked": 0,
+                "nacked": 0,
+                "redelivered": 0,
+            }
+        bucket[key] += amount
+
+    def send(
+        self,
+        queue: str,
+        body: dict[str, Any],
+        headers: dict[str, str] | None = None,
+    ) -> str:
+        """Append a message; returns its id.  ``headers`` ride along
+        out-of-band (trace context propagation)."""
         if not queue:
             raise WorkflowError("queue name must be non-empty")
-        envelope = _Envelope("m%06d" % next(self._counter), dict(body))
+        envelope = _Envelope(
+            "m%06d" % next(self._counter),
+            dict(body),
+            dict(headers) if headers else {},
+        )
         self._queues.setdefault(queue, []).append(envelope)
+        self._stat(queue, "sent")
         return envelope.msg_id
 
     def receive(self, queue: str) -> tuple[str, dict[str, Any]] | None:
         """Take the oldest available message (marks it in-flight)."""
+        taken = self.receive_with_headers(queue)
+        if taken is None:
+            return None
+        msg_id, body, __ = taken
+        return msg_id, body
+
+    def receive_with_headers(
+        self, queue: str
+    ) -> tuple[str, dict[str, Any], dict[str, str]] | None:
+        """Like :meth:`receive`, but also returns the headers."""
         for envelope in self._queues.get(queue, []):
             if not envelope.in_flight:
                 envelope.in_flight = True
                 envelope.deliveries += 1
-                return envelope.msg_id, dict(envelope.body)
+                self._stat(queue, "delivered")
+                if envelope.deliveries > 1:
+                    self._stat(queue, "redelivered")
+                return envelope.msg_id, dict(envelope.body), dict(
+                    envelope.headers
+                )
         return None
 
     def ack(self, queue: str, msg_id: str) -> None:
@@ -62,6 +111,7 @@ class MessageBus:
                         "message %s was not in flight" % msg_id
                     )
                 del envelopes[index]
+                self._stat(queue, "acked")
                 return
         raise WorkflowError("unknown message %s on %s" % (msg_id, queue))
 
@@ -70,6 +120,7 @@ class MessageBus:
         for envelope in self._queues.get(queue, []):
             if envelope.msg_id == msg_id:
                 envelope.in_flight = False
+                self._stat(queue, "nacked")
                 return
         raise WorkflowError("unknown message %s on %s" % (msg_id, queue))
 
@@ -96,3 +147,20 @@ class MessageBus:
 
     def queues(self) -> list[str]:
         return sorted(self._queues)
+
+    def stats(self, queue: str | None = None) -> dict[str, Any]:
+        """Delivery counters — one queue's, or all queues keyed by name."""
+        if queue is not None:
+            return dict(
+                self._stats.get(
+                    queue,
+                    {
+                        "sent": 0,
+                        "delivered": 0,
+                        "acked": 0,
+                        "nacked": 0,
+                        "redelivered": 0,
+                    },
+                )
+            )
+        return {name: dict(bucket) for name, bucket in sorted(self._stats.items())}

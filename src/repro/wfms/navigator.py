@@ -33,11 +33,24 @@ definition (:mod:`repro.wfms.plan`), obtained from the definition
 registry's plan cache: connector adjacency, compiled transition/exit
 conditions and container prototypes are all precomputed per template,
 so per-step work never rescans the :class:`ProcessDefinition`.
+
+Observability (:mod:`repro.obs`) hangs off the navigator as cached
+instruments and two span maps.  Every instrumentation block is gated
+on ``self._obs_on`` — a plain bool attribute — so with the default
+disabled handle the per-step cost is a handful of attribute reads
+(the zero-overhead-when-off guarantee, enforced by the perf gate).
+Spans: one per process instance (parented into the creating
+activity's span for blocks/subprocesses, or into a remote trace
+context carried in message headers), one per activity invocation
+*attempt*.  The journal's ``process_started`` record carries the
+instance's trace linkage so a recovered engine resumes the same
+trace instead of starting a second one.
 """
 
 from __future__ import annotations
 
 import heapq
+import time
 from typing import Any
 
 from repro.errors import (
@@ -60,6 +73,13 @@ from repro.wfms.model import (
     ActivityKind,
     ProcessDefinition,
 )
+from repro.obs import (
+    ActivityCompleted,
+    NavigatorDispatched,
+    ProcessFinished,
+    resolve_observability,
+)
+from repro.obs.tracing import Span, SpanContext
 from repro.wfms.organization import Organization
 from repro.wfms.programs import InvocationContext, ProgramRegistry
 from repro.wfms.worklist import WorklistManager
@@ -83,6 +103,7 @@ class Navigator:
         audit: AuditTrail,
         journal: Journal | None = None,
         services: dict[str, Any] | None = None,
+        obs=None,
     ):
         self._definitions = definitions
         self._programs = programs
@@ -91,6 +112,49 @@ class Navigator:
         self._audit = audit
         self._journal = journal
         self._services = services if services is not None else {}
+        self.obs = obs = resolve_observability(obs)
+        self._obs_on = obs.enabled
+        self._tracer = obs.tracer
+        self._hooks = obs.hooks
+        metrics = obs.metrics
+        self._c_proc_started = metrics.counter(
+            "wfms_processes_started_total",
+            "Process instances started",
+            labels=("definition",),
+        )
+        self._c_proc_finished = metrics.counter(
+            "wfms_processes_finished_total",
+            "Process instances finished",
+            labels=("definition",),
+        )
+        self._g_running = metrics.gauge(
+            "wfms_instances_running", "Process instances not yet finished"
+        )
+        self._c_dispatched = metrics.counter(
+            "wfms_activities_dispatched_total",
+            "Automatic activities popped off the ready queue",
+        )
+        completions = metrics.counter(
+            "wfms_activity_completions_total",
+            "Activity completions by outcome",
+            labels=("outcome",),
+        )
+        self._c_terminated = completions.labels("terminated")
+        self._c_rescheduled = completions.labels("rescheduled")
+        self._c_dead = completions.labels("dead")
+        self._c_forced = completions.labels("forced")
+        self._h_activity_seconds = metrics.histogram(
+            "wfms_activity_seconds",
+            "Wall-clock seconds per program invocation",
+        )
+        self._c_connectors = metrics.counter(
+            "wfms_connector_evaluations_total",
+            "Control connectors evaluated",
+        )
+        #: open spans: instance_id -> instance span,
+        #: (instance_id, activity) -> current attempt span.
+        self._instance_spans: dict[str, Span] = {}
+        self._activity_spans: dict[tuple[str, str], Span] = {}
         self._instances: dict[str, ProcessInstance] = {}
         #: ready-queue heap of (-priority, arrival_seq, instance, activity);
         #: stale slots are invalidated lazily in :meth:`_pop_ready`.
@@ -129,16 +193,24 @@ class Navigator:
         starter: str = "",
         instance_id: str = "",
         version: str | None = None,
+        trace_parent: "SpanContext | dict[str, str] | None" = None,
     ) -> str:
         """Start a new top-level instance; returns its id.
 
         ``version`` pins a definition version; the default is the
-        latest registered one.
+        latest registered one.  ``trace_parent`` joins an existing
+        trace — either a :class:`SpanContext` or the header dict a
+        remote node attached to its request — so cross-node work forms
+        one trace.
         """
         definition = self._definition(definition_name, version)
         if not instance_id:
             self._sequence += 1
             instance_id = "pi-%04d" % self._sequence
+        if trace_parent is not None and not isinstance(
+            trace_parent, SpanContext
+        ):
+            trace_parent = self._tracer.extract(trace_parent)
         return self._create_instance(
             definition,
             instance_id,
@@ -146,6 +218,7 @@ class Navigator:
             starter=starter,
             parent_instance="",
             parent_activity="",
+            trace_parent=trace_parent,
         )
 
     def _definition(
@@ -167,6 +240,7 @@ class Navigator:
         starter: str,
         parent_instance: str,
         parent_activity: str,
+        trace_parent: "SpanContext | None" = None,
     ) -> str:
         if instance_id in self._instances:
             raise NavigationError(
@@ -183,6 +257,14 @@ class Navigator:
         )
         instance.input.load_dict(input_values)
         self._instances[instance_id] = instance
+        span = None
+        if self._obs_on:
+            self._c_proc_started.labels(definition.name).inc()
+            self._g_running.inc()
+            if self._tracer.enabled:
+                span = self._start_instance_span(
+                    instance, parent_instance, parent_activity, trace_parent
+                )
         self._audit.record(
             self.clock,
             AuditEvent.PROCESS_STARTED,
@@ -192,21 +274,57 @@ class Navigator:
         if self._journal is not None and self._replay is None:
             # The record dict (with its input snapshot) is only built
             # when a journal will actually persist it.
-            self._journal.append(
-                {
-                    "type": "process_started",
-                    "instance": instance_id,
-                    "definition": definition.name,
-                    "version": definition.version,
-                    "input": instance.input.to_dict(),
-                    "starter": starter,
-                    "parent_instance": parent_instance,
-                    "parent_activity": parent_activity,
+            record = {
+                "type": "process_started",
+                "instance": instance_id,
+                "definition": definition.name,
+                "version": definition.version,
+                "input": instance.input.to_dict(),
+                "starter": starter,
+                "parent_instance": parent_instance,
+                "parent_activity": parent_activity,
+            }
+            if span is not None:
+                # Trace linkage survives a crash: replay re-parents the
+                # recovered instance into the same trace instead of
+                # starting a second one.
+                record["trace"] = {
+                    "trace_id": span.trace_id,
+                    "parent_span_id": span.parent_id,
                 }
-            )
+            self._journal.append(record)
         for name in plan.starting:
             self._make_ready(instance, name)
         return instance_id
+
+    def _start_instance_span(
+        self,
+        instance: ProcessInstance,
+        parent_instance: str,
+        parent_activity: str,
+        trace_parent: "SpanContext | None",
+    ) -> Span:
+        """Open the instance span: child instances hang under the
+        block/subprocess activity span that created them, remote or
+        recovered instances under the propagated context."""
+        parent: "Span | SpanContext | None" = None
+        if parent_instance:
+            parent = self._activity_spans.get(
+                (parent_instance, parent_activity)
+            ) or self._instance_spans.get(parent_instance)
+        if parent is None:
+            parent = trace_parent
+        span = self._tracer.start_span(
+            "process %s" % instance.definition.name,
+            parent=parent,
+            kind="process",
+            attributes={
+                "instance_id": instance.instance_id,
+                "definition": instance.definition.name,
+            },
+        )
+        self._instance_spans[instance.instance_id] = span
+        return span
 
     # ------------------------------------------------------------------
     # scheduling
@@ -223,7 +341,21 @@ class Navigator:
             return False
         instance_id, activity_name = slot
         instance = self._instances[instance_id]
-        self._execute(instance, instance.activity(activity_name))
+        ai = instance.activity(activity_name)
+        if self._obs_on:
+            self._c_dispatched.inc()
+            hooks = self._hooks
+            if hooks.wants(NavigatorDispatched):
+                hooks.publish(
+                    NavigatorDispatched(
+                        instance_id,
+                        activity_name,
+                        ai.attempt + 1,
+                        ai.activity.priority,
+                        self.clock,
+                    )
+                )
+        self._execute(instance, ai)
         return True
 
     def run(self, max_steps: int = 1_000_000) -> int:
@@ -397,6 +529,18 @@ class Navigator:
         ai.attempt += 1
         ai.state = ActivityState.RUNNING
         ai.input = self._build_input(instance, ai)
+        if self._obs_on and self._tracer.enabled:
+            self._activity_spans[
+                (instance.instance_id, ai.name)
+            ] = self._tracer.start_span(
+                "activity %s" % ai.name,
+                parent=self._instance_spans.get(instance.instance_id),
+                kind=ai.activity.kind.value,
+                attributes={
+                    "instance_id": instance.instance_id,
+                    "attempt": ai.attempt,
+                },
+            )
         self._audit.record(
             self.clock,
             AuditEvent.ACTIVITY_STARTED,
@@ -425,6 +569,11 @@ class Navigator:
                 ai.state = ActivityState.READY
                 ai.attempt -= 1
                 self._deferred.append((instance.instance_id, ai.name))
+                span = self._activity_spans.pop(
+                    (instance.instance_id, ai.name), None
+                )
+                if span is not None:
+                    span.finish(status="interrupted")
                 return
         if recorded is not None:
             ai.output = instance.plan.output_container(ai.name)
@@ -465,7 +614,12 @@ class Navigator:
             attempt=ai.attempt,
             services=self._services,
         )
-        self._programs.invoke(ai.activity.program, ctx)
+        if self._obs_on:
+            started = time.perf_counter()
+            self._programs.invoke(ai.activity.program, ctx)
+            self._h_activity_seconds.observe(time.perf_counter() - started)
+        else:
+            self._programs.invoke(ai.activity.program, ctx)
         self._finish(instance, ai, user=user)
 
     def _start_child(
@@ -553,6 +707,8 @@ class Navigator:
         exit_ok = (
             True if exit_evaluate is None else exit_evaluate(ai.output.resolver)
         )
+        if self._obs_on:
+            self._observe_completion(instance, ai, exit_ok, forced)
         if not exit_ok:
             limit = ai.activity.max_iterations
             if limit and ai.attempt >= limit:
@@ -572,6 +728,36 @@ class Navigator:
             return
         self._terminate(instance, ai)
 
+    def _observe_completion(
+        self,
+        instance: ProcessInstance,
+        ai: ActivityInstance,
+        exit_ok: bool,
+        forced: bool,
+    ) -> None:
+        """Metrics/span/hook bookkeeping for one completed attempt."""
+        outcome = "terminated" if exit_ok else "rescheduled"
+        if forced or ai.forced:
+            self._c_forced.inc()
+        (self._c_terminated if exit_ok else self._c_rescheduled).inc()
+        span = self._activity_spans.pop((instance.instance_id, ai.name), None)
+        if span is not None:
+            span.set_attribute("rc", ai.output.return_code)
+            span.set_attribute("outcome", outcome)
+            span.finish()
+        hooks = self._hooks
+        if hooks.wants(ActivityCompleted):
+            hooks.publish(
+                ActivityCompleted(
+                    instance.instance_id,
+                    ai.name,
+                    ai.attempt,
+                    ai.output.return_code,
+                    outcome,
+                    self.clock,
+                )
+            )
+
     def _terminate(
         self, instance: ProcessInstance, ai: ActivityInstance
     ) -> None:
@@ -585,7 +771,10 @@ class Navigator:
         )
         self._push_process_output(instance, ai)
         resolver = ai.output.resolver if ai.output is not None else _NULL_RESOLVER
-        for connector in instance.plan.outgoing[ai.name]:
+        outgoing = instance.plan.outgoing[ai.name]
+        if self._obs_on and outgoing:
+            self._c_connectors.inc(len(outgoing))
+        for connector in outgoing:
             evaluate = connector.evaluate
             value = True if evaluate is None else bool(evaluate(resolver))
             self._connector_evaluated(instance, connector.source, connector.target, value)
@@ -624,6 +813,8 @@ class Navigator:
         ai.state = ActivityState.TERMINATED
         ai.dead = True
         self._worklists.withdraw(instance.instance_id, ai.name)
+        if self._obs_on:
+            self._c_dead.inc()
         self._audit.record(
             self.clock, AuditEvent.ACTIVITY_DEAD, instance.instance_id, ai.name
         )
@@ -639,6 +830,21 @@ class Navigator:
         if not instance.all_terminated():
             return
         instance.state = ProcessState.FINISHED
+        if self._obs_on:
+            self._c_proc_finished.labels(instance.definition.name).inc()
+            self._g_running.dec()
+            span = self._instance_spans.pop(instance.instance_id, None)
+            if span is not None:
+                span.finish()
+            hooks = self._hooks
+            if hooks.wants(ProcessFinished):
+                hooks.publish(
+                    ProcessFinished(
+                        instance.instance_id,
+                        instance.definition.name,
+                        self.clock,
+                    )
+                )
         self._audit.record(
             self.clock, AuditEvent.PROCESS_FINISHED, instance.instance_id
         )
@@ -690,6 +896,28 @@ class Navigator:
     def _journal_write(self, record: dict[str, Any]) -> None:
         if self._journal is not None and self._replay is None:
             self._journal.append(record)
+
+    # ------------------------------------------------------------------
+    # observability plumbing
+    # ------------------------------------------------------------------
+
+    def trace_headers(
+        self, instance_id: str, activity: str = ""
+    ) -> dict[str, str]:
+        """Message-bus headers carrying this work's trace context:
+        the running activity's attempt span if one is open, else the
+        instance span.  Empty when tracing is off."""
+        tracer = self._tracer
+        if not tracer.enabled:
+            return {}
+        span = None
+        if activity:
+            span = self._activity_spans.get((instance_id, activity))
+        if span is None:
+            span = self._instance_spans.get(instance_id)
+        if span is None:
+            return {}
+        return tracer.inject(span)
 
     def begin_replay(self, cursor: ReplayCursor) -> None:
         self._replay = cursor

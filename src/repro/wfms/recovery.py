@@ -54,6 +54,14 @@ def replay(navigator: Navigator, records: list[dict[str, Any]]) -> int:
     """
     cursor = ReplayCursor(records)
     total = cursor.pending()
+    # The replay span joins no prior trace: it is the recovery run
+    # itself.  Each replayed instance re-enters its *own* pre-crash
+    # trace via the linkage stored in its process_started record.
+    span = navigator.obs.tracer.start_span(
+        "recovery.replay",
+        kind="recovery",
+        attributes={"records": len(records), "completions": total},
+    )
     navigator.begin_replay(cursor)
     try:
         highest = 0
@@ -71,6 +79,7 @@ def replay(navigator: Navigator, records: list[dict[str, Any]]) -> int:
                 starter=start.get("starter", ""),
                 instance_id=start["instance"],
                 version=start.get("version"),
+                trace_parent=start.get("trace"),
             )
             navigator.run()
         if cursor.pending():
@@ -84,4 +93,7 @@ def replay(navigator: Navigator, records: list[dict[str, Any]]) -> int:
                 navigator.suspend(instance_id)
     finally:
         navigator.end_replay()
-    return total - cursor.pending()
+        replayed = total - cursor.pending()
+        span.set_attribute("replayed", replayed)
+        span.finish()
+    return replayed

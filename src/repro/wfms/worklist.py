@@ -30,6 +30,7 @@ from enum import Enum
 from typing import Callable
 
 from repro.errors import WorklistError
+from repro.obs import WorklistTransition, resolve_observability
 
 
 class WorkItemState(Enum):
@@ -71,9 +72,16 @@ class Notification:
 
 
 class WorklistManager:
-    """All worklists of one engine."""
+    """All worklists of one engine.
 
-    def __init__(self) -> None:
+    Observability: every item state change publishes a
+    :class:`~repro.obs.WorklistTransition` hook event and maintains a
+    small set of instruments (open-item gauge, per-transition
+    counters).  All of it is gated on ``self._obs_on`` so the default
+    disabled engine pays a single attribute read per transition.
+    """
+
+    def __init__(self, obs=None) -> None:
         self._items: dict[str, WorkItem] = {}
         #: (instance_id, activity) -> {item_id: item} with state
         #: offered or claimed, in offer order.
@@ -86,6 +94,40 @@ class WorklistManager:
         self._deadline_watch: dict[str, WorkItem] = {}
         self._sequence = 0
         self.notifications: list[Notification] = []
+        obs = resolve_observability(obs)
+        self._obs_on = obs.enabled
+        self._hooks = obs.hooks
+        self._clock: Callable[[], float] | None = None
+        self._g_open = obs.metrics.gauge(
+            "wfms_worklist_open_items",
+            "Work items currently offered or claimed",
+        )
+        self._c_transitions = obs.metrics.counter(
+            "wfms_worklist_transitions_total",
+            "Work item state transitions",
+            labels=("transition",),
+        )
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Attach the engine's logical clock so hook events carry it."""
+        self._clock = clock
+
+    def _emit(self, item: WorkItem, transition: str, user: str = "") -> None:
+        """Record one transition (only called when observability is on)."""
+        self._c_transitions.labels(transition).inc()
+        hooks = self._hooks
+        if hooks.wants(WorklistTransition):
+            at = self._clock() if self._clock is not None else item.offered_at
+            hooks.publish(
+                WorklistTransition(
+                    item.item_id,
+                    item.instance_id,
+                    item.activity,
+                    transition,
+                    user,
+                    at,
+                )
+            )
 
     # -- index maintenance ----------------------------------------------
 
@@ -144,6 +186,9 @@ class WorklistManager:
         ] = item
         self._by_instance.setdefault(instance_id, []).append(item)
         self._index_offered(item)
+        if self._obs_on:
+            self._g_open.inc()
+            self._emit(item, "offered")
         return item
 
     def withdraw(self, instance_id: str, activity: str) -> None:
@@ -156,6 +201,9 @@ class WorklistManager:
             if item.state is WorkItemState.OFFERED:
                 self._unindex_offered(item)
             item.state = WorkItemState.WITHDRAWN
+            if self._obs_on:
+                self._g_open.dec()
+                self._emit(item, "withdrawn")
 
     def complete(self, item_id: str) -> None:
         item = self._get(item_id)
@@ -166,6 +214,9 @@ class WorklistManager:
             )
         item.state = WorkItemState.COMPLETED
         self._unindex_slot(item)
+        if self._obs_on:
+            self._g_open.dec()
+            self._emit(item, "completed", user=item.claimed_by)
 
     # -- user operations -------------------------------------------------
 
@@ -194,6 +245,8 @@ class WorklistManager:
         item.state = WorkItemState.CLAIMED
         item.claimed_by = user_id
         self._unindex_offered(item)
+        if self._obs_on:
+            self._emit(item, "claimed", user=user_id)
         return item
 
     def release(self, item_id: str) -> WorkItem:
@@ -201,9 +254,12 @@ class WorklistManager:
         item = self._get(item_id)
         if item.state is not WorkItemState.CLAIMED:
             raise WorklistError("item %s is not claimed" % item_id)
+        released_by = item.claimed_by
         item.state = WorkItemState.OFFERED
         item.claimed_by = ""
         self._index_offered(item)
+        if self._obs_on:
+            self._emit(item, "released", user=released_by)
         return item
 
     # -- notifications ----------------------------------------------------
@@ -231,6 +287,8 @@ class WorklistManager:
                 del self._deadline_watch[item.item_id]
                 raised.append(notification)
                 self.notifications.append(notification)
+                if self._obs_on:
+                    self._emit(item, "notified")
         return raised
 
     # -- queries -----------------------------------------------------------

@@ -40,9 +40,14 @@ def configure_worker(node: WorkflowNode) -> None:
 
 
 def make_worker(
-    bus: MessageBus, name: str = "worker", journal_path: str | None = None
+    bus: MessageBus,
+    name: str = "worker",
+    journal_path: str | None = None,
+    observability=None,
 ) -> WorkflowNode:
-    node = WorkflowNode(name, bus, journal_path=journal_path)
+    node = WorkflowNode(
+        name, bus, journal_path=journal_path, observability=observability
+    )
     configure_worker(node)
     return node
 
@@ -90,7 +95,10 @@ def make_requester(
     name: str = "front",
     worker: str = "worker",
     journal_path: str | None = None,
+    observability=None,
 ) -> WorkflowNode:
-    node = WorkflowNode(name, bus, journal_path=journal_path)
+    node = WorkflowNode(
+        name, bus, journal_path=journal_path, observability=observability
+    )
     configure_requester(node, worker)
     return node

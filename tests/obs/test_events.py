@@ -1,0 +1,118 @@
+"""Unit tests for the typed hook bus (isolation semantics included)."""
+
+import logging
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.events import (
+    ActivityCompleted,
+    HookBus,
+    JournalSynced,
+    NavigatorDispatched,
+    NullHookBus,
+)
+
+
+def dispatched(n=1):
+    return NavigatorDispatched("pi-0001", "A", n, 0, 0.0)
+
+
+class TestSubscribePublish:
+    def test_delivery_by_type(self):
+        bus = HookBus()
+        got = []
+        bus.subscribe(NavigatorDispatched, got.append)
+        event = dispatched()
+        bus.publish(event)
+        bus.publish(JournalSynced(1, "append", 0.0))  # different type
+        assert got == [event]
+
+    def test_decorator_form(self):
+        bus = HookBus()
+        got = []
+
+        @bus.subscribe(NavigatorDispatched)
+        def observer(event):
+            got.append(event)
+
+        bus.publish(dispatched())
+        assert len(got) == 1
+
+    def test_wants(self):
+        bus = HookBus()
+        assert not bus.wants(NavigatorDispatched)
+        bus.subscribe(NavigatorDispatched, lambda e: None)
+        assert bus.wants(NavigatorDispatched)
+        assert not bus.wants(ActivityCompleted)
+
+    def test_unsubscribe(self):
+        bus = HookBus()
+        got = []
+        bus.subscribe(NavigatorDispatched, got.append)
+        bus.unsubscribe(NavigatorDispatched, got.append)
+        bus.publish(dispatched())
+        assert got == []
+        assert not bus.wants(NavigatorDispatched)
+
+    def test_unsubscribe_unknown_raises(self):
+        bus = HookBus()
+        with pytest.raises(ObservabilityError):
+            bus.unsubscribe(NavigatorDispatched, lambda e: None)
+
+    def test_subscribe_requires_a_type(self):
+        bus = HookBus()
+        with pytest.raises(ObservabilityError):
+            bus.subscribe("not-a-type", lambda e: None)
+
+    def test_subscriptions_summary(self):
+        bus = HookBus()
+        bus.subscribe(NavigatorDispatched, lambda e: None)
+        bus.subscribe(NavigatorDispatched, lambda e: None)
+        bus.subscribe(JournalSynced, lambda e: None)
+        assert bus.subscriptions() == {
+            "JournalSynced": 1,
+            "NavigatorDispatched": 2,
+        }
+
+
+class TestIsolation:
+    def test_raising_subscriber_is_isolated(self, caplog):
+        bus = HookBus()
+        got = []
+
+        def bad(event):
+            raise RuntimeError("observer bug")
+
+        bus.subscribe(NavigatorDispatched, bad)
+        bus.subscribe(NavigatorDispatched, got.append)
+        with caplog.at_level(logging.ERROR, logger="repro.obs"):
+            bus.publish(dispatched())
+        # The publisher survived, later subscribers still ran.
+        assert len(got) == 1
+        # The failure was recorded and logged.
+        assert len(bus.failures) == 1
+        assert isinstance(bus.failures[0].error, RuntimeError)
+        assert any("isolated" in r.message for r in caplog.records)
+
+    def test_failure_keeps_the_event(self):
+        bus = HookBus()
+        bus.subscribe(NavigatorDispatched, lambda e: 1 / 0)
+        event = dispatched()
+        bus.publish(event)
+        assert bus.failures[0].event is event
+
+
+class TestNullHookBus:
+    def test_subscribe_raises(self):
+        bus = NullHookBus()
+        with pytest.raises(ObservabilityError):
+            bus.subscribe(NavigatorDispatched, lambda e: None)
+        with pytest.raises(ObservabilityError):
+            bus.unsubscribe(NavigatorDispatched, lambda e: None)
+
+    def test_wants_and_publish_are_noops(self):
+        bus = NullHookBus()
+        assert bus.wants(NavigatorDispatched) is False
+        bus.publish(dispatched())  # no-op, no error
+        assert bus.subscriptions() == {}

@@ -1,0 +1,141 @@
+"""Unit tests for spans, tracer retention and context propagation."""
+
+from repro.obs.tracing import (
+    NULL_SPAN,
+    PARENT_SPAN_HEADER,
+    TRACE_ID_HEADER,
+    NullTracer,
+    SpanContext,
+    Tracer,
+)
+
+
+class TestSpanLifecycle:
+    def test_root_span_starts_a_trace(self):
+        tracer = Tracer()
+        span = tracer.start_span("root")
+        assert span.trace_id
+        assert span.parent_id == ""
+        assert not span.finished
+
+    def test_child_inherits_trace(self):
+        tracer = Tracer()
+        root = tracer.start_span("root")
+        child = tracer.start_span("child", parent=root)
+        assert child.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+
+    def test_parent_may_be_a_context(self):
+        tracer = Tracer()
+        context = SpanContext("t9-000001", "s9-000042")
+        span = tracer.start_span("remote-child", parent=context)
+        assert span.trace_id == "t9-000001"
+        assert span.parent_id == "s9-000042"
+
+    def test_finish_is_idempotent_and_sets_status(self):
+        tracer = Tracer()
+        span = tracer.start_span("s")
+        span.finish(status="error")
+        first_end = span.end
+        span.finish(status="ok")  # ignored: first finish wins
+        assert span.end == first_end
+        assert span.status == "error"
+        assert span.duration >= 0.0
+
+    def test_attributes(self):
+        tracer = Tracer()
+        span = tracer.start_span("s", attributes={"a": 1})
+        span.set_attribute("b", 2)
+        assert span.to_dict()["attributes"] == {"a": 1, "b": 2}
+
+    def test_explicit_trace_id_joins_without_parent(self):
+        tracer = Tracer()
+        span = tracer.start_span("s", trace_id="t7-000001")
+        assert span.trace_id == "t7-000001"
+        assert span.parent_id == ""
+
+
+class TestTracerQueries:
+    def test_spans_filter_by_trace_and_name(self):
+        tracer = Tracer()
+        a = tracer.start_span("a")
+        tracer.start_span("b")
+        assert tracer.spans(trace_id=a.trace_id) == [a]
+        assert tracer.spans(name="b")[0].name == "b"
+
+    def test_open_spans(self):
+        tracer = Tracer()
+        open_span = tracer.start_span("open")
+        tracer.start_span("closed").finish()
+        assert tracer.open_spans() == [open_span]
+
+    def test_trace_ids_in_first_seen_order(self):
+        tracer = Tracer()
+        first = tracer.start_span("a").trace_id
+        second = tracer.start_span("b").trace_id
+        assert tracer.trace_ids() == [first, second]
+
+    def test_export_is_pure_data(self):
+        tracer = Tracer()
+        tracer.start_span("s").finish()
+        [data] = tracer.export()
+        assert data["name"] == "s"
+        assert data["duration"] is not None
+
+
+class TestRetention:
+    def test_ring_drops_oldest_finished(self):
+        tracer = Tracer(max_spans=16)
+        keeper = tracer.start_span("keeper")  # open: never dropped
+        for i in range(100):
+            tracer.start_span("s%d" % i).finish()
+        spans = tracer.spans()
+        assert keeper in spans
+        assert len(spans) <= 17
+        # the newest finished spans survive
+        assert spans[-1].name == "s99"
+
+
+class TestPropagation:
+    def test_inject_extract_round_trip(self):
+        tracer = Tracer()
+        span = tracer.start_span("root")
+        headers = tracer.inject(span)
+        assert headers == {
+            TRACE_ID_HEADER: span.trace_id,
+            PARENT_SPAN_HEADER: span.span_id,
+        }
+        context = Tracer().extract(headers)
+        assert context == SpanContext(span.trace_id, span.span_id)
+
+    def test_extract_missing_headers(self):
+        tracer = Tracer()
+        assert tracer.extract(None) is None
+        assert tracer.extract({}) is None
+        assert tracer.extract({"unrelated": "x"}) is None
+
+    def test_two_tracers_never_collide(self):
+        a, b = Tracer(), Tracer()
+        assert a.start_span("x").span_id != b.start_span("x").span_id
+        assert a.new_trace_id() != b.new_trace_id()
+
+
+class TestNullTracer:
+    def test_disabled_surface(self):
+        tracer = NullTracer()
+        assert tracer.enabled is False
+        span = tracer.start_span("anything", kind="k", attributes={"a": 1})
+        assert span is NULL_SPAN
+        assert not span.is_recording
+        span.set_attribute("x", 1)  # no-op
+        span.finish("error")  # no-op
+        assert span.attributes == {}
+        assert tracer.inject(span) == {}
+        assert tracer.extract({TRACE_ID_HEADER: "t"}) is None
+        assert tracer.spans() == []
+        assert tracer.export() == []
+
+    def test_real_tracer_inject_of_null_span_is_empty(self):
+        # A live tracer asked to inject the null span must not emit
+        # headers pointing at a span that does not exist.
+        assert Tracer().inject(NULL_SPAN) == {}

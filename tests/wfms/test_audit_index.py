@@ -1,0 +1,122 @@
+"""Property tests: indexed audit queries == naive full-scan filters.
+
+The secondary indexes added to :class:`AuditTrail` are an optimisation
+only — every query answer must stay bit-for-bit identical (same record
+objects, same sequence order) to the naive filter over the full trail.
+"""
+
+import random
+
+import pytest
+
+from repro.wfms.audit import AuditEvent, AuditRecord, AuditTrail
+
+EVENTS = list(AuditEvent)
+INSTANCES = ["pi-0001", "pi-0002", "pi-0003", "req/front/pi-0001/Call", ""]
+ACTIVITIES = ["", "A", "B", "Book"]
+
+
+def naive_records(trail, instance_id=None, event=None, activity=None):
+    """The pre-index semantics: one pass over the whole trail."""
+    out = []
+    for record in trail:
+        if instance_id is not None and record.instance_id != instance_id:
+            continue
+        if event is not None and record.event != event:
+            continue
+        if activity is not None and record.activity != activity:
+            continue
+        out.append(record)
+    return out
+
+
+def random_trail(seed, size=400):
+    rng = random.Random(seed)
+    trail = AuditTrail()
+    for __ in range(size):
+        trail.record(
+            rng.uniform(0.0, 100.0),
+            rng.choice(EVENTS),
+            rng.choice(INSTANCES),
+            activity=rng.choice(ACTIVITIES),
+            attempt=rng.randint(1, 3),
+        )
+    return trail
+
+
+@pytest.mark.parametrize("seed", range(5))
+class TestIndexedQueriesMatchNaiveScan:
+    def test_records_all_filter_combinations(self, seed):
+        trail = random_trail(seed)
+        for instance_id in INSTANCES + [None, "pi-absent"]:
+            for event in [None, *EVENTS[:6]]:
+                for activity in [None, *ACTIVITIES]:
+                    indexed = trail.records(
+                        instance_id, event=event, activity=activity
+                    )
+                    naive = naive_records(
+                        trail, instance_id, event, activity
+                    )
+                    # Same record *objects* in the same order: the
+                    # indexes never copy, reorder or rebuild records.
+                    assert indexed == naive
+                    assert all(
+                        a is b for a, b in zip(indexed, naive)
+                    )
+
+    def test_count_matches_len_of_naive_filter(self, seed):
+        trail = random_trail(seed)
+        for instance_id in INSTANCES + ["pi-absent"]:
+            assert trail.count(instance_id) == len(
+                naive_records(trail, instance_id)
+            )
+            for event in EVENTS:
+                assert trail.count(instance_id, event) == len(
+                    naive_records(trail, instance_id, event)
+                )
+
+    def test_derived_helpers_match_naive_scan(self, seed):
+        trail = random_trail(seed)
+        for instance_id in INSTANCES:
+            assert trail.execution_order(instance_id) == [
+                r.activity
+                for r in naive_records(
+                    trail, instance_id, AuditEvent.ACTIVITY_TERMINATED
+                )
+            ]
+            for activity in ACTIVITIES:
+                assert trail.attempts(instance_id, activity) == len(
+                    naive_records(
+                        trail,
+                        instance_id,
+                        AuditEvent.ACTIVITY_STARTED,
+                        activity,
+                    )
+                )
+
+
+class TestSequenceOrderInvariants:
+    def test_sequence_numbers_are_dense_and_ordered(self):
+        trail = random_trail(99, size=50)
+        assert [r.sequence for r in trail] == list(range(50))
+        for instance_id in INSTANCES:
+            picked = trail.records(instance_id)
+            assert [r.sequence for r in picked] == sorted(
+                r.sequence for r in picked
+            )
+
+    def test_record_returns_the_stored_record(self):
+        trail = AuditTrail()
+        record = trail.record(
+            1.0, AuditEvent.PROCESS_STARTED, "pi-0001", attempt=1
+        )
+        assert isinstance(record, AuditRecord)
+        assert trail.records("pi-0001") == [record]
+        assert trail.count("pi-0001") == 1
+        assert trail.count("pi-0001", AuditEvent.PROCESS_STARTED) == 1
+        assert trail.count("pi-0001", AuditEvent.PROCESS_FINISHED) == 0
+
+    def test_len_and_iter(self):
+        trail = random_trail(7, size=20)
+        assert len(trail) == 20
+        assert len(list(trail)) == 20

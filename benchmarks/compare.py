@@ -203,6 +203,23 @@ def measure_observability_disabled() -> float:
     return best
 
 
+def measure_resilience_disabled() -> float:
+    """activities/sec with no fault injector and no policies.
+
+    The resilience sites (program invocation, journal append/fsync,
+    bus send, completion bookkeeping) each guard on an unset injector
+    or an empty policy table; this metric regresses if a change makes
+    the disabled path pay more than that one check.
+    """
+    from bench_resilience import RUNS, resilience_throughput
+
+    best = 0.0
+    resilience_throughput(runs=2)  # warmup
+    for __ in range(REPEATS):
+        best = max(best, resilience_throughput(runs=RUNS))
+    return best
+
+
 METRICS = {
     "engine.dag_16x16.activities_per_sec": measure_engine_large_dag,
     "engine.concurrent_200x3x3.activities_per_sec": measure_engine_concurrent,
@@ -213,6 +230,9 @@ METRICS = {
     "journal.append_batch64.records_per_sec": measure_journal_batch,
     "observability.disabled_dag_8x8.activities_per_sec": (
         measure_observability_disabled
+    ),
+    "resilience.disabled_dag_8x8.activities_per_sec": (
+        measure_resilience_disabled
     ),
 }
 

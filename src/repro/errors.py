@@ -52,6 +52,12 @@ class RecoveryError(WorkflowError):
     """The persistent journal is corrupt or replay failed."""
 
 
+class JournalError(WorkflowError):
+    """The journal's backing store failed (disk write/fsync error,
+    injected or real).  The engine degrades to crashed; the durable
+    prefix of the journal remains replayable."""
+
+
 # ---------------------------------------------------------------------------
 # Observability (repro.obs)
 # ---------------------------------------------------------------------------

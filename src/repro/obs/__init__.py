@@ -35,14 +35,19 @@ from __future__ import annotations
 
 from repro.obs.events import (
     ActivityCompleted,
+    ActivityEscalated,
+    BreakerTransition,
     EngineCrashed,
     EngineRecovered,
     HookBus,
     HookFailure,
     JournalSynced,
+    MessageDeadLettered,
     NavigatorDispatched,
     NullHookBus,
     ProcessFinished,
+    RequestTimedOut,
+    RetryScheduled,
     WorklistTransition,
 )
 from repro.obs.metrics import (
@@ -131,6 +136,8 @@ def resolve_observability(
 
 __all__ = [
     "ActivityCompleted",
+    "ActivityEscalated",
+    "BreakerTransition",
     "Counter",
     "DEFAULT_BUCKETS",
     "DISABLED",
@@ -141,6 +148,7 @@ __all__ = [
     "HookBus",
     "HookFailure",
     "JournalSynced",
+    "MessageDeadLettered",
     "MetricsRegistry",
     "NavigatorDispatched",
     "NullHookBus",
@@ -152,6 +160,8 @@ __all__ = [
     "NULL_SPAN",
     "Observability",
     "ProcessFinished",
+    "RequestTimedOut",
+    "RetryScheduled",
     "resolve_observability",
     "Span",
     "SpanContext",

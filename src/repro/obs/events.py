@@ -100,6 +100,61 @@ class EngineRecovered:
 
 
 @dataclass(frozen=True)
+class RetryScheduled:
+    """A failed activity invocation will be retried (resilience)."""
+
+    instance_id: str
+    activity: str
+    retry: int  # 1-based retry number
+    delay: float  # logical-clock backoff before the retry
+    error: str
+    at: float
+
+
+@dataclass(frozen=True)
+class ActivityEscalated:
+    """Retries/timeout exhausted: the activity finished with the
+    policy's escalation return code instead of a program result."""
+
+    instance_id: str
+    activity: str
+    reason: str  # retries_exhausted | timeout
+    return_code: int
+    at: float
+
+
+@dataclass(frozen=True)
+class RequestTimedOut:
+    """A remote activity request exceeded its reply budget."""
+
+    node: str  # requesting node
+    remote: str  # node the request was addressed to
+    request_id: str
+    action: str  # resent | escalated
+    at: float
+
+
+@dataclass(frozen=True)
+class BreakerTransition:
+    """A per-remote-node circuit breaker changed state."""
+
+    node: str  # node holding the breaker
+    remote: str  # guarded remote node
+    state: str  # closed | open | half_open
+    at: float
+
+
+@dataclass(frozen=True)
+class MessageDeadLettered:
+    """A poisoned message was routed to the dead-letter queue."""
+
+    queue: str
+    msg_id: str
+    reason: str
+    deliveries: int
+
+
+@dataclass(frozen=True)
 class HookFailure:
     """One subscriber exception, isolated and recorded."""
 

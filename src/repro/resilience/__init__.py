@@ -1,0 +1,53 @@
+"""Deterministic fault injection and resilience policies.
+
+Two halves, mirroring the split between breaking things and surviving
+them:
+
+* :mod:`repro.resilience.faults` — a seeded, replayable adversary
+  (:class:`FaultInjector` + declarative :class:`FaultRule`\\ s) that
+  drops/duplicates/delays bus messages, crashes activity programs,
+  fails journal writes, and kills workflow nodes at chosen points.
+* :mod:`repro.resilience.policies` — the survival machinery:
+  :class:`RetryPolicy` with deterministic backoff,
+  :class:`Timeout` escalation, a per-remote-node
+  :class:`CircuitBreaker`, and the max-deliveries/dead-letter cap
+  wired into :mod:`repro.wfms.messaging` and
+  :mod:`repro.wfms.distributed`.
+
+Both are zero-overhead when unused, following the null-object cost
+discipline of :mod:`repro.obs`.
+"""
+
+from repro.resilience.faults import (
+    SITES,
+    FaultInjector,
+    FaultRule,
+    FiredFault,
+    InjectedCrash,
+    chaos_rules,
+)
+from repro.resilience.policies import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    RetryPolicy,
+    Timeout,
+    flexible_retry_policies,
+)
+
+__all__ = [
+    "SITES",
+    "FaultInjector",
+    "FaultRule",
+    "FiredFault",
+    "InjectedCrash",
+    "chaos_rules",
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "CircuitBreaker",
+    "RetryPolicy",
+    "Timeout",
+    "flexible_retry_policies",
+]

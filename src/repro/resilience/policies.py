@@ -1,0 +1,250 @@
+"""Resilience policies: retries, timeouts, circuit breaking, DLQ caps.
+
+The paper's guarantees assume failures are *handled*: a saga
+compensates, a flexible transaction's retriable members "will
+eventually commit if retried a sufficient number of times" (§4.2).
+These policies are the machinery that turns an infrastructure failure
+(a crashing program, a dead remote node, a poisoned message) into one
+of the model-level outcomes the translations already know how to
+recover from — an abort return code that triggers compensation or an
+alternative path.
+
+Everything is driven by the **engine's logical clock** (advanced via
+``Engine.advance_clock`` / ``Engine.drain`` / ``run_cluster``), never
+wall time, so every schedule is deterministic and replayable.
+
+* :class:`RetryPolicy` — fixed or exponential backoff with
+  deterministic seeded jitter; on exhaustion either re-raises (the
+  pre-resilience behaviour) or **escalates**: the activity finishes
+  with a configured abort return code so dead-path elimination routes
+  control into compensation / the next alternative.
+* :class:`Timeout` — a clock budget for one activity's retry and
+  exit-condition loops; expiry escalates the same way.
+* :class:`CircuitBreaker` — the classic closed/open/half-open machine,
+  one per remote node on the requester side: repeated request timeouts
+  open it, an open breaker fails fast, a cooldown admits one trial.
+* :func:`flexible_retry_policies` — per-program policies honouring the
+  retriable/pivot typing of :class:`repro.core.flexible.FlexibleSpec`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING
+
+from repro.errors import WorkflowError
+
+if TYPE_CHECKING:
+    from repro.core.flexible import FlexibleSpec
+
+BACKOFFS = ("fixed", "exponential")
+
+
+class RetryPolicy:
+    """Bounded retry with deterministic backoff and jitter.
+
+    ``allows(n)`` answers whether retry *n* (1-based) may run;
+    ``delay(n)`` is the logical-clock backoff before it.  Jitter is
+    derived from ``(seed, n)`` alone, so identical policies produce
+    identical schedules on every run and after every recovery.
+
+    ``escalate_rc`` selects the exhaustion behaviour: ``None``
+    re-raises the program's failure (legacy behaviour — the engine
+    surfaces a :class:`~repro.errors.ProgramError`); an integer
+    finishes the activity with that return code instead, letting the
+    process's own transition conditions take over (compensation block,
+    next alternative path).
+    """
+
+    __slots__ = (
+        "max_retries",
+        "backoff",
+        "base_delay",
+        "factor",
+        "max_delay",
+        "jitter",
+        "seed",
+        "escalate_rc",
+    )
+
+    def __init__(
+        self,
+        max_retries: int = 3,
+        *,
+        backoff: str = "exponential",
+        base_delay: float = 0.0,
+        factor: float = 2.0,
+        max_delay: float = 60.0,
+        jitter: float = 0.0,
+        seed: int = 0,
+        escalate_rc: int | None = None,
+    ):
+        if max_retries < 0:
+            raise WorkflowError("max_retries must be >= 0")
+        if backoff not in BACKOFFS:
+            raise WorkflowError(
+                "unknown backoff %r (choose from %s)"
+                % (backoff, ", ".join(BACKOFFS))
+            )
+        if base_delay < 0 or max_delay < 0 or jitter < 0:
+            raise WorkflowError("delays and jitter must be >= 0")
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self.base_delay = base_delay
+        self.factor = factor
+        self.max_delay = max_delay
+        self.jitter = jitter
+        self.seed = seed
+        self.escalate_rc = escalate_rc
+
+    def allows(self, retry: int) -> bool:
+        return retry <= self.max_retries
+
+    def delay(self, retry: int) -> float:
+        if self.backoff == "fixed":
+            delay = self.base_delay
+        else:
+            delay = self.base_delay * (self.factor ** (retry - 1))
+        delay = min(delay, self.max_delay)
+        if self.jitter:
+            # Seeded by (seed, retry) only: the same retry number gets
+            # the same jitter in every run and after every replay.
+            rng = random.Random(self.seed * 2654435761 + retry)
+            delay += rng.random() * self.jitter
+        return delay
+
+    def __repr__(self) -> str:
+        return "RetryPolicy(max_retries=%d, backoff=%r, escalate_rc=%r)" % (
+            self.max_retries,
+            self.backoff,
+            self.escalate_rc,
+        )
+
+
+class Timeout:
+    """A logical-clock budget for one activity.
+
+    Measured from the activity's first invocation; checked whenever
+    the activity would loop (exit-condition reschedule) or retry.  On
+    expiry the activity finishes with ``escalate_rc``, journaled with
+    the escalation flag so recovery replays the same decision.
+    """
+
+    __slots__ = ("after", "escalate_rc")
+
+    def __init__(self, after: float, *, escalate_rc: int = 1):
+        if after <= 0:
+            raise WorkflowError("timeout must be > 0")
+        self.after = after
+        self.escalate_rc = escalate_rc
+
+    def expired(self, started: float, now: float) -> bool:
+        return now - started >= self.after
+
+    def __repr__(self) -> str:
+        return "Timeout(after=%r, escalate_rc=%d)" % (
+            self.after,
+            self.escalate_rc,
+        )
+
+
+#: Circuit breaker states.
+CLOSED, OPEN, HALF_OPEN = "closed", "open", "half_open"
+
+
+class CircuitBreaker:
+    """Closed/open/half-open failure gate for one remote dependency.
+
+    * **closed** — requests flow; ``failure_threshold`` consecutive
+      failures trip it open.
+    * **open** — :meth:`allow` is False (fail fast) until
+      ``reset_after`` logical seconds pass since the trip.
+    * **half-open** — one trial request is admitted; success closes
+      the breaker, failure re-opens it (cooldown restarts).
+    """
+
+    __slots__ = (
+        "failure_threshold",
+        "reset_after",
+        "state",
+        "failures",
+        "opened_at",
+        "transitions",
+    )
+
+    def __init__(
+        self, failure_threshold: int = 3, reset_after: float = 30.0
+    ):
+        if failure_threshold < 1:
+            raise WorkflowError("failure_threshold must be >= 1")
+        if reset_after <= 0:
+            raise WorkflowError("reset_after must be > 0")
+        self.failure_threshold = failure_threshold
+        self.reset_after = reset_after
+        self.state = CLOSED
+        self.failures = 0
+        self.opened_at = 0.0
+        #: (state, at) history, for tests and the event bus.
+        self.transitions: list[tuple[str, float]] = []
+
+    def _transition(self, state: str, now: float) -> None:
+        self.state = state
+        self.transitions.append((state, now))
+
+    def allow(self, now: float) -> bool:
+        """Whether a request may be attempted at logical time ``now``."""
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if now - self.opened_at >= self.reset_after:
+                self._transition(HALF_OPEN, now)
+                return True
+            return False
+        return False  # half-open: the single trial is already out
+
+    def record_success(self, now: float = 0.0) -> None:
+        if self.state != CLOSED:
+            self._transition(CLOSED, now)
+        self.failures = 0
+
+    def record_failure(self, now: float) -> None:
+        self.failures += 1
+        if self.state == HALF_OPEN or (
+            self.state == CLOSED and self.failures >= self.failure_threshold
+        ):
+            self.opened_at = now
+            self._transition(OPEN, now)
+
+    def __repr__(self) -> str:
+        return "CircuitBreaker(state=%s, failures=%d)" % (
+            self.state,
+            self.failures,
+        )
+
+
+def flexible_retry_policies(
+    spec: "FlexibleSpec",
+    *,
+    abort_rc: int,
+    retriable_retries: int = 8,
+    other_retries: int = 1,
+    base_delay: float = 0.0,
+) -> dict[str, RetryPolicy]:
+    """Per-program retry policies honouring the member typing of §4.2.
+
+    Retriable members are "guaranteed to commit if retried", so their
+    programs get a generous retry budget; pivots and plain
+    compensatable members get ``other_retries`` and then escalate with
+    ``abort_rc`` (the flexible translation's abort convention), which
+    sends control to the next alternative path.
+    """
+    policies: dict[str, RetryPolicy] = {}
+    for name, member in spec.members.items():
+        budget = retriable_retries if member.retriable else other_retries
+        policies[member.program] = RetryPolicy(
+            budget,
+            backoff="fixed",
+            base_delay=base_delay,
+            escalate_rc=abort_rc,
+        )
+    return policies

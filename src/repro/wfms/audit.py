@@ -32,6 +32,8 @@ class AuditEvent(Enum):
     ACTIVITY_FINISHED = "activity_finished"     # program returned
     ACTIVITY_TERMINATED = "activity_terminated"  # exit condition held
     ACTIVITY_RESCHEDULED = "activity_rescheduled"  # exit condition failed
+    ACTIVITY_RETRY = "activity_retry"           # failed invocation, retried
+    ACTIVITY_ESCALATED = "activity_escalated"   # retry/timeout gave up
     ACTIVITY_DEAD = "activity_dead"             # dead-path elimination
     ACTIVITY_FORCED = "activity_forced"         # user force-finish
     CONNECTOR_EVALUATED = "connector_evaluated"

@@ -23,6 +23,26 @@ what makes the scheme crash-safe end to end:
   redelivers the unacknowledged request, the reply is regenerated;
 * lost/unacked messages → redelivered by the bus sweep.
 
+Resilience (:mod:`repro.resilience`) hardens the scheme against
+*unrecoverable* counterparts:
+
+* poll attempts are spaced by a logical-clock **poll interval**
+  instead of spinning, so :func:`run_cluster` can distinguish "waiting
+  on a timer" from "deadlocked";
+* a per-request **timeout** bounds the wait for a reply; the budget of
+  ``retries`` re-sends the request (redelivery may be all that is
+  needed), after which the activity *escalates*: it terminates with a
+  failure return code and the caller's own transition conditions route
+  control (compensation, alternative path);
+* a per-remote-node **circuit breaker** (optional) fails fast while a
+  counterpart is known dead instead of paying the timeout every call;
+* a **max-deliveries cap** in :meth:`WorkflowNode.pump` routes
+  poisoned messages (handler keeps raising) to the bus's dead-letter
+  queue instead of redelivering them forever;
+* :func:`run_cluster` detects a genuinely stuck cluster — a full
+  round with no progress, no due timers, and unfinished watches — and
+  raises naming the stuck instances.
+
 When observability is enabled (``WorkflowNode(observability=True)``)
 the requesting activity's span context travels in the request's
 message *headers* and the serving node starts its instance with that
@@ -31,6 +51,9 @@ trace spanning both engines.  The context is also journaled with the
 served instance's ``process_started`` record: a server crash + replay
 rejoins the same trace, and a redelivered request finds the existing
 (request-id-keyed) instance instead of starting a second trace.
+Timeout/breaker/dead-letter decisions emit ``RequestTimedOut``,
+``BreakerTransition`` and ``MessageDeadLettered`` events plus
+counters.
 
 Use :func:`run_cluster` to drive all nodes to quiescence.
 """
@@ -40,7 +63,14 @@ from __future__ import annotations
 from typing import Any
 
 from repro.errors import NavigationError, WorkflowError
-from repro.obs import Observability, resolve_observability
+from repro.obs import (
+    BreakerTransition,
+    MessageDeadLettered,
+    Observability,
+    RequestTimedOut,
+    resolve_observability,
+)
+from repro.resilience.faults import InjectedCrash
 from repro.wfms.datatypes import DataType, VariableDecl
 from repro.wfms.engine import Engine
 from repro.wfms.messaging import MessageBus
@@ -57,7 +87,26 @@ def _reply_queue(node_name: str) -> str:
 
 
 class WorkflowNode:
-    """One engine plus its connection to the message bus."""
+    """One engine plus its connection to the message bus.
+
+    Resilience knobs (all deterministic, driven by the engine's
+    logical clock):
+
+    * ``max_deliveries`` — attempts a message gets before
+      :meth:`pump` dead-letters it instead of redelivering;
+    * ``request_timeout`` / ``request_retries`` — default reply budget
+      for remote activities (per-activity overrides on
+      :meth:`remote_activity`); ``None`` waits forever (pre-resilience
+      behaviour);
+    * ``poll_interval`` — logical seconds between reply polls;
+    * ``breaker_factory`` — zero-argument callable building one
+      :class:`~repro.resilience.policies.CircuitBreaker` per remote
+      node, or ``None`` for no breaker;
+    * ``fault_injector`` — a
+      :class:`~repro.resilience.faults.FaultInjector` threaded into
+      the engine (program/journal faults) and consulted by
+      :meth:`pump` (forced node crashes).
+    """
 
     def __init__(
         self,
@@ -67,13 +116,29 @@ class WorkflowNode:
         journal_path: str | None = None,
         organization: Organization | None = None,
         observability: Observability | bool | None = None,
+        max_deliveries: int = 5,
+        request_timeout: float | None = None,
+        request_retries: int = 0,
+        poll_interval: float = 1.0,
+        breaker_factory=None,
+        fault_injector=None,
     ):
         if not name:
             raise WorkflowError("node name must be non-empty")
+        if max_deliveries < 1:
+            raise WorkflowError("max_deliveries must be >= 1")
+        if poll_interval < 0:
+            raise WorkflowError("poll_interval must be >= 0")
         self.name = name
         self.bus = bus
         self._journal_path = journal_path
         self._organization = organization
+        self._max_deliveries = max_deliveries
+        self._request_timeout = request_timeout
+        self._request_retries = request_retries
+        self._poll_interval = poll_interval
+        self._breaker_factory = breaker_factory
+        self._injector = fault_injector
         # Resolved once and reused by rebuild(), so counters and spans
         # accumulate across this node's crash/recover cycles.
         self.obs = resolve_observability(observability)
@@ -81,17 +146,37 @@ class WorkflowNode:
             journal_path=journal_path,
             organization=organization,
             observability=self.obs,
+            fault_injector=fault_injector,
         )
         self._served: set[str] = set()
-        #: request_id -> output snapshot (volatile reply cache).
+        #: request_id -> full reply body (volatile reply cache).
         self._replies: dict[str, dict[str, Any]] = {}
-        #: request ids already sent (volatile; resent after a crash,
-        #: deduplicated by the server).
-        self._requested: set[str] = set()
+        #: request_id -> [sent_at_clock, retries_left] for requests in
+        #: flight (volatile; resent after a crash, deduplicated by the
+        #: server).
+        self._requested: dict[str, list] = {}
         #: request_id -> (reply_to, request headers) for requests being
         #: served but not yet finished (volatile; duplicates re-register
         #: it after a crash).
         self._pending: dict[str, tuple[str, dict[str, str]]] = {}
+        #: remote node -> CircuitBreaker (volatile, breaker_factory).
+        self._breakers: dict[str, Any] = {}
+        self._breaker_seen: dict[str, int] = {}
+        metrics = self.obs.metrics
+        self._c_remote_timeouts = metrics.counter(
+            "wfms_remote_timeouts_total",
+            "Remote requests that exceeded their reply budget",
+            labels=("action",),
+        )
+        self._c_breaker = metrics.counter(
+            "wfms_breaker_transitions_total",
+            "Circuit breaker state transitions",
+            labels=("state",),
+        )
+        self._c_dead_lettered = metrics.counter(
+            "wfms_messages_dead_lettered_total",
+            "Poisoned messages routed to dead-letter queues",
+        )
 
     # -- serving ---------------------------------------------------------
 
@@ -110,21 +195,43 @@ class WorkflowNode:
         input_spec: list[VariableDecl] | None = None,
         output_spec: list[VariableDecl] | None = None,
         max_poll_attempts: int = 100_000,
+        timeout: float | None = None,
+        retries: int | None = None,
+        poll_interval: float | None = None,
+        escalate_rc: int = 1,
     ) -> Activity:
         """Build an activity that executes ``process`` on ``node``.
 
         ``input_spec`` members are shipped as the remote process's
         input; ``output_spec`` members are filled from its output.
         Register the returned activity in a local definition as usual.
+
+        ``timeout``/``retries``/``poll_interval`` override the node's
+        request defaults for this activity; on a timed-out request the
+        budget of ``retries`` re-sends are spent first, then the
+        activity terminates with ``escalate_rc`` (and ``Done = 1``) so
+        the caller's transition conditions take over.
         """
         inputs = list(input_spec or [])
         outputs = list(output_spec or [])
         program_name = "remote__%s__%s" % (node, process)
         self.engine.register_program(
             program_name,
-            self._make_remote_program(node, process, inputs, outputs),
+            self._make_remote_program(
+                node,
+                process,
+                inputs,
+                outputs,
+                timeout if timeout is not None else self._request_timeout,
+                retries if retries is not None else self._request_retries,
+                escalate_rc,
+            ),
             "remote execution of %s on %s" % (process, node),
             replace=True,
+        )
+        self.engine.set_reschedule_delay(
+            program_name,
+            poll_interval if poll_interval is not None else self._poll_interval,
         )
         return Activity(
             activity_name,
@@ -136,40 +243,119 @@ class WorkflowNode:
             description="remote %s @ %s" % (process, node),
         )
 
-    def _make_remote_program(self, node, process, inputs, outputs):
+    def _make_remote_program(
+        self, node, process, inputs, outputs, timeout, retries, escalate_rc
+    ):
         def program(ctx) -> int:
             request_id = "%s/%s/%s" % (self.name, ctx.instance_id, ctx.activity)
+            now = self.engine.clock
             reply = self._replies.pop(request_id, None)
             if reply is not None:
+                self._requested.pop(request_id, None)
+                breaker = self._breakers.get(node)
+                if reply.get("state") == "error":
+                    # The server could not produce the result (served
+                    # instance lost); treat like a timed-out request.
+                    if breaker is not None:
+                        breaker.record_failure(now)
+                        self._note_breaker(node, breaker)
+                    ctx.output.set("Done", 1)
+                    return escalate_rc
+                if breaker is not None:
+                    breaker.record_success(now)
+                    self._note_breaker(node, breaker)
+                output = reply.get("output", {})
                 for decl in outputs:
-                    if decl.name in reply:
-                        ctx.output.set(decl.name, reply[decl.name])
+                    if decl.name in output:
+                        ctx.output.set(decl.name, output[decl.name])
                 ctx.output.set("Done", 1)
                 return 0
-            if request_id not in self._requested:
-                self.bus.send(
-                    _inbox(node),
-                    {
-                        "type": "request",
-                        "request_id": request_id,
-                        "process": process,
-                        "input": {
-                            decl.name: ctx.input.get(decl.name)
-                            for decl in inputs
-                        },
-                        "reply_to": _reply_queue(self.name),
-                    },
-                    # Trace context of the requesting activity rides in
-                    # the headers; {} when observability is off.
-                    headers=self.engine.navigator.trace_headers(
-                        ctx.instance_id, ctx.activity
-                    ),
-                )
-                self._requested.add(request_id)
+            state = self._requested.get(request_id)
+            if state is None:
+                breaker = self._breaker_for(node)
+                if breaker is not None and not breaker.allow(now):
+                    # Open breaker: fail fast instead of paying the
+                    # timeout against a known-dead counterpart.
+                    self._note_breaker(node, breaker)
+                    ctx.output.set("Done", 1)
+                    return escalate_rc
+                self._send_request(ctx, request_id, node, process, inputs)
+                self._requested[request_id] = [now, retries]
+            elif timeout is not None and now - state[0] >= timeout:
+                breaker = self._breakers.get(node)
+                if breaker is not None:
+                    breaker.record_failure(now)
+                    self._note_breaker(node, breaker)
+                if state[1] > 0:
+                    # Spend one re-send from the budget: the original
+                    # request (or its reply) may simply be lost.
+                    state[0] = now
+                    state[1] -= 1
+                    self._send_request(ctx, request_id, node, process, inputs)
+                    self._note_timeout(node, request_id, "resent", now)
+                else:
+                    self._requested.pop(request_id, None)
+                    self._note_timeout(node, request_id, "escalated", now)
+                    ctx.output.set("Done", 1)
+                    return escalate_rc
             ctx.output.set("Done", 0)
             return 0
 
         return program
+
+    def _send_request(self, ctx, request_id, node, process, inputs) -> None:
+        self.bus.send(
+            _inbox(node),
+            {
+                "type": "request",
+                "request_id": request_id,
+                "process": process,
+                "input": {
+                    decl.name: ctx.input.get(decl.name) for decl in inputs
+                },
+                "reply_to": _reply_queue(self.name),
+            },
+            # Trace context of the requesting activity rides in the
+            # headers; {} when observability is off.
+            headers=self.engine.navigator.trace_headers(
+                ctx.instance_id, ctx.activity
+            ),
+        )
+
+    def _breaker_for(self, node: str):
+        if self._breaker_factory is None:
+            return None
+        breaker = self._breakers.get(node)
+        if breaker is None:
+            breaker = self._breakers[node] = self._breaker_factory()
+        return breaker
+
+    def _note_breaker(self, remote: str, breaker) -> None:
+        seen = self._breaker_seen.get(remote, 0)
+        transitions = breaker.transitions
+        if len(transitions) <= seen:
+            return
+        fresh = transitions[seen:]
+        self._breaker_seen[remote] = len(transitions)
+        if self.obs.enabled:
+            hooks = self.obs.hooks
+            for state, at in fresh:
+                self._c_breaker.labels(state).inc()
+                if hooks.wants(BreakerTransition):
+                    hooks.publish(
+                        BreakerTransition(self.name, remote, state, at)
+                    )
+
+    def _note_timeout(
+        self, remote: str, request_id: str, action: str, now: float
+    ) -> None:
+        if self.obs.enabled:
+            self._c_remote_timeouts.labels(action).inc()
+            hooks = self.obs.hooks
+            if hooks.wants(RequestTimedOut):
+                hooks.publish(
+                    RequestTimedOut(self.name, remote, request_id, action, now)
+                )
 
     # -- message processing ---------------------------------------------------
 
@@ -177,6 +363,11 @@ class WorkflowNode:
         """Process up to ``max_messages`` inbound messages and send
         replies for served requests that have finished; returns how
         many messages/replies were handled."""
+        if self._injector is not None and self._injector.on_pump(self.name):
+            self.crash()
+            raise InjectedCrash(
+                "node %s crashed (injected fault)" % self.name
+            )
         handled = 0
         for __ in range(max_messages):
             if self._pump_one(_inbox(self.name), self._handle_request):
@@ -198,7 +389,27 @@ class WorkflowNode:
             try:
                 instance = self.engine.navigator.instance(instance_id)
             except NavigationError:
-                continue  # not started yet (should not happen)
+                # The served instance is gone (e.g. the engine was
+                # rebuilt from a journal that never recorded the
+                # start).  Holding the entry would leak it forever and
+                # leave the requester polling: answer with an error
+                # reply so its timeout/escalation machinery (or the
+                # error branch of the poll program) takes over.
+                reply_to, headers = self._pending.pop(request_id)
+                self.bus.send(
+                    reply_to,
+                    {
+                        "type": "reply",
+                        "request_id": request_id,
+                        "state": "error",
+                        "error": "node %s lost instance %s"
+                        % (self.name, instance_id),
+                        "output": {},
+                    },
+                    headers=headers,
+                )
+                sent += 1
+                continue
             if instance.state.value != "finished":
                 continue
             reply_to, headers = self._pending.pop(request_id)
@@ -222,7 +433,24 @@ class WorkflowNode:
         msg_id, body, headers = message
         try:
             handler(body, headers)
-        except Exception:
+        except Exception as exc:
+            if self.bus.deliveries(queue, msg_id) >= self._max_deliveries:
+                # Poisoned message: every delivery fails.  Park it on
+                # the dead-letter queue (inspectable, replayable by an
+                # operator) instead of wedging the pump forever.
+                reason = "%s: %s" % (type(exc).__name__, exc)
+                deliveries = self.bus.deliveries(queue, msg_id)
+                self.bus.dead_letter(queue, msg_id, reason)
+                if self.obs.enabled:
+                    self._c_dead_lettered.inc()
+                    hooks = self.obs.hooks
+                    if hooks.wants(MessageDeadLettered):
+                        hooks.publish(
+                            MessageDeadLettered(
+                                queue, msg_id, reason, deliveries
+                            )
+                        )
+                return True
             self.bus.nack(queue, msg_id)
             raise
         self.bus.ack(queue, msg_id)
@@ -262,17 +490,20 @@ class WorkflowNode:
     def _handle_reply(
         self, body: dict[str, Any], headers: dict[str, str]
     ) -> None:
-        self._replies[body["request_id"]] = dict(body.get("output", {}))
+        self._replies[body["request_id"]] = dict(body)
 
     # -- crash / recovery --------------------------------------------------------
 
     def crash(self) -> None:
         """Lose the engine and every volatile structure; keep the bus
         and the journal."""
-        self.engine.crash()
+        if not self.engine.crashed:
+            self.engine.crash()
         self._replies.clear()
         self._requested.clear()
         self._pending.clear()
+        self._breakers.clear()
+        self._breaker_seen.clear()
         self.bus.recover_in_flight(_inbox(self.name))
         self.bus.recover_in_flight(_reply_queue(self.name))
 
@@ -288,6 +519,7 @@ class WorkflowNode:
             journal_path=self._journal_path,
             organization=self._organization,
             observability=self.obs,
+            fault_injector=self._injector,
         )
         served = self._served
         self._served = set()
@@ -304,10 +536,23 @@ def run_cluster(
     steps_per_round: int = 50,
 ) -> int:
     """Drive every node until the watched instances finish (or, with no
-    watch list, until the whole cluster quiesces).  Returns rounds."""
+    watch list, until the whole cluster quiesces).  Returns rounds.
+
+    Crashed engines are skipped (the driver decides when to
+    ``rebuild``).  A round with no progress first lets logical time
+    pass — each node's clock advances to its earliest due timer (retry
+    backoff, poll interval), releasing that work.  When nothing
+    progressed, no timers remain, and watched instances are still
+    unfinished, the cluster is genuinely stuck (e.g. a watched
+    counterpart crashed and was never rebuilt): a
+    :class:`~repro.errors.WorkflowError` names the stuck instances
+    instead of silently burning the remaining rounds.
+    """
     for round_number in range(1, max_rounds + 1):
         progressed = False
         for node in nodes:
+            if node.engine.crashed:
+                continue
             for __ in range(steps_per_round):
                 if not node.engine.step():
                     break
@@ -316,12 +561,47 @@ def run_cluster(
                 progressed = True
         if watch is not None:
             if all(
-                node.engine.instance_state(instance_id) == "finished"
+                _watch_state(node, instance_id) == "finished"
                 for node, instance_id in watch
             ):
                 return round_number
-        elif not progressed:
+        elif not progressed and not _advance_to_timers(nodes):
             return round_number
+        if not progressed and watch is not None:
+            if not _advance_to_timers(nodes):
+                stuck = [
+                    "%s on %s (%s)"
+                    % (instance_id, node.name, _watch_state(node, instance_id))
+                    for node, instance_id in watch
+                    if _watch_state(node, instance_id) != "finished"
+                ]
+                raise WorkflowError(
+                    "cluster deadlocked: no node can make progress and no "
+                    "timers are due; stuck instances: %s" % "; ".join(stuck)
+                )
     raise WorkflowError(
         "cluster did not converge within %d rounds" % max_rounds
     )
+
+
+def _watch_state(node: WorkflowNode, instance_id: str) -> str:
+    if node.engine.crashed:
+        return "crashed"
+    try:
+        return node.engine.instance_state(instance_id)
+    except NavigationError:
+        return "unknown"
+
+
+def _advance_to_timers(nodes: list[WorkflowNode]) -> bool:
+    """Advance each live node's clock to its earliest delayed due
+    time; True when at least one timer was released."""
+    advanced = False
+    for node in nodes:
+        if node.engine.crashed:
+            continue
+        due = node.engine.navigator.next_delayed_due()
+        if due is not None:
+            node.engine.advance_clock(max(0.0, due - node.engine.clock))
+            advanced = True
+    return advanced

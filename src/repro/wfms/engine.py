@@ -19,7 +19,12 @@ from __future__ import annotations
 import os
 from typing import Any
 
-from repro.errors import DefinitionError, NavigationError, ProgramError
+from repro.errors import (
+    DefinitionError,
+    JournalError,
+    NavigationError,
+    ProgramError,
+)
 from repro.obs import EngineCrashed, EngineRecovered, resolve_observability
 from repro.wfms.audit import AuditTrail
 from repro.wfms.journal import Journal
@@ -44,6 +49,7 @@ class Engine:
         journal_batch_size: int = 64,
         journal_batch_interval: float = 0.05,
         observability=None,
+        fault_injector=None,
     ):
         """``journal_sync`` selects the journal durability policy —
         ``"always"`` (fsync per record, the default §3.3 guarantee),
@@ -55,7 +61,12 @@ class Engine:
         (:mod:`repro.obs`): ``True`` for a fresh fully enabled bundle,
         an :class:`~repro.obs.Observability` instance to share one
         (e.g. across a crash/recover engine pair), default off —
-        the disabled path is guaranteed near-zero overhead."""
+        the disabled path is guaranteed near-zero overhead.
+
+        ``fault_injector`` installs a
+        :class:`~repro.resilience.faults.FaultInjector` on the
+        navigator (program-invocation faults) and journal (disk
+        faults); default None costs nothing on the hot path."""
         self.obs = resolve_observability(observability)
         self.programs = ProgramRegistry()
         self.organization = (
@@ -72,6 +83,7 @@ class Engine:
                 batch_size=journal_batch_size,
                 batch_interval=journal_batch_interval,
                 obs=self.obs,
+                injector=fault_injector,
             )
             if journal_path is not None
             else None
@@ -86,6 +98,7 @@ class Engine:
             self._journal,
             self.services,
             obs=self.obs,
+            injector=fault_injector,
         )
         if self.obs.enabled:
             self.worklists.bind_clock(lambda: self.navigator.clock)
@@ -186,18 +199,43 @@ class Engine:
     ) -> str:
         self._check_up()
         self.verify_executable(name, version)
-        return self.navigator.start_process(
-            name, input_values, starter=starter, version=version
-        )
+        try:
+            return self.navigator.start_process(
+                name, input_values, starter=starter, version=version
+            )
+        except JournalError:
+            self._degrade()
+            raise
 
     def step(self) -> bool:
         self._check_up()
-        return self.navigator.step()
+        try:
+            return self.navigator.step()
+        except JournalError:
+            self._degrade()
+            raise
 
     def run(self, max_steps: int = 1_000_000) -> int:
         """Drain all automatic work; manual items remain on worklists."""
         self._check_up()
-        return self.navigator.run(max_steps)
+        try:
+            return self.navigator.run(max_steps)
+        except JournalError:
+            self._degrade()
+            raise
+
+    def drain(self, max_steps: int = 1_000_000) -> int:
+        """Run to quiescence *through* resilience delays: when only
+        delayed work (retry backoff, poll intervals) remains, advance
+        the logical clock to the next due time and keep running."""
+        self._check_up()
+        steps = self.run(max_steps)
+        while True:
+            due = self.navigator.next_delayed_due()
+            if due is None:
+                return steps
+            self.advance_clock(max(0.0, due - self.navigator.clock))
+            steps += self.run(max_steps)
 
     def run_process(
         self,
@@ -399,9 +437,27 @@ class Engine:
         if delta < 0:
             raise NavigationError("the clock cannot move backwards")
         self.navigator.clock += delta
+        self.navigator.release_due(self.navigator.clock)
         return self.worklists.check_deadlines(
             self.navigator.clock, self._notify_recipients
         )
+
+    # -- resilience policies (repro.resilience) ---------------------------
+
+    def set_retry(self, program: str, policy) -> None:
+        """Retry failed invocations of ``program`` under a
+        :class:`~repro.resilience.policies.RetryPolicy` (None removes)."""
+        self.navigator.set_retry(program, policy)
+
+    def set_timeout(self, program: str, timeout) -> None:
+        """Bound ``program`` activities with a
+        :class:`~repro.resilience.policies.Timeout` (None removes)."""
+        self.navigator.set_timeout(program, timeout)
+
+    def set_reschedule_delay(self, program: str, delay: float) -> None:
+        """Space exit-condition reschedules of ``program`` by ``delay``
+        logical seconds (0 removes)."""
+        self.navigator.set_reschedule_delay(program, delay)
 
     def _notify_recipients(self, role: str) -> list[str]:
         if role and self.organization.has_role(role):
@@ -466,11 +522,31 @@ class Engine:
             self._journal.flush()
             self._journal.close()
 
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
     def _check_up(self) -> None:
         if self._crashed:
             raise NavigationError(
                 "the engine has crashed; build a new engine and recover()"
             )
+
+    def _degrade(self) -> None:
+        """The journal's disk failed mid-operation: treat it as a
+        machine failure.  The file handle is abandoned (a flush would
+        raise again); the durable prefix stays replayable, so
+        ``recover()`` on a fresh engine works exactly as after
+        :meth:`crash`."""
+        self._crashed = True
+        if self._journal is not None:
+            self._journal.abandon()
+        if self.obs.enabled:
+            self.obs.metrics.counter(
+                "wfms_engine_crashes_total", "Simulated machine failures"
+            ).inc()
+            if self.obs.hooks.wants(EngineCrashed):
+                self.obs.hooks.publish(EngineCrashed(self.navigator.clock))
 
 
 class ProcessResult:

@@ -66,6 +66,7 @@ class Journal:
         batch_size: int = 64,
         batch_interval: float = 0.05,
         obs=None,
+        injector=None,
     ):
         if sync not in SYNC_POLICIES:
             raise ValueError(
@@ -78,6 +79,7 @@ class Journal:
         self._sync = sync
         self._batch_size = batch_size
         self._batch_interval = batch_interval
+        self._injector = injector
         self._memory: list[dict[str, Any]] = []
         #: serialized-but-uncommitted lines (batch policy only)
         self._buffer: list[str] = []
@@ -120,6 +122,11 @@ class Journal:
             raise RecoveryError(
                 "illegal journal record type %r" % record.get("type")
             )
+        if self._injector is not None:
+            # A failing disk surfaces before anything is written, so
+            # neither file nor memory claims the record
+            # (write-then-record stays honest under injection).
+            self._injector.on_journal("append", str(record.get("type")))
         if self._file is not None:
             line = json.dumps(record, sort_keys=True)
             if self._sync == "always":
@@ -128,13 +135,13 @@ class Journal:
                 if self._obs_on:
                     started = time.perf_counter()
                     self._file.flush()
-                    os.fsync(self._file.fileno())
+                    self._fsync("append")
                     self._observe_commit(
                         1, "append", time.perf_counter() - started
                     )
                 else:
                     self._file.flush()
-                    os.fsync(self._file.fileno())
+                    self._fsync("append")
             elif self._sync == "never":
                 self._file.write(line)
                 self._file.write("\n")
@@ -155,6 +162,13 @@ class Journal:
         if self._obs_on:
             self._c_appends.inc()
 
+    def _fsync(self, reason: str) -> None:
+        """One durability point; the injector may turn it into a
+        :class:`~repro.errors.JournalError` (disk failure)."""
+        if self._injector is not None:
+            self._injector.on_journal("fsync", reason)
+        os.fsync(self._file.fileno())
+
     def _commit(self, reason: str = "flush") -> None:
         """Write the buffered suffix and make the file durable."""
         assert self._file is not None
@@ -166,7 +180,7 @@ class Journal:
                 self._buffer.clear()
                 self._buffer_since = None
             self._file.flush()
-            os.fsync(self._file.fileno())
+            self._fsync(reason)
             return
         span = None
         if committed and self._tracer.enabled:
@@ -182,7 +196,7 @@ class Journal:
             self._buffer.clear()
             self._buffer_since = None
         self._file.flush()
-        os.fsync(self._file.fileno())
+        self._fsync(reason)
         elapsed = time.perf_counter() - started
         if span is not None:
             span.finish()
@@ -219,6 +233,20 @@ class Journal:
             self._commit()
             self._file.close()
             self._file = None
+
+    def abandon(self) -> None:
+        """Release the backing file *without* a final commit — used
+        when the disk itself is failing and a flush would only raise
+        again.  The durable prefix on disk stays replayable; buffered
+        records are lost (exactly the crash semantics of ``batch``)."""
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        self._buffer.clear()
+        self._buffer_since = None
 
     def reopen(self) -> None:
         """Reopen the backing file after :meth:`close` (crash restart)."""

@@ -16,6 +16,19 @@ request/reply chain across nodes forms one distributed trace without
 polluting the application payload.  Headers are durable like the body
 and survive redelivery.  The bus also keeps per-queue delivery
 counters (``stats``) for the monitor.
+
+Two resilience extensions (:mod:`repro.resilience`):
+
+* an installed :class:`~repro.resilience.faults.FaultInjector` is
+  consulted on every ``send`` and may **drop** the message (id is
+  returned but nothing is enqueued — a lost datagram), **duplicate**
+  it (two envelopes, distinct ids), or **delay** it (the envelope
+  sits out N receive sweeps).  Without an injector the cost is one
+  ``None`` test.
+* :meth:`~MessageBus.dead_letter` moves a poisoned in-flight message
+  to the queue's dead-letter queue (``dlq:<queue>``) with the failure
+  reason in its headers, ending the redelivery loop while keeping the
+  message inspectable.
 """
 
 from __future__ import annotations
@@ -27,6 +40,27 @@ from typing import Any
 from repro.errors import WorkflowError
 
 
+#: Stat counters every queue bucket carries.
+_STAT_KEYS = (
+    "sent",
+    "delivered",
+    "acked",
+    "nacked",
+    "redelivered",
+    "dropped",
+    "duplicated",
+    "delayed",
+    "dead_lettered",
+)
+
+#: Dead-letter queue name for a queue.
+DLQ_PREFIX = "dlq:"
+
+
+def dlq_name(queue: str) -> str:
+    return DLQ_PREFIX + queue
+
+
 @dataclass
 class _Envelope:
     msg_id: str
@@ -34,6 +68,7 @@ class _Envelope:
     headers: dict[str, str] = field(default_factory=dict)
     in_flight: bool = False
     deliveries: int = 0
+    hold: int = 0  # receive sweeps left to sit out (injected delay)
 
 
 @dataclass
@@ -42,20 +77,20 @@ class MessageBus:
 
     _queues: dict[str, list[_Envelope]] = field(default_factory=dict)
     _counter: itertools.count = field(default_factory=itertools.count)
-    #: queue -> {"sent": n, "delivered": n, "acked": n, "nacked": n,
-    #: "redelivered": n} — cheap always-on accounting for the monitor.
+    #: queue -> counter bucket (see ``_STAT_KEYS``) — cheap always-on
+    #: accounting for the monitor.
     _stats: dict[str, dict[str, int]] = field(default_factory=dict)
+    _injector: Any = None
+
+    def install_injector(self, injector: Any) -> None:
+        """Install a :class:`~repro.resilience.faults.FaultInjector`
+        consulted on every send (``None`` uninstalls)."""
+        self._injector = injector
 
     def _stat(self, queue: str, key: str, amount: int = 1) -> None:
         bucket = self._stats.get(queue)
         if bucket is None:
-            bucket = self._stats[queue] = {
-                "sent": 0,
-                "delivered": 0,
-                "acked": 0,
-                "nacked": 0,
-                "redelivered": 0,
-            }
+            bucket = self._stats[queue] = dict.fromkeys(_STAT_KEYS, 0)
         bucket[key] += amount
 
     def send(
@@ -73,8 +108,27 @@ class MessageBus:
             dict(body),
             dict(headers) if headers else {},
         )
-        self._queues.setdefault(queue, []).append(envelope)
         self._stat(queue, "sent")
+        if self._injector is not None:
+            rule = self._injector.on_send(queue)
+            if rule is not None:
+                if rule.action == "drop":
+                    # Lost datagram: the sender got an id, the network
+                    # ate the message.
+                    self._stat(queue, "dropped")
+                    return envelope.msg_id
+                if rule.action == "duplicate":
+                    twin = _Envelope(
+                        "m%06d" % next(self._counter),
+                        dict(envelope.body),
+                        dict(envelope.headers),
+                    )
+                    self._queues.setdefault(queue, []).append(twin)
+                    self._stat(queue, "duplicated")
+                elif rule.action == "delay":
+                    envelope.hold = rule.delay
+                    self._stat(queue, "delayed")
+        self._queues.setdefault(queue, []).append(envelope)
         return envelope.msg_id
 
     def receive(self, queue: str) -> tuple[str, dict[str, Any]] | None:
@@ -88,9 +142,16 @@ class MessageBus:
     def receive_with_headers(
         self, queue: str
     ) -> tuple[str, dict[str, Any], dict[str, str]] | None:
-        """Like :meth:`receive`, but also returns the headers."""
+        """Like :meth:`receive`, but also returns the headers.
+
+        A delayed envelope (injected fault) sits out ``hold`` receive
+        sweeps: each scan that would otherwise deliver it decrements
+        the hold instead, so later messages overtake it."""
         for envelope in self._queues.get(queue, []):
             if not envelope.in_flight:
+                if envelope.hold:
+                    envelope.hold -= 1
+                    continue
                 envelope.in_flight = True
                 envelope.deliveries += 1
                 self._stat(queue, "delivered")
@@ -100,6 +161,29 @@ class MessageBus:
                     envelope.headers
                 )
         return None
+
+    def dead_letter(self, queue: str, msg_id: str, reason: str) -> str:
+        """Move a poisoned in-flight message to ``dlq:<queue>``.
+
+        The message keeps its id, body, and headers (plus a
+        ``dead-letter-reason`` header) but its redelivery life on the
+        original queue ends.  Returns the DLQ name."""
+        envelopes = self._queues.get(queue, [])
+        for index, envelope in enumerate(envelopes):
+            if envelope.msg_id == msg_id:
+                if not envelope.in_flight:
+                    raise WorkflowError(
+                        "message %s was not in flight" % msg_id
+                    )
+                del envelopes[index]
+                target = dlq_name(queue)
+                envelope.in_flight = False
+                envelope.headers["dead-letter-reason"] = reason
+                self._queues.setdefault(target, []).append(envelope)
+                self._stat(queue, "dead_lettered")
+                self._stat(target, "sent")
+                return target
+        raise WorkflowError("unknown message %s on %s" % (msg_id, queue))
 
     def ack(self, queue: str, msg_id: str) -> None:
         """Remove a delivered message permanently."""
@@ -151,16 +235,8 @@ class MessageBus:
     def stats(self, queue: str | None = None) -> dict[str, Any]:
         """Delivery counters — one queue's, or all queues keyed by name."""
         if queue is not None:
-            return dict(
-                self._stats.get(
-                    queue,
-                    {
-                        "sent": 0,
-                        "delivered": 0,
-                        "acked": 0,
-                        "nacked": 0,
-                        "redelivered": 0,
-                    },
-                )
-            )
+            bucket = self._stats.get(queue)
+            if bucket is None:
+                return dict.fromkeys(_STAT_KEYS, 0)
+            return dict(bucket)
         return {name: dict(bucket) for name, bucket in sorted(self._stats.items())}

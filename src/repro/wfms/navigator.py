@@ -55,6 +55,7 @@ from typing import Any
 
 from repro.errors import (
     NavigationError,
+    ProgramError,
     StaffResolutionError,
     WorkflowError,
 )
@@ -75,8 +76,10 @@ from repro.wfms.model import (
 )
 from repro.obs import (
     ActivityCompleted,
+    ActivityEscalated,
     NavigatorDispatched,
     ProcessFinished,
+    RetryScheduled,
     resolve_observability,
 )
 from repro.obs.tracing import Span, SpanContext
@@ -104,6 +107,7 @@ class Navigator:
         journal: Journal | None = None,
         services: dict[str, Any] | None = None,
         obs=None,
+        injector=None,
     ):
         self._definitions = definitions
         self._programs = programs
@@ -166,6 +170,30 @@ class Navigator:
         #: it is executed live once replay ends.
         self._deferred: list[tuple[str, str]] = []
         self.clock = 0.0
+        # -- resilience (repro.resilience) --------------------------------
+        #: fault injector consulted before program invocations, or None.
+        self._injector = injector
+        #: program name -> RetryPolicy / Timeout / reschedule delay.
+        self._retry_policies: dict[str, Any] = {}
+        self._timeouts: dict[str, Any] = {}
+        self._reschedule_delays: dict[str, float] = {}
+        #: (instance, activity) -> consecutive failed invocations.
+        self._retries: dict[tuple[str, str], int] = {}
+        #: (instance, activity) -> clock at first invocation (timeouts).
+        self._started_at: dict[tuple[str, str], float] = {}
+        #: min-heap of (due, arrival_seq, instance, activity): READY
+        #: slots waiting out a backoff or poll delay; released into the
+        #: ready heap by :meth:`release_due` as the clock advances.
+        self._delayed: list[tuple[float, int, str, str]] = []
+        self._c_retries = metrics.counter(
+            "wfms_activity_retries_total",
+            "Failed invocations scheduled for retry",
+        )
+        self._c_escalated = metrics.counter(
+            "wfms_activity_escalations_total",
+            "Activities finished by policy escalation",
+            labels=("reason",),
+        )
 
     # ------------------------------------------------------------------
     # instance management
@@ -408,6 +436,72 @@ class Navigator:
         return None
 
     # ------------------------------------------------------------------
+    # resilience policies (repro.resilience)
+    # ------------------------------------------------------------------
+
+    def set_retry(self, program: str, policy) -> None:
+        """Retry failed invocations of ``program`` under ``policy``
+        (None removes)."""
+        if policy is None:
+            self._retry_policies.pop(program, None)
+        else:
+            self._retry_policies[program] = policy
+
+    def set_timeout(self, program: str, timeout) -> None:
+        """Give activities running ``program`` a logical-clock budget;
+        expiry escalates with the timeout's return code (None removes)."""
+        if timeout is None:
+            self._timeouts.pop(program, None)
+        else:
+            self._timeouts[program] = timeout
+
+    def set_reschedule_delay(self, program: str, delay: float) -> None:
+        """Space out exit-condition reschedules of ``program`` by
+        ``delay`` logical seconds (polling loops) instead of spinning."""
+        if delay < 0:
+            raise WorkflowError("reschedule delay must be >= 0")
+        if delay == 0:
+            self._reschedule_delays.pop(program, None)
+        else:
+            self._reschedule_delays[program] = delay
+
+    def _defer_ready(
+        self, instance: ProcessInstance, name: str, due: float
+    ) -> None:
+        """Mark READY but park on the delayed heap until ``due``."""
+        ai = instance.activity(name)
+        ai.state = ActivityState.READY
+        self._audit.record(
+            self.clock, AuditEvent.ACTIVITY_READY, instance.instance_id, name
+        )
+        self._arrivals += 1
+        heapq.heappush(
+            self._delayed, (due, self._arrivals, instance.instance_id, name)
+        )
+
+    def release_due(self, now: float) -> int:
+        """Move delayed slots whose due time has arrived onto the
+        ready heap; returns how many were released."""
+        released = 0
+        heap = self._delayed
+        while heap and heap[0][0] <= now:
+            __, __, instance_id, name = heapq.heappop(heap)
+            if self._is_live_slot(instance_id, name):
+                self._enqueue(self._instances[instance_id], name)
+                released += 1
+        return released
+
+    def next_delayed_due(self) -> float | None:
+        """Due time of the earliest live delayed slot, or None."""
+        heap = self._delayed
+        while heap:
+            due, __, instance_id, name = heap[0]
+            if self._is_live_slot(instance_id, name):
+                return due
+            heapq.heappop(heap)
+        return None
+
+    # ------------------------------------------------------------------
     # state transitions
     # ------------------------------------------------------------------
 
@@ -579,7 +673,13 @@ class Navigator:
             ai.output = instance.plan.output_container(ai.name)
             ai.output.load_dict(recorded["output"])
             ai.forced = bool(recorded.get("forced"))
-            self._finish(instance, ai, replayed=True, user=recorded.get("user", ""))
+            self._finish(
+                instance,
+                ai,
+                replayed=True,
+                user=recorded.get("user", ""),
+                escalated=bool(recorded.get("escalated")),
+            )
             return
         self._run_program(instance, ai, user)
 
@@ -614,13 +714,145 @@ class Navigator:
             attempt=ai.attempt,
             services=self._services,
         )
-        if self._obs_on:
-            started = time.perf_counter()
-            self._programs.invoke(ai.activity.program, ctx)
-            self._h_activity_seconds.observe(time.perf_counter() - started)
-        else:
-            self._programs.invoke(ai.activity.program, ctx)
+        if self._timeouts and ai.activity.program in self._timeouts:
+            self._started_at.setdefault(
+                (instance.instance_id, ai.name), self.clock
+            )
+        try:
+            if self._injector is not None:
+                self._injector.before_program(
+                    instance.instance_id, ai.name, ai.activity.program
+                )
+            if self._obs_on:
+                started = time.perf_counter()
+                self._programs.invoke(ai.activity.program, ctx)
+                self._h_activity_seconds.observe(time.perf_counter() - started)
+            else:
+                self._programs.invoke(ai.activity.program, ctx)
+        except ProgramError as exc:
+            if self._maybe_retry(instance, ai, exc):
+                return
+            raise
         self._finish(instance, ai, user=user)
+
+    def _maybe_retry(
+        self,
+        instance: ProcessInstance,
+        ai: ActivityInstance,
+        exc: ProgramError,
+    ) -> bool:
+        """Handle a failed invocation under the program's retry policy.
+
+        Returns True when the failure was absorbed — either a retry was
+        scheduled, or the policy escalated (the activity finished with
+        the escalation return code).  False re-raises the original
+        failure (no policy, or exhaustion without an escalation rc).
+        """
+        policy = self._retry_policies.get(ai.activity.program)
+        if policy is None:
+            return False
+        key = (instance.instance_id, ai.name)
+        retry = self._retries.get(key, 0) + 1
+        timeout = self._timeouts.get(ai.activity.program)
+        started = self._started_at.get(key, self.clock)
+        timed_out = timeout is not None and timeout.expired(
+            started, self.clock
+        )
+        if timed_out or not policy.allows(retry):
+            if timed_out:
+                reason, rc = "timeout", timeout.escalate_rc
+            elif policy.escalate_rc is not None:
+                reason, rc = "retries_exhausted", policy.escalate_rc
+            else:
+                self._retries.pop(key, None)
+                self._started_at.pop(key, None)
+                return False
+            self._escalate(instance, ai, reason, rc, str(exc))
+            return True
+        self._retries[key] = retry
+        # The attempt did not complete: give its number back so the
+        # journaled completion keyed (instance, activity, attempt)
+        # matches replay's re-count of *completed* attempts.
+        ai.attempt -= 1
+        delay = policy.delay(retry)
+        self._audit.record(
+            self.clock,
+            AuditEvent.ACTIVITY_RETRY,
+            instance.instance_id,
+            ai.name,
+            retry=retry,
+            delay=delay,
+            error=str(exc),
+        )
+        if self._obs_on:
+            self._c_retries.inc()
+            span = self._activity_spans.pop(
+                (instance.instance_id, ai.name), None
+            )
+            if span is not None:
+                span.finish(status="retrying")
+            hooks = self._hooks
+            if hooks.wants(RetryScheduled):
+                hooks.publish(
+                    RetryScheduled(
+                        instance.instance_id,
+                        ai.name,
+                        retry,
+                        delay,
+                        str(exc),
+                        self.clock,
+                    )
+                )
+        if delay > 0:
+            self._defer_ready(instance, ai.name, self.clock + delay)
+        else:
+            ai.state = ActivityState.READY
+            self._audit.record(
+                self.clock,
+                AuditEvent.ACTIVITY_READY,
+                instance.instance_id,
+                ai.name,
+            )
+            self._enqueue(instance, ai.name)
+        return True
+
+    def _escalate(
+        self,
+        instance: ProcessInstance,
+        ai: ActivityInstance,
+        reason: str,
+        rc: int,
+        error: str,
+    ) -> None:
+        """Give up on an activity: finish it with the escalation
+        return code so the process's own transition conditions route
+        control (compensation block, alternative path).  The journaled
+        completion carries ``escalated`` so replay repeats the
+        decision without re-evaluating the exit condition."""
+        key = (instance.instance_id, ai.name)
+        self._retries.pop(key, None)
+        self._started_at.pop(key, None)
+        ai.output = instance.plan.output_container(ai.name)
+        ai.output.return_code = rc
+        self._audit.record(
+            self.clock,
+            AuditEvent.ACTIVITY_ESCALATED,
+            instance.instance_id,
+            ai.name,
+            reason=reason,
+            rc=rc,
+            error=error,
+        )
+        if self._obs_on:
+            self._c_escalated.labels(reason).inc()
+            hooks = self._hooks
+            if hooks.wants(ActivityEscalated):
+                hooks.publish(
+                    ActivityEscalated(
+                        instance.instance_id, ai.name, reason, rc, self.clock
+                    )
+                )
+        self._finish(instance, ai, escalated=True)
 
     def _start_child(
         self, instance: ProcessInstance, ai: ActivityInstance
@@ -676,6 +908,7 @@ class Navigator:
         forced: bool = False,
         replayed: bool = False,
         user: str = "",
+        escalated: bool = False,
     ) -> None:
         assert ai.output is not None
         ai.state = ActivityState.FINISHED
@@ -687,26 +920,71 @@ class Navigator:
             rc=ai.output.return_code,
             attempt=ai.attempt,
         )
+        # Exit condition first: an escalated completion (retry/timeout
+        # policy gave up) terminates regardless of it, and the decision
+        # must be known before journaling so replay can repeat it.
+        if escalated:
+            exit_ok = True
+        else:
+            exit_evaluate = instance.plan.exit_conditions[ai.name]
+            exit_ok = (
+                True
+                if exit_evaluate is None
+                else exit_evaluate(ai.output.resolver)
+            )
+            if not exit_ok and self._timeouts and self._replay is None:
+                # A polling loop (exit condition still false) may have
+                # run out its clock budget: escalate instead of
+                # rescheduling forever against a dead counterpart.
+                timeout = self._timeouts.get(ai.activity.program)
+                if timeout is not None:
+                    key = (instance.instance_id, ai.name)
+                    started = self._started_at.get(key)
+                    if started is not None and timeout.expired(
+                        started, self.clock
+                    ):
+                        escalated = exit_ok = True
+                        ai.output.return_code = timeout.escalate_rc
+                        self._retries.pop(key, None)
+                        self._started_at.pop(key, None)
+                        self._audit.record(
+                            self.clock,
+                            AuditEvent.ACTIVITY_ESCALATED,
+                            instance.instance_id,
+                            ai.name,
+                            reason="timeout",
+                            rc=timeout.escalate_rc,
+                        )
+                        if self._obs_on:
+                            self._c_escalated.labels("timeout").inc()
+                            hooks = self._hooks
+                            if hooks.wants(ActivityEscalated):
+                                hooks.publish(
+                                    ActivityEscalated(
+                                        instance.instance_id,
+                                        ai.name,
+                                        "timeout",
+                                        timeout.escalate_rc,
+                                        self.clock,
+                                    )
+                                )
         if (
             not replayed
             and self._journal is not None
             and self._replay is None
         ):
-            self._journal.append(
-                {
-                    "type": "activity_completed",
-                    "instance": instance.instance_id,
-                    "activity": ai.name,
-                    "attempt": ai.attempt,
-                    "output": ai.output.to_dict(),
-                    "forced": forced or ai.forced,
-                    "user": user,
-                }
-            )
-        exit_evaluate = instance.plan.exit_conditions[ai.name]
-        exit_ok = (
-            True if exit_evaluate is None else exit_evaluate(ai.output.resolver)
-        )
+            record = {
+                "type": "activity_completed",
+                "instance": instance.instance_id,
+                "activity": ai.name,
+                "attempt": ai.attempt,
+                "output": ai.output.to_dict(),
+                "forced": forced or ai.forced,
+                "user": user,
+            }
+            if escalated:
+                record["escalated"] = True
+            self._journal.append(record)
         if self._obs_on:
             self._observe_completion(instance, ai, exit_ok, forced)
         if not exit_ok:
@@ -724,8 +1002,20 @@ class Navigator:
                 ai.name,
                 attempt=ai.attempt,
             )
-            self._make_ready(instance, ai.name)
+            delay = (
+                self._reschedule_delays.get(ai.activity.program, 0.0)
+                if self._reschedule_delays
+                else 0.0
+            )
+            if delay and self._replay is None and not ai.activity.is_manual:
+                self._defer_ready(instance, ai.name, self.clock + delay)
+            else:
+                self._make_ready(instance, ai.name)
             return
+        if self._retries or self._started_at:
+            key = (instance.instance_id, ai.name)
+            self._retries.pop(key, None)
+            self._started_at.pop(key, None)
         self._terminate(instance, ai)
 
     def _observe_completion(

@@ -44,24 +44,35 @@ def make_worker(
     name: str = "worker",
     journal_path: str | None = None,
     observability=None,
+    **node_kwargs,
 ) -> WorkflowNode:
     node = WorkflowNode(
-        name, bus, journal_path=journal_path, observability=observability
+        name,
+        bus,
+        journal_path=journal_path,
+        observability=observability,
+        **node_kwargs,
     )
     configure_worker(node)
     return node
 
 
 def configure_requester(
-    node: WorkflowNode, worker: str = "worker"
+    node: WorkflowNode,
+    worker: str = "worker",
+    remote_kwargs: dict | None = None,
 ) -> None:
-    """(Re-)register the requester's Front process on ``node``."""
+    """(Re-)register the requester's Front process on ``node``.
+
+    ``remote_kwargs`` forwards resilience knobs (``timeout``,
+    ``retries``, ``poll_interval``) to the remote activity."""
     remote = node.remote_activity(
         "CallDouble",
         process="Double",
         node=worker,
         input_spec=[VariableDecl("In", DataType.LONG)],
         output_spec=[VariableDecl("Out", DataType.LONG)],
+        **(remote_kwargs or {}),
     )
 
     def add_one(ctx):
@@ -96,9 +107,15 @@ def make_requester(
     worker: str = "worker",
     journal_path: str | None = None,
     observability=None,
+    remote_kwargs: dict | None = None,
+    **node_kwargs,
 ) -> WorkflowNode:
     node = WorkflowNode(
-        name, bus, journal_path=journal_path, observability=observability
+        name,
+        bus,
+        journal_path=journal_path,
+        observability=observability,
+        **node_kwargs,
     )
-    configure_requester(node, worker)
+    configure_requester(node, worker, remote_kwargs=remote_kwargs)
     return node

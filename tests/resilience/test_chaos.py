@@ -1,0 +1,300 @@
+"""The chaos suite: the paper's guarantees under seeded fault schedules.
+
+Every scenario is driven by a :class:`FaultInjector` with a seeded
+RNG, run to convergence through crash/recover loops, and then **run a
+second time from scratch with the same seed** — the fault trace and
+the outcome must be bit-for-bit identical (replayable chaos).
+
+Invariants asserted:
+
+* **saga** (§4.1): every execution is either complete forward
+  execution ``T1..Tn`` or a prefix with an ordered compensation suffix
+  ``T1..Tj; Cj..C1`` (``verify_saga_guarantee``), with the database
+  state matching; journal faults degrade the engine but never corrupt
+  the durable prefix, so recovery always converges.
+* **flexible** (§4.2): retriable members eventually commit (they are
+  never dead), compensated members leave no effects, a committed
+  execution commits exactly one declared path.
+* **distributed**: under message drop/duplicate/delay plus a node
+  crash, the request/reply protocol converges to the right answer
+  with exactly one served instance (no duplicate effects).
+"""
+
+import pytest
+
+from repro.core.bindings import (
+    SAGA_ABORT_RC,
+    register_flexible_programs,
+    register_saga_programs,
+    workflow_flexible_outcome,
+    workflow_saga_outcome,
+)
+from repro.core.flexible_translator import FLEX_ABORT_RC, translate_flexible
+from repro.core.saga_translator import translate_saga
+from repro.core.sagas import SagaSpec, SagaStep, verify_saga_guarantee
+from repro.errors import JournalError, NavigationError
+from repro.resilience import (
+    FaultInjector,
+    InjectedCrash,
+    RetryPolicy,
+    chaos_rules,
+    flexible_retry_policies,
+)
+from repro.tx import SimDatabase, Subtransaction
+from repro.tx.subtransaction import write_value
+from repro.wfms.distributed import run_cluster
+from repro.wfms.engine import Engine
+from repro.wfms.messaging import MessageBus
+from repro.workloads.banking import fig3_bindings, fig3_spec
+from repro.workloads.distributed_demo import (
+    configure_requester,
+    configure_worker,
+    make_requester,
+    make_worker,
+)
+
+SAGA_SEEDS = range(20)
+FLEX_SEEDS = range(12)
+DIST_SEEDS = range(8)
+
+
+# ---------------------------------------------------------------------------
+# saga workload
+# ---------------------------------------------------------------------------
+
+
+def run_saga_chaos(seed, directory):
+    """One saga under program + journal chaos; returns
+    (outcome, db, injector)."""
+    directory.mkdir(parents=True, exist_ok=True)
+    spec = SagaSpec(
+        "chaos", [SagaStep(n) for n in ("t1", "t2", "t3", "t4")]
+    )
+    translation = translate_saga(spec)
+    db = SimDatabase()
+    # idempotent bodies: journal faults can force a completed action to
+    # re-execute after recovery (at-least-once), so effects are writes
+    # of absolute values, not increments
+    actions = {
+        s.name: Subtransaction(s.name, db, write_value(s.name, 1))
+        for s in spec.steps
+    }
+    comps = {
+        s.name: Subtransaction("c" + s.name, db, write_value(s.name, 0))
+        for s in spec.steps
+    }
+    injector = FaultInjector(
+        chaos_rules(program_p=0.25, journal_p=0.05, max_fires=3),
+        seed=seed,
+    )
+    journal_path = str(directory / "saga.jsonl")
+
+    def build():
+        engine = Engine(journal_path=journal_path, fault_injector=injector)
+        register_saga_programs(engine, translation, actions, comps)
+        engine.register_definition(translation.process)
+        for step in spec.steps:
+            engine.set_retry(
+                "txn_%s" % step.name,
+                RetryPolicy(
+                    2,
+                    backoff="fixed",
+                    base_delay=1.0,
+                    escalate_rc=SAGA_ABORT_RC,
+                ),
+            )
+        return engine
+
+    engine = build()
+    iid = None
+    for __ in range(50):
+        try:
+            if iid is None:
+                iid = engine.start_process(translation.process_name)
+            engine.drain()
+            break
+        except JournalError:
+            # disk fault: the engine degraded; recover the durable
+            # prefix on a fresh engine over the same journal
+            engine = build()
+            engine.recover()
+            if iid is not None:
+                try:
+                    engine.instance_state(iid)
+                except NavigationError:
+                    iid = None  # the start itself was never durable
+    else:
+        pytest.fail("saga chaos run did not converge (seed %d)" % seed)
+    assert engine.instance_state(iid) == "finished"
+    outcome = workflow_saga_outcome(engine, translation, iid)
+    engine.close()
+    return outcome, db, injector
+
+
+@pytest.mark.parametrize("seed", SAGA_SEEDS)
+def test_saga_guarantee_under_chaos(seed, tmp_path):
+    outcome, db, injector = run_saga_chaos(seed, tmp_path / "a")
+
+    # the paper's guarantee: T1..Tn, or T1..Tj with Cj..C1
+    assert verify_saga_guarantee(spec_of(outcome), outcome.executed,
+                                 outcome.compensated)
+    if outcome.committed:
+        assert outcome.executed == ["t1", "t2", "t3", "t4"]
+        assert all(db.get(s) == 1 for s in outcome.executed)
+    else:
+        # compensated steps left no effects
+        assert all(db.get(s) == 0 for s in outcome.compensated)
+
+    # replayable chaos: same seed, fresh everything => same trace and
+    # same outcome
+    outcome2, db2, injector2 = run_saga_chaos(seed, tmp_path / "b")
+    assert injector.trace() == injector2.trace()
+    assert (
+        outcome.committed,
+        outcome.executed,
+        outcome.compensated,
+    ) == (outcome2.committed, outcome2.executed, outcome2.compensated)
+    assert db.snapshot() == db2.snapshot()
+
+
+def spec_of(outcome):
+    # the spec is fixed for the whole suite; rebuilt for clarity
+    return SagaSpec("chaos", [SagaStep(n) for n in ("t1", "t2", "t3", "t4")])
+
+
+# ---------------------------------------------------------------------------
+# flexible workload
+# ---------------------------------------------------------------------------
+
+
+def run_flexible_chaos(seed):
+    """Figure 3's flexible transaction under program chaos; returns
+    (outcome, db, injector, spec)."""
+    spec = fig3_spec()
+    db = SimDatabase()
+    actions, comps = fig3_bindings(db)
+    translation = translate_flexible(spec)
+    injector = FaultInjector(
+        chaos_rules(program_p=0.2, max_fires=3), seed=seed
+    )
+    engine = Engine(fault_injector=injector)
+    register_flexible_programs(engine, translation, actions, comps)
+    engine.register_definition(translation.process)
+    # §4.2 typing: retriable members get a budget that outlasts the
+    # fault cap; pivots/compensatables escalate into the abort path
+    for program, policy in flexible_retry_policies(
+        spec, abort_rc=FLEX_ABORT_RC, base_delay=1.0
+    ).items():
+        engine.set_retry(program, policy)
+    iid = engine.start_process(translation.process_name)
+    engine.drain()
+    assert engine.instance_state(iid) == "finished"
+    outcome = workflow_flexible_outcome(engine, translation, iid)
+    return outcome, db, injector, spec
+
+
+@pytest.mark.parametrize("seed", FLEX_SEEDS)
+def test_flexible_guarantee_under_chaos(seed):
+    outcome, db, injector, spec = run_flexible_chaos(seed)
+
+    # "retriable transactions will eventually commit if retried a
+    # sufficient number of times": a retriable member is never dead
+    assert all(not spec.members[name].retriable for name in outcome.dead)
+    if outcome.committed:
+        # exactly one declared path committed, all its effects present
+        assert outcome.committed_path in spec.paths
+        assert set(outcome.committed_members) == set(outcome.committed_path)
+        assert all(db.get(m) == 1 for m in outcome.committed_members)
+    # compensated members leave no effects behind
+    assert all(db.get(m) == 0 for m in outcome.compensated)
+
+    # replayable chaos
+    outcome2, db2, injector2, __ = run_flexible_chaos(seed)
+    assert injector.trace() == injector2.trace()
+    assert (
+        outcome.committed,
+        outcome.committed_path,
+        outcome.compensated,
+        outcome.dead,
+    ) == (
+        outcome2.committed,
+        outcome2.committed_path,
+        outcome2.compensated,
+        outcome2.dead,
+    )
+    assert db.snapshot() == db2.snapshot()
+
+
+# ---------------------------------------------------------------------------
+# distributed workload
+# ---------------------------------------------------------------------------
+
+
+def run_distributed_chaos(seed, directory):
+    """Request/reply across two nodes under bus chaos plus one forced
+    node crash; returns (result, served_instances, injector)."""
+    directory.mkdir(parents=True, exist_ok=True)
+    injector = FaultInjector(
+        chaos_rules(
+            drop_p=0.3,
+            duplicate_p=0.2,
+            delay_p=0.2,
+            max_fires=2,
+            crash_schedule=(4,),
+        ),
+        seed=seed,
+    )
+    bus = MessageBus()
+    bus.install_injector(injector)
+    worker = make_worker(
+        bus,
+        journal_path=str(directory / "worker.jsonl"),
+        fault_injector=injector,
+    )
+    # the reply budget rides on the *node* defaults (not per-activity
+    # remote_kwargs) so a crash + rebuild reconstructs the same policy
+    front = make_requester(
+        bus,
+        journal_path=str(directory / "front.jsonl"),
+        fault_injector=injector,
+        request_timeout=5.0,
+        request_retries=6,
+    )
+    iid = front.engine.start_process("Front", {"N": 7})
+    for __ in range(10):
+        try:
+            run_cluster([worker, front], watch=[(front, iid)])
+            break
+        except InjectedCrash:
+            # the scheduled pump crash hit one of the nodes: rebuild
+            # it over its journal and keep driving
+            if worker.engine.crashed:
+                worker.rebuild(configure_worker)
+            if front.engine.crashed:
+                front.rebuild(configure_requester)
+    else:
+        pytest.fail("distributed chaos did not converge (seed %d)" % seed)
+    result = front.engine.output(iid)["Result"]
+    served = sorted(
+        i.instance_id
+        for i in worker.engine.navigator.instances()
+        if i.instance_id.startswith("req/")
+    )
+    return result, served, injector
+
+
+@pytest.mark.parametrize("seed", DIST_SEEDS)
+def test_distributed_exactly_once_under_chaos(seed, tmp_path):
+    result, served, injector = run_distributed_chaos(seed, tmp_path / "a")
+
+    # the right answer, computed exactly once: drops were retried,
+    # duplicates deduplicated by request id, the crash recovered
+    assert result == 15  # 2*7 + 1
+    assert served == ["req/front/pi-0001/CallDouble"]
+
+    # replayable chaos
+    result2, served2, injector2 = run_distributed_chaos(
+        seed, tmp_path / "b"
+    )
+    assert injector.trace() == injector2.trace()
+    assert (result, served) == (result2, served2)

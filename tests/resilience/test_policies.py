@@ -1,0 +1,143 @@
+"""Tests for retry, timeout and circuit-breaker policies."""
+
+import pytest
+
+from repro.core.flexible import FlexibleMember, FlexibleSpec
+from repro.errors import WorkflowError
+from repro.resilience import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    RetryPolicy,
+    Timeout,
+    flexible_retry_policies,
+)
+
+
+class TestRetryPolicy:
+    def test_allows_up_to_max_retries(self):
+        policy = RetryPolicy(2)
+        assert policy.allows(1) and policy.allows(2)
+        assert not policy.allows(3)
+
+    def test_zero_budget_allows_nothing(self):
+        assert not RetryPolicy(0).allows(1)
+
+    def test_fixed_backoff(self):
+        policy = RetryPolicy(5, backoff="fixed", base_delay=1.5)
+        assert [policy.delay(n) for n in (1, 2, 3)] == [1.5, 1.5, 1.5]
+
+    def test_exponential_backoff_with_cap(self):
+        policy = RetryPolicy(
+            9, backoff="exponential", base_delay=1.0, factor=2.0, max_delay=5.0
+        )
+        assert [policy.delay(n) for n in (1, 2, 3, 4)] == [1.0, 2.0, 4.0, 5.0]
+
+    def test_jitter_is_deterministic_per_retry_number(self):
+        a = RetryPolicy(5, backoff="fixed", base_delay=1.0, jitter=0.5, seed=11)
+        b = RetryPolicy(5, backoff="fixed", base_delay=1.0, jitter=0.5, seed=11)
+        assert [a.delay(n) for n in (1, 2, 3)] == [
+            b.delay(n) for n in (1, 2, 3)
+        ]
+        assert all(
+            1.0 <= a.delay(n) <= 1.5 for n in (1, 2, 3)
+        )
+        assert RetryPolicy(
+            5, backoff="fixed", base_delay=1.0, jitter=0.5, seed=12
+        ).delay(1) != a.delay(1)
+
+    def test_validation(self):
+        with pytest.raises(WorkflowError):
+            RetryPolicy(-1)
+        with pytest.raises(WorkflowError, match="backoff"):
+            RetryPolicy(1, backoff="linear")
+        with pytest.raises(WorkflowError):
+            RetryPolicy(1, base_delay=-1.0)
+
+
+class TestTimeout:
+    def test_expiry_is_inclusive(self):
+        timeout = Timeout(5.0)
+        assert not timeout.expired(10.0, 14.9)
+        assert timeout.expired(10.0, 15.0)
+
+    def test_validation(self):
+        with pytest.raises(WorkflowError):
+            Timeout(0.0)
+
+
+class TestCircuitBreaker:
+    def test_opens_at_failure_threshold(self):
+        breaker = CircuitBreaker(failure_threshold=3, reset_after=10.0)
+        assert breaker.state == CLOSED
+        breaker.record_failure(1.0)
+        breaker.record_failure(2.0)
+        assert breaker.state == CLOSED and breaker.allow(2.0)
+        breaker.record_failure(3.0)
+        assert breaker.state == OPEN
+        assert not breaker.allow(3.0)
+
+    def test_half_open_after_cooldown_admits_one_trial(self):
+        breaker = CircuitBreaker(failure_threshold=1, reset_after=10.0)
+        breaker.record_failure(0.0)
+        assert not breaker.allow(9.9)
+        assert breaker.allow(10.0)  # cooldown passed: trial admitted
+        assert breaker.state == HALF_OPEN
+        assert not breaker.allow(10.0)  # only one trial at a time
+
+    def test_trial_success_closes(self):
+        breaker = CircuitBreaker(failure_threshold=1, reset_after=10.0)
+        breaker.record_failure(0.0)
+        assert breaker.allow(10.0)
+        breaker.record_success(11.0)
+        assert breaker.state == CLOSED
+        assert breaker.failures == 0
+        assert breaker.allow(11.0)
+
+    def test_trial_failure_reopens_and_restarts_cooldown(self):
+        breaker = CircuitBreaker(failure_threshold=1, reset_after=10.0)
+        breaker.record_failure(0.0)
+        assert breaker.allow(10.0)
+        breaker.record_failure(11.0)
+        assert breaker.state == OPEN
+        assert not breaker.allow(20.0)  # cooldown counts from 11.0
+        assert breaker.allow(21.0)
+
+    def test_transitions_history(self):
+        breaker = CircuitBreaker(failure_threshold=1, reset_after=10.0)
+        breaker.record_failure(1.0)
+        breaker.allow(11.0)
+        breaker.record_success(12.0)
+        assert breaker.transitions == [
+            (OPEN, 1.0),
+            (HALF_OPEN, 11.0),
+            (CLOSED, 12.0),
+        ]
+
+    def test_validation(self):
+        with pytest.raises(WorkflowError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(WorkflowError):
+            CircuitBreaker(reset_after=0.0)
+
+
+class TestFlexibleRetryPolicies:
+    def test_retriable_members_get_the_generous_budget(self):
+        spec = FlexibleSpec(
+            "f",
+            [
+                FlexibleMember("t1", compensatable=True),
+                FlexibleMember("t2", retriable=True),
+                FlexibleMember("t3"),  # pivot
+            ],
+            [["t1", "t2"], ["t1", "t3"]],
+        )
+        policies = flexible_retry_policies(
+            spec, abort_rc=0, retriable_retries=8, other_retries=1
+        )
+        assert set(policies) == {"txn_t1", "txn_t2", "txn_t3"}
+        assert policies["txn_t2"].max_retries == 8
+        assert policies["txn_t1"].max_retries == 1
+        assert policies["txn_t3"].max_retries == 1
+        assert all(p.escalate_rc == 0 for p in policies.values())

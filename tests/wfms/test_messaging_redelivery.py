@@ -1,0 +1,109 @@
+"""Redelivery bookkeeping on the message bus: nack, crash recovery,
+delivery counters and dead-letter semantics."""
+
+import pytest
+
+from repro.errors import WorkflowError
+from repro.wfms.messaging import MessageBus, dlq_name
+
+
+class TestNackRedelivery:
+    def test_nack_returns_message_for_redelivery(self):
+        bus = MessageBus()
+        msg_id = bus.send("q", {"n": 1})
+        assert bus.receive("q")[0] == msg_id
+        assert bus.receive("q") is None  # in flight: not deliverable
+        bus.nack("q", msg_id)
+        again = bus.receive("q")
+        assert again[0] == msg_id and again[1] == {"n": 1}
+
+    def test_deliveries_counts_every_delivery(self):
+        bus = MessageBus()
+        msg_id = bus.send("q", {"n": 1})
+        assert bus.deliveries("q", msg_id) == 0
+        bus.receive("q")
+        assert bus.deliveries("q", msg_id) == 1
+        bus.nack("q", msg_id)
+        bus.receive("q")
+        assert bus.deliveries("q", msg_id) == 2
+
+    def test_nack_of_unknown_message_raises(self):
+        bus = MessageBus()
+        with pytest.raises(WorkflowError, match="unknown message"):
+            bus.nack("q", "m999999")
+
+    def test_stats_track_the_redelivery_loop(self):
+        bus = MessageBus()
+        a = bus.send("q", {"n": 1})
+        b = bus.send("q", {"n": 2})
+        bus.receive("q")
+        bus.receive("q")
+        bus.ack("q", a)
+        bus.nack("q", b)
+        bus.receive("q")  # b again
+        bus.ack("q", b)
+        stats = bus.stats("q")
+        assert stats["sent"] == 2
+        assert stats["delivered"] == 3
+        assert stats["acked"] == 2
+        assert stats["nacked"] == 1
+        assert stats["redelivered"] == 1
+
+    def test_stats_of_unknown_queue_are_all_zero(self):
+        stats = MessageBus().stats("nowhere")
+        assert set(stats.values()) == {0}
+
+
+class TestCrashRecovery:
+    def test_recover_in_flight_restores_deliverability(self):
+        bus = MessageBus()
+        bus.send("q", {"n": 1})
+        bus.send("q", {"n": 2})
+        bus.receive("q")
+        bus.receive("q")
+        assert bus.receive("q") is None
+        assert bus.recover_in_flight("q") == 2
+        assert bus.receive("q")[1] == {"n": 1}  # original order kept
+
+    def test_recover_all_queues(self):
+        bus = MessageBus()
+        bus.send("a", {"n": 1})
+        bus.send("b", {"n": 2})
+        bus.receive("a")
+        bus.receive("b")
+        assert bus.recover_in_flight() == 2
+
+    def test_recovered_message_counts_as_redelivered(self):
+        bus = MessageBus()
+        msg_id = bus.send("q", {"n": 1})
+        bus.receive("q")
+        bus.recover_in_flight("q")
+        bus.receive("q")
+        assert bus.deliveries("q", msg_id) == 2
+        assert bus.stats("q")["redelivered"] == 1
+
+
+class TestDeadLetter:
+    def test_dead_letter_moves_in_flight_message(self):
+        bus = MessageBus()
+        msg_id = bus.send("q", {"n": 1}, headers={"h": "v"})
+        bus.receive("q")
+        target = bus.dead_letter("q", msg_id, "poison")
+        assert target == dlq_name("q") == "dlq:q"
+        assert bus.depth("q") == 0
+        assert bus.depth("dlq:q") == 1
+        taken = bus.receive_with_headers("dlq:q")
+        assert taken[0] == msg_id
+        assert taken[1] == {"n": 1}
+        assert taken[2]["h"] == "v"
+        assert taken[2]["dead-letter-reason"] == "poison"
+        assert bus.stats("q")["dead_lettered"] == 1
+        assert bus.stats("dlq:q")["sent"] == 1
+
+    def test_dead_letter_requires_in_flight(self):
+        bus = MessageBus()
+        msg_id = bus.send("q", {"n": 1})
+        with pytest.raises(WorkflowError, match="not in flight"):
+            bus.dead_letter("q", msg_id, "r")
+        with pytest.raises(WorkflowError, match="unknown message"):
+            bus.dead_letter("q", "m999999", "r")

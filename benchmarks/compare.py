@@ -220,6 +220,59 @@ def measure_resilience_disabled() -> float:
     return best
 
 
+def measure_store_recovery_checkpointed() -> float:
+    """checkpointed recoveries/sec over a 200-instance history.
+
+    The durable store restores the latest snapshot and replays only
+    the journal suffix past its covered offset, so this metric is flat
+    in history length; it regresses if recovery falls back to scanning
+    the full journal or the archive index load leaves the O(archived)
+    regime.
+    """
+    import shutil
+    import tempfile
+    from pathlib import Path
+
+    from bench_store import run_history, store_engine
+
+    base = "/dev/shm" if os.access("/dev/shm", os.W_OK) else None
+    tmp = Path(tempfile.mkdtemp(prefix="bench_store_", dir=base))
+    try:
+        directory = tmp / "store"
+        engine = store_engine(directory)
+        run_history(engine, 200)
+        engine.crash()
+
+        def setup():
+            return directory
+
+        def run(target):
+            rebuilt = store_engine(target)
+            rebuilt.recover()
+            rebuilt.close()
+
+        return _best_throughput(1, run, setup)
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def measure_store_disabled() -> float:
+    """activities/sec with no durable store configured (the default).
+
+    The store hooks on the navigator hot path (checkpoint cadence
+    check, archive-on-finish) must collapse to one attribute read when
+    no store is attached; this metric regresses if a change makes the
+    store-less path pay more than that.
+    """
+    from bench_store import store_disabled_throughput
+
+    best = 0.0
+    store_disabled_throughput(runs=2)  # warmup
+    for __ in range(REPEATS):
+        best = max(best, store_disabled_throughput())
+    return best
+
+
 METRICS = {
     "engine.dag_16x16.activities_per_sec": measure_engine_large_dag,
     "engine.concurrent_200x3x3.activities_per_sec": measure_engine_concurrent,
@@ -234,6 +287,10 @@ METRICS = {
     "resilience.disabled_dag_8x8.activities_per_sec": (
         measure_resilience_disabled
     ),
+    "store.recovery_checkpointed.recoveries_per_sec": (
+        measure_store_recovery_checkpointed
+    ),
+    "store.disabled_dag_8x8.activities_per_sec": measure_store_disabled,
 }
 
 

@@ -37,6 +37,7 @@ def engine_snapshot(engine) -> dict[str, Any]:
             for f in obs.hooks.failures
         ],
         "hook_subscriptions": obs.hooks.subscriptions(),
+        "store": engine.store_status(),
     }
 
 

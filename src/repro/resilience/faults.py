@@ -19,6 +19,8 @@ site               key matched against ``FaultRule.match``       actions
 ``journal.append`` journal record type                           raise (JournalError)
 ``journal.fsync``  durability-point reason                       raise (JournalError)
 ``node.pump``      workflow node name                            crash (InjectedCrash)
+``snapshot.write`` checkpoint file basename                      raise (JournalError)
+``compact``        journal directory basename                    raise (JournalError)
 =================  ============================================  ==================
 
 A rule fires on a **schedule** (1-based match counts), with a
@@ -51,6 +53,8 @@ SITES: dict[str, tuple[str, ...]] = {
     "journal.append": ("raise",),
     "journal.fsync": ("raise",),
     "node.pump": ("crash",),
+    "snapshot.write": ("raise",),
+    "compact": ("raise",),
 }
 
 
@@ -204,6 +208,16 @@ class FaultInjector:
     def on_pump(self, node: str) -> bool:
         """Node site: True when the node must crash this pump."""
         return self.decide("node.pump", node) is not None
+
+    def on_store(self, site: str, key: str) -> None:
+        """Durable-store sites (``snapshot.write``, ``compact``):
+        raises :class:`JournalError` when a rule fires.  A fired
+        ``snapshot.write`` tears the checkpoint mid-document; a fired
+        ``compact`` aborts compaction before its manifest commit."""
+        if self.decide(site, key) is not None:
+            raise JournalError(
+                "injected fault: store %s failed (%s)" % (site, key)
+            )
 
     # -- bookkeeping -----------------------------------------------------
 

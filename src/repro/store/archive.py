@@ -1,0 +1,259 @@
+"""Completed-instance archive.
+
+The paper (§3.3) notes FlowMark deletes finished processes and relies
+on the audit trail for history.  :class:`InstanceArchive` is that
+split made explicit: when a *root* process instance finishes, its
+outcome — final containers, per-activity results, execution orders and
+the audit slice of its whole subtree — is appended to a durable
+archive file, and the live navigator/audit memory drops the subtree.
+
+The file is append-only JSONL, one entry per finished root.  A torn
+final line (crash mid-append) is tolerated on load: the instance's
+journal records are still in the live suffix in that case, so replay
+finishes it again and re-archives it — the append is idempotent by
+root id.  Queries (:meth:`by_id`, :meth:`by_definition`,
+:meth:`finished_between`, :meth:`outcomes`) are answered from an
+in-memory index rebuilt on open.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any
+
+from repro.errors import RecoveryError
+from repro.wfms.journal import read_json_lines, trim_torn_tail
+from repro.wfms.model import ActivityKind
+
+ENTRY_FORMAT = 1
+
+
+def _tree_ids(navigator, root_id: str) -> list[str]:
+    """The root and every descendant instance id, in creation order.
+
+    One pass over the navigator's creation-ordered instance table
+    (parents always precede children) with a growing membership set —
+    this also catches children of *earlier attempts* of a looping
+    block activity, which ``ai.child_instance`` no longer points to.
+    """
+    members = {root_id}
+    ordered = []
+    for instance_id, instance in navigator._instances.items():
+        if instance_id == root_id or instance.parent_instance in members:
+            members.add(instance_id)
+            ordered.append(instance_id)
+    return ordered
+
+
+def _deep_order(navigator, instance) -> list[str]:
+    """Activities in termination order, descending into blocks and
+    subprocesses — mirrors ``Engine.execution_order`` while the
+    subtree is still live."""
+    order: list[str] = []
+    for name in navigator._audit.execution_order(instance.instance_id):
+        ai = instance.activities.get(name)
+        if ai is not None and ai.activity.kind in (
+            ActivityKind.BLOCK,
+            ActivityKind.PROCESS,
+        ):
+            if ai.child_instance:
+                child = navigator._instances.get(ai.child_instance)
+                if child is not None:
+                    order.extend(_deep_order(navigator, child))
+        else:
+            order.append(name)
+    return order
+
+
+def build_archive_entry(navigator, instance) -> dict[str, Any]:
+    """The archive entry for a finished root instance (built while the
+    subtree and its audit records are still in live memory)."""
+    audit = navigator._audit
+    tree = _tree_ids(navigator, instance.instance_id)
+    instances: dict[str, Any] = {}
+    for instance_id in tree:
+        member = navigator._instances[instance_id]
+        instances[instance_id] = {
+            "definition": member.definition.name,
+            "version": member.definition.version,
+            "state": member.state.value,
+            "parent_instance": member.parent_instance,
+            "parent_activity": member.parent_activity,
+            "rc": member.output.return_code,
+            "output": member.output.to_dict(),
+            "execution_order": audit.execution_order(instance_id),
+            "order": _deep_order(navigator, member),
+            "dead_activities": audit.dead_activities(instance_id),
+        }
+    return {
+        "format": ENTRY_FORMAT,
+        "root": instance.instance_id,
+        "definition": instance.definition.name,
+        "version": instance.definition.version,
+        "starter": instance.starter,
+        "finished_at": navigator.clock,
+        "rc": instance.output.return_code,
+        "output": instance.output.to_dict(),
+        "order": _deep_order(navigator, instance),
+        "instances": instances,
+        "audit": audit.export_instances(tree),
+    }
+
+
+class InstanceArchive:
+    """Append-only archive of finished root instances, with queries."""
+
+    def __init__(self, path: str | os.PathLike[str], *, sync: str = "always"):
+        self._path = os.fspath(path)
+        self._sync = sync
+        #: root id -> entry, in finish (append) order.
+        self._entries: dict[str, dict[str, Any]] = {}
+        #: any archived instance id -> its root id.
+        self._root_of: dict[str, str] = {}
+        #: definition name -> root ids.
+        self._by_definition: dict[str, list[str]] = {}
+        if os.path.exists(self._path):
+            self._load()
+            # Trim a torn tail so the healing re-append starts on a
+            # fresh line instead of concatenating onto torn bytes.
+            trim_torn_tail(self._path)
+        self._file = open(self._path, "a", encoding="utf-8")
+
+    def _load(self) -> None:
+        for lineno, entry in read_json_lines(
+            self._path, tolerate_torn_tail=True
+        ):
+            if (
+                not isinstance(entry, dict)
+                or entry.get("format") != ENTRY_FORMAT
+                or "root" not in entry
+            ):
+                raise RecoveryError(
+                    "%s:%d: malformed archive entry" % (self._path, lineno)
+                )
+            self._index(entry)
+
+    def _index(self, entry: dict[str, Any]) -> None:
+        root = entry["root"]
+        self._entries[root] = entry
+        for instance_id in entry["instances"]:
+            self._root_of[instance_id] = root
+        self._by_definition.setdefault(entry["definition"], []).append(root)
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    def add(self, entry: dict[str, Any]) -> bool:
+        """Append one finished root's entry; False (and no write) when
+        that root is already archived — re-archiving after a replay
+        that re-finished a torn-tail instance is the normal heal."""
+        root = entry["root"]
+        if root in self._entries:
+            return False
+        if self._file is None:
+            raise RecoveryError("archive %s is closed" % self._path)
+        self._file.write(json.dumps(entry, sort_keys=True))
+        self._file.write("\n")
+        self._file.flush()
+        if self._sync == "always":
+            os.fsync(self._file.fileno())
+        self._index(entry)
+        return True
+
+    # -- queries ---------------------------------------------------------
+
+    def ids(self) -> frozenset:
+        """Every archived instance id — roots *and* descendants (the
+        replay cursor's skip set and compaction's drop set)."""
+        return frozenset(self._root_of)
+
+    def roots(self) -> list[str]:
+        return list(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, instance_id: str) -> bool:
+        return instance_id in self._root_of
+
+    def instance_count(self) -> int:
+        """Total archived instances including block/subprocess children."""
+        return len(self._root_of)
+
+    def by_id(self, instance_id: str) -> dict[str, Any] | None:
+        """The archived view of one instance (root or descendant), or
+        None.  Roots return their full entry; descendants return their
+        per-instance record plus a ``root`` back-reference."""
+        root = self._root_of.get(instance_id)
+        if root is None:
+            return None
+        entry = self._entries[root]
+        if instance_id == root:
+            return entry
+        view = dict(entry["instances"][instance_id])
+        view["instance"] = instance_id
+        view["root"] = root
+        view["finished_at"] = entry["finished_at"]
+        return view
+
+    def by_definition(self, definition: str) -> list[dict[str, Any]]:
+        return [
+            self._entries[root]
+            for root in self._by_definition.get(definition, ())
+        ]
+
+    def finished_between(
+        self, start: float, end: float
+    ) -> list[dict[str, Any]]:
+        """Entries with ``start <= finished_at <= end`` (logical clock)."""
+        return [
+            entry
+            for entry in self._entries.values()
+            if start <= entry["finished_at"] <= end
+        ]
+
+    def outcomes(self, definition: str | None = None) -> dict[int, int]:
+        """Return-code -> count over archived roots (optionally one
+        definition's)."""
+        counts: dict[int, int] = {}
+        for entry in self._entries.values():
+            if definition is not None and entry["definition"] != definition:
+                continue
+            rc = int(entry["rc"])
+            counts[rc] = counts.get(rc, 0) + 1
+        return counts
+
+    # -- lifecycle -------------------------------------------------------
+
+    def flush(self) -> None:
+        if self._file is not None:
+            self._file.flush()
+            os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        if self._file is not None:
+            self.flush()
+            self._file.close()
+            self._file = None
+
+    def abandon(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+
+    def reopen(self) -> None:
+        if self._file is None:
+            trim_torn_tail(self._path)
+            self._file = open(self._path, "a", encoding="utf-8")
+
+    def __repr__(self) -> str:
+        return "InstanceArchive(%r, roots=%d, instances=%d)" % (
+            self._path,
+            len(self._entries),
+            len(self._root_of),
+        )

@@ -1,0 +1,386 @@
+"""The durable store: checkpoint policy + segmented journal + archive.
+
+:class:`DurableStore` owns one on-disk directory::
+
+    store/
+      journal/                segment files + MANIFEST.json
+      archive.jsonl           finished-instance archive
+      checkpoint-<offset>.json  snapshots (latest ``keep_checkpoints``)
+
+and plugs into ``Engine(store=...)``.  The engine drives it from three
+places: :meth:`maybe_checkpoint` after each executed navigation step
+(the ``checkpoint_every`` policy), :meth:`archive_finished` when a
+root instance finishes, and
+:func:`repro.wfms.recovery.replay_with_store` on ``Engine.recover()``.
+
+Checkpoint protocol (the reason recovery is O(delta)):
+
+1. ``journal.flush()`` — the offset about to be covered must be
+   durable *before* the snapshot claims to cover it;
+2. ``journal.rotate()`` — seal the active segment so the checkpoint
+   boundary is also a segment boundary (compaction can then drop
+   whole files, never splitting one across the offset);
+3. capture + atomic checksummed write of the snapshot;
+4. re-load and verify the file just written — only a *verified*
+   checkpoint updates the store's covered offset or is handed to
+   compaction;
+5. retire snapshots beyond ``keep_checkpoints``; optionally compact.
+
+A store instance is single-use: :meth:`attach` binds it to one
+engine's obs/injector handles, mirroring how a fresh :class:`Engine`
+is built per crash/recover cycle.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import time
+from typing import Any
+
+from repro.errors import RecoveryError, WorkflowError
+from repro.obs import resolve_observability
+from repro.store.archive import InstanceArchive, build_archive_entry
+from repro.store.segments import SegmentedJournal
+from repro.store.snapshot import Checkpoint, capture_state, load_checkpoint
+
+CHECKPOINT_TEMPLATE = "checkpoint-%012d.json"
+_CHECKPOINT_RE = re.compile(r"^checkpoint-(\d{12})\.json$")
+
+
+class DurableStore:
+    """Durability subsystem for one engine (see module docstring)."""
+
+    def __init__(
+        self,
+        directory: str | os.PathLike[str],
+        *,
+        sync: str = "always",
+        batch_size: int = 64,
+        batch_interval: float = 0.05,
+        checkpoint_every_records: int | None = None,
+        checkpoint_interval: float | None = None,
+        compact_on_checkpoint: bool = True,
+        keep_checkpoints: int = 2,
+        segment_max_records: int | None = None,
+    ):
+        if checkpoint_every_records is not None and checkpoint_every_records < 1:
+            raise WorkflowError("checkpoint_every_records must be >= 1")
+        if checkpoint_interval is not None and checkpoint_interval <= 0:
+            raise WorkflowError("checkpoint_interval must be > 0")
+        if keep_checkpoints < 1:
+            raise WorkflowError("keep_checkpoints must be >= 1")
+        self._directory = os.fspath(directory)
+        self._sync = sync
+        self._batch_size = batch_size
+        self._batch_interval = batch_interval
+        self._every_records = checkpoint_every_records
+        self._interval = checkpoint_interval
+        self._compact_on_checkpoint = compact_on_checkpoint
+        self._keep_checkpoints = keep_checkpoints
+        self._segment_max_records = segment_max_records
+        self._journal: SegmentedJournal | None = None
+        self._archive: InstanceArchive | None = None
+        self._injector = None
+        self._attached = False
+        #: offset covered by the last *verified* checkpoint this
+        #: process wrote or recovered from, or None.
+        self._last_offset: int | None = None
+        self._last_ckpt_clock: float | None = None
+        #: set by replay_with_store: how the last recovery went.
+        self.last_recovery: dict[str, Any] | None = None
+
+    def checkpoint_every(
+        self, n_records: int | None = None, *, interval: float | None = None
+    ) -> "DurableStore":
+        """Set (or replace) the automatic checkpoint policy: every
+        ``n_records`` journal records and/or every ``interval`` logical
+        seconds.  Fluent, so ``DurableStore(d).checkpoint_every(100)``
+        reads as the engine-construction idiom."""
+        if n_records is not None and n_records < 1:
+            raise WorkflowError("checkpoint_every needs n_records >= 1")
+        if interval is not None and interval <= 0:
+            raise WorkflowError("checkpoint_every needs interval > 0")
+        self._every_records = n_records
+        self._interval = interval
+        return self
+
+    # ------------------------------------------------------------------
+    # engine binding
+    # ------------------------------------------------------------------
+
+    def attach(self, *, obs=None, injector=None) -> None:
+        """Open the on-disk structures and bind obs/injector handles.
+
+        Once-only: a store instance belongs to exactly one engine —
+        build a fresh :class:`DurableStore` over the same directory for
+        the post-crash engine, the way chaos tests build fresh engines.
+        """
+        if self._attached:
+            raise WorkflowError(
+                "this DurableStore is already attached to an engine; "
+                "build a fresh one over the same directory"
+            )
+        self._attached = True
+        self._injector = injector
+        os.makedirs(self._directory, exist_ok=True)
+        obs = resolve_observability(obs)
+        self._obs_on = obs.enabled
+        self._tracer = obs.tracer
+        metrics = obs.metrics
+        self._c_checkpoints = metrics.counter(
+            "wfms_store_checkpoints_total", "Checkpoints written"
+        )
+        self._h_checkpoint_seconds = metrics.histogram(
+            "wfms_store_checkpoint_seconds",
+            "Wall-clock seconds per checkpoint (flush+rotate+capture+write)",
+        )
+        self._c_compactions = metrics.counter(
+            "wfms_store_compactions_total", "Journal compactions committed"
+        )
+        self._g_segments = metrics.gauge(
+            "wfms_store_segments_live", "Journal segments on disk"
+        )
+        self._g_archive = metrics.gauge(
+            "wfms_store_archive_size", "Archived instances (incl. children)"
+        )
+        self._journal = SegmentedJournal(
+            os.path.join(self._directory, "journal"),
+            sync=self._sync,
+            batch_size=self._batch_size,
+            batch_interval=self._batch_interval,
+            segment_max_records=self._segment_max_records,
+            obs=obs,
+            injector=injector,
+        )
+        self._archive = InstanceArchive(
+            os.path.join(self._directory, "archive.jsonl"), sync=self._sync
+        )
+        latest, __ = self.latest_checkpoint()
+        self._last_offset = latest.offset if latest is not None else None
+        self._last_ckpt_clock = latest.clock if latest is not None else None
+        if self._obs_on:
+            self._g_segments.set(self._journal.segments_live)
+            self._g_archive.set(self._archive.instance_count())
+
+    def _require_attached(self) -> None:
+        if not self._attached or self._journal is None:
+            raise WorkflowError(
+                "DurableStore is not attached to an engine yet"
+            )
+
+    @property
+    def directory(self) -> str:
+        return self._directory
+
+    @property
+    def journal(self) -> SegmentedJournal:
+        self._require_attached()
+        return self._journal
+
+    @property
+    def archive(self) -> InstanceArchive:
+        self._require_attached()
+        return self._archive
+
+    # ------------------------------------------------------------------
+    # checkpoints
+    # ------------------------------------------------------------------
+
+    def checkpoint_files(self) -> list[str]:
+        """Checkpoint file paths, oldest (lowest offset) first."""
+        try:
+            names = os.listdir(self._directory)
+        except OSError:
+            return []
+        found = []
+        for name in names:
+            match = _CHECKPOINT_RE.match(name)
+            if match is not None:
+                found.append((int(match.group(1)), name))
+        return [
+            os.path.join(self._directory, name)
+            for __, name in sorted(found)
+        ]
+
+    def latest_checkpoint(self) -> tuple[Checkpoint | None, int]:
+        """Newest checkpoint that loads and verifies, plus how many
+        newer files were skipped as torn/corrupt (the fallback count)."""
+        skipped = 0
+        for path in reversed(self.checkpoint_files()):
+            checkpoint = Checkpoint.load(path)
+            if checkpoint is not None:
+                return checkpoint, skipped
+            skipped += 1
+        return None, skipped
+
+    def maybe_checkpoint(self, navigator) -> "Checkpoint | None":
+        """Write a checkpoint if the policy says one is due."""
+        if self._every_records is None and self._interval is None:
+            return None
+        journal = self._journal
+        if journal is None:
+            return None
+        covered = self._last_offset if self._last_offset is not None else 0
+        new_records = journal.next_index - covered
+        if new_records <= 0:
+            return None
+        due = (
+            self._every_records is not None
+            and new_records >= self._every_records
+        )
+        if not due and self._interval is not None:
+            last_clock = (
+                self._last_ckpt_clock
+                if self._last_ckpt_clock is not None
+                else 0.0
+            )
+            due = navigator.clock - last_clock >= self._interval
+        if not due:
+            return None
+        return self.checkpoint(navigator)
+
+    def checkpoint(self, navigator) -> Checkpoint:
+        """Write one checkpoint now (see module docstring protocol)."""
+        self._require_attached()
+        journal = self._journal
+        span = None
+        if self._obs_on and self._tracer.enabled:
+            span = self._tracer.start_span("store.checkpoint", kind="store")
+        started = time.perf_counter()
+        try:
+            journal.flush()
+            journal.rotate()
+            offset = journal.next_index
+            state = capture_state(navigator, offset)
+            path = os.path.join(
+                self._directory, CHECKPOINT_TEMPLATE % offset
+            )
+            checkpoint = Checkpoint(state)
+            checkpoint.write(path, injector=self._injector)
+            if load_checkpoint(path) is None:
+                raise RecoveryError(
+                    "checkpoint %s failed post-write verification" % path
+                )
+            self._last_offset = offset
+            self._last_ckpt_clock = navigator.clock
+            self._retire_checkpoints()
+        finally:
+            elapsed = time.perf_counter() - started
+            if span is not None:
+                span.set_attribute("offset", journal.next_index)
+                span.finish()
+            if self._obs_on:
+                self._h_checkpoint_seconds.observe(elapsed)
+        if self._obs_on:
+            self._c_checkpoints.inc()
+            self._g_segments.set(journal.segments_live)
+        if self._compact_on_checkpoint:
+            self.compact(checkpoint)
+        return checkpoint
+
+    def _retire_checkpoints(self) -> None:
+        files = self.checkpoint_files()
+        for path in files[: -self._keep_checkpoints]:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    # compaction / archive
+    # ------------------------------------------------------------------
+
+    def compact(self, checkpoint: Checkpoint | None = None) -> dict[str, Any]:
+        """Drop journal history covered by ``checkpoint`` (default: the
+        latest verified one on disk)."""
+        self._require_attached()
+        if checkpoint is None:
+            checkpoint, __ = self.latest_checkpoint()
+            if checkpoint is None:
+                raise RecoveryError(
+                    "no durable checkpoint to compact against"
+                )
+        stats = self._journal.compact(
+            checkpoint.offset,
+            drop_instances=self._archive.ids(),
+            injector=self._injector,
+        )
+        if self._obs_on:
+            self._c_compactions.inc()
+            self._g_segments.set(self._journal.segments_live)
+        return stats
+
+    def archive_finished(self, navigator, instance) -> None:
+        """Move a finished root instance (and its subtree) from live
+        memory into the archive."""
+        self._require_attached()
+        entry = build_archive_entry(navigator, instance)
+        self._archive.add(entry)
+        tree = list(entry["instances"])
+        navigator.evict_instances(tree)
+        for instance_id in tree:
+            navigator._audit.prune_instance(instance_id)
+        if self._obs_on:
+            self._g_archive.set(self._archive.instance_count())
+
+    # ------------------------------------------------------------------
+    # status / lifecycle
+    # ------------------------------------------------------------------
+
+    def status(self, clock: float | None = None) -> dict[str, Any]:
+        """Operator view (``Engine.monitor``/``store_status``, the
+        monitor CLI's STORE line)."""
+        self._require_attached()
+        journal = self._journal
+        covered = self._last_offset
+        out = {
+            "enabled": True,
+            "directory": self._directory,
+            "journal_records": journal.next_index,
+            "segments_live": journal.segments_live,
+            "archived_roots": len(self._archive),
+            "archived_instances": self._archive.instance_count(),
+            "checkpoints": len(self.checkpoint_files()),
+            "last_checkpoint_offset": covered,
+            "checkpoint_lag_records": (
+                journal.next_index - covered if covered is not None else None
+            ),
+            "last_checkpoint_age_seconds": (
+                clock - self._last_ckpt_clock
+                if clock is not None and self._last_ckpt_clock is not None
+                else None
+            ),
+        }
+        if self.last_recovery is not None:
+            out["last_recovery"] = dict(self.last_recovery)
+        return out
+
+    def flush(self) -> None:
+        self._require_attached()
+        self._journal.flush()
+        self._archive.flush()
+
+    def close(self) -> None:
+        if self._journal is not None:
+            self._journal.close()
+        if self._archive is not None:
+            self._archive.close()
+
+    def abandon(self) -> None:
+        """Release file handles without final commits (failing disk)."""
+        if self._journal is not None:
+            self._journal.abandon()
+        if self._archive is not None:
+            self._archive.abandon()
+
+    def reopen(self) -> None:
+        self._require_attached()
+        self._journal.reopen()
+        self._archive.reopen()
+
+    def __repr__(self) -> str:
+        return "DurableStore(%r, attached=%s)" % (
+            self._directory,
+            self._attached,
+        )

@@ -64,6 +64,24 @@ def render_snapshot(snapshot: dict[str, Any], *, max_spans: int = 40) -> list[st
             snapshot.get("open_spans", 0),
         )
     )
+    store = snapshot.get("store") or {}
+    if store.get("enabled"):
+        age = store.get("last_checkpoint_age_seconds")
+        lag = store.get("checkpoint_lag_records")
+        if lag is None:  # never checkpointed: the whole journal is lag
+            lag = store.get("journal_records", 0)
+        lines.append(
+            "STORE archived %d roots / %d instances | segments %d | "
+            "checkpoints %d | lag %d records | last checkpoint %s"
+            % (
+                store.get("archived_roots", 0),
+                store.get("archived_instances", 0),
+                store.get("segments_live", 0),
+                store.get("checkpoints", 0),
+                lag,
+                "%.3fs ago" % age if age is not None else "never",
+            )
+        )
     lines.append("")
 
     processes = snapshot.get("processes", [])

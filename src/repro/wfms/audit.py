@@ -63,7 +63,17 @@ class AuditRecord:
 
 
 class AuditTrail:
-    """Append-only in-memory trail with query helpers."""
+    """Append-only in-memory trail with query helpers.
+
+    Sequence numbers come from an explicit monotonic counter (not the
+    list length), so archiving — which *prunes* a finished instance's
+    records after moving them to the durable
+    :class:`repro.store.archive.InstanceArchive` — can never reuse a
+    sequence number.  Pruned records are removed from the secondary
+    indexes immediately and from the global list lazily (amortised
+    O(1) per prune): instance-less scans filter them out, and the list
+    is physically compacted once more than half of it is dead.
+    """
 
     def __init__(self) -> None:
         self._records: list[AuditRecord] = []
@@ -71,6 +81,11 @@ class AuditTrail:
         self._by_instance_event: dict[
             tuple[str, AuditEvent], list[AuditRecord]
         ] = {}
+        self._next_sequence = 0
+        #: instances logically removed from the global list but whose
+        #: records may still sit in it (lazy compaction).
+        self._pruned_ids: set[str] = set()
+        self._pruned_records = 0
 
     def record(
         self,
@@ -81,25 +96,96 @@ class AuditTrail:
         **detail: Any,
     ) -> AuditRecord:
         record = AuditRecord(
-            len(self._records), at, event, instance_id, activity, detail
+            self._next_sequence, at, event, instance_id, activity, detail
         )
+        self._next_sequence += 1
+        self._append(record)
+        return record
+
+    def _append(self, record: AuditRecord) -> None:
         self._records.append(record)
+        instance_id = record.instance_id
         bucket = self._by_instance.get(instance_id)
         if bucket is None:
             bucket = self._by_instance[instance_id] = []
         bucket.append(record)
-        key = (instance_id, event)
+        key = (instance_id, record.event)
         bucket = self._by_instance_event.get(key)
         if bucket is None:
             bucket = self._by_instance_event[key] = []
         bucket.append(record)
-        return record
+
+    @property
+    def next_sequence(self) -> int:
+        return self._next_sequence
 
     def __len__(self) -> int:
-        return len(self._records)
+        return len(self._records) - self._pruned_records
 
     def __iter__(self):
-        return iter(self._records)
+        return iter(self._live_records())
+
+    def _live_records(self) -> list[AuditRecord]:
+        if not self._pruned_ids:
+            return self._records
+        return [
+            r for r in self._records if r.instance_id not in self._pruned_ids
+        ]
+
+    # -- archiving support (repro.store) --------------------------------
+
+    def export_instances(
+        self, instance_ids: Iterable[str]
+    ) -> list[dict[str, Any]]:
+        """The named instances' records as dicts, in sequence order —
+        the audit slice a checkpoint (live instances) or an archive
+        entry (a finished instance tree) carries."""
+        records: list[AuditRecord] = []
+        for instance_id in instance_ids:
+            records.extend(self._by_instance.get(instance_id, ()))
+        records.sort(key=lambda r: r.sequence)
+        return [r.to_dict() for r in records]
+
+    def restore(
+        self, records: Iterable[dict[str, Any]], next_sequence: int
+    ) -> None:
+        """Re-append exported records (checkpoint restore).  The
+        sequence counter continues past both the restored records and
+        the checkpoint's recorded high-water mark."""
+        for data in records:
+            record = AuditRecord(
+                int(data["sequence"]),
+                float(data["at"]),
+                AuditEvent(data["event"]),
+                data["instance_id"],
+                data.get("activity", ""),
+                dict(data.get("detail", ())),
+            )
+            self._append(record)
+            if record.sequence >= self._next_sequence:
+                self._next_sequence = record.sequence + 1
+        if next_sequence > self._next_sequence:
+            self._next_sequence = int(next_sequence)
+
+    def prune_instance(self, instance_id: str) -> int:
+        """Drop an archived instance's records from live memory;
+        returns how many records were pruned."""
+        bucket = self._by_instance.pop(instance_id, None)
+        if not bucket:
+            return 0
+        for event in {record.event for record in bucket}:
+            self._by_instance_event.pop((instance_id, event), None)
+        self._pruned_ids.add(instance_id)
+        self._pruned_records += len(bucket)
+        if self._pruned_records * 2 > len(self._records):
+            self._records = [
+                r
+                for r in self._records
+                if r.instance_id not in self._pruned_ids
+            ]
+            self._pruned_ids.clear()
+            self._pruned_records = 0
+        return len(bucket)
 
     def records(
         self,

@@ -105,7 +105,12 @@ class WorkflowNode:
     * ``fault_injector`` — a
       :class:`~repro.resilience.faults.FaultInjector` threaded into
       the engine (program/journal faults) and consulted by
-      :meth:`pump` (forced node crashes).
+      :meth:`pump` (forced node crashes);
+    * ``store_factory`` — zero-argument callable building a fresh
+      :class:`~repro.store.DurableStore` over this node's store
+      directory (checkpointed recovery + finished-instance archive);
+      mutually exclusive with ``journal_path``; :meth:`rebuild` builds
+      a new store over the same files.
     """
 
     def __init__(
@@ -122,6 +127,7 @@ class WorkflowNode:
         poll_interval: float = 1.0,
         breaker_factory=None,
         fault_injector=None,
+        store_factory=None,
     ):
         if not name:
             raise WorkflowError("node name must be non-empty")
@@ -129,9 +135,17 @@ class WorkflowNode:
             raise WorkflowError("max_deliveries must be >= 1")
         if poll_interval < 0:
             raise WorkflowError("poll_interval must be >= 0")
+        if store_factory is not None and journal_path is not None:
+            raise WorkflowError(
+                "store_factory and journal_path are mutually exclusive"
+            )
         self.name = name
         self.bus = bus
         self._journal_path = journal_path
+        #: zero-argument callable building a fresh DurableStore over the
+        #: node's store directory; each engine (initial and every
+        #: rebuild) gets its own store object over the same files.
+        self._store_factory = store_factory
         self._organization = organization
         self._max_deliveries = max_deliveries
         self._request_timeout = request_timeout
@@ -147,6 +161,7 @@ class WorkflowNode:
             organization=organization,
             observability=self.obs,
             fault_injector=fault_injector,
+            store=store_factory() if store_factory is not None else None,
         )
         self._served: set[str] = set()
         #: request_id -> full reply body (volatile reply cache).
@@ -387,7 +402,10 @@ class WorkflowNode:
         for request_id in list(self._pending):
             instance_id = "req/%s" % request_id
             try:
-                instance = self.engine.navigator.instance(instance_id)
+                # Archive-aware lookup: a store-backed node moves a
+                # finished served instance to the archive, which must
+                # read as "finished", not "lost".
+                state = self.engine.instance_state(instance_id)
             except NavigationError:
                 # The served instance is gone (e.g. the engine was
                 # rebuilt from a journal that never recorded the
@@ -410,7 +428,7 @@ class WorkflowNode:
                 )
                 sent += 1
                 continue
-            if instance.state.value != "finished":
+            if state != "finished":
                 continue
             reply_to, headers = self._pending.pop(request_id)
             self.bus.send(
@@ -418,8 +436,8 @@ class WorkflowNode:
                 {
                     "type": "reply",
                     "request_id": request_id,
-                    "output": instance.output.to_dict(),
-                    "state": instance.state.value,
+                    "output": self.engine.output(instance_id),
+                    "state": state,
                 },
                 headers=headers,  # echo the request's trace context
             )
@@ -467,7 +485,9 @@ class WorkflowNode:
             )
         instance_id = "req/%s" % request_id
         try:
-            self.engine.navigator.instance(instance_id)
+            # Archive-aware: a duplicate request for an already-archived
+            # instance must re-send its reply, not restart it.
+            self.engine.instance_state(instance_id)
         except NavigationError:
             self.engine.verify_executable(process)
             # The served instance joins the requester's trace via the
@@ -513,13 +533,20 @@ class WorkflowNode:
         ``configure(node)`` must re-register definitions, programs and
         remote activities (their programs), then the journal replays.
         """
-        if self._journal_path is None:
-            raise WorkflowError("rebuild requires a journal-backed node")
+        if self._journal_path is None and self._store_factory is None:
+            raise WorkflowError(
+                "rebuild requires a journal- or store-backed node"
+            )
         self.engine = Engine(
             journal_path=self._journal_path,
             organization=self._organization,
             observability=self.obs,
             fault_injector=self._injector,
+            store=(
+                self._store_factory()
+                if self._store_factory is not None
+                else None
+            ),
         )
         served = self._served
         self._served = set()

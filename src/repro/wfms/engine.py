@@ -19,11 +19,14 @@ from __future__ import annotations
 import os
 from typing import Any
 
+import copy
+
 from repro.errors import (
     DefinitionError,
     JournalError,
     NavigationError,
     ProgramError,
+    WorkflowError,
 )
 from repro.obs import EngineCrashed, EngineRecovered, resolve_observability
 from repro.wfms.audit import AuditTrail
@@ -32,7 +35,7 @@ from repro.wfms.model import ActivityKind, ProcessDefinition
 from repro.wfms.navigator import Navigator
 from repro.wfms.organization import Organization
 from repro.wfms.programs import Program, ProgramRegistry
-from repro.wfms.recovery import replay
+from repro.wfms.recovery import replay, replay_with_store
 from repro.wfms.registry import DefinitionRegistry
 from repro.wfms.worklist import Notification, WorkItem, WorklistManager
 
@@ -50,6 +53,7 @@ class Engine:
         journal_batch_interval: float = 0.05,
         observability=None,
         fault_injector=None,
+        store=None,
     ):
         """``journal_sync`` selects the journal durability policy —
         ``"always"`` (fsync per record, the default §3.3 guarantee),
@@ -66,7 +70,15 @@ class Engine:
         ``fault_injector`` installs a
         :class:`~repro.resilience.faults.FaultInjector` on the
         navigator (program-invocation faults) and journal (disk
-        faults); default None costs nothing on the hot path."""
+        faults); default None costs nothing on the hot path.
+
+        ``store`` installs a fresh
+        :class:`~repro.store.durable.DurableStore` (checkpoints,
+        segmented journal, finished-instance archive): the store's
+        segmented journal *becomes* the engine journal, so ``store``
+        and ``journal_path`` are mutually exclusive.  ``recover()``
+        then restores the latest snapshot and replays only the journal
+        suffix past it."""
         self.obs = resolve_observability(observability)
         self.programs = ProgramRegistry()
         self.organization = (
@@ -76,18 +88,29 @@ class Engine:
         self.audit = AuditTrail()
         self.services: dict[str, Any] = {}
         self._definitions = DefinitionRegistry()
-        self._journal = (
-            Journal(
-                journal_path,
-                sync=journal_sync,
-                batch_size=journal_batch_size,
-                batch_interval=journal_batch_interval,
-                obs=self.obs,
-                injector=fault_injector,
+        self._store = store
+        if store is not None:
+            if journal_path is not None:
+                raise WorkflowError(
+                    "Engine(store=...) and journal_path are mutually "
+                    "exclusive: the store's segmented journal is the "
+                    "engine journal"
+                )
+            store.attach(obs=self.obs, injector=fault_injector)
+            self._journal = store.journal
+        else:
+            self._journal = (
+                Journal(
+                    journal_path,
+                    sync=journal_sync,
+                    batch_size=journal_batch_size,
+                    batch_interval=journal_batch_interval,
+                    obs=self.obs,
+                    injector=fault_injector,
+                )
+                if journal_path is not None
+                else None
             )
-            if journal_path is not None
-            else None
-        )
         self._crashed = False
         self.navigator = Navigator(
             self._definitions,
@@ -99,6 +122,7 @@ class Engine:
             self.services,
             obs=self.obs,
             injector=fault_injector,
+            store=store,
         )
         if self.obs.enabled:
             self.worklists.bind_clock(lambda: self.navigator.clock)
@@ -249,17 +273,60 @@ class Engine:
         self.run()
         return self.result(instance_id)
 
+    def _archived_record(self, instance_id: str) -> dict[str, Any] | None:
+        """The archived per-instance record (root or descendant) when
+        this engine has a store and the instance was archived, else
+        None.  Archived instances left live navigator/audit memory, so
+        every instance query falls back through here."""
+        if self._store is None:
+            return None
+        view = self._store.archive.by_id(instance_id)
+        if view is None:
+            return None
+        if "instances" in view:  # a root's full entry
+            record = dict(view["instances"][instance_id])
+            record["instance"] = instance_id
+            record["finished_at"] = view["finished_at"]
+            record["starter"] = view.get("starter", "")
+            return record
+        return view
+
     def instance_state(self, instance_id: str) -> str:
-        return self.navigator.instance(instance_id).state.value
+        try:
+            return self.navigator.instance(instance_id).state.value
+        except NavigationError:
+            record = self._archived_record(instance_id)
+            if record is None:
+                raise
+            return record["state"]
 
     def activity_states(self, instance_id: str) -> dict[str, str]:
         return self.navigator.instance(instance_id).states()
 
     def output(self, instance_id: str) -> dict[str, Any]:
-        return self.navigator.instance(instance_id).output.to_dict()
+        try:
+            return self.navigator.instance(instance_id).output.to_dict()
+        except NavigationError:
+            record = self._archived_record(instance_id)
+            if record is None:
+                raise
+            return copy.deepcopy(record["output"])
 
     def result(self, instance_id: str) -> "ProcessResult":
-        instance = self.navigator.instance(instance_id)
+        try:
+            instance = self.navigator.instance(instance_id)
+        except NavigationError:
+            record = self._archived_record(instance_id)
+            if record is None:
+                raise
+            return ProcessResult(
+                instance_id=instance_id,
+                process=record["definition"],
+                state=record["state"],
+                output=copy.deepcopy(record["output"]),
+                execution_order=list(record["execution_order"]),
+                dead_activities=list(record["dead_activities"]),
+            )
         return ProcessResult(
             instance_id=instance_id,
             process=instance.definition.name,
@@ -274,10 +341,17 @@ class Engine:
     ) -> list[str]:
         """Activities in termination order, descending into blocks and
         subprocesses at the point their parent activity terminated."""
+        try:
+            instance = self.navigator.instance(instance_id)
+        except NavigationError:
+            record = self._archived_record(instance_id)
+            if record is None:
+                raise
+            key = "order" if include_children else "execution_order"
+            return list(record[key])
         if not include_children:
             return self.audit.execution_order(instance_id)
         order: list[str] = []
-        instance = self.navigator.instance(instance_id)
         for name in self.audit.execution_order(instance_id):
             ai = instance.activities.get(name)
             if ai is not None and ai.activity.kind in (
@@ -319,8 +393,25 @@ class Engine:
 
     def monitor(self, instance_id: str) -> dict[str, Any]:
         """Detailed view of one instance: per-activity state, attempts,
-        return codes and any open work item."""
-        instance = self.navigator.instance(instance_id)
+        return codes and any open work item.  Archived instances return
+        a summary view flagged ``"archived": True``."""
+        try:
+            instance = self.navigator.instance(instance_id)
+        except NavigationError:
+            record = self._archived_record(instance_id)
+            if record is None:
+                raise
+            return {
+                "instance": instance_id,
+                "definition": record["definition"],
+                "state": record["state"],
+                "starter": record.get("starter", ""),
+                "output": copy.deepcopy(record["output"]),
+                "archived": True,
+                "finished_at": record["finished_at"],
+                "execution_order": list(record["execution_order"]),
+                "dead_activities": list(record["dead_activities"]),
+            }
         activities = {}
         for name, ai in instance.activities.items():
             item = self.worklists.open_item_for(instance_id, name)
@@ -475,7 +566,10 @@ class Engine:
         committed before the journal closes, so an orderly ``crash()``
         (and ``close()``) loses nothing — only a *hard* loss of the
         process can drop the unflushed suffix."""
-        if self._journal is not None:
+        if self._store is not None:
+            self._store.flush()
+            self._store.close()
+        elif self._journal is not None:
             self._journal.flush()
             self._journal.close()
         self._crashed = True
@@ -494,9 +588,13 @@ class Engine:
         """
         if self._journal is None:
             raise NavigationError("recovery requires a journal-backed engine")
-        self._journal.reopen()
-        records = self._journal.records()
-        replayed = replay(self.navigator, records)
+        if self._store is not None:
+            self._store.reopen()
+            replayed = replay_with_store(self.navigator, self._store)
+        else:
+            self._journal.reopen()
+            records = self._journal.records()
+            replayed = replay(self.navigator, records)
         # Barrier: post-replay journaling resumes from a durable file.
         self._journal.flush()
         if self.obs.enabled:
@@ -517,8 +615,36 @@ class Engine:
     def journal(self) -> Journal | None:
         return self._journal
 
+    @property
+    def store(self):
+        """The attached :class:`~repro.store.DurableStore`, or None."""
+        return self._store
+
+    def checkpoint(self):
+        """Force a durable checkpoint now (independent of the store's
+        ``checkpoint_every`` policy).  Returns the new
+        :class:`~repro.store.Checkpoint`."""
+        self._check_up()
+        if self._store is None:
+            raise WorkflowError("engine has no durable store")
+        try:
+            return self._store.checkpoint(self.navigator)
+        except JournalError:
+            self._degrade()
+            raise
+
+    def store_status(self) -> dict[str, Any]:
+        """Durability status: segment/checkpoint/archive counters, or
+        ``{"enabled": False}`` when the engine has no store."""
+        if self._store is None:
+            return {"enabled": False}
+        return self._store.status(clock=self.navigator.clock)
+
     def close(self) -> None:
-        if self._journal is not None:
+        if self._store is not None:
+            self._store.flush()
+            self._store.close()
+        elif self._journal is not None:
             self._journal.flush()
             self._journal.close()
 
@@ -539,7 +665,9 @@ class Engine:
         ``recover()`` on a fresh engine works exactly as after
         :meth:`crash`."""
         self._crashed = True
-        if self._journal is not None:
+        if self._store is not None:
+            self._store.abandon()
+        elif self._journal is not None:
             self._journal.abandon()
         if self.obs.enabled:
             self.obs.metrics.counter(

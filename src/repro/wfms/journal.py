@@ -104,9 +104,11 @@ class Journal:
             "wfms_journal_unflushed", "Appended records not yet durable"
         )
         if self._path is not None:
-            # Load any existing records, then open for appending.
+            # Load any existing records, then open for appending (a
+            # torn tail is trimmed so appends never concatenate to it).
             if os.path.exists(self._path):
                 self._memory = list(_read_file(self._path))
+                trim_torn_tail(self._path)
             self._file = open(self._path, "a", encoding="utf-8")
 
     @property
@@ -251,6 +253,7 @@ class Journal:
     def reopen(self) -> None:
         """Reopen the backing file after :meth:`close` (crash restart)."""
         if self._path is not None and self._file is None:
+            trim_torn_tail(self._path)
             self._file = open(self._path, "a", encoding="utf-8")
 
     def __enter__(self) -> "Journal":
@@ -260,23 +263,84 @@ class Journal:
         self.close()
 
 
-def _read_file(path: str) -> Iterator[dict[str, Any]]:
+def read_json_lines(
+    path: str, *, tolerate_torn_tail: bool = True
+) -> Iterator[tuple[int, Any]]:
+    """Yield ``(lineno, parsed_object)`` per non-empty JSON line.
+
+    A decode error is only tolerated (the line is skipped) when it is
+    the *last* non-empty line of the file and ``tolerate_torn_tail`` is
+    true — that is the normal signature of a crash mid-append, and the
+    decision on the torn line was never durable.  A decode error on any
+    earlier line means durable records follow corrupt bytes: that is
+    data loss, never a clean crash, and raises :class:`RecoveryError`.
+    Sealed journal segments are read with ``tolerate_torn_tail=False``
+    (they were fsynced whole, so even a torn tail is corruption).
+    """
     with open(path, "r", encoding="utf-8") as handle:
-        for lineno, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
+        lines = handle.readlines()
+    last_nonempty = 0
+    for lineno, line in enumerate(lines, start=1):
+        if line.strip():
+            last_nonempty = lineno
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            parsed = json.loads(line)
+        except json.JSONDecodeError:
+            if tolerate_torn_tail and lineno == last_nonempty:
                 continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError:
-                # A torn final line is the normal signature of a crash
-                # mid-append: ignore it, the decision was not durable.
-                continue
-            if not isinstance(record, dict) or "type" not in record:
-                raise RecoveryError(
-                    "%s:%d: malformed journal record" % (path, lineno)
-                )
-            yield record
+            raise RecoveryError(
+                "%s:%d: corrupt journal record followed by durable data "
+                "(only a torn final line of the active file is a clean "
+                "crash signature)" % (path, lineno)
+            ) from None
+        yield lineno, parsed
+
+
+def trim_torn_tail(path: str | os.PathLike[str]) -> bool:
+    """Truncate a torn final line (crash mid-append) off ``path``.
+
+    Opening a torn file in append mode would concatenate the next
+    record onto the torn bytes, turning a clean crash signature into
+    mid-file corruption on the *next* recovery — so every append-mode
+    open of a tolerant-tail file trims first.  Returns True when
+    something was trimmed.  Earlier corrupt lines are left alone (the
+    reader raises on them; truncating would destroy evidence).
+    """
+    path = os.fspath(path)
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except OSError:
+        return False
+    stripped = data.rstrip()
+    if not stripped:
+        return False
+    start = stripped.rfind(b"\n") + 1
+    try:
+        json.loads(stripped[start:].decode("utf-8"))
+        return False
+    except (UnicodeDecodeError, ValueError):
+        pass
+    with open(path, "r+b") as handle:
+        handle.truncate(start)
+    return True
+
+
+def _read_file(
+    path: str, *, tolerate_torn_tail: bool = True
+) -> Iterator[dict[str, Any]]:
+    for lineno, record in read_json_lines(
+        path, tolerate_torn_tail=tolerate_torn_tail
+    ):
+        if not isinstance(record, dict) or "type" not in record:
+            raise RecoveryError(
+                "%s:%d: malformed journal record" % (path, lineno)
+            )
+        yield record
 
 
 def load_journal(path: str | os.PathLike[str]) -> list[dict[str, Any]]:
@@ -289,15 +353,32 @@ class ReplayCursor:
 
     Keyed by ``(instance_id, activity, attempt)`` so exit-condition
     loops replay each iteration's recorded output.
+
+    ``archived`` (the durable-store recovery path) names instances
+    whose final state already lives in the
+    :class:`repro.store.archive.InstanceArchive`: every record of an
+    archived instance is skipped outright, so finished-and-archived
+    processes are never re-navigated during recovery.
     """
 
-    def __init__(self, records: Iterable[dict[str, Any]]):
+    def __init__(
+        self,
+        records: Iterable[dict[str, Any]],
+        *,
+        archived: "frozenset[str] | set[str]" = frozenset(),
+    ):
         self._completions: dict[tuple[str, str, int], dict[str, Any]] = {}
         self.process_starts: list[dict[str, Any]] = []
         self.finished: set[str] = set()
         self.suspended: set[str] = set()
+        #: instances that saw a ``process_resumed`` record — the
+        #: checkpoint-restore path uses this to re-run instances that
+        #: were suspended at snapshot time but resumed in the suffix.
+        self.resumed: set[str] = set()
         for record in records:
             kind = record["type"]
+            if archived and record.get("instance") in archived:
+                continue
             if kind == "process_started":
                 self.process_starts.append(record)
             elif kind == "activity_completed":
@@ -317,6 +398,7 @@ class ReplayCursor:
                 self.suspended.add(record["instance"])
             elif kind == "process_resumed":
                 self.suspended.discard(record["instance"])
+                self.resumed.add(record["instance"])
 
     def take(
         self, instance_id: str, activity: str, attempt: int

@@ -108,6 +108,7 @@ class Navigator:
         services: dict[str, Any] | None = None,
         obs=None,
         injector=None,
+        store=None,
     ):
         self._definitions = definitions
         self._programs = programs
@@ -115,6 +116,9 @@ class Navigator:
         self._worklists = worklists
         self._audit = audit
         self._journal = journal
+        #: DurableStore (repro.store) or None: drives post-step
+        #: checkpointing and finished-root archiving.
+        self._store = store
         self._services = services if services is not None else {}
         self.obs = obs = resolve_observability(obs)
         self._obs_on = obs.enabled
@@ -384,6 +388,12 @@ class Navigator:
                     )
                 )
         self._execute(instance, ai)
+        if self._store is not None and self._replay is None:
+            # Post-step is the store's consistency point: _execute has
+            # fully cascaded, so the only RUNNING activities are
+            # block/subprocess parents (whose children are captured
+            # with them).
+            self._store.maybe_checkpoint(self)
         return True
 
     def run(self, max_steps: int = 1_000_000) -> int:
@@ -1143,6 +1153,12 @@ class Navigator:
         )
         if not instance.is_root:
             self._on_child_finished(instance)
+        elif self._store is not None:
+            # Archive-and-evict runs during replay too: a root whose
+            # finish record was durable but whose archive append was
+            # lost in a crash gets re-archived here (the append is
+            # idempotent by root id).
+            self._store.archive_finished(self, instance)
 
     # ------------------------------------------------------------------
     # suspension (§3.3: "The user can stop an activity, restart it ...")
@@ -1220,3 +1236,49 @@ class Navigator:
         for instance_id, name in self._deferred:
             self._enqueue(self._instances[instance_id], name)
         self._deferred = []
+
+    # ------------------------------------------------------------------
+    # durable-store plumbing (repro.store)
+    # ------------------------------------------------------------------
+
+    def evict_instances(self, instance_ids) -> None:
+        """Drop archived instances from live memory (their durable
+        state now lives in the store's archive)."""
+        for instance_id in instance_ids:
+            self._instances.pop(instance_id, None)
+            self._instance_spans.pop(instance_id, None)
+
+    def requeue_after_restore(self, cursor: ReplayCursor) -> None:
+        """Re-schedule restored instances' READY work (checkpoint
+        restore path; the navigator is mid-replay on ``cursor``).
+
+        The ready heap is volatile, so every READY activity of a
+        RUNNING restored instance re-enters it as a fresh arrival —
+        the same rule ``resume`` and post-replay deferral follow.
+        Manual activities whose completion sits in the replay suffix
+        are enqueued for cursor consumption (mirroring
+        ``_make_ready``'s replay branch); the rest are re-offered
+        (work items are volatile too).  Instances suspended at
+        checkpoint time but resumed in the suffix go back to RUNNING
+        first, exactly as full replay nets the suspend/resume pair out
+        to running.
+        """
+        for instance in list(self._instances.values()):
+            if (
+                instance.state is ProcessState.SUSPENDED
+                and instance.instance_id in cursor.resumed
+            ):
+                instance.state = ProcessState.RUNNING
+            if instance.state is not ProcessState.RUNNING:
+                continue
+            for ai in instance.activities.values():
+                if ai.state is not ActivityState.READY:
+                    continue
+                if not ai.activity.is_manual:
+                    self._enqueue(instance, ai.name)
+                elif cursor.take_peek(
+                    instance.instance_id, ai.name, ai.attempt + 1
+                ):
+                    self._enqueue(instance, ai.name)
+                else:
+                    self._offer(instance, ai)

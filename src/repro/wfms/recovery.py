@@ -37,6 +37,7 @@ import re
 from typing import Any
 
 from repro.errors import RecoveryError
+from repro.store.snapshot import restore_state
 from repro.wfms.instance import ProcessState
 from repro.wfms.journal import ReplayCursor
 from repro.wfms.navigator import Navigator
@@ -96,4 +97,122 @@ def replay(navigator: Navigator, records: list[dict[str, Any]]) -> int:
         replayed = total - cursor.pending()
         span.set_attribute("replayed", replayed)
         span.finish()
+    return replayed
+
+
+def replay_with_store(navigator: Navigator, store) -> int:
+    """Checkpointed recovery: restore the latest durable snapshot and
+    replay only the journal suffix past its covered offset.
+
+    Equivalence to a full replay rests on three facts (DESIGN.md §11):
+    the snapshot *is* the state full replay of records ``[0, offset)``
+    produces (navigation is deterministic and the snapshot was taken
+    from exactly that navigator state); the suffix is replayed by the
+    very same mechanism full replay uses; and archived instances —
+    whose records the cursor skips — are finished, so no live record
+    can reference them.  A torn or corrupt newest snapshot falls back
+    to the previous one with a longer suffix: strictly more replay,
+    never different state.
+
+    Returns the number of activity completions consumed, and leaves a
+    summary in ``store.last_recovery``.
+    """
+    checkpoint, skipped = store.latest_checkpoint()
+    journal = store.journal
+    if checkpoint is not None:
+        suffix = journal.suffix(checkpoint.offset)
+        offset = checkpoint.offset
+    else:
+        suffix = journal.records()
+        offset = 0
+    archived = store.archive.ids()
+    cursor = ReplayCursor(suffix, archived=archived)
+    total = cursor.pending()
+    span = navigator.obs.tracer.start_span(
+        "recovery.replay",
+        kind="recovery",
+        attributes={
+            "records": len(suffix),
+            "completions": total,
+            "checkpointed": checkpoint is not None,
+        },
+    )
+    navigator.begin_replay(cursor)
+    restored = 0
+    try:
+        if checkpoint is not None:
+            # Archive wins: an instance captured live in the snapshot
+            # may have finished *and archived* within the suffix — its
+            # suffix records are skipped (cursor), so restoring the
+            # stale live copy would strand it mid-flight and shadow
+            # the archived outcome.  Drop it from the restore set.
+            state = checkpoint.state
+            if archived:
+                live = [
+                    saved
+                    for saved in state["instances"]
+                    if saved["instance"] not in archived
+                ]
+                if len(live) != len(state["instances"]):
+                    state = dict(state)
+                    state["instances"] = live
+                    state["audit"] = [
+                        record
+                        for record in state["audit"]
+                        if record["instance_id"] not in archived
+                    ]
+            restored = restore_state(navigator, state)
+            navigator.requeue_after_restore(cursor)
+        highest = checkpoint.sequence if checkpoint is not None else 0
+        for start in cursor.process_starts:
+            match = _ROOT_ID.match(start["instance"])
+            if match:
+                highest = max(highest, int(match.group(1)))
+        # Roots that started *and* archived within the suffix have no
+        # surviving process_started record (the cursor skips them), so
+        # the archive must also advance the id sequence or a fresh
+        # start_process could reuse an archived root's id.
+        for instance_id in archived:
+            match = _ROOT_ID.match(instance_id)
+            if match:
+                highest = max(highest, int(match.group(1)))
+        navigator.set_sequence(highest)
+        for start in cursor.process_starts:
+            if start.get("parent_instance"):
+                continue  # child instances are re-created by their parents
+            navigator.start_process(
+                start["definition"],
+                start.get("input", {}),
+                starter=start.get("starter", ""),
+                instance_id=start["instance"],
+                version=start.get("version"),
+                trace_parent=start.get("trace"),
+            )
+            navigator.run()
+        # Restored instances may have suffix completions to consume
+        # even when the suffix starts no new roots.
+        navigator.run()
+        if cursor.pending():
+            raise RecoveryError(
+                "%d journal completions were never consumed; the journal "
+                "does not match the registered definitions" % cursor.pending()
+            )
+        for instance_id in sorted(cursor.suspended):
+            instance = navigator.instance(instance_id)
+            if instance.state is ProcessState.RUNNING:
+                navigator.suspend(instance_id)
+    finally:
+        navigator.end_replay()
+        replayed = total - cursor.pending()
+        span.set_attribute("replayed", replayed)
+        span.finish()
+    store.last_recovery = {
+        "checkpoint": checkpoint.path if checkpoint is not None else None,
+        "offset": offset,
+        "skipped_checkpoints": skipped,
+        "suffix_records": len(suffix),
+        "archived_skipped": len(archived),
+        "restored_instances": restored,
+        "replayed": replayed,
+    }
     return replayed

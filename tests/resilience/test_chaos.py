@@ -298,3 +298,182 @@ def test_distributed_exactly_once_under_chaos(seed, tmp_path):
     )
     assert injector.trace() == injector2.trace()
     assert (result, served) == (result2, served2)
+
+
+# ---------------------------------------------------------------------------
+# durable-store workload: checkpoints + compaction + archive under chaos
+# ---------------------------------------------------------------------------
+
+from repro.resilience import FaultRule  # noqa: E402
+from repro.store import DurableStore  # noqa: E402
+
+STORE_SEEDS = range(8)
+SNAPSHOT_TEAR_SEEDS = range(3)
+COMPACT_TEAR_SEEDS = range(3)
+
+
+def run_saga_store_chaos(seed, directory, *, extra_rules=()):
+    """The saga chaos scenario on a store-backed engine: checkpoints
+    every 3 records, compaction after each checkpoint, finished roots
+    archived.  Returns (outcome, db, injector)."""
+    directory.mkdir(parents=True, exist_ok=True)
+    spec = SagaSpec(
+        "chaos", [SagaStep(n) for n in ("t1", "t2", "t3", "t4")]
+    )
+    translation = translate_saga(spec)
+    db = SimDatabase()
+    actions = {
+        s.name: Subtransaction(s.name, db, write_value(s.name, 1))
+        for s in spec.steps
+    }
+    comps = {
+        s.name: Subtransaction("c" + s.name, db, write_value(s.name, 0))
+        for s in spec.steps
+    }
+    injector = FaultInjector(
+        chaos_rules(program_p=0.25, journal_p=0.05, max_fires=3)
+        + list(extra_rules),
+        seed=seed,
+    )
+    store_dir = str(directory / "store")
+
+    def build():
+        engine = Engine(
+            store=DurableStore(store_dir, checkpoint_every_records=3),
+            fault_injector=injector,
+        )
+        register_saga_programs(engine, translation, actions, comps)
+        engine.register_definition(translation.process)
+        for step in spec.steps:
+            engine.set_retry(
+                "txn_%s" % step.name,
+                RetryPolicy(
+                    2,
+                    backoff="fixed",
+                    base_delay=1.0,
+                    escalate_rc=SAGA_ABORT_RC,
+                ),
+            )
+        return engine
+
+    engine = build()
+    iid = None
+    for __ in range(50):
+        try:
+            if iid is None:
+                iid = engine.start_process(translation.process_name)
+            engine.drain()
+            break
+        except JournalError:
+            # disk/snapshot/compaction fault: the engine degraded;
+            # recover from the latest valid checkpoint + suffix
+            engine = build()
+            engine.recover()
+            if iid is not None:
+                try:
+                    engine.instance_state(iid)
+                except NavigationError:
+                    iid = None  # the start itself was never durable
+    else:
+        pytest.fail("store chaos run did not converge (seed %d)" % seed)
+    assert engine.instance_state(iid) == "finished"
+    outcome = workflow_saga_outcome(engine, translation, iid)
+    status = engine.store_status()
+    engine.close()
+    return outcome, db, injector, status
+
+
+@pytest.mark.parametrize("seed", STORE_SEEDS)
+def test_store_chaos_matches_plain_journal_run(seed, tmp_path):
+    """The tentpole guarantee: a store-backed run (checkpoints +
+    compaction + archive) is *trace- and outcome-identical* to the
+    plain single-file-journal run of the same seed — durability
+    machinery changes recovery cost, never behaviour."""
+    outcome, db, injector, status = run_saga_store_chaos(
+        seed, tmp_path / "store_a"
+    )
+    assert verify_saga_guarantee(
+        spec_of(outcome), outcome.executed, outcome.compensated
+    )
+    if outcome.committed:
+        assert all(db.get(s) == 1 for s in outcome.executed)
+    else:
+        assert all(db.get(s) == 0 for s in outcome.compensated)
+    # the finished saga was archived out of live memory
+    assert status["archived_roots"] == 1
+
+    # bit-identical to the no-checkpoint run of the same seed
+    plain_outcome, plain_db, plain_injector = run_saga_chaos(
+        seed, tmp_path / "plain"
+    )
+    assert injector.trace() == plain_injector.trace()
+    assert (
+        outcome.committed,
+        outcome.executed,
+        outcome.compensated,
+    ) == (
+        plain_outcome.committed,
+        plain_outcome.executed,
+        plain_outcome.compensated,
+    )
+    assert db.snapshot() == plain_db.snapshot()
+
+    # and replayable against itself: same seed => same everything
+    outcome2, db2, injector2, __ = run_saga_store_chaos(
+        seed, tmp_path / "store_b"
+    )
+    assert injector.trace() == injector2.trace()
+    assert db.snapshot() == db2.snapshot()
+
+
+@pytest.mark.parametrize("seed", SNAPSHOT_TEAR_SEEDS)
+def test_store_chaos_survives_torn_snapshots(seed, tmp_path):
+    """Crash *during* checkpoint write: the torn snapshot is skipped,
+    recovery falls back to an older one, the saga guarantee holds and
+    the outcome still matches the plain run (the extra scheduled fault
+    consumes no RNG, so program/journal chaos is unchanged)."""
+    tear = FaultRule("snapshot.write", schedule={2})
+    outcome, db, injector, __ = run_saga_store_chaos(
+        seed, tmp_path / "store", extra_rules=[tear]
+    )
+    assert verify_saga_guarantee(
+        spec_of(outcome), outcome.executed, outcome.compensated
+    )
+    plain_outcome, plain_db, __ = run_saga_chaos(seed, tmp_path / "plain")
+    assert (
+        outcome.committed,
+        outcome.executed,
+        outcome.compensated,
+    ) == (
+        plain_outcome.committed,
+        plain_outcome.executed,
+        plain_outcome.compensated,
+    )
+    assert db.snapshot() == plain_db.snapshot()
+    # the store run saw exactly one extra fired fault: the torn write
+    extra = [f for f in injector.trace() if f[0] == "snapshot.write"]
+    assert len(extra) <= 1
+
+
+@pytest.mark.parametrize("seed", COMPACT_TEAR_SEEDS)
+def test_store_chaos_survives_aborted_compaction(seed, tmp_path):
+    """Crash *during* compaction (before its manifest commit): the old
+    manifest still governs, nothing is lost, outcomes match plain."""
+    tear = FaultRule("compact", schedule={2})
+    outcome, db, __, __status = run_saga_store_chaos(
+        seed, tmp_path / "store", extra_rules=[tear]
+    )
+    assert verify_saga_guarantee(
+        spec_of(outcome), outcome.executed, outcome.compensated
+    )
+    plain_outcome, plain_db, __ = run_saga_chaos(seed, tmp_path / "plain")
+    assert (
+        outcome.committed,
+        outcome.executed,
+        outcome.compensated,
+    ) == (
+        plain_outcome.committed,
+        plain_outcome.executed,
+        plain_outcome.compensated,
+    )
+    assert db.snapshot() == plain_db.snapshot()

@@ -1,0 +1,137 @@
+"""Instance archive: append-only durability, idempotent adds, queries."""
+
+import pytest
+
+from repro.errors import RecoveryError
+from repro.store.archive import InstanceArchive, build_archive_entry
+from repro.wfms import Activity, Engine, ProcessDefinition
+from repro.wfms.model import ActivityKind
+
+
+def entry(root, definition="P", rc=0, finished_at=0.0, children=()):
+    instances = {root: {"definition": definition, "state": "finished"}}
+    for child in children:
+        instances[child] = {"definition": definition, "state": "finished"}
+    return {
+        "format": 1,
+        "root": root,
+        "definition": definition,
+        "version": "1",
+        "starter": "",
+        "finished_at": finished_at,
+        "rc": rc,
+        "output": {"_RC": rc},
+        "order": ["A"],
+        "instances": instances,
+        "audit": [],
+    }
+
+
+class TestArchive:
+    def test_add_and_query_round_trip(self, tmp_path):
+        path = tmp_path / "archive.jsonl"
+        archive = InstanceArchive(path)
+        assert archive.add(entry("pi-0001", "Pay", rc=0, finished_at=1.0))
+        assert archive.add(
+            entry("pi-0002", "Pay", rc=2, finished_at=3.0,
+                  children=("pi-0002.Sub-1",))
+        )
+        assert archive.add(entry("pi-0003", "Ship", rc=0, finished_at=5.0))
+        archive.close()
+
+        reloaded = InstanceArchive(path)
+        assert len(reloaded) == 3
+        assert reloaded.instance_count() == 4
+        assert reloaded.roots() == ["pi-0001", "pi-0002", "pi-0003"]
+        assert "pi-0002.Sub-1" in reloaded
+        assert reloaded.by_id("pi-0001")["rc"] == 0
+        child = reloaded.by_id("pi-0002.Sub-1")
+        assert child["root"] == "pi-0002"
+        assert child["finished_at"] == 3.0
+        assert [e["root"] for e in reloaded.by_definition("Pay")] == [
+            "pi-0001",
+            "pi-0002",
+        ]
+        assert [e["root"] for e in reloaded.finished_between(2.0, 5.0)] == [
+            "pi-0002",
+            "pi-0003",
+        ]
+        assert reloaded.outcomes() == {0: 2, 2: 1}
+        assert reloaded.outcomes("Pay") == {0: 1, 2: 1}
+        assert reloaded.by_id("pi-9999") is None
+        reloaded.close()
+
+    def test_duplicate_add_is_idempotent(self, tmp_path):
+        path = tmp_path / "archive.jsonl"
+        archive = InstanceArchive(path)
+        assert archive.add(entry("pi-0001"))
+        assert not archive.add(entry("pi-0001"))
+        archive.close()
+        assert len(path.read_text(encoding="utf-8").splitlines()) == 1
+
+    def test_torn_tail_tolerated_and_healed(self, tmp_path):
+        """A crash mid-append loses the last entry; the journal still
+        holds the instance's records, so replay re-finishes it and the
+        re-archive heals the file."""
+        path = tmp_path / "archive.jsonl"
+        archive = InstanceArchive(path)
+        archive.add(entry("pi-0001"))
+        archive.add(entry("pi-0002"))
+        archive.close()
+        data = path.read_text(encoding="utf-8")
+        path.write_text(data[: len(data) - 20], encoding="utf-8")
+
+        reloaded = InstanceArchive(path)
+        assert reloaded.roots() == ["pi-0001"]
+        assert reloaded.add(entry("pi-0002"))  # the heal
+        reloaded.close()
+        healed = InstanceArchive(path)
+        assert healed.roots() == ["pi-0001", "pi-0002"]
+        healed.close()
+
+    def test_malformed_entry_raises(self, tmp_path):
+        path = tmp_path / "archive.jsonl"
+        path.write_text('{"format": 1, "no_root": true}\n{"x": 1}\n')
+        with pytest.raises(RecoveryError, match="malformed archive entry"):
+            InstanceArchive(path)
+
+    def test_closed_archive_rejects_writes(self, tmp_path):
+        archive = InstanceArchive(tmp_path / "archive.jsonl")
+        archive.close()
+        with pytest.raises(RecoveryError):
+            archive.add(entry("pi-0001"))
+        archive.reopen()
+        assert archive.add(entry("pi-0001"))
+        archive.close()
+
+
+class TestBuildEntry:
+    def test_entry_captures_subtree(self):
+        engine = Engine()
+        engine.register_program("p", lambda ctx: 0)
+        child = ProcessDefinition("Child")
+        child.add_activity(Activity("Work", program="p"))
+        engine.register_definition(child)
+        parent = ProcessDefinition("Parent")
+        parent.add_activity(
+            Activity("Delegate", kind=ActivityKind.PROCESS, subprocess="Child")
+        )
+        parent.add_activity(Activity("Wrap", program="p"))
+        parent.connect("Delegate", "Wrap")
+        engine.register_definition(parent)
+        iid = engine.start_process("Parent", starter="ada")
+        engine.run()
+        assert engine.instance_state(iid) == "finished"
+
+        instance = engine.navigator.instance(iid)
+        built = build_archive_entry(engine.navigator, instance)
+        assert built["root"] == iid
+        assert built["definition"] == "Parent"
+        assert built["starter"] == "ada"
+        assert len(built["instances"]) == 2  # root + subprocess child
+        assert built["order"] == ["Work", "Wrap"]  # deep order
+        child_id = next(i for i in built["instances"] if i != iid)
+        member = built["instances"][child_id]
+        assert member["parent_instance"] == iid
+        assert member["execution_order"] == ["Work"]
+        assert built["audit"]  # the subtree's audit slice rides along

@@ -1,0 +1,164 @@
+"""Checkpoint capture/restore: round-trip fidelity, atomic writes,
+and corruption falling back to "replay more", never "wrong state"."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import RecoveryError
+from repro.store.snapshot import (
+    FORMAT_VERSION,
+    Checkpoint,
+    capture_state,
+    load_checkpoint,
+    restore_state,
+    write_checkpoint,
+)
+from repro.wfms import Activity, DataType, Engine, ProcessDefinition, VariableDecl
+from repro.wfms.model import StaffAssignment, StartMode
+from repro.wfms.organization import Organization
+
+
+def build_engine():
+    """A -> Approve(manual) -> C so execution pauses mid-process."""
+    org = Organization()
+    org.add_role("clerk")
+    org.add_person("ada", roles=("clerk",))
+    engine = Engine(organization=org)
+    engine.register_program("p", lambda ctx: (ctx.set_output("X", 7), 0)[1])
+    d = ProcessDefinition("P")
+    d.add_activity(
+        Activity("A", program="p", output_spec=[VariableDecl("X", DataType.LONG)])
+    )
+    d.add_activity(
+        Activity(
+            "Approve",
+            program="p",
+            start_mode=StartMode.MANUAL,
+            staff=StaffAssignment(roles=("clerk",)),
+        )
+    )
+    d.add_activity(Activity("C", program="p"))
+    d.connect("A", "Approve")
+    d.connect("Approve", "C")
+    engine.register_definition(d)
+    return engine
+
+
+def fresh_like(engine):
+    rebuilt = Engine(organization=engine.organization)
+    rebuilt.register_program("p", lambda ctx: (ctx.set_output("X", 7), 0)[1])
+    rebuilt.register_definition(engine.definition("P"))
+    return rebuilt
+
+
+class TestRoundTrip:
+    def test_mid_execution_state_survives(self):
+        engine = build_engine()
+        iid = engine.start_process("P", starter="ada")
+        engine.run()  # A done, Approve offered, C untouched
+        assert engine.instance_state(iid) == "running"
+
+        state = capture_state(engine.navigator, offset=5)
+        rebuilt = fresh_like(engine)
+        restored = restore_state(rebuilt.navigator, state)
+        assert restored == 1
+
+        assert rebuilt.instance_state(iid) == "running"
+        assert rebuilt.activity_states(iid) == engine.activity_states(iid)
+        instance = rebuilt.navigator.instance(iid)
+        original = engine.navigator.instance(iid)
+        assert instance.starter == original.starter
+        ai = instance.activities["A"]
+        assert ai.attempt == 1
+        assert ai.output.get("X") == 7
+        assert instance.activities["C"].attempt == 0
+        assert rebuilt.navigator.clock == engine.navigator.clock
+
+    def test_audit_and_sequence_survive(self):
+        engine = build_engine()
+        iid = engine.start_process("P", starter="ada")
+        engine.run()
+        state = capture_state(engine.navigator, offset=0)
+        rebuilt = fresh_like(engine)
+        restore_state(rebuilt.navigator, state)
+        assert rebuilt.audit.count(iid) == engine.audit.count(iid)
+        assert rebuilt.audit.next_sequence == engine.audit.next_sequence
+        # the instance-id sequence continues, never collides
+        next_id = rebuilt.start_process("P", starter="ada")
+        assert next_id != iid
+
+    def test_state_is_json_serializable(self):
+        engine = build_engine()
+        engine.start_process("P", starter="ada")
+        engine.run()
+        state = capture_state(engine.navigator, offset=3)
+        json.dumps(state)  # must not raise
+
+    def test_restore_requires_fresh_navigator(self):
+        engine = build_engine()
+        engine.start_process("P", starter="ada")
+        engine.run()
+        state = capture_state(engine.navigator, offset=0)
+        with pytest.raises(RecoveryError):
+            restore_state(engine.navigator, state)  # not fresh
+
+
+class TestCheckpointFile:
+    def _state(self):
+        engine = build_engine()
+        engine.start_process("P", starter="ada")
+        engine.run()
+        return capture_state(engine.navigator, offset=9)
+
+    def test_write_load_round_trip(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        state = self._state()
+        write_checkpoint(path, state)
+        assert load_checkpoint(path) == state
+        checkpoint = Checkpoint.load(path)
+        assert checkpoint.offset == 9
+        assert checkpoint.instance_count == 1
+
+    def test_write_is_atomic_no_temp_left(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        write_checkpoint(path, self._state())
+        assert os.listdir(tmp_path) == ["ckpt.json"]
+
+    def test_truncated_file_is_rejected(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        write_checkpoint(path, self._state())
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        assert load_checkpoint(path) is None
+
+    def test_bitflip_fails_checksum(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        write_checkpoint(path, self._state())
+        text = path.read_text(encoding="utf-8")
+        assert '"clock": ' in text
+        path.write_text(
+            text.replace('"clock": ', '"clock": 1e9 + ', 1), encoding="utf-8"
+        )
+        assert load_checkpoint(path) is None
+
+    def test_unknown_format_version_rejected(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        write_checkpoint(path, self._state())
+        document = json.loads(path.read_text(encoding="utf-8"))
+        assert document["format"] == FORMAT_VERSION
+        document["format"] = FORMAT_VERSION + 1
+        path.write_text(json.dumps(document), encoding="utf-8")
+        assert load_checkpoint(path) is None
+
+    def test_missing_file_is_none(self, tmp_path):
+        assert load_checkpoint(tmp_path / "nope.json") is None
+
+    def test_corrupt_checkpoint_never_restores(self, tmp_path):
+        """The contract: a damaged snapshot means *longer replay*,
+        never silently wrong state — load yields None, not garbage."""
+        path = tmp_path / "ckpt.json"
+        write_checkpoint(path, self._state())
+        path.write_text('{"format": 1, "state": "oops"}', encoding="utf-8")
+        assert Checkpoint.load(path) is None

@@ -208,3 +208,44 @@ class TestWriteThenAppend:
         with pytest.raises(RecoveryError):
             journal.append({"type": "bogus"})
         assert journal.records() == []
+
+
+class TestCorruptionDetection:
+    """A decode error is a clean crash signature only on the *last*
+    non-empty line; mid-file corruption is flagged, never skipped."""
+
+    def test_torn_final_line_is_tolerated(self, tmp_path):
+        path = tmp_path / "j.log"
+        journal = Journal(path)
+        journal.append(record(0))
+        journal.append(record(1))
+        journal.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"type": "process_fin')  # crash mid-append
+        assert load_journal(path) == [record(0), record(1)]
+
+    def test_midfile_corruption_raises(self, tmp_path):
+        """Regression: a corrupted record *followed by durable data*
+        used to be silently swallowed, replaying a journal that lies."""
+        path = tmp_path / "j.log"
+        journal = Journal(path)
+        for n in range(3):
+            journal.append(record(n))
+        journal.close()
+        lines = path.read_text(encoding="utf-8").splitlines(True)
+        lines[1] = lines[1][: len(lines[1]) // 2] + "\n"  # torn mid-file
+        path.write_text("".join(lines), encoding="utf-8")
+        with pytest.raises(RecoveryError, match="followed by durable data"):
+            load_journal(path)
+
+    def test_trailing_blank_lines_do_not_hide_corruption(self, tmp_path):
+        path = tmp_path / "j.log"
+        path.write_text('{"type": "proc\n\n\n', encoding="utf-8")
+        # the torn record *is* the last non-empty line: clean signature
+        assert load_journal(path) == []
+
+    def test_non_object_record_rejected(self, tmp_path):
+        path = tmp_path / "j.log"
+        path.write_text('[1, 2]\n{"type": "process_finished"}\n')
+        with pytest.raises(RecoveryError, match="malformed journal record"):
+            load_journal(path)

@@ -273,6 +273,39 @@ def measure_store_disabled() -> float:
     return best
 
 
+def measure_tx_scope_chain() -> float:
+    """scope ops/sec over sequential scoped chains.
+
+    The hot path of every cross-activity transaction scope: handle
+    registry, logical-clock tick, strict-2PL acquisition and WAL
+    logging per write, savepoint watermark, commit.  Regresses if the
+    scope layer adds per-operation cost beyond the substrate's own.
+    """
+    from bench_tx_scope import scope_chain_throughput
+
+    best = 0.0
+    scope_chain_throughput(chains=20)  # warmup
+    for __ in range(REPEATS):
+        best = max(best, scope_chain_throughput())
+    return best
+
+
+def measure_scope_disabled() -> float:
+    """activities/sec with no scope manager installed (the default).
+
+    The navigator's only scope hook is a ``services.get("tx_scopes")``
+    probe at root-instance finish; this metric regresses if scope
+    support ever taxes scope-less workflows more than that one lookup.
+    """
+    from bench_tx_scope import scope_disabled_throughput
+
+    best = 0.0
+    scope_disabled_throughput(runs=2)  # warmup
+    for __ in range(REPEATS):
+        best = max(best, scope_disabled_throughput())
+    return best
+
+
 METRICS = {
     "engine.dag_16x16.activities_per_sec": measure_engine_large_dag,
     "engine.concurrent_200x3x3.activities_per_sec": measure_engine_concurrent,
@@ -291,6 +324,8 @@ METRICS = {
         measure_store_recovery_checkpointed
     ),
     "store.disabled_dag_8x8.activities_per_sec": measure_store_disabled,
+    "tx.scope_chain.ops_per_sec": measure_tx_scope_chain,
+    "scope.disabled_dag_8x8.activities_per_sec": measure_scope_disabled,
 }
 
 

@@ -43,6 +43,15 @@ from repro.core.contract import (
 )
 from repro.core.speclang import parse_spec
 from repro.core.fmtm import FMTMPipeline, PipelineReport
+from repro.core.scoped import (
+    ScopedOutcome,
+    install_scope_service,
+    register_pivot_chain_programs,
+    register_scoped_saga_programs,
+    translate_pivot_chain,
+    translate_scoped_saga,
+    workflow_scoped_outcome,
+)
 
 __all__ = [
     "ContractOutcome",
@@ -59,10 +68,16 @@ __all__ = [
     "SagaOutcome",
     "SagaSpec",
     "SagaStep",
+    "ScopedOutcome",
     "check_well_formed",
+    "install_scope_service",
     "parse_spec",
+    "register_pivot_chain_programs",
+    "register_scoped_saga_programs",
     "translate_contract",
     "translate_flexible",
     "translate_parallel_saga",
     "translate_saga",
+    "translate_scoped_saga",
+    "workflow_scoped_outcome",
 ]

@@ -1,0 +1,657 @@
+"""Scoped transaction models: workflows over one shared transaction.
+
+The saga translation (Figure 2) gives every step its own ACID
+subtransaction and undoes committed steps with *compensations*.  With
+cross-activity scopes (:mod:`repro.tx.scope`) the same control flow
+can run **inside one transaction**: ``Begin`` opens the scope, the
+steps write under it, ``Commit`` / ``Rollback`` end it — so abort
+semantics come from WAL undo instead of compensation programs, and
+partial rollback (Lanese's dynamic-saga workloads) falls out of
+savepoints.
+
+Two constructions:
+
+* :func:`translate_scoped_saga` — the saga chain over a shared scope.
+  Steps named in ``optional_steps`` get a ``SP_<step>`` savepoint
+  activity before them and a ``RB_<step>`` rollback-to-savepoint
+  activity on their failure edge, after which the chain *continues*:
+  an optional step's failure costs only its own writes.
+* :func:`translate_pivot_chain` — the pivot-then-retriable shape of
+  flexible transactions (§4.2): a compensatable prefix runs inside the
+  scope (rollback = WAL undo, no compensations needed), the **pivot is
+  the scope commit**, and the retriable suffix runs after it as
+  ordinary subtransactions re-executed until they commit.
+
+The scope handle travels through data containers: ``Begin`` writes it
+to its ``Scope`` output member and a data connector fans it out to
+every scope-touching activity — it is workflow data like any other.
+
+Return codes follow the saga appendix convention (0 = success), so
+these processes compose with the existing saga machinery and outcome
+extractors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ScopeError, SpecificationError, TransactionAborted
+from repro.tx.scope import IsolationLevel, ScopeManager
+from repro.tx.subtransaction import Subtransaction
+from repro.wfms.datatypes import DataType, VariableDecl
+from repro.wfms.engine import Engine
+from repro.wfms.model import (
+    PROCESS_OUTPUT,
+    Activity,
+    ProcessDefinition,
+    StartCondition,
+)
+from repro.core.compblock import state_var
+from repro.core.saga_translator import SAGA_ABORT_RC, SAGA_COMMIT_RC
+from repro.core.sagas import SagaSpec
+
+#: Engine service key under which the :class:`ScopeManager` lives.
+SCOPE_SERVICE = "tx_scopes"
+
+#: Generic program names (handle- and activity-name-driven).
+SCOPE_SAVEPOINT_PROGRAM = "scope_savepoint"
+SCOPE_ROLLBACK_TO_PROGRAM = "scope_rollback_to"
+SCOPE_COMMIT_PROGRAM = "scope_commit"
+SCOPE_ROLLBACK_PROGRAM = "scope_rollback"
+
+#: Activity-name prefixes the generic programs key off.
+SAVEPOINT_PREFIX = "SP_"
+ROLLBACK_TO_PREFIX = "RB_"
+
+
+@dataclass
+class ScopedSagaTranslation:
+    """Output of :func:`translate_scoped_saga`."""
+
+    spec: SagaSpec
+    process: ProcessDefinition
+    isolation: IsolationLevel
+    timeout: int | None
+    optional_steps: tuple[str, ...]
+    begin_program: str
+    #: program name -> description (the FDL PROGRAM section).
+    required_programs: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class PivotChainTranslation:
+    """Output of :func:`translate_pivot_chain`."""
+
+    name: str
+    process: ProcessDefinition
+    isolation: IsolationLevel
+    timeout: int | None
+    scoped_steps: tuple[str, ...]
+    retriable_steps: tuple[str, ...]
+    begin_program: str
+    required_programs: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ScopedOutcome:
+    """Model-level outcome of a scoped execution."""
+
+    committed: bool
+    rolled_back: bool
+    executed: list[str]
+    #: Steps whose failure was absorbed by rollback-to-savepoint.
+    partially_rolled_back: list[str]
+
+
+# ---------------------------------------------------------------------------
+# generic scope programs
+# ---------------------------------------------------------------------------
+
+def _manager(ctx) -> ScopeManager | None:
+    return ctx.services.get(SCOPE_SERVICE)
+
+
+def _scope_of(ctx):
+    """The open scope named by the input handle, or None (crash-torn
+    scopes, replayed histories, Begin failures all land here)."""
+    manager = _manager(ctx)
+    if manager is None:
+        return None
+    handle = ctx.input.get("Scope") if ctx.input.has("Scope") else ""
+    if not handle:
+        return None
+    return manager.get(handle)
+
+
+def _passthrough_scope(ctx) -> None:
+    if ctx.output.has("Scope") and ctx.input.has("Scope"):
+        ctx.output.set("Scope", ctx.input.get("Scope"))
+
+
+def scope_savepoint_program(ctx) -> int:
+    """Set a savepoint named after the activity (``SP_<step>``)."""
+    scope = _scope_of(ctx)
+    _passthrough_scope(ctx)
+    if scope is None:
+        return SAGA_ABORT_RC
+    try:
+        scope.savepoint(ctx.activity)
+    except TransactionAborted:
+        return SAGA_ABORT_RC
+    return SAGA_COMMIT_RC
+
+
+def scope_rollback_to_program(ctx) -> int:
+    """Roll the scope back to the matching savepoint: activity
+    ``RB_<step>`` targets savepoint ``SP_<step>``."""
+    scope = _scope_of(ctx)
+    _passthrough_scope(ctx)
+    if scope is None:
+        return SAGA_ABORT_RC
+    name = SAVEPOINT_PREFIX + ctx.activity[len(ROLLBACK_TO_PREFIX):]
+    try:
+        scope.rollback_to_savepoint(name)
+    except TransactionAborted:
+        return SAGA_ABORT_RC
+    return SAGA_COMMIT_RC
+
+
+def scope_commit_program(ctx) -> int:
+    """Commit the scope.  An injected ``scope.commit`` fault raises
+    out of here (the engine's retry/escalation policy applies, like
+    any crashing external program)."""
+    scope = _scope_of(ctx)
+    committed = False
+    if scope is not None:
+        try:
+            scope.commit()
+            committed = True
+        except TransactionAborted:
+            committed = False
+    if ctx.output.has("State"):
+        ctx.output.set("State", 1 if committed else 0)
+    return SAGA_COMMIT_RC if committed else SAGA_ABORT_RC
+
+
+def scope_rollback_program(ctx) -> int:
+    """Roll the scope back.  Idempotent by design: unknown or already
+    finished handles are a success, so replay and the root-finish
+    safety net can both fire it unconditionally."""
+    manager = _manager(ctx)
+    handle = ctx.input.get("Scope") if ctx.input.has("Scope") else ""
+    if manager is not None and handle:
+        manager.rollback(handle, reason="workflow rollback")
+    if ctx.output.has("State"):
+        ctx.output.set("State", 1)
+    return SAGA_COMMIT_RC
+
+
+def make_begin_program(isolation: IsolationLevel, timeout: int | None):
+    """A ``Begin`` program opening a scope for the invoking instance."""
+
+    def scope_begin(ctx) -> int:
+        manager = _manager(ctx)
+        if manager is None:
+            return SAGA_ABORT_RC
+        try:
+            scope = manager.begin(
+                ctx.instance_id, isolation=isolation, timeout=timeout
+            )
+        except (ScopeError, TransactionAborted):
+            return SAGA_ABORT_RC
+        ctx.output.set("Scope", scope.handle)
+        return SAGA_COMMIT_RC
+
+    return scope_begin
+
+
+def make_scoped_step_program(body):
+    """Adapt a body (callable taking the open scope) into a program.
+
+    Mirrors :meth:`Subtransaction.as_program`, but the transaction is
+    the *shared scope* — the body's writes survive or vanish with it.
+    """
+
+    def scoped_step(ctx) -> int:
+        scope = _scope_of(ctx)
+        committed = False
+        if scope is not None:
+            try:
+                body(scope)
+                committed = True
+            except TransactionAborted:
+                committed = False
+        if ctx.output.has("State"):
+            ctx.output.set("State", 1 if committed else 0)
+        return SAGA_COMMIT_RC if committed else SAGA_ABORT_RC
+
+    return scoped_step
+
+
+def install_scope_service(
+    engine: Engine, manager: ScopeManager
+) -> None:
+    """Install ``manager`` as the engine's scope service and register
+    the generic scope programs."""
+    engine.services[SCOPE_SERVICE] = manager
+    engine.register_program(
+        SCOPE_SAVEPOINT_PROGRAM,
+        scope_savepoint_program,
+        "scope savepoint",
+        replace=True,
+    )
+    engine.register_program(
+        SCOPE_ROLLBACK_TO_PROGRAM,
+        scope_rollback_to_program,
+        "scope rollback-to-savepoint",
+        replace=True,
+    )
+    engine.register_program(
+        SCOPE_COMMIT_PROGRAM, scope_commit_program, "scope commit", replace=True
+    )
+    engine.register_program(
+        SCOPE_ROLLBACK_PROGRAM,
+        scope_rollback_program,
+        "scope rollback",
+        replace=True,
+    )
+
+
+# ---------------------------------------------------------------------------
+# translation: saga over a shared scope
+# ---------------------------------------------------------------------------
+
+def translate_scoped_saga(
+    spec: SagaSpec,
+    *,
+    isolation: IsolationLevel = IsolationLevel.SERIALIZABLE,
+    timeout: int | None = None,
+    optional_steps: tuple[str, ...] | list[str] = (),
+) -> ScopedSagaTranslation:
+    """Translate a linear saga into a process over one shared scope.
+
+    ``optional_steps`` get savepoint-partial-rollback semantics: a
+    savepoint before the step, rollback-to-savepoint on its failure,
+    and the chain continues either way (the successor is an OR-join).
+    Failure anywhere else routes to the full ``Rollback``.
+    """
+    if not spec.is_linear:
+        raise SpecificationError(
+            "scoped sagas are defined for linear sagas (one shared "
+            "transaction has one serial history)"
+        )
+    optional = tuple(optional_steps)
+    known = {step.name for step in spec.steps}
+    for name in optional:
+        if name not in known:
+            raise SpecificationError(
+                "optional step %r is not a step of saga %s"
+                % (name, spec.name)
+            )
+    scope_decl = VariableDecl("Scope", DataType.STRING)
+    state_decl = VariableDecl("State", DataType.LONG)
+    process = ProcessDefinition(
+        "ScopedSaga_%s" % spec.name,
+        description="saga %r over one shared transaction scope" % spec.name,
+        output_spec=[
+            VariableDecl(state_var(step.name), DataType.LONG)
+            for step in spec.steps
+        ]
+        + [
+            VariableDecl("Committed", DataType.LONG),
+            VariableDecl("RolledBack", DataType.LONG),
+        ],
+    )
+    begin_program = "scope_begin_%s" % spec.name
+    process.add_activity(
+        Activity(
+            "Begin",
+            program=begin_program,
+            output_spec=[scope_decl],
+            description="open the shared scope",
+        )
+    )
+    process.add_activity(
+        Activity(
+            "Rollback",
+            program=SCOPE_ROLLBACK_PROGRAM,
+            input_spec=[scope_decl],
+            output_spec=[state_decl],
+            start_condition=StartCondition.ANY,
+            description="roll the scope back (any failure routes here)",
+        )
+    )
+    process.connect("Begin", "Rollback", "RC <> %d" % SAGA_COMMIT_RC)
+    scope_users: list[str] = ["Rollback"]
+    # sources feeding the next chain element: (activity, condition).
+    pending: list[str] = ["Begin"]
+    for step in spec.steps:
+        # The chain element receiving the predecessors' edges is the
+        # savepoint for optional steps, the step itself otherwise; it
+        # is an OR-join when the predecessor was optional (exactly one
+        # of step / RB fires, the other is dead-path-eliminated).
+        join = (
+            StartCondition.ANY if len(pending) > 1 else StartCondition.ALL
+        )
+        entry = step.name
+        if step.name in optional:
+            entry = SAVEPOINT_PREFIX + step.name
+            process.add_activity(
+                Activity(
+                    entry,
+                    program=SCOPE_SAVEPOINT_PROGRAM,
+                    input_spec=[scope_decl],
+                    output_spec=[scope_decl],
+                    start_condition=join,
+                    description="savepoint before optional %s" % step.name,
+                )
+            )
+            process.connect(
+                entry, "Rollback", "RC <> %d" % SAGA_COMMIT_RC
+            )
+            scope_users.append(entry)
+        process.add_activity(
+            Activity(
+                step.name,
+                program="sc_%s" % step.program,
+                input_spec=[scope_decl],
+                output_spec=[state_decl],
+                start_condition=(
+                    StartCondition.ALL if entry != step.name else join
+                ),
+                description="scoped step %s" % step.name,
+            )
+        )
+        scope_users.append(step.name)
+        for source in pending:
+            process.connect(source, entry, "RC = %d" % SAGA_COMMIT_RC)
+        if entry != step.name:
+            process.connect(entry, step.name, "RC = %d" % SAGA_COMMIT_RC)
+        process.map_data(
+            step.name, PROCESS_OUTPUT, [("State", state_var(step.name))]
+        )
+        if step.name in optional:
+            rb = ROLLBACK_TO_PREFIX + step.name
+            process.add_activity(
+                Activity(
+                    rb,
+                    program=SCOPE_ROLLBACK_TO_PROGRAM,
+                    input_spec=[scope_decl],
+                    output_spec=[scope_decl],
+                    description="absorb %s's failure via its savepoint"
+                    % step.name,
+                )
+            )
+            scope_users.append(rb)
+            process.connect(step.name, rb, "RC <> %d" % SAGA_COMMIT_RC)
+            process.connect(rb, "Rollback", "RC <> %d" % SAGA_COMMIT_RC)
+            pending = [step.name, rb]
+        else:
+            process.connect(
+                step.name, "Rollback", "RC <> %d" % SAGA_COMMIT_RC
+            )
+            pending = [step.name]
+    process.add_activity(
+        Activity(
+            "Commit",
+            program=SCOPE_COMMIT_PROGRAM,
+            input_spec=[scope_decl],
+            output_spec=[state_decl],
+            start_condition=(
+                StartCondition.ANY if len(pending) > 1 else StartCondition.ALL
+            ),
+            description="commit the shared scope",
+        )
+    )
+    scope_users.append("Commit")
+    for source in pending:
+        process.connect(source, "Commit", "RC = %d" % SAGA_COMMIT_RC)
+    process.connect("Commit", "Rollback", "RC <> %d" % SAGA_COMMIT_RC)
+    for user in scope_users:
+        process.map_data("Begin", user, [("Scope", "Scope")])
+    process.map_data(
+        "Commit", PROCESS_OUTPUT, [("State", "Committed"), ("_RC", "_RC")]
+    )
+    process.map_data(
+        "Rollback", PROCESS_OUTPUT, [("State", "RolledBack"), ("_RC", "_RC")]
+    )
+    process.validate()
+    required = {
+        begin_program: "open the shared scope",
+        SCOPE_COMMIT_PROGRAM: "commit the shared scope",
+        SCOPE_ROLLBACK_PROGRAM: "roll the shared scope back",
+    }
+    if optional:
+        required[SCOPE_SAVEPOINT_PROGRAM] = "set a savepoint"
+        required[SCOPE_ROLLBACK_TO_PROGRAM] = "roll back to a savepoint"
+    for step in spec.steps:
+        required["sc_%s" % step.program] = "scoped step %s" % step.name
+    return ScopedSagaTranslation(
+        spec=spec,
+        process=process,
+        isolation=isolation,
+        timeout=timeout,
+        optional_steps=optional,
+        begin_program=begin_program,
+        required_programs=required,
+    )
+
+
+def register_scoped_saga_programs(
+    engine: Engine,
+    translation: ScopedSagaTranslation,
+    bodies: dict,
+    manager: ScopeManager,
+) -> None:
+    """Install the scope service and every program the scoped saga
+    references.  ``bodies`` maps step name -> callable(scope)."""
+    install_scope_service(engine, manager)
+    engine.register_program(
+        translation.begin_program,
+        make_begin_program(translation.isolation, translation.timeout),
+        "open scope for saga %s" % translation.spec.name,
+        replace=True,
+    )
+    for step in translation.spec.steps:
+        if step.name not in bodies:
+            raise SpecificationError("no body bound for %r" % step.name)
+        engine.register_program(
+            "sc_%s" % step.program,
+            make_scoped_step_program(bodies[step.name]),
+            "scoped step %s" % step.name,
+            replace=True,
+        )
+
+
+# ---------------------------------------------------------------------------
+# translation: pivot-then-retriable chain
+# ---------------------------------------------------------------------------
+
+def translate_pivot_chain(
+    name: str,
+    scoped_steps: list[str],
+    retriable_steps: list[str],
+    *,
+    isolation: IsolationLevel = IsolationLevel.SERIALIZABLE,
+    timeout: int | None = None,
+    max_retriable_attempts: int = 100,
+) -> PivotChainTranslation:
+    """The §4.2 pivot shape over a scope.
+
+    The compensatable prefix runs inside the scope (its "compensation"
+    is WAL undo), the **pivot is the scope commit**, and each
+    retriable step re-executes until it commits (exit condition
+    ``RC = 0``), exactly the forward-recovery discipline the pivot
+    licenses.
+    """
+    if not scoped_steps:
+        raise SpecificationError("pivot chain %s has no scoped prefix" % name)
+    overlap = set(scoped_steps) & set(retriable_steps)
+    if overlap:
+        raise SpecificationError(
+            "pivot chain %s: steps %s are both scoped and retriable"
+            % (name, sorted(overlap))
+        )
+    scope_decl = VariableDecl("Scope", DataType.STRING)
+    state_decl = VariableDecl("State", DataType.LONG)
+    process = ProcessDefinition(
+        "Pivot_%s" % name,
+        description="pivot-then-retriable chain %r over one scope" % name,
+        output_spec=[
+            VariableDecl("Committed", DataType.LONG),
+            VariableDecl("RolledBack", DataType.LONG),
+        ],
+    )
+    begin_program = "scope_begin_%s" % name
+    process.add_activity(
+        Activity("Begin", program=begin_program, output_spec=[scope_decl])
+    )
+    process.add_activity(
+        Activity(
+            "Rollback",
+            program=SCOPE_ROLLBACK_PROGRAM,
+            input_spec=[scope_decl],
+            output_spec=[state_decl],
+            start_condition=StartCondition.ANY,
+        )
+    )
+    process.connect("Begin", "Rollback", "RC <> %d" % SAGA_COMMIT_RC)
+    previous = "Begin"
+    for step in scoped_steps:
+        process.add_activity(
+            Activity(
+                step,
+                program="sc_txn_%s" % step,
+                input_spec=[scope_decl],
+                output_spec=[state_decl],
+            )
+        )
+        process.connect(previous, step, "RC = %d" % SAGA_COMMIT_RC)
+        process.connect(step, "Rollback", "RC <> %d" % SAGA_COMMIT_RC)
+        process.map_data("Begin", step, [("Scope", "Scope")])
+        previous = step
+    process.add_activity(
+        Activity(
+            "Pivot",
+            program=SCOPE_COMMIT_PROGRAM,
+            input_spec=[scope_decl],
+            output_spec=[state_decl],
+            description="the pivot: commit the scope",
+        )
+    )
+    process.connect(previous, "Pivot", "RC = %d" % SAGA_COMMIT_RC)
+    process.connect("Pivot", "Rollback", "RC <> %d" % SAGA_COMMIT_RC)
+    process.map_data("Begin", "Pivot", [("Scope", "Scope")])
+    process.map_data("Begin", "Rollback", [("Scope", "Scope")])
+    previous = "Pivot"
+    for step in retriable_steps:
+        # Retriable: the exit condition re-runs the activity until it
+        # commits — after the pivot, only forward recovery is legal.
+        process.add_activity(
+            Activity(
+                step,
+                program="ret_txn_%s" % step,
+                output_spec=[state_decl],
+                exit_condition="RC = %d" % SAGA_COMMIT_RC,
+                max_iterations=max_retriable_attempts,
+            )
+        )
+        process.connect(previous, step, "RC = %d" % SAGA_COMMIT_RC)
+        previous = step
+    process.map_data(
+        "Pivot", PROCESS_OUTPUT, [("State", "Committed"), ("_RC", "_RC")]
+    )
+    process.map_data(
+        "Rollback", PROCESS_OUTPUT, [("State", "RolledBack"), ("_RC", "_RC")]
+    )
+    process.validate()
+    required = {
+        begin_program: "open the scope",
+        SCOPE_COMMIT_PROGRAM: "the pivot (scope commit)",
+        SCOPE_ROLLBACK_PROGRAM: "roll the scope back",
+    }
+    for step in scoped_steps:
+        required["sc_txn_%s" % step] = "scoped step %s" % step
+    for step in retriable_steps:
+        required["ret_txn_%s" % step] = "retriable step %s" % step
+    return PivotChainTranslation(
+        name=name,
+        process=process,
+        isolation=isolation,
+        timeout=timeout,
+        scoped_steps=tuple(scoped_steps),
+        retriable_steps=tuple(retriable_steps),
+        begin_program=begin_program,
+        required_programs=required,
+    )
+
+
+def register_pivot_chain_programs(
+    engine: Engine,
+    translation: PivotChainTranslation,
+    bodies: dict,
+    retriable: dict[str, Subtransaction],
+    manager: ScopeManager,
+) -> None:
+    """Install the scope service and the pivot chain's programs.
+
+    ``bodies`` maps scoped step name -> callable(scope);
+    ``retriable`` maps retriable step name -> :class:`Subtransaction`.
+    """
+    install_scope_service(engine, manager)
+    engine.register_program(
+        translation.begin_program,
+        make_begin_program(translation.isolation, translation.timeout),
+        "open scope for chain %s" % translation.name,
+        replace=True,
+    )
+    for step in translation.scoped_steps:
+        if step not in bodies:
+            raise SpecificationError("no body bound for %r" % step)
+        engine.register_program(
+            "sc_txn_%s" % step,
+            make_scoped_step_program(bodies[step]),
+            "scoped step %s" % step,
+            replace=True,
+        )
+    for step in translation.retriable_steps:
+        if step not in retriable:
+            raise SpecificationError(
+                "no retriable subtransaction bound for %r" % step
+            )
+        engine.register_program(
+            "ret_txn_%s" % step,
+            retriable[step].as_program(
+                commit_rc=SAGA_COMMIT_RC, abort_rc=SAGA_ABORT_RC
+            ),
+            "retriable step %s" % step,
+            replace=True,
+        )
+
+
+# ---------------------------------------------------------------------------
+# outcome extraction
+# ---------------------------------------------------------------------------
+
+def workflow_scoped_outcome(
+    engine: Engine, translation: ScopedSagaTranslation, instance_id: str
+) -> ScopedOutcome:
+    """Reconstruct the model-level outcome of a scoped saga run."""
+    output = engine.output(instance_id)
+    executed = [
+        step.name
+        for step in translation.spec.steps
+        if output.get(state_var(step.name)) == 1
+    ]
+    order = engine.execution_order(instance_id, include_children=True)
+    partially = [
+        name[len(ROLLBACK_TO_PREFIX):]
+        for name in order
+        if name.startswith(ROLLBACK_TO_PREFIX)
+    ]
+    return ScopedOutcome(
+        committed=output.get("Committed") == 1,
+        rolled_back=output.get("RolledBack") == 1,
+        executed=executed,
+        partially_rolled_back=partially,
+    )

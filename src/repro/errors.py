@@ -126,6 +126,11 @@ class InvalidTransactionState(TransactionError):
     """An operation was issued against a finished transaction."""
 
 
+class ScopeError(TransactionError):
+    """Illegal use of a cross-activity transaction scope (unknown
+    handle, double begin for one root instance, expired scope, ...)."""
+
+
 class DatabaseCrashed(TransactionError):
     """The (simulated) database is down and must be restarted first."""
 

@@ -21,6 +21,7 @@ site               key matched against ``FaultRule.match``       actions
 ``node.pump``      workflow node name                            crash (InjectedCrash)
 ``snapshot.write`` checkpoint file basename                      raise (JournalError)
 ``compact``        journal directory basename                    raise (JournalError)
+``scope.commit``   transaction-scope handle                      raise (JournalError)
 =================  ============================================  ==================
 
 A rule fires on a **schedule** (1-based match counts), with a
@@ -55,6 +56,7 @@ SITES: dict[str, tuple[str, ...]] = {
     "node.pump": ("crash",),
     "snapshot.write": ("raise",),
     "compact": ("raise",),
+    "scope.commit": ("raise",),
 }
 
 
@@ -217,6 +219,16 @@ class FaultInjector:
         if self.decide(site, key) is not None:
             raise JournalError(
                 "injected fault: store %s failed (%s)" % (site, key)
+            )
+
+    def on_scope_commit(self, handle: str) -> None:
+        """Transaction-scope commit site: raises :class:`JournalError`
+        *before* the scope's COMMIT record is written, modelling a node
+        crash at the commit point — the scope's transaction is left a
+        loser for recovery to roll back."""
+        if self.decide("scope.commit", handle) is not None:
+            raise JournalError(
+                "injected fault: scope commit failed (%s)" % handle
             )
 
     # -- bookkeeping -----------------------------------------------------

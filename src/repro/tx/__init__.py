@@ -27,6 +27,12 @@ from repro.tx.failures import (
     FailurePolicy,
 )
 from repro.tx.subtransaction import Subtransaction, SubtransactionOutcome
+from repro.tx.scope import (
+    IsolationLevel,
+    ScopeManager,
+    ScopeState,
+    TransactionScope,
+)
 
 __all__ = [
     "AbortProbability",
@@ -35,15 +41,19 @@ __all__ = [
     "AlwaysCommit",
     "FailNTimes",
     "FailurePolicy",
+    "IsolationLevel",
     "LocalDatabase",
     "LockManager",
     "LockMode",
     "LogKind",
     "LogRecord",
     "Multidatabase",
+    "ScopeManager",
+    "ScopeState",
     "SimDatabase",
     "Subtransaction",
     "SubtransactionOutcome",
     "Transaction",
+    "TransactionScope",
     "WriteAheadLog",
 ]

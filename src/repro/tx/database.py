@@ -44,6 +44,9 @@ class Transaction:
         self.state = TxnState.ACTIVE
         self.reads = 0
         self.writes = 0
+        #: savepoint name -> watermark LSN (updates with a larger LSN
+        #: are undone by rollback_to_savepoint).
+        self._savepoints: dict[str, int] = {}
 
     # -- operations -------------------------------------------------------
 
@@ -76,6 +79,35 @@ class Transaction:
         updated = value + delta
         self.write(key, updated)
         return updated
+
+    # -- savepoints ---------------------------------------------------------
+
+    def savepoint(self, name: str) -> None:
+        """Mark a partial-rollback point.  Re-using a name moves it."""
+        self._check_active()
+        self._db._check_up()
+        record = self._db.log.append(LogKind.SAVEPOINT, self.txn_id, name)
+        self._savepoints[name] = record.lsn
+
+    def rollback_to_savepoint(self, name: str) -> None:
+        """Undo every update logged after the savepoint.
+
+        Locks taken since the savepoint stay held (standard SQL
+        semantics: partial rollback does not release locks).  The
+        savepoint survives, so it can be rolled back to again;
+        savepoints established after it are discarded.
+        """
+        self._check_active()
+        self._db._check_up()
+        watermark = self._savepoints.get(name)
+        if watermark is None:
+            raise TransactionError(
+                "transaction %s has no savepoint %r" % (self.txn_id, name)
+            )
+        self._db._undo(self.txn_id, after_lsn=watermark)
+        self._savepoints = {
+            n: lsn for n, lsn in self._savepoints.items() if lsn <= watermark
+        }
 
     # -- outcome ------------------------------------------------------------
 
@@ -150,6 +182,10 @@ class SimDatabase:
 
     def active_transactions(self) -> list[str]:
         return sorted(self._active)
+
+    def active_transaction(self, txn_id: str) -> Transaction | None:
+        """The live :class:`Transaction` object, or None."""
+        return self._active.get(txn_id)
 
     # -- non-transactional inspection (tests/benchmarks) -------------------------
 
@@ -236,12 +272,24 @@ class SimDatabase:
     def _put(self, key: str, value: Any) -> None:
         self._cache[key] = value
 
-    def _undo(self, txn_id: str) -> None:
-        """Roll back ``txn_id`` using before-images, logging CLRs."""
+    def _undo(self, txn_id: str, after_lsn: int = -1) -> None:
+        """Roll back ``txn_id`` using before-images, logging CLRs.
+
+        ``after_lsn`` bounds the undo for partial rollback: only
+        updates logged after that LSN are reversed.  Updates already
+        compensated by an earlier partial rollback are skipped, exactly
+        like the restart undo pass skips them via ``undo_next``.
+        """
+        records = self.log.records_of(txn_id)
+        compensated = {
+            r.undo_next for r in records if r.kind is LogKind.CLR
+        }
         updates = [
             r
-            for r in self.log.records_of(txn_id)
+            for r in records
             if r.kind is LogKind.UPDATE
+            and r.lsn > after_lsn
+            and r.lsn not in compensated
         ]
         for record in reversed(updates):
             self.log.append(

@@ -64,6 +64,7 @@ class LockManager:
                 self._grant(entry, txn_id, key, mode)
                 return
             if not wait:
+                self._discard_if_empty(key, entry)
                 raise DeadlockError(
                     "lock %s on %r denied without waiting" % (mode.value, key)
                 )
@@ -89,6 +90,30 @@ class LockManager:
             finally:
                 if (txn_id, mode) in entry.queue:
                     entry.queue.remove((txn_id, mode))
+                    # A departing waiter may have been the FIFO head
+                    # blocking others; wake the rest to re-evaluate.
+                    self._changed.notify_all()
+                self._discard_if_empty(key, entry)
+
+    def release(self, txn_id: str, key: str) -> None:
+        """Release ``txn_id``'s lock on one key.
+
+        Escape hatch from strictness for weaker isolation levels
+        (read-committed releases read locks right after the read).
+        No-op when the lock is not held.
+        """
+        with self._changed:
+            held = self._held.get(txn_id)
+            if held is None or key not in held:
+                return
+            held.discard(key)
+            if not held:
+                del self._held[txn_id]
+            entry = self._locks.get(key)
+            if entry is not None:
+                entry.holders.pop(txn_id, None)
+                self._discard_if_empty(key, entry)
+            self._changed.notify_all()
 
     def release_all(self, txn_id: str) -> None:
         """Release every lock of ``txn_id`` (strictness: at txn end)."""
@@ -119,6 +144,13 @@ class LockManager:
             return out
 
     # -- internals -----------------------------------------------------------
+
+    def _discard_if_empty(self, key: str, entry: _LockEntry) -> None:
+        """Drop the map entry once nobody holds or waits for the key —
+        otherwise keys that were merely *requested* accumulate forever."""
+        if not entry.holders and not entry.queue:
+            if self._locks.get(key) is entry:
+                del self._locks[key]
 
     def _grantable(self, entry: _LockEntry, txn_id: str, mode: LockMode) -> bool:
         current = entry.holders.get(txn_id)

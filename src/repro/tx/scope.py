@@ -1,0 +1,288 @@
+"""Cross-activity transaction scopes.
+
+Every activity so far opened and closed its own subtransaction, so
+transaction models that need a *shared* transactional context across
+activities (nested and open-nested models, pivot-then-retriable
+chains) were inexpressible.  A :class:`TransactionScope` is one open
+:class:`~repro.tx.database.Transaction` whose lifetime spans many
+activities: ``begin_scope`` opens it, the handle travels through data
+containers like any other workflow datum, intermediate activities read
+and write under it, and ``commit_scope`` / ``rollback_scope`` end it.
+
+Scopes declare an **isolation level**:
+
+* :attr:`IsolationLevel.SERIALIZABLE` — the substrate's native strict
+  2PL: shared and exclusive locks held to scope end.
+* :attr:`IsolationLevel.READ_COMMITTED` — read locks are released
+  immediately after each read (short read locks).  Dirty reads remain
+  impossible because writers hold exclusive locks to transaction end;
+  repeatable read is deliberately given up.  Keys the scope itself has
+  written stay locked exclusively (strictness for writes is never
+  weakened).
+
+and a **logical-clock timeout**: the :class:`ScopeManager` advances a
+tick per scope operation, and a scope whose age exceeds its budget is
+rolled back at its next use — deterministic, replayable, and
+independent of wall-clock time.
+
+Crash semantics: the registry is volatile engine state, but the
+scope's transaction writes WAL records in the shared database.  After
+a crash, :meth:`ScopeManager.recover` rolls back every still-active
+scope transaction (WAL undo releases its locks), so a torn scope
+leaves **no partial writes** — replayed workflow histories then route
+through their rollback paths deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Iterator
+
+from repro.errors import ScopeError, TransactionAborted
+from repro.tx.database import SimDatabase, Transaction, TxnState
+
+#: Prefix of every scope transaction id; recovery keys off it.
+SCOPE_TXN_PREFIX = "scope-"
+
+
+class IsolationLevel(Enum):
+    READ_COMMITTED = "read-committed"
+    SERIALIZABLE = "serializable"
+
+
+class ScopeState(Enum):
+    OPEN = "open"
+    COMMITTED = "committed"
+    ROLLED_BACK = "rolled-back"
+
+
+@dataclass
+class TransactionScope:
+    """One shared transaction spanning many activities."""
+
+    handle: str
+    root_id: str
+    isolation: IsolationLevel
+    manager: "ScopeManager"
+    txn: Transaction
+    #: Logical tick at which the scope was begun.
+    begun_at: int
+    #: Maximum logical age; None = no timeout.
+    timeout: int | None = None
+    state: ScopeState = ScopeState.OPEN
+    #: Keys this scope wrote (their locks are never released early).
+    _written: set[str] = field(default_factory=set)
+
+    # -- operations under the scope --------------------------------------
+
+    def read(self, key: str, default: Any = None) -> Any:
+        self._use()
+        value = self.txn.read(key, default)
+        if (
+            self.isolation is IsolationLevel.READ_COMMITTED
+            and key not in self._written
+        ):
+            # Short read lock: blocking writers held it long enough to
+            # forbid dirty reads; strictness is only kept for writes.
+            self.txn._db.locks.release(self.txn.txn_id, key)
+        return value
+
+    def write(self, key: str, value: Any) -> None:
+        self._use()
+        self.txn.write(key, value)
+        self._written.add(key)
+
+    def increment(self, key: str, delta: float | int) -> Any:
+        self._use()
+        value = self.txn.increment(key, delta)
+        self._written.add(key)
+        return value
+
+    def savepoint(self, name: str) -> None:
+        self._use()
+        self.txn.savepoint(name)
+
+    def rollback_to_savepoint(self, name: str) -> None:
+        self._use()
+        self.txn.rollback_to_savepoint(name)
+
+    # -- outcome ----------------------------------------------------------
+
+    def commit(self) -> None:
+        self._use()
+        self.manager._finish(self, commit=True)
+
+    def rollback(self, reason: str = "scope rollback") -> None:
+        if self.state is not ScopeState.OPEN:
+            return  # idempotent: rolling back a finished scope is a no-op
+        self.manager._finish(self, commit=False, reason=reason)
+
+    # -- internals ---------------------------------------------------------
+
+    def _use(self) -> None:
+        """Tick the clock and enforce state + timeout before an op."""
+        if self.state is not ScopeState.OPEN:
+            raise ScopeError(
+                "scope %s is %s" % (self.handle, self.state.value)
+            )
+        tick = self.manager._tick()
+        if self.timeout is not None and tick - self.begun_at > self.timeout:
+            self.manager._finish(self, commit=False, reason="scope timeout")
+            raise TransactionAborted(
+                "scope %s exceeded its timeout of %d ticks"
+                % (self.handle, self.timeout),
+                reason="scope timeout",
+            )
+
+
+class ScopeManager:
+    """Registry of open scopes of one database, keyed by handle.
+
+    One manager serves one engine (installed as the ``tx_scopes``
+    service); scope transaction ids carry :data:`SCOPE_TXN_PREFIX` so
+    :meth:`recover` can tell torn scopes from ordinary transactions in
+    the shared database's active table.
+    """
+
+    def __init__(self, database: SimDatabase, *, injector: Any = None):
+        self.database = database
+        #: Optional FaultInjector; consulted at the ``scope.commit`` site.
+        self.injector = injector
+        self._scopes: dict[str, TransactionScope] = {}
+        self._clock = 0
+        self._sequence = 0
+
+    # -- lifecycle --------------------------------------------------------
+
+    def begin(
+        self,
+        root_id: str,
+        *,
+        isolation: IsolationLevel = IsolationLevel.SERIALIZABLE,
+        timeout: int | None = None,
+    ) -> TransactionScope:
+        """Open a scope for ``root_id``; returns the scope.
+
+        One root instance may hold at most one open scope — the models
+        this facility serves (nested/open-nested, pivot chains) share a
+        single context per process instance.
+        """
+        for scope in self._scopes.values():
+            if scope.root_id == root_id and scope.state is ScopeState.OPEN:
+                raise ScopeError(
+                    "root instance %s already holds open scope %s"
+                    % (root_id, scope.handle)
+                )
+        self._sequence += 1
+        handle = "%s%05d" % (SCOPE_TXN_PREFIX, self._sequence)
+        txn = self.database.begin(handle)
+        scope = TransactionScope(
+            handle=handle,
+            root_id=root_id,
+            isolation=isolation,
+            manager=self,
+            txn=txn,
+            begun_at=self._tick(),
+            timeout=timeout,
+        )
+        self._scopes[handle] = scope
+        return scope
+
+    def get(self, handle: str) -> TransactionScope | None:
+        """The scope for ``handle`` if it is still open, else None."""
+        scope = self._scopes.get(handle)
+        if scope is not None and scope.state is ScopeState.OPEN:
+            return scope
+        return None
+
+    def commit(self, handle: str) -> None:
+        scope = self.get(handle)
+        if scope is None:
+            raise ScopeError("no open scope %r to commit" % handle)
+        scope.commit()
+
+    def rollback(self, handle: str, reason: str = "scope rollback") -> bool:
+        """Roll back ``handle`` if it is still open.
+
+        Returns False for unknown/finished handles instead of raising:
+        rollback must be idempotent so replayed rollback activities and
+        the root-finish safety net can fire unconditionally.
+        """
+        scope = self.get(handle)
+        if scope is None:
+            return False
+        scope.rollback(reason=reason)
+        return True
+
+    def rollback_open_for(self, root_id: str, reason: str) -> int:
+        """Roll back every open scope of one root instance (the
+        safety net at root finish and on escalation)."""
+        rolled = 0
+        for scope in list(self._scopes.values()):
+            if scope.root_id == root_id and scope.state is ScopeState.OPEN:
+                scope.rollback(reason=reason)
+                rolled += 1
+        return rolled
+
+    def open_scopes(self) -> Iterator[TransactionScope]:
+        return (
+            s for s in self._scopes.values() if s.state is ScopeState.OPEN
+        )
+
+    # -- crash recovery ----------------------------------------------------
+
+    def recover(self) -> int:
+        """Roll back scopes torn by a crash; returns how many.
+
+        Two cases fold together here:
+
+        * The *manager* outlived the crash (same process, engine
+          rebuilt): open registry entries are rolled back through
+          their live transactions.
+        * The *database* restarted underneath us: its recovery already
+          undid scope transactions as losers, so only the registry
+          needs clearing — plus any scope-prefixed transaction still
+          active in the database (begun by a manager that did not
+          survive) is aborted via WAL undo.
+        """
+        torn = 0
+        for scope in list(self._scopes.values()):
+            if scope.state is ScopeState.OPEN:
+                if scope.txn.state is TxnState.ACTIVE:
+                    scope.txn.abort(reason="torn scope")
+                scope.state = ScopeState.ROLLED_BACK
+                torn += 1
+        self._scopes.clear()
+        for txn_id in self.database.active_transactions():
+            if txn_id.startswith(SCOPE_TXN_PREFIX):
+                txn = self.database.active_transaction(txn_id)
+                if txn is not None and txn.state is TxnState.ACTIVE:
+                    txn.abort(reason="torn scope")
+                    torn += 1
+        return torn
+
+    # -- internals ---------------------------------------------------------
+
+    def _tick(self) -> int:
+        self._clock += 1
+        return self._clock
+
+    def _finish(
+        self, scope: TransactionScope, *, commit: bool, reason: str = ""
+    ) -> None:
+        if commit:
+            if self.injector is not None:
+                # Chaos site: a crash at the commit point, before the
+                # COMMIT record — the scope must recover as a loser.
+                self.injector.on_scope_commit(scope.handle)
+            try:
+                scope.txn.commit()
+            except TransactionAborted:
+                scope.state = ScopeState.ROLLED_BACK
+                raise
+            scope.state = ScopeState.COMMITTED
+        else:
+            if scope.txn.state is TxnState.ACTIVE:
+                scope.txn.abort(reason=reason or "scope rollback")
+            scope.state = ScopeState.ROLLED_BACK

@@ -49,7 +49,14 @@ class Subtransaction:
     recorder: Optional[list[SubtransactionOutcome]] = None
 
     def execute(self) -> SubtransactionOutcome:
-        """Run one attempt; never raises for modelled aborts."""
+        """Run one attempt; never raises for modelled aborts.
+
+        A body that raises anything *other* than
+        :class:`TransactionAborted` is a programming error, not a
+        modelled abort — the exception propagates, but the still-active
+        transaction is aborted first so its strict-2PL locks are
+        released instead of being held forever.
+        """
         self.attempts += 1
         txn = self.database.begin()
         try:
@@ -64,6 +71,9 @@ class Subtransaction:
             if txn.state is TxnState.ACTIVE:
                 txn.abort(reason=exc.reason)
             outcome = self._outcome(False, exc.reason)
+        finally:
+            if txn.state is TxnState.ACTIVE:
+                txn.abort(reason="unmodelled failure")
         if self.recorder is not None:
             self.recorder.append(outcome)
         return outcome

@@ -25,6 +25,7 @@ class LogKind(Enum):
     COMMIT = "commit"
     ABORT = "abort"
     CHECKPOINT = "checkpoint"
+    SAVEPOINT = "savepoint"  # partial-rollback watermark; no redo/undo
 
 
 @dataclass(frozen=True)

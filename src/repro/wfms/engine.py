@@ -588,6 +588,13 @@ class Engine:
         """
         if self._journal is None:
             raise NavigationError("recovery requires a journal-backed engine")
+        scopes = self.services.get("tx_scopes")
+        if scopes is not None:
+            # Scopes open at crash time are torn: roll their
+            # transactions back (WAL undo frees the locks) before
+            # replay, so re-executed activities deterministically find
+            # the scope gone and route to their rollback paths.
+            scopes.recover()
         if self._store is not None:
             self._store.reopen()
             replayed = replay_with_store(self.navigator, self._store)

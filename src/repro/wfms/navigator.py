@@ -1153,7 +1153,16 @@ class Navigator:
         )
         if not instance.is_root:
             self._on_child_finished(instance)
-        elif self._store is not None:
+            return
+        scopes = self._services.get("tx_scopes")
+        if scopes is not None:
+            # Safety net: a workflow that finishes with a scope still
+            # open (bad routing, escalated past its rollback activity)
+            # must not leak the scope's transaction and locks.
+            scopes.rollback_open_for(
+                instance.instance_id, "root instance finished"
+            )
+        if self._store is not None:
             # Archive-and-evict runs during replay too: a root whose
             # finish record was durable but whose archive append was
             # lost in a crash gets re-archived here (the append is

@@ -176,3 +176,111 @@ class TestDeadlockDetection:
         # t2 merely waiting is not a deadlock; nonblocking denial is
         # reported as DeadlockError only with wait=False.
         assert lm.waiting() == []
+
+
+class TestEntryCleanup:
+    """Regression: denied/abandoned requests must not leave empty
+    ``_LockEntry`` objects behind (they used to accumulate forever)."""
+
+    def test_denied_nowait_leaves_no_entry(self, lm):
+        lm.acquire("t1", "k", LockMode.EXCLUSIVE)
+        with pytest.raises(DeadlockError):
+            lm.acquire("t2", "k", LockMode.SHARED, wait=False)
+        # Only the held key remains in the lock map.
+        assert set(lm._locks) == {"k"}
+        lm.release_all("t1")
+        assert lm._locks == {}
+
+    def test_timed_out_waiter_leaves_no_entry(self):
+        lm = LockManager(timeout=0.05)
+        lm.acquire("t1", "k", LockMode.EXCLUSIVE)
+        done = threading.Event()
+
+        def waiter():
+            try:
+                lm.acquire("t2", "k", LockMode.EXCLUSIVE)
+            except LockTimeoutError:
+                pass
+            done.set()
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        assert done.wait(2.0)
+        thread.join()
+        lm.release_all("t1")
+        assert lm._locks == {}
+
+    def test_departing_waiter_wakes_the_rest(self):
+        # t2 (queue head, timing out) must notify so t3 re-evaluates
+        # instead of waiting out its own timeout after t1 releases.
+        lm = LockManager(timeout=0.2)
+        lm.acquire("t1", "k", LockMode.EXCLUSIVE)
+        result = {}
+        order = []
+
+        def head():
+            try:
+                lm.acquire("t2", "k", LockMode.EXCLUSIVE)
+                order.append("t2")
+                lm.release_all("t2")
+            except LockTimeoutError:
+                result["t2"] = "timeout"
+
+        def tail():
+            try:
+                lm.acquire("t3", "k", LockMode.EXCLUSIVE)
+                order.append("t3")
+                lm.release_all("t3")
+            except LockTimeoutError:
+                result["t3"] = "timeout"
+
+        import time
+
+        t_head = threading.Thread(target=head)
+        t_head.start()
+        time.sleep(0.02)
+        t_tail = threading.Thread(target=tail)
+        t_tail.start()
+        t_head.join(2.0)
+        assert result.get("t2") == "timeout"
+        lm.release_all("t1")
+        t_tail.join(2.0)
+        assert order == ["t3"]
+        assert lm._locks == {}
+
+
+class TestSingleKeyRelease:
+    """The read-committed escape hatch: release one key early."""
+
+    def test_release_frees_one_key_only(self, lm):
+        lm.acquire("t1", "a", LockMode.SHARED)
+        lm.acquire("t1", "b", LockMode.EXCLUSIVE)
+        lm.release("t1", "a")
+        assert lm.held_by("t1") == {"b"}
+        lm.acquire("t2", "a", LockMode.EXCLUSIVE)  # now free
+
+    def test_release_wakes_waiters(self, lm):
+        lm.acquire("t1", "k", LockMode.SHARED)
+        acquired = threading.Event()
+
+        def waiter():
+            lm.acquire("t2", "k", LockMode.EXCLUSIVE)
+            acquired.set()
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        assert not acquired.wait(0.05)
+        lm.release("t1", "k")
+        assert acquired.wait(1.0)
+        thread.join()
+
+    def test_release_unheld_is_noop(self, lm):
+        lm.release("ghost", "k")
+        lm.acquire("t1", "k", LockMode.SHARED)
+        lm.release("t1", "other")
+        assert lm.held_by("t1") == {"k"}
+
+    def test_release_drops_empty_entry(self, lm):
+        lm.acquire("t1", "k", LockMode.SHARED)
+        lm.release("t1", "k")
+        assert lm._locks == {}

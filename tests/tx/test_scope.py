@@ -1,0 +1,370 @@
+"""Savepoints, transaction scopes, and the subtransaction lock-leak
+regression."""
+
+import random
+
+import pytest
+
+from repro.errors import (
+    ScopeError,
+    TransactionAborted,
+    TransactionError,
+)
+from repro.tx import (
+    IsolationLevel,
+    ScopeManager,
+    ScopeState,
+    SimDatabase,
+    Subtransaction,
+)
+from repro.tx.database import TxnState
+from repro.tx.lockmgr import LockMode
+
+
+@pytest.fixture
+def db():
+    return SimDatabase("db", lock_timeout=0.1)
+
+
+class TestSubtransactionLeakRegression:
+    """Regression: a body raising a non-modelled exception used to
+    leave the txn ACTIVE with its strict-2PL locks held forever."""
+
+    def test_unmodelled_exception_aborts_and_reraises(self, db):
+        def body(txn):
+            txn.write("k", 1)
+            raise ValueError("bug in the body")
+
+        sub = Subtransaction("bad", db, body)
+        with pytest.raises(ValueError):
+            sub.execute()
+        # The lock is released: another transaction can write "k".
+        txn = db.begin()
+        txn.write("k", 2)
+        txn.commit()
+        assert db.get("k") == 2
+        assert db.active_transactions() == []
+
+    def test_unmodelled_exception_rolls_writes_back(self, db):
+        def body(txn):
+            txn.write("k", 99)
+            raise KeyError("whoops")
+
+        with pytest.raises(KeyError):
+            Subtransaction("bad", db, body).execute()
+        assert db.get("k") is None
+
+    def test_modelled_abort_still_reports_outcome(self, db):
+        def body(txn):
+            raise TransactionAborted("no", reason="no")
+
+        outcome = Subtransaction("a", db, body).execute()
+        assert not outcome.committed
+        assert outcome.reason == "no"
+
+
+class TestSavepoints:
+    def test_partial_rollback(self, db):
+        txn = db.begin()
+        txn.write("a", 1)
+        txn.savepoint("sp")
+        txn.write("a", 2)
+        txn.write("b", 3)
+        txn.rollback_to_savepoint("sp")
+        assert db.get("a") == 1
+        assert db.get("b") is None
+        txn.commit()
+        assert db.get("a") == 1
+
+    def test_rollback_to_savepoint_keeps_locks(self, db):
+        txn = db.begin()
+        txn.savepoint("sp")
+        txn.write("k", 1)
+        txn.rollback_to_savepoint("sp")
+        assert "k" in db.locks.held_by(txn.txn_id)
+        txn.commit()
+
+    def test_repeated_rollback_to_same_savepoint(self, db):
+        txn = db.begin()
+        txn.write("k", 0)
+        txn.savepoint("sp")
+        for attempt in (1, 2, 3):
+            txn.write("k", attempt)
+            txn.rollback_to_savepoint("sp")
+            assert db.get("k") == 0
+        txn.commit()
+        assert db.get("k") == 0
+
+    def test_later_savepoints_are_discarded(self, db):
+        txn = db.begin()
+        txn.savepoint("outer")
+        txn.write("k", 1)
+        txn.savepoint("inner")
+        txn.rollback_to_savepoint("outer")
+        with pytest.raises(TransactionError):
+            txn.rollback_to_savepoint("inner")
+        txn.abort()
+
+    def test_unknown_savepoint(self, db):
+        txn = db.begin()
+        with pytest.raises(TransactionError):
+            txn.rollback_to_savepoint("ghost")
+        txn.abort()
+
+    def test_full_abort_after_partial_rollback(self, db):
+        txn = db.begin()
+        txn.write("a", 1)
+        txn.savepoint("sp")
+        txn.write("a", 2)
+        txn.rollback_to_savepoint("sp")
+        txn.write("b", 9)
+        txn.abort()
+        assert db.get("a") is None
+        assert db.get("b") is None
+
+    def test_crash_recovery_after_partial_rollback(self, db):
+        committed = db.begin()
+        committed.write("a", 1)
+        committed.commit()
+        txn = db.begin()
+        txn.savepoint("sp")
+        txn.write("a", 2)
+        txn.write("b", 3)
+        txn.rollback_to_savepoint("sp")
+        txn.write("c", 4)
+        db.flush()  # steal: uncommitted data reaches disk
+        db.crash()
+        db.restart()
+        assert db.get("a") == 1
+        assert db.get("b") is None
+        assert db.get("c") is None
+
+
+class TestScopeLifecycle:
+    def test_commit_persists_writes(self, db):
+        manager = ScopeManager(db)
+        scope = manager.begin("root-1")
+        scope.write("k", 1)
+        scope.commit()
+        assert scope.state is ScopeState.COMMITTED
+        assert db.get("k") == 1
+        assert db.active_transactions() == []
+
+    def test_rollback_restores_pre_begin_snapshot(self, db):
+        setup = db.begin()
+        setup.write("a", 1)
+        setup.write("b", 2)
+        setup.commit()
+        before = db.snapshot()
+        manager = ScopeManager(db)
+        scope = manager.begin("root-1")
+        scope.write("a", 10)
+        scope.write("c", 30)
+        scope.increment("b", 5)
+        scope.rollback()
+        assert db.snapshot() == before
+        assert db.active_transactions() == []
+
+    def test_rollback_is_idempotent(self, db):
+        manager = ScopeManager(db)
+        scope = manager.begin("root-1")
+        scope.rollback()
+        scope.rollback()  # no-op
+        assert manager.rollback(scope.handle) is False
+
+    def test_operations_after_end_raise(self, db):
+        manager = ScopeManager(db)
+        scope = manager.begin("root-1")
+        scope.commit()
+        with pytest.raises(ScopeError):
+            scope.write("k", 1)
+
+    def test_one_open_scope_per_root(self, db):
+        manager = ScopeManager(db)
+        manager.begin("root-1")
+        with pytest.raises(ScopeError):
+            manager.begin("root-1")
+        manager.begin("root-2")  # other roots are fine
+
+    def test_rollback_open_for(self, db):
+        manager = ScopeManager(db)
+        scope = manager.begin("root-1")
+        scope.write("k", 1)
+        assert manager.rollback_open_for("root-1", "test") == 1
+        assert db.get("k") is None
+        assert manager.rollback_open_for("root-1", "test") == 0
+
+    def test_property_rollback_restores_snapshot_with_savepoints(self, db):
+        """Seeded random op sequences: rollback always restores the
+        exact pre-begin snapshot, savepoints and partial rollbacks
+        included."""
+        rng = random.Random(7)
+        setup = db.begin()
+        for i in range(8):
+            setup.write("k%d" % i, i)
+        setup.commit()
+        manager = ScopeManager(db)
+        for trial in range(25):
+            before = db.snapshot()
+            scope = manager.begin("root-%d" % trial)
+            savepoints = []
+            for op in range(rng.randrange(1, 15)):
+                choice = rng.random()
+                key = "k%d" % rng.randrange(10)
+                if choice < 0.5:
+                    scope.write(key, rng.randrange(100))
+                elif choice < 0.7:
+                    name = "sp%d" % len(savepoints)
+                    scope.savepoint(name)
+                    savepoints.append(name)
+                elif choice < 0.85 and savepoints:
+                    scope.rollback_to_savepoint(
+                        savepoints[rng.randrange(len(savepoints))]
+                    )
+                else:
+                    scope.read(key)
+            scope.rollback()
+            assert db.snapshot() == before
+            assert db.active_transactions() == []
+
+    def test_property_commit_matches_shadow_model(self, db):
+        """Committed scopes apply exactly the writes a dict-shadow
+        predicts, under savepoint partial rollbacks."""
+        rng = random.Random(11)
+        manager = ScopeManager(db)
+        for trial in range(10):
+            shadow = db.snapshot()
+            scope = manager.begin("root-%d" % trial)
+            stack = []  # (name, shadow copy at savepoint)
+            for op in range(rng.randrange(1, 20)):
+                choice = rng.random()
+                key = "k%d" % rng.randrange(6)
+                if choice < 0.55:
+                    value = rng.randrange(100)
+                    scope.write(key, value)
+                    shadow[key] = value
+                elif choice < 0.75:
+                    name = "sp%d" % len(stack)
+                    scope.savepoint(name)
+                    stack.append((name, dict(shadow)))
+                elif stack:
+                    index = rng.randrange(len(stack))
+                    name, saved = stack[index]
+                    scope.rollback_to_savepoint(name)
+                    shadow = dict(saved)
+                    stack = stack[: index + 1]
+            scope.commit()
+            assert db.snapshot() == shadow
+
+
+class TestIsolationLevels:
+    def test_serializable_holds_read_locks(self, db):
+        manager = ScopeManager(db)
+        scope = manager.begin(
+            "root-1", isolation=IsolationLevel.SERIALIZABLE
+        )
+        scope.read("k")
+        writer = db.begin()
+        with pytest.raises(TransactionAborted):
+            writer.write("k", 1)  # S lock held to scope end
+        scope.rollback()
+
+    def test_read_committed_releases_read_locks(self, db):
+        manager = ScopeManager(db)
+        scope = manager.begin(
+            "root-1", isolation=IsolationLevel.READ_COMMITTED
+        )
+        scope.read("k")
+        writer = db.begin()
+        writer.write("k", 1)  # read lock already released
+        writer.commit()
+        assert scope.read("k") == 1  # sees the committed write
+        scope.rollback()
+
+    def test_read_committed_never_reads_dirty(self, db):
+        manager = ScopeManager(db)
+        writer = db.begin()
+        writer.write("k", 99)  # uncommitted
+        scope = manager.begin(
+            "root-1", isolation=IsolationLevel.READ_COMMITTED
+        )
+        with pytest.raises(TransactionAborted):
+            scope.read("k")  # blocks on the X lock, times out
+        writer.abort()
+
+    def test_read_committed_keeps_own_write_locks(self, db):
+        manager = ScopeManager(db)
+        scope = manager.begin(
+            "root-1", isolation=IsolationLevel.READ_COMMITTED
+        )
+        scope.write("k", 1)
+        scope.read("k")  # reading an own-written key must not unlock it
+        assert (
+            db.locks.holders("k").get(scope.txn.txn_id) is LockMode.EXCLUSIVE
+        )
+        scope.rollback()
+
+
+class TestScopeTimeout:
+    def test_scope_times_out_on_logical_clock(self, db):
+        manager = ScopeManager(db)
+        scope = manager.begin("root-1", timeout=3)
+        scope.write("k", 1)
+        scope.write("k", 2)
+        with pytest.raises(TransactionAborted) as info:
+            for i in range(10):
+                scope.write("k", i)
+        assert info.value.reason == "scope timeout"
+        assert scope.state is ScopeState.ROLLED_BACK
+        assert db.get("k") is None  # all writes undone
+        assert db.active_transactions() == []
+
+    def test_untimed_scope_never_expires(self, db):
+        manager = ScopeManager(db)
+        scope = manager.begin("root-1")
+        for i in range(100):
+            scope.write("k", i)
+        scope.commit()
+        assert db.get("k") == 99
+
+
+class TestScopeRecovery:
+    def test_recover_rolls_back_open_scopes(self, db):
+        manager = ScopeManager(db)
+        scope = manager.begin("root-1")
+        scope.write("k", 1)
+        torn = manager.recover()
+        assert torn == 1
+        assert db.get("k") is None
+        assert db.active_transactions() == []
+        assert manager.get(scope.handle) is None
+
+    def test_recover_aborts_orphan_scope_transactions(self, db):
+        # A manager that did not survive the crash: its scope txn is
+        # still active in the shared database.
+        old = ScopeManager(db)
+        scope = old.begin("root-1")
+        scope.write("k", 1)
+        fresh = ScopeManager(db)
+        assert fresh.recover() == 1
+        assert db.get("k") is None
+        assert db.active_transactions() == []
+
+    def test_recover_spares_committed_scopes(self, db):
+        manager = ScopeManager(db)
+        scope = manager.begin("root-1")
+        scope.write("k", 1)
+        scope.commit()
+        assert manager.recover() == 0
+        assert db.get("k") == 1
+
+    def test_recover_after_database_restart(self, db):
+        manager = ScopeManager(db)
+        scope = manager.begin("root-1")
+        scope.write("k", 1)
+        db.flush()
+        db.crash()
+        db.restart()  # ARIES already undid the scope txn as a loser
+        assert manager.recover() == 1  # clears the registry
+        assert db.get("k") is None
+        assert manager.get(scope.handle) is None

@@ -11,6 +11,8 @@ Usage (from the repository root)::
 
     PYTHONPATH=src python benchmarks/compare.py             # gate
     PYTHONPATH=src python benchmarks/compare.py --update    # re-snapshot
+    PYTHONPATH=src python benchmarks/compare.py --filter engine.sharded
+                                             # gate one metric family
 
 Timings are best-of-``REPEATS`` wall-clock throughput, which is noisy
 across hosts — the snapshot is only meaningful against itself, hence
@@ -273,6 +275,64 @@ def measure_store_disabled() -> float:
     return best
 
 
+def measure_engine_sharded() -> float:
+    """activities/sec across the same large-N batch partitioned over
+    4 in-process shards.
+
+    Against ``engine.concurrent_200x3x3`` this measures what the
+    sharded pump costs (or saves) on one core: the per-shard engines
+    run smaller ready-heaps and instance tables, the cluster adds the
+    round-robin scheduler on top.  Real-core scaling is the
+    multiprocess sweep's job, not this metric's.
+    """
+    from bench_sharding import (
+        SHARDED_INSTANCES,
+        SHARDED_SHAPE,
+        SHARDED_SHARDS,
+        run_sharded_batch,
+        sharded_setup,
+    )
+
+    layers, width = SHARDED_SHAPE
+    units = layers * width * SHARDED_INSTANCES
+
+    def setup():
+        return sharded_setup(SHARDED_SHARDS)
+
+    def run(state):
+        sharded, definition = state
+        run_sharded_batch(sharded, definition)
+
+    return _best_throughput(units, run, setup)
+
+
+def measure_sharded_scaling() -> float:
+    """multiprocess speedup: 4-worker throughput over 1-worker.
+
+    Entirely host-dependent — the workers are real processes, so the
+    ratio tracks available cores (about 1.0 on a single-core host).
+    The snapshot is only meaningful against the same host class, like
+    every other metric here.
+    """
+    from bench_sharding import mp_throughput
+
+    # Best-of-each before the ratio: pairing per-trial ratios lets one
+    # slow denominator sample masquerade as speedup.
+    tp1 = max(mp_throughput(1) for __ in range(3))
+    tp4 = max(mp_throughput(4) for __ in range(3))
+    return tp4 / tp1
+
+
+def sweep_shard_scaling() -> dict[str, float]:
+    """{worker count: activities/sec} for the committed scaling sweep."""
+    from bench_sharding import mp_scaling_sweep
+
+    return {
+        str(workers): round(value, 1)
+        for workers, value in mp_scaling_sweep().items()
+    }
+
+
 def measure_tx_scope_chain() -> float:
     """scope ops/sec over sequential scoped chains.
 
@@ -309,6 +369,8 @@ def measure_scope_disabled() -> float:
 METRICS = {
     "engine.dag_16x16.activities_per_sec": measure_engine_large_dag,
     "engine.concurrent_200x3x3.activities_per_sec": measure_engine_concurrent,
+    "engine.sharded_200x3x3.activities_per_sec": measure_engine_sharded,
+    "engine.sharded_scaling_4.speedup_x": measure_sharded_scaling,
     "worklist.offer_600.items_per_sec": measure_worklist_offer,
     "worklist.claim_600_round_robin.claims_per_sec": measure_worklist_claim,
     "conditions.compiled_mix.evals_per_sec": measure_conditions_compiled,
@@ -329,10 +391,12 @@ METRICS = {
 }
 
 
-def measure_all() -> dict[str, float]:
+def measure_all(metrics: dict | None = None) -> dict[str, float]:
     results = {}
-    for name, fn in METRICS.items():
-        results[name] = round(fn(), 1)
+    for name, fn in (metrics or METRICS).items():
+        # Ratio metrics (…_x) need more resolution than rates do.
+        digits = 3 if name.endswith("_x") else 1
+        results[name] = round(fn(), digits)
         print("measured  %-50s %12.1f" % (name, results[name]))
     return results
 
@@ -365,7 +429,30 @@ def main(argv: list[str] | None = None) -> int:
         help="also write this run's measurements (and the gate verdict) "
         "as JSON — CI uploads it as a workflow artifact",
     )
+    parser.add_argument(
+        "--filter",
+        metavar="PREFIX",
+        help="only measure/compare metrics whose name starts with PREFIX; "
+        "with --update, unmatched metrics are carried over from the "
+        "existing snapshot instead of being re-measured",
+    )
+    parser.add_argument(
+        "--sweep",
+        action="store_true",
+        help="with --update: also record the multiprocess shard-scaling "
+        "sweep (1/2/4 workers) under the snapshot's 'sweeps' key",
+    )
     args = parser.parse_args(argv)
+
+    selected = METRICS
+    if args.filter:
+        selected = {
+            name: fn
+            for name, fn in METRICS.items()
+            if name.startswith(args.filter)
+        }
+        if not selected:
+            parser.error("--filter %r matches no metric" % args.filter)
 
     def write_json_out(payload: dict) -> None:
         if args.json_out:
@@ -375,15 +462,38 @@ def main(argv: list[str] | None = None) -> int:
             print("wrote %s" % args.json_out)
 
     if args.update:
-        metrics: dict[str, float] = {}
+        existing: dict = {}
+        if os.path.exists(BASELINE_PATH):
+            with open(BASELINE_PATH, "r", encoding="utf-8") as handle:
+                existing = json.load(handle)
+        # A filtered update re-measures only the selected metrics and
+        # keeps the rest of the committed snapshot intact.
+        metrics: dict[str, float] = (
+            dict(existing.get("metrics", {})) if args.filter else {}
+        )
+        # The sweep measures first, while the host is still cold — a
+        # multi-minute measurement tail runs hot enough to distort a
+        # per-worker-count comparison.
+        scaling_sweep = sweep_shard_scaling() if args.sweep else None
+        fresh: dict[str, float] = {}
         for sweep in range(max(1, args.runs)):
             print("-- update sweep %d/%d" % (sweep + 1, max(1, args.runs)))
-            for name, value in measure_all().items():
-                metrics[name] = min(metrics.get(name, value), value)
+            for name, value in measure_all(selected).items():
+                fresh[name] = min(fresh.get(name, value), value)
+        metrics.update(fresh)
         snapshot = {
-            "tolerance": args.tolerance or DEFAULT_TOLERANCE,
+            "tolerance": args.tolerance
+            or existing.get("tolerance", DEFAULT_TOLERANCE),
             "metrics": metrics,
         }
+        if existing.get("sweeps"):
+            snapshot["sweeps"] = existing["sweeps"]
+        if scaling_sweep is not None:
+            sweeps = dict(snapshot.get("sweeps", {}))
+            sweeps["engine.sharded_mp.activities_per_sec_by_workers"] = (
+                scaling_sweep
+            )
+            snapshot["sweeps"] = sweeps
         with open(BASELINE_PATH, "w", encoding="utf-8") as handle:
             json.dump(snapshot, handle, indent=2, sort_keys=True)
             handle.write("\n")
@@ -402,9 +512,14 @@ def main(argv: list[str] | None = None) -> int:
         else snapshot.get("tolerance", DEFAULT_TOLERANCE)
     )
 
-    current = measure_all()
+    current = measure_all(selected)
     failures = []
-    for name, baseline in sorted(snapshot["metrics"].items()):
+    compared = {
+        name: baseline
+        for name, baseline in snapshot["metrics"].items()
+        if not args.filter or name.startswith(args.filter)
+    }
+    for name, baseline in sorted(compared.items()):
         now = current.get(name)
         if now is None:
             failures.append("%s: metric disappeared" % name)
@@ -421,6 +536,9 @@ def main(argv: list[str] | None = None) -> int:
                 "%s: %.1f is %.1f%% below baseline %.1f (tolerance %.0f%%)"
                 % (name, now, -100.0 * delta, baseline, 100.0 * tolerance)
             )
+    for name in sorted(set(current) - set(compared)):
+        # Measured but not yet snapshotted — report, never gate.
+        print("%-9s %-50s %12.1f (no baseline)" % ("new", name, current[name]))
     write_json_out(
         {
             "baseline": snapshot["metrics"],

@@ -74,7 +74,17 @@ def build_archive_entry(navigator, instance) -> dict[str, Any]:
     instances: dict[str, Any] = {}
     for instance_id in tree:
         member = navigator._instances[instance_id]
+        # Per-program invocation counts, so §3.3 accounting keeps
+        # working after the live subtree is evicted.
+        invocations: dict[str, int] = {}
+        for ai in member.activities.values():
+            if ai.activity.kind is ActivityKind.PROGRAM and ai.attempt:
+                program = ai.activity.program
+                invocations[program] = (
+                    invocations.get(program, 0) + ai.attempt
+                )
         instances[instance_id] = {
+            "invocations": invocations,
             "definition": member.definition.name,
             "version": member.definition.version,
             "state": member.state.value,

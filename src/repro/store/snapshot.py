@@ -207,6 +207,7 @@ def restore_state(navigator, state: dict[str, Any]) -> int:
     for saved in state["instances"]:
         instance = _restore_instance(navigator, saved)
         navigator._instances[instance.instance_id] = instance
+        navigator._index_instance(instance)
         if (
             navigator._obs_on
             and instance.state is not ProcessState.FINISHED

@@ -5,10 +5,13 @@ Usage::
     python -m repro.tools.monitor view SNAPSHOT.json    # full view
     python -m repro.tools.monitor prom SNAPSHOT.json    # Prometheus text
     python -m repro.tools.monitor spans SNAPSHOT.json   # span tree only
+    python -m repro.tools.monitor shards SNAPSHOT.json  # sharded-cluster view
     python -m repro.tools.monitor demo                  # run a tiny traced
                                                         # workload and view it
 
-Snapshots are written by :func:`repro.obs.export.write_snapshot`; the
+Snapshots are written by :func:`repro.obs.export.write_snapshot` (and,
+for the ``shards`` view, by dumping
+:meth:`repro.wfms.sharding.ShardedEngine.snapshot` as JSON); the
 monitor renders pure data and never touches engine state, so it can
 inspect a snapshot from another process (or a crashed one).
 """
@@ -143,6 +146,77 @@ def render_snapshot(snapshot: dict[str, Any], *, max_spans: int = 40) -> list[st
     return lines
 
 
+def _checkpoint_lag(store: dict[str, Any]) -> str:
+    if not store.get("enabled"):
+        return "-"
+    lag = store.get("checkpoint_lag_records")
+    if lag is None:  # never checkpointed: the whole journal is lag
+        lag = store.get("journal_records", 0)
+    return str(lag)
+
+
+def render_shards(snapshot: dict[str, Any]) -> list[str]:
+    """Render a :meth:`ShardedEngine.snapshot` dump: one row per shard
+    (state, clock, live instances, scheduler and queue depths,
+    checkpoint lag) plus cluster-wide bus totals."""
+    shards = snapshot.get("shards", [])
+    lines = [
+        "SHARDS (%d) | scheduler seed %s"
+        % (snapshot.get("num_shards", len(shards)), snapshot.get("seed", "-"))
+    ]
+    lines.append(
+        "  %-10s %-8s %10s %6s %6s %8s %6s %8s %5s %9s"
+        % (
+            "SHARD",
+            "STATE",
+            "CLOCK",
+            "LIVE",
+            "READY",
+            "DELAYED",
+            "INBOX",
+            "REPLIES",
+            "DLQ",
+            "CKPT LAG",
+        )
+    )
+    for row in shards:
+        scheduler = row.get("scheduler", {})
+        queues = row.get("queues", {})
+        lines.append(
+            "  %-10s %-8s %10.3f %6d %6d %8d %6d %8d %5d %9s"
+            % (
+                row.get("name", ""),
+                "crashed" if row.get("crashed") else "up",
+                row.get("clock", 0.0),
+                row.get("live_instances", 0),
+                scheduler.get("ready", 0),
+                scheduler.get("delayed", 0),
+                queues.get("inbox", 0),
+                queues.get("replies", 0),
+                queues.get("dlq", 0),
+                _checkpoint_lag(row.get("store", {})),
+            )
+        )
+    bus = snapshot.get("bus", {})
+    totals: dict[str, int] = {}
+    for counters in bus.values():
+        for key, value in counters.items():
+            totals[key] = totals.get(key, 0) + value
+    lines.append("")
+    lines.append(
+        "BUS (%d queues) sent %d | delivered %d | redelivered %d | "
+        "dead-lettered %d"
+        % (
+            len(bus),
+            totals.get("sent", 0),
+            totals.get("delivered", 0),
+            totals.get("redelivered", 0),
+            totals.get("dead_lettered", 0),
+        )
+    )
+    return lines
+
+
 def _demo_snapshot() -> dict[str, Any]:
     """Run a small traced workload and snapshot it (for `demo`)."""
     from repro.obs.export import engine_snapshot
@@ -170,7 +244,7 @@ def _build_parser() -> argparse.ArgumentParser:
         description="Render engine observability snapshots.",
     )
     parser.add_argument(
-        "command", choices=["view", "prom", "spans", "demo"]
+        "command", choices=["view", "prom", "spans", "shards", "demo"]
     )
     parser.add_argument(
         "file", nargs="?", help="snapshot JSON (not needed for demo)"
@@ -204,6 +278,10 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return 0
     if args.command == "spans":
         for line in span_tree_lines(snapshot.get("spans", [])):
+            print(line, file=out)
+        return 0
+    if args.command == "shards":
+        for line in render_shards(snapshot):
             print(line, file=out)
         return 0
     for line in render_snapshot(snapshot, max_spans=args.max_spans):

@@ -29,10 +29,18 @@ from repro.wfms.organization import Organization, Person, Role
 from repro.wfms.engine import Engine
 from repro.wfms.messaging import MessageBus
 from repro.wfms.distributed import WorkflowNode, run_cluster
+from repro.wfms.sharding import (
+    ANY_SHARD,
+    MultiprocessShardPool,
+    ShardedEngine,
+    ShardNode,
+    shard_of,
+)
 from repro.wfms.simulate import ActivityProfile, SimulationReport, simulate
 from repro.wfms.registry import DefinitionRegistry
 
 __all__ = [
+    "ANY_SHARD",
     "Activity",
     "ActivityKind",
     "ActivityProfile",
@@ -45,9 +53,13 @@ __all__ = [
     "DefinitionRegistry",
     "Engine",
     "MessageBus",
+    "MultiprocessShardPool",
+    "ShardNode",
+    "ShardedEngine",
     "SimulationReport",
     "WorkflowNode",
     "run_cluster",
+    "shard_of",
     "simulate",
     "Organization",
     "Person",

@@ -220,12 +220,20 @@ class Engine:
         *,
         starter: str = "",
         version: str | None = None,
+        instance_id: str = "",
     ) -> str:
+        """``instance_id`` pins an explicit id (sharded/distributed
+        callers derive placement from it); empty picks the next
+        sequential ``pi-NNNN``."""
         self._check_up()
         self.verify_executable(name, version)
         try:
             return self.navigator.start_process(
-                name, input_values, starter=starter, version=version
+                name,
+                input_values,
+                starter=starter,
+                version=version,
+                instance_id=instance_id,
             )
         except JournalError:
             self._degrade()
@@ -370,14 +378,31 @@ class Engine:
 
     # -- monitoring (§3.3: "monitoring, accounting, ...") ------------------
 
-    def process_list(self) -> list[dict[str, Any]]:
-        """One summary row per process instance, root instances first."""
+    def process_list(
+        self,
+        *,
+        state: str | None = None,
+        definition: str | None = None,
+        include_archived: bool = False,
+    ) -> list[dict[str, Any]]:
+        """One summary row per process instance, root instances first.
+
+        ``state``/``definition`` filter through the navigator's
+        secondary indexes, so the walk is O(matching), not O(all live
+        instances).  ``include_archived`` adds rows (flagged
+        ``"archived": True``) for archived instances from the store's
+        by-definition index; archived instances are always finished, so
+        a ``state`` filter other than ``"finished"`` skips them.
+        """
         rows = []
-        for instance in self.navigator.instances():
+        for instance_id in self.navigator.instance_ids(
+            state=state, definition=definition
+        ):
+            instance = self.navigator.instance(instance_id)
             states = instance.states()
             counts: dict[str, int] = {}
-            for state in states.values():
-                counts[state] = counts.get(state, 0) + 1
+            for activity_state in states.values():
+                counts[activity_state] = counts.get(activity_state, 0) + 1
             rows.append(
                 {
                     "instance": instance.instance_id,
@@ -388,6 +413,34 @@ class Engine:
                     "activities": counts,
                 }
             )
+        if (
+            include_archived
+            and self._store is not None
+            and state in (None, "finished")
+        ):
+            archive = self._store.archive
+            if definition is not None:
+                entries = archive.by_definition(definition)
+            else:
+                entries = [archive.by_id(root) for root in archive.roots()]
+            for entry in entries:
+                for member_id, record in entry["instances"].items():
+                    if (
+                        definition is not None
+                        and record["definition"] != definition
+                    ):
+                        continue
+                    rows.append(
+                        {
+                            "instance": member_id,
+                            "definition": record["definition"],
+                            "state": record["state"],
+                            "starter": entry.get("starter", ""),
+                            "parent": record.get("parent_instance", ""),
+                            "activities": {},
+                            "archived": True,
+                        }
+                    )
         rows.sort(key=lambda r: (r["parent"], r["instance"]))
         return rows
 
@@ -445,13 +498,51 @@ class Engine:
         Returns per-program invocation counts and costs plus the
         instance total; block/subprocess children are included by
         default (their invocations are where the work happens).
+        Archived instances answer from the archive's per-instance
+        ``invocations`` records instead of raising.
         """
         rates = program_rates or {}
         invocations: dict[str, int] = {}
 
+        def merge(counts: dict[str, int]) -> None:
+            for program, count in counts.items():
+                invocations[program] = invocations.get(program, 0) + count
+
+        def collect_archived(target_id: str) -> bool:
+            """Charge from the archive entry; False when not archived."""
+            if self._store is None:
+                return False
+            view = self._store.archive.by_id(target_id)
+            if view is None:
+                return False
+            if "instances" in view:  # a root's full entry
+                records = view["instances"]
+                if include_children:
+                    for record in records.values():
+                        merge(record.get("invocations", {}))
+                else:
+                    merge(records[target_id].get("invocations", {}))
+                return True
+            merge(view.get("invocations", {}))
+            if include_children:
+                # Descend within the entry via parent links (records
+                # are creation-ordered: parents precede children).
+                entry = self._store.archive.by_id(view["root"])
+                members = {target_id}
+                for member_id, record in entry["instances"].items():
+                    if record.get("parent_instance") in members:
+                        members.add(member_id)
+                        merge(record.get("invocations", {}))
+            return True
+
         def collect(target_id: str) -> None:
-            instance = self.navigator.instance(target_id)
-            for name, ai in instance.activities.items():
+            try:
+                instance = self.navigator.instance(target_id)
+            except NavigationError:
+                if not collect_archived(target_id):
+                    raise
+                return
+            for ai in instance.activities.values():
                 if ai.activity.kind is ActivityKind.PROGRAM:
                     if ai.attempt:
                         program = ai.activity.program

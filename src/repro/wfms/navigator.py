@@ -164,6 +164,12 @@ class Navigator:
         self._instance_spans: dict[str, Span] = {}
         self._activity_spans: dict[tuple[str, str], Span] = {}
         self._instances: dict[str, ProcessInstance] = {}
+        #: secondary indexes kept in lockstep with ``_instances`` so
+        #: monitoring queries (``Engine.process_list`` filters) answer
+        #: in O(matching) instead of walking every live instance.
+        #: state value -> instance ids, definition name -> instance ids.
+        self._state_index: dict[str, set[str]] = {}
+        self._definition_index: dict[str, set[str]] = {}
         #: ready-queue heap of (-priority, arrival_seq, instance, activity);
         #: stale slots are invalidated lazily in :meth:`_pop_ready`.
         self._ready_heap: list[tuple[int, int, str, str]] = []
@@ -213,6 +219,51 @@ class Navigator:
 
     def instances(self) -> list[ProcessInstance]:
         return list(self._instances.values())
+
+    def live_instance_count(self) -> int:
+        return len(self._instances)
+
+    def queue_depths(self) -> dict[str, int]:
+        """Scheduler queue sizes (heap slots, including stale ones)."""
+        return {"ready": len(self._ready_heap), "delayed": len(self._delayed)}
+
+    def instance_ids(
+        self, *, state: str | None = None, definition: str | None = None
+    ) -> list[str]:
+        """Live instance ids, optionally filtered by state value and/or
+        definition name via the secondary indexes — O(matching), not
+        O(all live instances)."""
+        if state is None and definition is None:
+            return list(self._instances)
+        if state is not None:
+            matched = self._state_index.get(state, set())
+            if definition is not None:
+                matched = matched & self._definition_index.get(
+                    definition, set()
+                )
+        else:
+            matched = self._definition_index.get(definition, set())
+        return sorted(matched)
+
+    def _index_instance(self, instance: ProcessInstance) -> None:
+        self._state_index.setdefault(instance.state.value, set()).add(
+            instance.instance_id
+        )
+        self._definition_index.setdefault(
+            instance.definition.name, set()
+        ).add(instance.instance_id)
+
+    def _move_state(
+        self, instance: ProcessInstance, new_state: ProcessState
+    ) -> None:
+        """The only way instance.state may change once indexed."""
+        ids = self._state_index.get(instance.state.value)
+        if ids is not None:
+            ids.discard(instance.instance_id)
+        instance.state = new_state
+        self._state_index.setdefault(new_state.value, set()).add(
+            instance.instance_id
+        )
 
     def set_sequence(self, value: int) -> None:
         self._sequence = max(self._sequence, value)
@@ -289,6 +340,7 @@ class Navigator:
         )
         instance.input.load_dict(input_values)
         self._instances[instance_id] = instance
+        self._index_instance(instance)
         span = None
         if self._obs_on:
             self._c_proc_started.labels(definition.name).inc()
@@ -1129,7 +1181,7 @@ class Navigator:
             return
         if not instance.all_terminated():
             return
-        instance.state = ProcessState.FINISHED
+        self._move_state(instance, ProcessState.FINISHED)
         if self._obs_on:
             self._c_proc_finished.labels(instance.definition.name).inc()
             self._g_running.dec()
@@ -1179,7 +1231,7 @@ class Navigator:
             raise NavigationError(
                 "cannot suspend instance in state %s" % instance.state.value
             )
-        instance.state = ProcessState.SUSPENDED
+        self._move_state(instance, ProcessState.SUSPENDED)
         self._audit.record(
             self.clock, AuditEvent.PROCESS_SUSPENDED, instance_id
         )
@@ -1193,7 +1245,7 @@ class Navigator:
             raise NavigationError(
                 "cannot resume instance in state %s" % instance.state.value
             )
-        instance.state = ProcessState.RUNNING
+        self._move_state(instance, ProcessState.RUNNING)
         self._audit.record(self.clock, AuditEvent.PROCESS_RESUMED, instance_id)
         self._journal_write(
             {"type": "process_resumed", "instance": instance_id}
@@ -1254,8 +1306,15 @@ class Navigator:
         """Drop archived instances from live memory (their durable
         state now lives in the store's archive)."""
         for instance_id in instance_ids:
-            self._instances.pop(instance_id, None)
+            instance = self._instances.pop(instance_id, None)
             self._instance_spans.pop(instance_id, None)
+            if instance is not None:
+                ids = self._state_index.get(instance.state.value)
+                if ids is not None:
+                    ids.discard(instance_id)
+                ids = self._definition_index.get(instance.definition.name)
+                if ids is not None:
+                    ids.discard(instance_id)
 
     def requeue_after_restore(self, cursor: ReplayCursor) -> None:
         """Re-schedule restored instances' READY work (checkpoint
@@ -1277,7 +1336,7 @@ class Navigator:
                 instance.state is ProcessState.SUSPENDED
                 and instance.instance_id in cursor.resumed
             ):
-                instance.state = ProcessState.RUNNING
+                self._move_state(instance, ProcessState.RUNNING)
             if instance.state is not ProcessState.RUNNING:
                 continue
             for ai in instance.activities.values():

@@ -107,3 +107,58 @@ class TestDeadLetter:
             bus.dead_letter("q", msg_id, "r")
         with pytest.raises(WorkflowError, match="unknown message"):
             bus.dead_letter("q", "m999999", "r")
+
+
+class TestPerQueueStats:
+    """Counters must be attributed to the queue the event happened on,
+    even when several queues are being routed through one bus — the
+    sharded engine's monitoring view depends on this."""
+
+    def _route(self, bus):
+        """Two queues with different fates: alpha's message is nacked
+        and redelivered, beta's is poisoned into its DLQ."""
+        a = bus.send("alpha", {"n": 1})
+        b = bus.send("beta", {"n": 2})
+        bus.receive("alpha")
+        bus.nack("alpha", a)
+        bus.receive("alpha")
+        bus.ack("alpha", a)
+        bus.receive("beta")
+        bus.dead_letter("beta", b, "poison")
+        return a, b
+
+    def test_redelivered_counts_stay_per_queue(self):
+        bus = MessageBus()
+        self._route(bus)
+        assert bus.stats("alpha")["redelivered"] == 1
+        assert bus.stats("beta")["redelivered"] == 0
+
+    def test_dead_lettered_counts_stay_per_queue(self):
+        bus = MessageBus()
+        self._route(bus)
+        assert bus.stats("beta")["dead_lettered"] == 1
+        assert bus.stats("alpha")["dead_lettered"] == 0
+        assert bus.stats(dlq_name("beta"))["sent"] == 1
+        assert dlq_name("alpha") not in bus.stats()
+
+    def test_all_queues_view_is_keyed_by_name(self):
+        bus = MessageBus()
+        self._route(bus)
+        stats = bus.stats()
+        assert {"alpha", "beta", dlq_name("beta")} <= set(stats)
+        assert stats["alpha"]["redelivered"] == 1
+        assert stats["beta"]["dead_lettered"] == 1
+
+    def test_global_recover_in_flight_attributes_per_queue(self):
+        bus = MessageBus()
+        bus.send("alpha", {"n": 1})
+        bus.send("beta", {"n": 2})
+        bus.receive("alpha")
+        bus.receive("beta")
+        assert bus.recover_in_flight() == 2
+        bus.receive("alpha")
+        bus.receive("beta")
+        assert bus.stats("alpha")["redelivered"] == 1
+        assert bus.stats("beta")["redelivered"] == 1
+        assert bus.stats("alpha")["sent"] == 1
+        assert bus.stats("beta")["sent"] == 1

@@ -1,0 +1,75 @@
+"""Socket-transport benchmarks: request/reply cost and open-loop tail.
+
+Two numbers the performance gate tracks:
+
+* ``request_reply_throughput`` — bus RPC round-trips/sec over a live
+  broker (send → receive → ack cycles on one connection, three
+  round-trips per message).  This is the floor cost a WorkflowNode
+  pays per remote message versus the in-memory bus: framing, one
+  loopback TCP round-trip, broker dispatch;
+* ``open_loop_p99_seconds`` — tail latency from the open-loop traffic
+  driver (:mod:`repro.workloads.traffic`) at a rate the broker
+  sustains on one core.  The gate stores its reciprocal so "bigger is
+  better" holds like every other metric.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_net.py
+"""
+
+from __future__ import annotations
+
+import time
+
+#: send→receive→ack cycles per throughput measurement.
+MESSAGES = 300
+
+#: Open-loop point: modest rate, fixed spacing — the healthy regime;
+#: overload behaviour is the chaos/test suite's business, the gate
+#: tracks the no-queueing tail.
+OPEN_LOOP_RATE = 150.0
+OPEN_LOOP_REQUESTS = 150
+
+
+def request_reply_throughput(messages: int = MESSAGES) -> float:
+    """RPC round-trips/sec for send→receive→ack over one connection."""
+    from repro.net.client import SocketBus
+    from repro.net.server import BusServerThread
+
+    queue = "node:bench"
+    with BusServerThread() as broker:
+        with SocketBus(*broker.address, name="bench-rr") as bus:
+            # Warmup: connection, first-frame costs.
+            mid = bus.send(queue, {"warm": True})
+            bus.ack(queue, bus.receive(queue)[0])
+            start = time.perf_counter()
+            for index in range(messages):
+                bus.send(queue, {"i": index})
+                taken = bus.receive(queue)
+                bus.ack(queue, taken[0])
+            elapsed = time.perf_counter() - start
+    return (3 * messages) / elapsed
+
+
+def open_loop_p99_seconds(
+    rate: float = OPEN_LOOP_RATE, requests: int = OPEN_LOOP_REQUESTS
+) -> float:
+    """p99 request→reply latency (seconds) at a sustainable rate."""
+    from repro.net.client import SocketBus
+    from repro.net.server import BusServerThread
+    from repro.workloads.traffic import run_open_loop
+
+    with BusServerThread() as broker:
+        address = broker.address
+        report = run_open_loop(
+            lambda name: SocketBus(*address, name=name),
+            rate=rate,
+            requests=requests,
+            distribution="fixed",
+        )
+    return report["latency"]["p99_ms"] / 1e3
+
+
+if __name__ == "__main__":
+    print("request_reply  %10.1f round-trips/sec" % request_reply_throughput())
+    print("open_loop_p99  %10.3f ms" % (1e3 * open_loop_p99_seconds()))

@@ -366,6 +366,36 @@ def measure_scope_disabled() -> float:
     return best
 
 
+def measure_net_request_reply() -> float:
+    """bus RPC round-trips/sec over a live loopback broker.
+
+    The per-message floor of the socket transport: framing, one TCP
+    round-trip, broker dispatch, for each of send/receive/ack.
+    Regresses if the frame codec or the broker's dispatch path gains
+    per-request cost.
+    """
+    from bench_net import request_reply_throughput
+
+    best = 0.0
+    for __ in range(3):
+        best = max(best, request_reply_throughput())
+    return best
+
+
+def measure_net_open_loop_p99() -> float:
+    """reciprocal p99 latency (1/sec) from the open-loop driver at a
+    sustainable rate.
+
+    Stored inverted so the gate's higher-is-better comparison holds: a
+    fatter tail (bigger p99) is a smaller metric.  Regresses if broker
+    queueing or scheduling adds tail latency in the healthy regime.
+    """
+    from bench_net import open_loop_p99_seconds
+
+    best_p99 = min(open_loop_p99_seconds() for __ in range(3))
+    return 1.0 / best_p99
+
+
 METRICS = {
     "engine.dag_16x16.activities_per_sec": measure_engine_large_dag,
     "engine.concurrent_200x3x3.activities_per_sec": measure_engine_concurrent,
@@ -388,6 +418,8 @@ METRICS = {
     "store.disabled_dag_8x8.activities_per_sec": measure_store_disabled,
     "tx.scope_chain.ops_per_sec": measure_tx_scope_chain,
     "scope.disabled_dag_8x8.activities_per_sec": measure_scope_disabled,
+    "net.request_reply.roundtrips_per_sec": measure_net_request_reply,
+    "net.open_loop_p99.inv_sec": measure_net_open_loop_p99,
 }
 
 
@@ -527,6 +559,19 @@ def main(argv: list[str] | None = None) -> int:
         floor = baseline * (1.0 - tolerance)
         delta = (now - baseline) / baseline
         status = "ok" if now >= floor else "REGRESSED"
+        if (
+            name == "engine.sharded_scaling_4.speedup_x"
+            and now < floor
+            and (os.cpu_count() or 1) == 1
+        ):
+            # A 4-worker speedup needs 4 cores; on a single-core host
+            # the ratio is ~1.0 by physics, not by regression.  Report
+            # without gating rather than fail every laptop-CI run.
+            print(
+                "%-9s %-50s %12.1f vs %12.1f (single-core host, not gated)"
+                % ("skipped", name, now, baseline)
+            )
+            continue
         print(
             "%-9s %-50s %12.1f vs %12.1f (%+6.1f%%)"
             % (status, name, now, baseline, 100.0 * delta)

@@ -59,6 +59,43 @@ class JournalError(WorkflowError):
 
 
 # ---------------------------------------------------------------------------
+# Socket transport (repro.net)
+# ---------------------------------------------------------------------------
+
+class NetError(WorkflowError):
+    """Base class for socket-transport errors (framing, connection,
+    broker protocol)."""
+
+
+class ConnectionLost(NetError):
+    """The broker connection died and could not be re-established
+    within the client's reconnect budget."""
+
+
+class QueueOverflow(NetError):
+    """A send was nacked at admission: the target queue is at its
+    bounded depth.  The rejected message was moved to the queue's
+    dead-letter queue (inspectable, replayable) instead of growing the
+    backlog."""
+
+    def __init__(self, message: str = "queue overflow", *, queue: str = ""):
+        self.queue = queue
+        super().__init__(message)
+
+
+class LoadShedded(NetError):
+    """A send was rejected at admission by the broker's circuit
+    breaker: the queue has been overflowing persistently, so the
+    broker fails fast instead of paying the overflow path per send.
+    Nothing was enqueued or dead-lettered — the caller owns the retry
+    decision."""
+
+    def __init__(self, message: str = "load shedded", *, queue: str = ""):
+        self.queue = queue
+        super().__init__(message)
+
+
+# ---------------------------------------------------------------------------
 # Observability (repro.obs)
 # ---------------------------------------------------------------------------
 

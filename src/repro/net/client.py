@@ -1,0 +1,298 @@
+"""SocketBus: the MessageBus interface over a TCP connection.
+
+A :class:`SocketBus` is a drop-in bus for everything that takes one —
+:class:`~repro.wfms.distributed.WorkflowNode`, the sharded engine's
+drivers, the workload demos.  Each method is one request/reply
+round-trip to the broker (:class:`repro.net.server.BusServer`): the
+call blocks, the broker applies the operation to the authoritative
+in-memory bus, and the reply carries the same value the in-memory
+method would have returned — including the same typed errors
+(``unknown message`` acks, empty-queue ``None``\\ s), so caller code
+and its tests cannot tell the transports apart.
+
+The client owns a private asyncio event loop and drives it to
+completion per call, which keeps the public surface synchronous (the
+workflow engine is synchronous by design — determinism before
+concurrency) and guarantees at most one request in flight per client.
+That single-outstanding-request discipline is what makes multi-process
+chaos runs replayable: the broker serves frames in arrival order, and
+arrival order equals the driver's issue order.
+
+Failure handling:
+
+* connection loss (including injected ``net.connection`` resets) is
+  retried transparently: reconnect with exponential backoff, replay
+  the pending request.  The broker consumes a reset *before* serving
+  the frame, so an injected reset never half-applies an operation.
+  After ``reconnect_budget`` consecutive failures the call raises
+  :class:`~repro.errors.ConnectionLost`;
+* typed broker rejections come back as the matching exception —
+  ``overflow`` as :class:`~repro.errors.QueueOverflow` (the message is
+  in the DLQ), ``shed`` as :class:`~repro.errors.LoadShedded`
+  (nothing was stored), anything else as :class:`~repro.errors.
+  NetError` carrying the broker's message.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any
+
+from repro.errors import ConnectionLost, LoadShedded, NetError, QueueOverflow
+from repro.net.frames import FrameDecoder, decode_envelope, encode_frame
+
+
+class SocketBus:
+    """A synchronous bus proxy over one broker TCP connection.
+
+    ``connect_retries``/``backoff``/``max_backoff`` govern both the
+    initial connect and every reconnect; ``timeout`` bounds a single
+    request/reply round-trip.  Use as a context manager or ``close()``
+    explicitly.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        name: str = "client",
+        connect_retries: int = 12,
+        backoff: float = 0.05,
+        max_backoff: float = 1.0,
+        timeout: float = 30.0,
+    ):
+        self._host = host
+        self._port = port
+        self.name = name
+        self._connect_retries = max(1, connect_retries)
+        self._backoff = backoff
+        self._max_backoff = max_backoff
+        self._timeout = timeout
+        self._loop = asyncio.new_event_loop()
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._decoder = FrameDecoder()
+        self._closed = False
+        #: consecutive-reconnect accounting, surfaced for tests and
+        #: the monitor: total reconnects over the client's life.
+        self.reconnects = 0
+        self.server_info: dict[str, Any] = {}
+        self._connect_initial()
+
+    # -- connection management --------------------------------------------
+
+    def _connect_initial(self) -> None:
+        failure: Exception | None = None
+        for attempt in range(self._connect_retries):
+            try:
+                self._loop.run_until_complete(self._open())
+                return
+            except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
+                failure = exc
+                self._drop_connection()
+                time.sleep(self._sleep_for(attempt))
+        raise ConnectionLost(
+            "could not connect to broker at %s:%d after %d attempts (%s)"
+            % (self._host, self._port, self._connect_retries, failure)
+        )
+
+    def _sleep_for(self, attempt: int) -> float:
+        return min(self._backoff * (2**attempt), self._max_backoff)
+
+    async def _open(self) -> None:
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(self._host, self._port),
+            timeout=self._timeout,
+        )
+        self._reader = reader
+        self._writer = writer
+        self._decoder = FrameDecoder()
+        self.server_info = await self._roundtrip(
+            {"op": "hello", "name": self.name}
+        )
+
+    def _drop_connection(self) -> None:
+        if self._writer is not None:
+            try:
+                self._writer.close()
+            except Exception:
+                pass
+        self._reader = None
+        self._writer = None
+        self._decoder = FrameDecoder()
+
+    async def _roundtrip(self, request: dict[str, Any]) -> Any:
+        """One frame out, one frame in; raises the typed error a
+        non-ok reply encodes."""
+        assert self._reader is not None and self._writer is not None
+        self._writer.write(encode_frame(request))
+        await self._writer.drain()
+        frames: list[Any] = []
+        while not frames:
+            data = await asyncio.wait_for(
+                self._reader.read(65536), timeout=self._timeout
+            )
+            if not data:
+                raise ConnectionResetError("broker closed the connection")
+            frames = self._decoder.feed(data)
+        response = frames[0]
+        if not isinstance(response, dict):
+            raise NetError("malformed broker response: %r" % (response,))
+        if response.get("ok"):
+            return response.get("value")
+        code = response.get("code", "error")
+        message = response.get("error", "broker error")
+        if code == "overflow":
+            raise QueueOverflow(message, queue=response.get("queue", ""))
+        if code == "shed":
+            raise LoadShedded(message, queue=response.get("queue", ""))
+        raise NetError(message)
+
+    def _call(self, op: str, **params: Any) -> Any:
+        """Issue one operation, reconnecting and replaying on
+        connection failure.  Safe for injected resets (the broker
+        never serves a frame it resets on); real mid-reply losses are
+        covered by the application-level exactly-once request ids."""
+        if self._closed:
+            raise NetError("SocketBus %r is closed" % self.name)
+        request = dict(params)
+        request["op"] = op
+        failure: Exception | None = None
+        for attempt in range(self._connect_retries):
+            try:
+                if self._reader is None:
+                    self._loop.run_until_complete(self._open())
+                return self._loop.run_until_complete(self._roundtrip(request))
+            except (
+                ConnectionError,
+                OSError,
+                asyncio.TimeoutError,
+                asyncio.IncompleteReadError,
+            ) as exc:
+                failure = exc
+                self._drop_connection()
+                self.reconnects += 1
+                time.sleep(self._sleep_for(attempt))
+        raise ConnectionLost(
+            "lost broker %s:%d and exhausted %d reconnect attempts (%s)"
+            % (self._host, self._port, self._connect_retries, failure)
+        )
+
+    # -- the MessageBus interface -----------------------------------------
+
+    def send(
+        self,
+        queue: str,
+        body: dict[str, Any],
+        headers: dict[str, str] | None = None,
+    ) -> str:
+        return self._call(
+            "send", queue=queue, body=dict(body), headers=dict(headers or {})
+        )
+
+    def receive(self, queue: str) -> tuple[str, dict[str, Any]] | None:
+        taken = self.receive_with_headers(queue)
+        if taken is None:
+            return None
+        msg_id, body, __ = taken
+        return msg_id, body
+
+    def receive_with_headers(
+        self, queue: str
+    ) -> tuple[str, dict[str, Any], dict[str, str]] | None:
+        wire = self._call("receive", queue=queue)
+        if wire is None:
+            return None
+        msg_id, body, headers, __ = decode_envelope(wire)
+        return msg_id, body, headers
+
+    def ack(self, queue: str, msg_id: str) -> None:
+        self._call("ack", queue=queue, msg_id=msg_id)
+
+    def nack(self, queue: str, msg_id: str) -> None:
+        self._call("nack", queue=queue, msg_id=msg_id)
+
+    def dead_letter(self, queue: str, msg_id: str, reason: str) -> str:
+        return self._call(
+            "dead_letter", queue=queue, msg_id=msg_id, reason=reason
+        )
+
+    def recover_in_flight(self, queue: str | None = None) -> int:
+        return self._call("recover_in_flight", queue=queue)
+
+    def depth(self, queue: str) -> int:
+        return self._call("depth", queue=queue)
+
+    def deliveries(self, queue: str, msg_id: str) -> int:
+        return self._call("deliveries", queue=queue, msg_id=msg_id)
+
+    def queues(self) -> list[str]:
+        return self._call("queues")
+
+    def stats(self, queue: str | None = None) -> dict[str, Any]:
+        return self._call("stats", queue=queue)
+
+    # -- dead-letter operations -------------------------------------------
+
+    def dlq_entries(self, queue: str | None = None) -> list[dict[str, Any]]:
+        return self._call("dlq_inspect", queue=queue)
+
+    def dlq_drain(self, queue: str, *, requeue: bool = True) -> int:
+        return self._call("dlq_drain", queue=queue, requeue=requeue)
+
+    # -- chaos and monitoring ---------------------------------------------
+
+    def install_injector(self, injector: Any) -> None:
+        """Ship an injector's rules and seed to the broker, which
+        builds its own :class:`~repro.resilience.faults.FaultInjector`
+        over them — the chaos adversary runs *behind* the transport,
+        exactly where the in-memory suite puts it."""
+        from repro.net.server import _rule_to_wire
+
+        self._call(
+            "install_injector",
+            rules=[_rule_to_wire(rule) for rule in injector.rules],
+            seed=injector.seed,
+        )
+
+    def injector_trace(self) -> list[tuple[str, str, str, int]]:
+        """The broker-side chaos trace, in the same tuple shape as
+        :meth:`FaultInjector.trace` — what multi-process chaos runs
+        diff across replays."""
+        return [tuple(entry) for entry in self._call("injector_trace")]
+
+    def snapshot(self) -> dict[str, Any]:
+        return self._call("snapshot")
+
+    def ping(self) -> str:
+        return self._call("ping")
+
+    def shutdown_server(self) -> None:
+        self._call("shutdown")
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._drop_connection()
+        self._loop.close()
+
+    def __enter__(self) -> "SocketBus":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return "SocketBus(%s:%d, name=%r, %s, reconnects=%d)" % (
+            self._host,
+            self._port,
+            self.name,
+            state,
+            self.reconnects,
+        )

@@ -1,0 +1,132 @@
+"""Wire format: length-prefixed JSON frames.
+
+One frame is ``<4-byte big-endian length><payload>`` where the payload
+is UTF-8 JSON with sorted keys and no insignificant whitespace.  The
+format is deliberately boring: every value the in-memory
+:class:`~repro.wfms.messaging.MessageBus` holds (message bodies,
+headers, stat buckets) is already JSON-native, so a message **envelope
+round-trips the wire bit-for-bit** — span-context headers (PR 3),
+request ids and delivery counts (PR 4) included.  The property test in
+``tests/net/test_frames.py`` asserts exactly that, including frames
+split across arbitrary read boundaries.
+
+:class:`FrameDecoder` is the incremental half: feed it whatever the
+socket produced (single bytes, half a header, three frames at once)
+and it yields every completed payload, buffering the rest.  A frame
+longer than :data:`MAX_FRAME_BYTES` raises :class:`FrameError` —
+a corrupt or hostile length prefix must not make the decoder allocate
+gigabytes.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any
+
+from repro.errors import NetError
+
+
+class FrameError(NetError):
+    """The byte stream is not a well-formed frame sequence."""
+
+
+#: Hard ceiling on one frame's payload (16 MiB) — a sanity bound, not
+#: a tuning knob; workflow envelopes are a few hundred bytes.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+
+def encode_frame(payload: Any) -> bytes:
+    """One framed message: length prefix + compact sorted-key JSON."""
+    body = json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise FrameError(
+            "frame payload of %d bytes exceeds the %d-byte limit"
+            % (len(body), MAX_FRAME_BYTES)
+        )
+    return _HEADER.pack(len(body)) + body
+
+
+class FrameDecoder:
+    """Incremental frame decoder over an arbitrary chunking.
+
+    ``feed(data)`` returns every payload completed by ``data`` (zero
+    or more) and keeps the unfinished tail buffered; ``pending`` tells
+    how many buffered bytes await completion.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    @property
+    def pending(self) -> int:
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> list[Any]:
+        self._buffer.extend(data)
+        frames: list[Any] = []
+        while True:
+            if len(self._buffer) < _HEADER.size:
+                return frames
+            (length,) = _HEADER.unpack_from(self._buffer)
+            if length > MAX_FRAME_BYTES:
+                raise FrameError(
+                    "frame header announces %d bytes (limit %d)"
+                    % (length, MAX_FRAME_BYTES)
+                )
+            end = _HEADER.size + length
+            if len(self._buffer) < end:
+                return frames
+            body = bytes(self._buffer[_HEADER.size:end])
+            del self._buffer[:end]
+            try:
+                frames.append(json.loads(body.decode("utf-8")))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise FrameError("undecodable frame payload: %s" % exc)
+
+
+# ---------------------------------------------------------------------------
+# message envelopes
+# ---------------------------------------------------------------------------
+
+
+def encode_envelope(
+    msg_id: str,
+    body: dict[str, Any],
+    headers: dict[str, str],
+    deliveries: int = 0,
+) -> dict[str, Any]:
+    """The wire shape of one bus message.
+
+    Identical field semantics to the in-memory envelope: the body and
+    headers are carried verbatim (span context and exactly-once
+    request ids live inside them), ``deliveries`` is the broker's
+    delivery count for the redelivery/dead-letter machinery.
+    """
+    return {
+        "msg_id": msg_id,
+        "body": body,
+        "headers": headers,
+        "deliveries": deliveries,
+    }
+
+
+def decode_envelope(
+    wire: dict[str, Any],
+) -> tuple[str, dict[str, Any], dict[str, str], int]:
+    """Inverse of :func:`encode_envelope`; raises :class:`FrameError`
+    on a malformed envelope."""
+    try:
+        msg_id = wire["msg_id"]
+        body = wire["body"]
+        headers = wire["headers"]
+        deliveries = wire.get("deliveries", 0)
+    except (TypeError, KeyError) as exc:
+        raise FrameError("malformed envelope: missing %s" % exc)
+    if not isinstance(body, dict) or not isinstance(headers, dict):
+        raise FrameError("malformed envelope: body/headers must be objects")
+    return msg_id, body, headers, deliveries

@@ -223,6 +223,35 @@ class Histogram(_Instrument):
     def sum(self) -> float:
         return self._sum
 
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0 <= q <= 1) from the bucket
+        counts, linearly interpolated within the covering bucket —
+        the Prometheus ``histogram_quantile`` estimate, computed
+        locally so the traffic driver can report p50/p99 without an
+        external system.  Values beyond the last finite bucket clamp
+        to that bucket's upper bound; an empty histogram reports 0.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ObservabilityError("quantile q must be in [0, 1]")
+        if self._count == 0:
+            return 0.0
+        target = q * self._count
+        cumulative = 0
+        for index, n in enumerate(self._counts):
+            if n == 0:
+                continue
+            if cumulative + n >= target:
+                if index >= len(self.buckets):
+                    # +Inf overflow bucket: no finite upper bound to
+                    # interpolate toward.
+                    return self.buckets[-1]
+                lower = self.buckets[index - 1] if index else 0.0
+                upper = self.buckets[index]
+                fraction = (target - cumulative) / n
+                return lower + (upper - lower) * fraction
+            cumulative += n
+        return self.buckets[-1]
+
     def _make_child(self) -> "Histogram":
         return Histogram(buckets=self.buckets)
 
@@ -278,6 +307,9 @@ class NullInstrument:
 
     def observe(self, value: float) -> None:
         pass
+
+    def quantile(self, q: float) -> float:
+        return 0.0
 
     @property
     def value(self) -> float:

@@ -22,6 +22,7 @@ site               key matched against ``FaultRule.match``       actions
 ``snapshot.write`` checkpoint file basename                      raise (JournalError)
 ``compact``        journal directory basename                    raise (JournalError)
 ``scope.commit``   transaction-scope handle                      raise (JournalError)
+``net.connection`` broker-side client connection name            reset
 =================  ============================================  ==================
 
 A rule fires on a **schedule** (1-based match counts), with a
@@ -57,6 +58,7 @@ SITES: dict[str, tuple[str, ...]] = {
     "snapshot.write": ("raise",),
     "compact": ("raise",),
     "scope.commit": ("raise",),
+    "net.connection": ("reset",),
 }
 
 
@@ -220,6 +222,14 @@ class FaultInjector:
             raise JournalError(
                 "injected fault: store %s failed (%s)" % (site, key)
             )
+
+    def on_connection(self, name: str) -> bool:
+        """Socket-broker site, consulted once per received frame: True
+        when the broker must reset (abruptly close) the client
+        connection instead of serving the request.  The client's
+        reconnect-with-backoff takes over; the retried request is a
+        fresh frame and is consulted again."""
+        return self.decide("net.connection", name) is not None
 
     def on_scope_commit(self, handle: str) -> None:
         """Transaction-scope commit site: raises :class:`JournalError`

@@ -217,6 +217,136 @@ def render_shards(snapshot: dict[str, Any]) -> list[str]:
     return lines
 
 
+def render_net(snapshot: dict[str, Any]) -> list[str]:
+    """Render a :meth:`BusServer.snapshot` dump: broker identity and
+    frame totals, one row per live connection, one row per queue with
+    depth/overflow/shed counters and breaker state."""
+    address = snapshot.get("address")
+    lines = [
+        "BROKER %s @ %s | accepted %d | resets %d | frames in %d / out %d"
+        % (
+            snapshot.get("broker", "?"),
+            "%s:%s" % tuple(address) if address else "-",
+            snapshot.get("accepted_total", 0),
+            snapshot.get("resets_total", 0),
+            snapshot.get("frames_in_total", 0),
+            snapshot.get("frames_out_total", 0),
+        )
+    ]
+    capacity = snapshot.get("queue_capacity")
+    overrides = snapshot.get("capacities") or {}
+    lines.append(
+        "capacity %s%s | injector %s"
+        % (
+            capacity if capacity is not None else "unbounded",
+            " (+%d overrides)" % len(overrides) if overrides else "",
+            "%(rules)d rules, %(fired)d fired" % snapshot["injector"]
+            if snapshot.get("injector")
+            else "none",
+        )
+    )
+    lines.append("")
+
+    connections = snapshot.get("connections", [])
+    lines.append("CONNECTIONS (%d)" % len(connections))
+    lines.append(
+        "  %-4s %-18s %-21s %-6s %8s %8s %6s %-s"
+        % ("ID", "NAME", "PEER", "STATE", "IN", "OUT", "RESETS", "LAST OP")
+    )
+    for row in connections:
+        lines.append(
+            "  %-4s %-18s %-21s %-6s %8d %8d %6d %s"
+            % (
+                row.get("id", "?"),
+                row.get("name", ""),
+                row.get("peer", ""),
+                row.get("state", ""),
+                row.get("frames_in", 0),
+                row.get("frames_out", 0),
+                row.get("resets", 0),
+                row.get("last_op", ""),
+            )
+        )
+    lines.append("")
+
+    queues = snapshot.get("queues", {})
+    breakers = snapshot.get("breakers", {})
+    lines.append("QUEUES (%d)" % len(queues))
+    lines.append(
+        "  %-24s %6s %6s %6s %6s %9s %5s %6s %-s"
+        % (
+            "QUEUE",
+            "DEPTH",
+            "SENT",
+            "DLVD",
+            "ACKED",
+            "OVERFLOW",
+            "SHED",
+            "DEAD",
+            "BREAKER",
+        )
+    )
+    for name in sorted(queues):
+        stats = queues[name]
+        lines.append(
+            "  %-24s %6d %6d %6d %6d %9d %5d %6d %s"
+            % (
+                name,
+                stats.get("depth", 0),
+                stats.get("sent", 0),
+                stats.get("delivered", 0),
+                stats.get("acked", 0),
+                stats.get("overflowed", 0),
+                stats.get("shed", 0),
+                stats.get("dead_lettered", 0),
+                breakers.get(name, "-"),
+            )
+        )
+    return lines
+
+
+def render_dlq(rows: list[dict[str, Any]]) -> list[str]:
+    """Render DLQ entries (from :meth:`MessageBus.dlq_entries` or the
+    broker's ``dlq_inspect`` op)."""
+    lines = ["DEAD LETTERS (%d)" % len(rows)]
+    lines.append(
+        "  %-10s %-20s %4s %-28s %s"
+        % ("MSG", "QUEUE", "DLVD", "REASON", "BODY")
+    )
+    for row in rows:
+        reason = row.get("headers", {}).get("dead-letter-reason", "")
+        lines.append(
+            "  %-10s %-20s %4d %-28s %s"
+            % (
+                row.get("msg_id", ""),
+                row.get("queue", ""),
+                row.get("deliveries", 0),
+                reason[:28],
+                json.dumps(row.get("body", {}), sort_keys=True)[:60],
+            )
+        )
+    return lines
+
+
+def _net_source(target: str) -> dict[str, Any]:
+    """A broker snapshot from ``target``: a JSON dump file, or a live
+    ``HOST:PORT`` fetched over one short connection."""
+    import os
+
+    if os.path.exists(target):
+        with open(target, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    host, separator, port = target.rpartition(":")
+    if not separator or not port.isdigit():
+        raise OSError(
+            "%r is neither a snapshot file nor HOST:PORT" % target
+        )
+    from repro.net.client import SocketBus
+
+    with SocketBus(host or "127.0.0.1", int(port), name="monitor") as bus:
+        return bus.snapshot()
+
+
 def _demo_snapshot() -> dict[str, Any]:
     """Run a small traced workload and snapshot it (for `demo`)."""
     from repro.obs.export import engine_snapshot
@@ -244,10 +374,14 @@ def _build_parser() -> argparse.ArgumentParser:
         description="Render engine observability snapshots.",
     )
     parser.add_argument(
-        "command", choices=["view", "prom", "spans", "shards", "demo"]
+        "command",
+        choices=["view", "prom", "spans", "shards", "net", "dlq", "demo"],
     )
     parser.add_argument(
-        "file", nargs="?", help="snapshot JSON (not needed for demo)"
+        "file",
+        nargs="?",
+        help="snapshot JSON (not needed for demo); for net/dlq, a "
+        "broker snapshot file or a live broker's HOST:PORT",
     )
     parser.add_argument(
         "--max-spans",
@@ -255,12 +389,77 @@ def _build_parser() -> argparse.ArgumentParser:
         default=40,
         help="span lines to show in the view (default 40)",
     )
+    parser.add_argument(
+        "--queue",
+        help="dlq: restrict to one original queue (default: all)",
+    )
+    parser.add_argument(
+        "--drain",
+        action="store_true",
+        help="dlq: requeue every shown dead letter to its original "
+        "queue (live broker target only)",
+    )
+    parser.add_argument(
+        "--purge",
+        action="store_true",
+        help="dlq: discard every shown dead letter (live broker "
+        "target only)",
+    )
     return parser
 
 
 def main(argv: list[str] | None = None, out=None) -> int:
+    from repro.errors import NetError
+
     out = out if out is not None else sys.stdout
     args = _build_parser().parse_args(argv)
+    if args.command == "net":
+        if not args.file:
+            print("error: snapshot file or HOST:PORT required", file=out)
+            return 2
+        try:
+            broker_snapshot = _net_source(args.file)
+        except (OSError, json.JSONDecodeError, NetError) as exc:
+            print("error: %s" % exc, file=out)
+            return 1
+        for line in render_net(broker_snapshot):
+            print(line, file=out)
+        return 0
+    if args.command == "dlq":
+        host, separator, port = (args.file or "").rpartition(":")
+        if not separator or not port.isdigit():
+            print("error: dlq needs a live broker HOST:PORT", file=out)
+            return 2
+        from repro.net.client import SocketBus
+
+        try:
+            with SocketBus(
+                host or "127.0.0.1", int(port), name="monitor-dlq"
+            ) as bus:
+                rows = bus.dlq_entries(args.queue)
+                for line in render_dlq(rows):
+                    print(line, file=out)
+                if args.drain or args.purge:
+                    queues = (
+                        [args.queue]
+                        if args.queue
+                        else sorted({row["queue"] for row in rows})
+                    )
+                    for queue in queues:
+                        moved = bus.dlq_drain(queue, requeue=args.drain)
+                        print(
+                            "%s %d from dlq:%s"
+                            % (
+                                "requeued" if args.drain else "purged",
+                                moved,
+                                queue,
+                            ),
+                            file=out,
+                        )
+        except NetError as exc:
+            print("error: %s" % exc, file=out)
+            return 1
+        return 0
     if args.command == "demo":
         snapshot = _demo_snapshot()
     else:

@@ -40,7 +40,10 @@ from typing import Any
 from repro.errors import WorkflowError
 
 
-#: Stat counters every queue bucket carries.
+#: Stat counters every queue bucket carries.  ``overflowed`` and
+#: ``shed`` are written by the admission control of the socket broker
+#: (:mod:`repro.net.server`): an overflowed send was rejected and
+#: dead-lettered, a shed send was rejected by the breaker outright.
 _STAT_KEYS = (
     "sent",
     "delivered",
@@ -51,6 +54,8 @@ _STAT_KEYS = (
     "duplicated",
     "delayed",
     "dead_lettered",
+    "overflowed",
+    "shed",
 )
 
 #: Dead-letter queue name for a queue.
@@ -184,6 +189,79 @@ class MessageBus:
                 self._stat(target, "sent")
                 return target
         raise WorkflowError("unknown message %s on %s" % (msg_id, queue))
+
+    def reject(
+        self,
+        queue: str,
+        body: dict[str, Any],
+        headers: dict[str, str] | None,
+        reason: str,
+    ) -> str:
+        """Refuse a message at admission: instead of joining ``queue``
+        it lands directly on ``dlq:<queue>`` with the rejection reason
+        in its headers — the nack-on-overflow path of the socket
+        broker's bounded queues.  Returns the message id."""
+        envelope = _Envelope(
+            "m%06d" % next(self._counter),
+            dict(body),
+            dict(headers) if headers else {},
+        )
+        envelope.headers["dead-letter-reason"] = reason
+        target = dlq_name(queue)
+        self._queues.setdefault(target, []).append(envelope)
+        self._stat(queue, "overflowed")
+        self._stat(target, "sent")
+        return envelope.msg_id
+
+    def dlq_entries(
+        self, queue: str | None = None
+    ) -> list[dict[str, Any]]:
+        """Inspect dead-letter queues without consuming anything.
+
+        ``queue`` names the *original* queue (``None`` walks every
+        DLQ); each row carries the message id, original queue, body,
+        headers (including ``dead-letter-reason``) and deliveries."""
+        if queue is not None:
+            names = [dlq_name(queue)]
+        else:
+            names = [n for n in sorted(self._queues) if n.startswith(DLQ_PREFIX)]
+        rows: list[dict[str, Any]] = []
+        for name in names:
+            for envelope in self._queues.get(name, []):
+                rows.append(
+                    {
+                        "msg_id": envelope.msg_id,
+                        "queue": name[len(DLQ_PREFIX):],
+                        "body": dict(envelope.body),
+                        "headers": dict(envelope.headers),
+                        "deliveries": envelope.deliveries,
+                    }
+                )
+        return rows
+
+    def dlq_drain(self, queue: str, *, requeue: bool = True) -> int:
+        """Empty ``dlq:<queue>``; returns how many messages moved.
+
+        With ``requeue`` (the operator's replay) every dead message
+        returns to the original queue as a fresh deliverable envelope —
+        the ``dead-letter-reason`` header is removed and the delivery
+        count reset, so the redelivery cap starts over.  Without it the
+        messages are purged."""
+        source = dlq_name(queue)
+        envelopes = self._queues.get(source, [])
+        drained = len(envelopes)
+        if not drained:
+            return 0
+        self._queues[source] = []
+        if requeue:
+            for envelope in envelopes:
+                envelope.in_flight = False
+                envelope.deliveries = 0
+                envelope.hold = 0
+                envelope.headers.pop("dead-letter-reason", None)
+                self._queues.setdefault(queue, []).append(envelope)
+                self._stat(queue, "sent")
+        return drained
 
     def ack(self, queue: str, msg_id: str) -> None:
         """Remove a delivered message permanently."""

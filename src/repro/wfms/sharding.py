@@ -535,6 +535,31 @@ def _shard_worker(connection, index: int, num_shards: int, factory) -> None:
         connection.close()
 
 
+#: Live pools, weakly held: an abandoned (never closed) pool must not
+#: be kept alive by the registry, but one that is still reachable at
+#: interpreter exit gets its workers terminated by the atexit sweep —
+#: otherwise an aborted test run strands child processes.
+_LIVE_POOLS: Any = None
+
+
+def _register_pool(pool: "MultiprocessShardPool") -> None:
+    global _LIVE_POOLS
+    if _LIVE_POOLS is None:
+        import atexit
+        import weakref
+
+        _LIVE_POOLS = weakref.WeakSet()
+        atexit.register(_terminate_live_pools)
+    _LIVE_POOLS.add(pool)
+
+
+def _terminate_live_pools() -> None:
+    if _LIVE_POOLS is None:
+        return
+    for pool in list(_LIVE_POOLS):
+        pool.terminate()
+
+
 class MultiprocessShardPool:
     """The multi-core pump backend: one engine per OS process.
 
@@ -561,6 +586,7 @@ class MultiprocessShardPool:
             start_method = "fork" if "fork" in methods else methods[0]
         context = multiprocessing.get_context(start_method)
         self.num_shards = num_shards
+        self._closed = False
         self._connections = []
         self._processes = []
         for index in range(num_shards):
@@ -574,6 +600,7 @@ class MultiprocessShardPool:
             child_end.close()
             self._connections.append(parent_end)
             self._processes.append(process)
+        _register_pool(self)
 
     def _collect(self, indexes) -> list[Any]:
         results = []
@@ -626,6 +653,12 @@ class MultiprocessShardPool:
         return self._collect([index])[0]
 
     def close(self) -> None:
+        """Orderly shutdown: ask every worker to exit, join, escalate
+        to terminate only for stragglers.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        _LIVE_POOLS.discard(self)
         for connection in self._connections:
             try:
                 connection.send(("close",))
@@ -642,6 +675,31 @@ class MultiprocessShardPool:
             if process.is_alive():
                 process.terminate()
                 process.join(timeout=5)
+
+    def terminate(self) -> None:
+        """Hard teardown: kill every worker without the close
+        handshake — the abnormal-exit path (atexit, test teardown
+        after a pipe wedged).  Idempotent, never raises."""
+        self._closed = True
+        _LIVE_POOLS.discard(self)
+        for connection in self._connections:
+            try:
+                connection.close()
+            except OSError:
+                pass
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+        for process in self._processes:
+            process.join(timeout=5)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=5)
+
+    def alive_workers(self) -> int:
+        """How many worker processes are still running (0 after a
+        clean close or terminate) — the leak check."""
+        return sum(1 for process in self._processes if process.is_alive())
 
     def __enter__(self) -> "MultiprocessShardPool":
         return self

@@ -1,0 +1,344 @@
+"""Open-loop traffic driver for the socket transport.
+
+Closed-loop load tests (send, wait, send again) famously flatter a
+system: when the server slows down, the load generator slows down with
+it — the *coordinated omission* problem.  This driver is **open
+loop**: the request arrival times are computed up front from the
+target rate (fixed spacing or a seeded Poisson process) and each
+request is fired at its scheduled instant whether or not earlier
+requests have completed.  When the broker can't keep up, queueing
+delay shows up in the tail latency instead of silently stretching the
+schedule — which is exactly the regime the broker's bounded queues and
+load shedding exist for, and the only honest way to measure them.
+
+Topology (three connections to one broker):
+
+* the **arrival loop** (caller's thread) sends one request per
+  scheduled arrival to the service queue, stamping the send time in
+  the body; typed admission rejections (overflow, shed) are counted,
+  not retried — an open-loop driver never blocks on the system under
+  test;
+* a **responder** thread plays the service: receive, reply to the
+  request's reply queue, ack;
+* a **collector** thread drains the reply queue and observes
+  ``reply_received - request_sent`` wall-clock latency into a
+  :class:`repro.obs.metrics.Histogram`, from whose buckets the report
+  reads p50/p99 (:meth:`~repro.obs.metrics.Histogram.quantile`).
+
+The report is JSON-native; the CLI (``python -m
+repro.workloads.traffic``) sweeps a list of rates and writes the
+report file CI uploads as an artifact.  Committed reference numbers
+live in README.md §Networking.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import time
+from typing import Any
+
+from repro.errors import LoadShedded, NetError, QueueOverflow
+from repro.obs.metrics import Histogram
+
+#: Latency buckets (seconds): exponential from 0.2 ms to ~28 s —
+#: sub-millisecond resolution where the healthy broker lives, enough
+#: headroom to see an overloaded tail without saturating the +Inf slot.
+LATENCY_BUCKETS = tuple(0.0002 * (1.5**k) for k in range(30))
+
+#: Idle poll interval for the responder/collector loops (seconds).
+_POLL = 0.0005
+
+
+def arrival_offsets(
+    requests: int,
+    rate: float,
+    *,
+    distribution: str = "fixed",
+    seed: int = 0,
+) -> list[float]:
+    """Scheduled send offsets (seconds from start) for ``requests``
+    arrivals at ``rate``/sec.
+
+    ``fixed`` spaces arrivals evenly (offset i/rate); ``poisson``
+    draws seeded exponential inter-arrival gaps with mean 1/rate —
+    same long-run rate, bursty like real traffic.
+    """
+    if rate <= 0:
+        raise NetError("arrival rate must be positive")
+    if distribution == "fixed":
+        return [i / rate for i in range(requests)]
+    if distribution == "poisson":
+        rng = random.Random(seed)
+        offsets: list[float] = []
+        clock = 0.0
+        for __ in range(requests):
+            clock += rng.expovariate(rate)
+            offsets.append(clock)
+        return offsets
+    raise NetError(
+        "unknown arrival distribution %r (fixed or poisson)" % distribution
+    )
+
+
+def _responder(make_bus, queue: str, stop: threading.Event) -> None:
+    """The echoing service: every request is answered to its
+    ``reply_to`` queue with the original send stamp."""
+    with make_bus("traffic-responder") as bus:
+        while not stop.is_set():
+            taken = bus.receive(queue)
+            if taken is None:
+                time.sleep(_POLL)
+                continue
+            msg_id, body = taken
+            try:
+                bus.send(
+                    body["reply_to"],
+                    {"id": body["id"], "sent_at": body["sent_at"]},
+                )
+            except (QueueOverflow, LoadShedded):
+                # Under overload the *reply* queue can reject too; the
+                # request is still consumed (the collector just never
+                # sees its reply) — the service must not die with it.
+                pass
+            bus.ack(queue, msg_id)
+
+
+def _collector(
+    make_bus,
+    reply_queue: str,
+    histogram: Histogram,
+    counters: dict[str, int],
+    stop: threading.Event,
+) -> None:
+    """Drain replies, observing wall-clock latency per request."""
+    with make_bus("traffic-collector") as bus:
+        while not stop.is_set():
+            taken = bus.receive(reply_queue)
+            if taken is None:
+                time.sleep(_POLL)
+                continue
+            msg_id, body = taken
+            histogram.observe(time.perf_counter() - body["sent_at"])
+            bus.ack(reply_queue, msg_id)
+            counters["completed"] += 1
+
+
+def run_open_loop(
+    make_bus,
+    *,
+    rate: float,
+    requests: int,
+    distribution: str = "fixed",
+    seed: int = 0,
+    queue: str = "node:traffic",
+    reply_queue: str = "replies:traffic",
+    drain_timeout: float = 10.0,
+) -> dict[str, Any]:
+    """One open-loop run; returns the latency/throughput report.
+
+    ``make_bus(name)`` builds a fresh bus connection — pass e.g.
+    ``lambda name: SocketBus(host, port, name=name)``.  Three
+    connections are used (arrivals, responder, collector), matching
+    the broker's one-outstanding-request-per-connection discipline.
+    """
+    histogram = Histogram(buckets=LATENCY_BUCKETS)
+    counters = {"completed": 0}
+    stop = threading.Event()
+    offsets = arrival_offsets(
+        requests, rate, distribution=distribution, seed=seed
+    )
+    threads = [
+        threading.Thread(
+            target=_responder,
+            args=(make_bus, queue, stop),
+            name="traffic-responder",
+            daemon=True,
+        ),
+        threading.Thread(
+            target=_collector,
+            args=(make_bus, reply_queue, histogram, counters, stop),
+            name="traffic-collector",
+            daemon=True,
+        ),
+    ]
+    for thread in threads:
+        thread.start()
+    sent = overflowed = shed = 0
+    try:
+        with make_bus("traffic-arrivals") as bus:
+            start = time.perf_counter()
+            for index, offset in enumerate(offsets):
+                # Open loop: fire at the scheduled instant, late or
+                # not — never wait on the system under test.
+                lag = start + offset - time.perf_counter()
+                if lag > 0:
+                    time.sleep(lag)
+                try:
+                    bus.send(
+                        queue,
+                        {
+                            "id": index,
+                            "reply_to": reply_queue,
+                            "sent_at": time.perf_counter(),
+                        },
+                    )
+                    sent += 1
+                except QueueOverflow:
+                    overflowed += 1
+                except LoadShedded:
+                    shed += 1
+            deadline = time.perf_counter() + drain_timeout
+            while (
+                counters["completed"] < sent
+                and time.perf_counter() < deadline
+            ):
+                time.sleep(_POLL)
+            elapsed = time.perf_counter() - start
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=5)
+    completed = counters["completed"]
+    return {
+        "rate": rate,
+        "distribution": distribution,
+        "seed": seed,
+        "requests": requests,
+        "sent": sent,
+        "overflowed": overflowed,
+        "shed": shed,
+        "completed": completed,
+        "elapsed_sec": round(elapsed, 4),
+        "throughput_per_sec": round(completed / elapsed, 1) if elapsed else 0.0,
+        "latency": {
+            "count": histogram.count,
+            "mean_ms": round(1e3 * histogram.sum / histogram.count, 3)
+            if histogram.count
+            else 0.0,
+            "p50_ms": round(1e3 * histogram.quantile(0.50), 3),
+            "p99_ms": round(1e3 * histogram.quantile(0.99), 3),
+        },
+    }
+
+
+def run_sweep(
+    make_bus,
+    rates: list[float],
+    *,
+    requests: int = 200,
+    distribution: str = "fixed",
+    seed: int = 0,
+) -> list[dict[str, Any]]:
+    """One report per rate, same connection factory throughout."""
+    return [
+        run_open_loop(
+            make_bus,
+            rate=rate,
+            requests=requests,
+            distribution=distribution,
+            seed=seed,
+        )
+        for rate in rates
+    ]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI: sweep arrival rates against a broker (an in-process one by
+    default) and print/write the latency report."""
+    import argparse
+    import os
+
+    parser = argparse.ArgumentParser(
+        description="open-loop traffic driver for the socket transport"
+    )
+    parser.add_argument(
+        "--rates",
+        default="50,200,500",
+        help="comma-separated arrival rates per second (default: 50,200,500)",
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=200,
+        help="requests per rate point (default: 200)",
+    )
+    parser.add_argument(
+        "--distribution",
+        choices=("fixed", "poisson"),
+        default="poisson",
+        help="arrival process (default: poisson)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        help="drive an existing broker instead of starting one",
+    )
+    parser.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=None,
+        help="bound the in-process broker's queues (admission control)",
+    )
+    parser.add_argument(
+        "--json-out", metavar="FILE", help="write the full report as JSON"
+    )
+    args = parser.parse_args(argv)
+    rates = [float(rate) for rate in args.rates.split(",") if rate]
+
+    from repro.net.client import SocketBus
+
+    def sweep_against(address) -> list[dict[str, Any]]:
+        return run_sweep(
+            lambda name: SocketBus(*address, name=name),
+            rates,
+            requests=args.requests,
+            distribution=args.distribution,
+            seed=args.seed,
+        )
+
+    if args.connect:
+        host, __, port = args.connect.rpartition(":")
+        runs = sweep_against((host, int(port)))
+    else:
+        from repro.net.server import BusServerThread
+
+        with BusServerThread(queue_capacity=args.queue_capacity) as broker:
+            runs = sweep_against(broker.address)
+
+    print(
+        "%10s %8s %8s %8s %8s %10s %10s"
+        % ("rate/s", "sent", "done", "rejected", "tput/s", "p50 ms", "p99 ms")
+    )
+    for run in runs:
+        print(
+            "%10.0f %8d %8d %8d %8.0f %10.3f %10.3f"
+            % (
+                run["rate"],
+                run["sent"],
+                run["completed"],
+                run["overflowed"] + run["shed"],
+                run["throughput_per_sec"],
+                run["latency"]["p50_ms"],
+                run["latency"]["p99_ms"],
+            )
+        )
+    if args.json_out:
+        report = {
+            "distribution": args.distribution,
+            "requests_per_rate": args.requests,
+            "seed": args.seed,
+            "cpu_count": os.cpu_count(),
+            "runs": runs,
+        }
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("wrote %s" % args.json_out)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

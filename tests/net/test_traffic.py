@@ -1,0 +1,151 @@
+"""The open-loop traffic driver and its latency accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NetError
+from repro.net import BusServerThread, SocketBus
+from repro.obs.metrics import Histogram
+from repro.workloads.traffic import (
+    LATENCY_BUCKETS,
+    arrival_offsets,
+    run_open_loop,
+)
+
+# ---------------------------------------------------------------------------
+# arrival schedules
+# ---------------------------------------------------------------------------
+
+
+def test_fixed_offsets_match_the_rate():
+    offsets = arrival_offsets(5, 100.0)
+    assert offsets == [0.0, 0.01, 0.02, 0.03, 0.04]
+
+
+def test_poisson_offsets_are_seeded_and_monotone():
+    a = arrival_offsets(50, 200.0, distribution="poisson", seed=9)
+    b = arrival_offsets(50, 200.0, distribution="poisson", seed=9)
+    c = arrival_offsets(50, 200.0, distribution="poisson", seed=10)
+    assert a == b  # same seed, same schedule
+    assert a != c
+    assert all(later > earlier for earlier, later in zip(a, a[1:]))
+    # long-run rate in the right ballpark: 50 arrivals at 200/s take
+    # about 0.25s (generous band; it's an expectation, not a bound)
+    assert 0.05 < a[-1] < 1.0
+
+
+def test_bad_schedule_arguments_raise():
+    with pytest.raises(NetError, match="rate"):
+        arrival_offsets(5, 0.0)
+    with pytest.raises(NetError, match="distribution"):
+        arrival_offsets(5, 10.0, distribution="uniform")
+
+
+# ---------------------------------------------------------------------------
+# the driver against a live broker
+# ---------------------------------------------------------------------------
+
+
+def test_open_loop_run_completes_and_reports(tmp_path):
+    with BusServerThread() as broker:
+        address = broker.address
+        report = run_open_loop(
+            lambda name: SocketBus(*address, name=name),
+            rate=500.0,
+            requests=40,
+            distribution="poisson",
+            seed=4,
+        )
+    assert report["sent"] == report["completed"] == 40
+    assert report["overflowed"] == report["shed"] == 0
+    latency = report["latency"]
+    assert latency["count"] == 40
+    assert 0 < latency["p50_ms"] <= latency["p99_ms"]
+    assert report["throughput_per_sec"] > 0
+
+
+def test_open_loop_counts_admission_rejections():
+    """Overload against a tiny bounded queue with no consumer keeping
+    up: the driver records rejections instead of blocking — every
+    arrival is accounted for as sent, overflowed, or shed."""
+    with BusServerThread(queue_capacity=1) as broker:
+        address = broker.address
+        report = run_open_loop(
+            lambda name: SocketBus(*address, name=name),
+            rate=3000.0,
+            requests=60,
+            distribution="fixed",
+            drain_timeout=2.0,
+        )
+    assert report["sent"] + report["overflowed"] + report["shed"] == 60
+    # the queue was bounded, so the backlog physically could not grow
+    # unbounded — rejections are the release valve under overload
+    assert report["completed"] <= report["sent"]
+
+
+# ---------------------------------------------------------------------------
+# Histogram.quantile (the p50/p99 source)
+# ---------------------------------------------------------------------------
+
+
+def test_quantile_interpolates_within_buckets():
+    histogram = Histogram(buckets=(1.0, 2.0, 4.0))
+    for value in (0.5, 1.5, 1.5, 3.0):
+        histogram.observe(value)
+    # p50: target 2.0 of 4 observations -> upper edge of (1, 2] bucket
+    assert histogram.quantile(0.5) == pytest.approx(1.5, abs=0.51)
+    assert histogram.quantile(0.0) == pytest.approx(0.0, abs=1.01)
+    # p100 lands in the (2, 4] bucket
+    assert 2.0 <= histogram.quantile(1.0) <= 4.0
+    # monotone in q
+    quantiles = [histogram.quantile(q / 10) for q in range(11)]
+    assert quantiles == sorted(quantiles)
+
+
+def test_quantile_edge_cases():
+    histogram = Histogram(buckets=(1.0, 2.0))
+    assert histogram.quantile(0.99) == 0.0  # empty
+    histogram.observe(10.0)  # overflow bucket only
+    assert histogram.quantile(0.5) == 2.0  # clamps to last finite edge
+    from repro.errors import ObservabilityError
+
+    with pytest.raises(ObservabilityError):
+        histogram.quantile(1.5)
+
+
+def test_quantile_tracks_known_distribution():
+    histogram = Histogram(buckets=LATENCY_BUCKETS)
+    for i in range(1000):
+        histogram.observe(0.001 + (i % 100) * 0.0001)  # 1ms..11ms uniform
+    p50 = histogram.quantile(0.50)
+    p99 = histogram.quantile(0.99)
+    assert 0.004 < p50 < 0.009  # around 6ms
+    assert 0.009 < p99 < 0.016  # near the top
+
+
+def test_traffic_cli_writes_report(tmp_path, capsys):
+    from repro.workloads.traffic import main
+
+    out = tmp_path / "report.json"
+    assert (
+        main(
+            [
+                "--rates",
+                "400",
+                "--requests",
+                "20",
+                "--distribution",
+                "fixed",
+                "--json-out",
+                str(out),
+            ]
+        )
+        == 0
+    )
+    import json
+
+    report = json.loads(out.read_text())
+    assert report["runs"][0]["requests"] == 20
+    assert "p99_ms" in report["runs"][0]["latency"]
+    assert "rate/s" in capsys.readouterr().out

@@ -160,3 +160,68 @@ class TestFdlTool:
     def test_missing_file(self):
         code, output = run_fdl("check", "/nonexistent.fdl")
         assert code == 1
+
+
+class TestMonitorNetViews:
+    """The monitor's NET and DLQ commands over a live broker and over
+    a snapshot dump."""
+
+    def test_net_view_from_live_broker_and_from_file(self, tmp_path, capsys):
+        import json
+
+        from repro.net import BusServerThread, SocketBus
+        from repro.tools.monitor import main as monitor_main
+
+        with BusServerThread(queue_capacity=2, name="test-broker") as broker:
+            host, port = broker.address
+            with SocketBus(host, port, name="seeder") as bus:
+                bus.send("node:w", {"n": 1})
+                assert monitor_main(["net", "%s:%d" % (host, port)]) == 0
+                live = capsys.readouterr().out
+                assert "BROKER test-broker" in live
+                assert "seeder" in live and "node:w" in live
+                assert "capacity 2" in live
+                # the same render from a snapshot dump, broker gone
+                path = tmp_path / "net.json"
+                path.write_text(json.dumps(bus.snapshot()))
+        assert monitor_main(["net", str(path)]) == 0
+        assert "BROKER test-broker" in capsys.readouterr().out
+
+    def test_dlq_inspect_and_drain(self, capsys):
+        from repro.net import BusServerThread, SocketBus
+        from repro.tools.monitor import main as monitor_main
+
+        with BusServerThread(queue_capacity=1) as broker:
+            host, port = broker.address
+            target = "%s:%d" % (host, port)
+            with SocketBus(host, port, name="seeder") as bus:
+                bus.send("node:w", {"n": 1})
+                try:
+                    bus.send("node:w", {"n": 2})
+                except Exception:
+                    pass
+                assert monitor_main(["dlq", target]) == 0
+                shown = capsys.readouterr().out
+                assert "DEAD LETTERS (1)" in shown
+                assert "queue overflow" in shown
+                assert (
+                    monitor_main(
+                        ["dlq", target, "--queue", "node:w", "--drain"]
+                    )
+                    == 0
+                )
+                assert "requeued 1" in capsys.readouterr().out
+                assert bus.depth("node:w") == 2
+                assert bus.dlq_entries() == []
+
+    def test_dlq_requires_live_target(self, capsys):
+        from repro.tools.monitor import main as monitor_main
+
+        assert monitor_main(["dlq", "not-a-target"]) == 2
+        assert "HOST:PORT" in capsys.readouterr().out
+
+    def test_net_bad_target_is_an_error(self, capsys):
+        from repro.tools.monitor import main as monitor_main
+
+        assert monitor_main(["net", "no/such/file"]) == 1
+        assert "error" in capsys.readouterr().out

@@ -346,3 +346,64 @@ class TestShardsMonitorView:
         path.write_text(json.dumps(snapshot))
         assert main(["shards", str(path)]) == 0
         assert "SHARDS (2)" in capsys.readouterr().out
+
+
+class TestPoolWorkerCleanup:
+    """No worker process may survive its pool — whichever way the pool
+    dies (clean close, hard terminate, or abandoned until the atexit
+    sweep)."""
+
+    @staticmethod
+    def _assert_all_dead(pids):
+        import os
+        import time
+
+        deadline = time.time() + 10
+        while time.time() < deadline:
+            alive = []
+            for pid in pids:
+                try:
+                    os.kill(pid, 0)
+                    alive.append(pid)
+                except ProcessLookupError:
+                    pass
+            if not alive:
+                return
+            time.sleep(0.05)
+        pytest.fail("worker processes survived teardown: %s" % alive)
+
+    def test_close_reaps_every_worker_and_is_idempotent(self):
+        pool = MultiprocessShardPool(2, _pool_factory)
+        pids = [process.pid for process in pool._processes]
+        assert pool.alive_workers() == 2
+        pool.close()
+        pool.close()  # second close is a no-op, not an error
+        assert pool.alive_workers() == 0
+        self._assert_all_dead(pids)
+
+    def test_terminate_kills_without_the_close_handshake(self):
+        pool = MultiprocessShardPool(2, _pool_factory)
+        pids = [process.pid for process in pool._processes]
+        pool.terminate()  # abnormal path: no protocol, just teardown
+        pool.terminate()  # idempotent
+        assert pool.alive_workers() == 0
+        self._assert_all_dead(pids)
+        # a close after terminate must not hang on dead pipes
+        pool.close()
+
+    def test_atexit_sweep_reaps_abandoned_pools(self):
+        from repro.wfms import sharding
+
+        pool = MultiprocessShardPool(2, _pool_factory)
+        pids = [process.pid for process in pool._processes]
+        # abandoned: nobody called close(); the registered sweep is
+        # what stands between this and two stranded children
+        assert pool in sharding._LIVE_POOLS
+        sharding._terminate_live_pools()
+        assert pool.alive_workers() == 0
+        self._assert_all_dead(pids)
+        # closed pools leave the registry, so the sweep won't touch
+        # (or double-join) them
+        with MultiprocessShardPool(1, _pool_factory) as tracked:
+            assert tracked in sharding._LIVE_POOLS
+        assert tracked not in sharding._LIVE_POOLS

@@ -382,6 +382,23 @@ def measure_net_request_reply() -> float:
     return best
 
 
+def measure_net_durable_request_reply() -> float:
+    """bus RPC round-trips/sec with the write-ahead bus log armed
+    (``sync="batch"``).
+
+    Every send/ack journals its effect before the reply frame goes
+    out; this metric bounds the durability overhead against
+    ``net.request_reply`` and regresses if the bus-log append path
+    (record staging, serialization, segment writes) gains per-op cost.
+    """
+    from bench_net import durable_request_reply_throughput
+
+    best = 0.0
+    for __ in range(3):
+        best = max(best, durable_request_reply_throughput())
+    return best
+
+
 def measure_net_open_loop_p99() -> float:
     """reciprocal p99 latency (1/sec) from the open-loop driver at a
     sustainable rate.
@@ -419,6 +436,9 @@ METRICS = {
     "tx.scope_chain.ops_per_sec": measure_tx_scope_chain,
     "scope.disabled_dag_8x8.activities_per_sec": measure_scope_disabled,
     "net.request_reply.roundtrips_per_sec": measure_net_request_reply,
+    "net.durable_request_reply.roundtrips_per_sec": (
+        measure_net_durable_request_reply
+    ),
     "net.open_loop_p99.inv_sec": measure_net_open_loop_p99,
 }
 

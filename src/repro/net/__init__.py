@@ -15,7 +15,14 @@ real network between the nodes without changing a line of node code:
   apply to socket traffic unchanged;
 * :mod:`repro.net.client` — :class:`SocketBus`, a client proxy
   implementing the MessageBus interface over a TCP connection, with
-  reconnect-with-backoff and typed admission errors.
+  reconnect-with-backoff, typed admission errors, op-level idempotency
+  and broker-restart session resume;
+* :mod:`repro.net.buslog` — :class:`BusLog`, the write-ahead log +
+  checkpoint store that makes a broker durable: every state-mutating
+  bus op is journaled (by its *effects*, so replay never re-rolls the
+  chaos dice) and a restarted ``BusServer(durable_dir=...)`` rebuilds
+  queues, DLQ, stats and its idempotency table from checkpoint +
+  log suffix.
 
 Production concerns are first-class at the broker: bounded per-queue
 depth (overflow nacks the send and feeds the existing dead-letter
@@ -24,9 +31,11 @@ never a silent drop), per-connection accounting for the monitor's NET
 view, and DLQ inspect/drain operations for operators.
 
 See DESIGN.md §14 for the framing format and the
-chaos-behind-the-injector contract.
+chaos-behind-the-injector contract, and §15 for the bus log format
+and the recovery/determinism contract across broker restarts.
 """
 
+from repro.net.buslog import BusLog, BusLogJournal, replay_into
 from repro.net.client import SocketBus
 from repro.net.frames import (
     FrameDecoder,
@@ -44,6 +53,8 @@ from repro.net.server import (
 
 __all__ = [
     "BrokerProcess",
+    "BusLog",
+    "BusLogJournal",
     "BusServer",
     "BusServerThread",
     "FrameDecoder",
@@ -53,4 +64,5 @@ __all__ = [
     "decode_envelope",
     "encode_envelope",
     "encode_frame",
+    "replay_into",
 ]

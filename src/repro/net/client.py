@@ -20,22 +20,38 @@ arrival order equals the driver's issue order.
 
 Failure handling:
 
-* connection loss (including injected ``net.connection`` resets) is
-  retried transparently: reconnect with exponential backoff, replay
-  the pending request.  The broker consumes a reset *before* serving
-  the frame, so an injected reset never half-applies an operation.
-  After ``reconnect_budget`` consecutive failures the call raises
-  :class:`~repro.errors.ConnectionLost`;
+* every request is stamped with a unique, monotonic **op id**
+  (``session#seq``).  Connection loss (including injected
+  ``net.connection``/``net.reply`` resets) is retried transparently —
+  reconnect with exponential backoff, replay the pending request
+  *with the same op id* — and the broker's per-session dedup table
+  guarantees a replayed request that already applied returns its
+  cached reply instead of applying twice.  After ``connect_retries``
+  consecutive failures the call raises :class:`~repro.errors.
+  ConnectionLost`; the request stays pending and
+  :meth:`retry_pending` re-issues it (same op id) once the caller has
+  e.g. restarted the broker;
+* the client tracks which messages it holds **in flight**.  The hello
+  reply carries the broker's ``instance`` token; when a reconnect
+  lands on a *different* incarnation (a restarted durable broker,
+  whose recovery cleared all in-flight reservations), the client
+  first replays a ``resume`` op re-registering its claims, then
+  replays the pending request;
 * typed broker rejections come back as the matching exception —
   ``overflow`` as :class:`~repro.errors.QueueOverflow` (the message is
   in the DLQ), ``shed`` as :class:`~repro.errors.LoadShedded`
   (nothing was stored), anything else as :class:`~repro.errors.
-  NetError` carrying the broker's message.
+  NetError` carrying the broker's message;
+* an optional **heartbeat** thread pings the broker every
+  ``heartbeat_interval`` seconds while the client is otherwise idle,
+  so a broker configured with ``heartbeat_timeout`` never reaps a
+  live-but-quiet client.
 """
 
 from __future__ import annotations
 
 import asyncio
+import threading
 import time
 from typing import Any
 
@@ -48,9 +64,15 @@ class SocketBus:
 
     ``connect_retries``/``backoff``/``max_backoff`` govern both the
     initial connect and every reconnect; ``timeout`` bounds a single
-    request/reply round-trip.  Use as a context manager or ``close()``
+    request/reply round-trip.  ``heartbeat_interval`` (seconds,
+    ``None`` disables) starts a daemon thread pinging the broker while
+    the client is idle.  Use as a context manager or ``close()``
     explicitly.
     """
+
+    #: process-wide session nonce: two clients sharing a ``name`` must
+    #: not share an op-id namespace on the broker's dedup table.
+    _session_seq = 0
 
     def __init__(
         self,
@@ -62,6 +84,8 @@ class SocketBus:
         backoff: float = 0.05,
         max_backoff: float = 1.0,
         timeout: float = 30.0,
+        heartbeat_interval: float | None = None,
+        resume_in_flight: bool = True,
     ):
         self._host = host
         self._port = port
@@ -75,11 +99,39 @@ class SocketBus:
         self._writer: asyncio.StreamWriter | None = None
         self._decoder = FrameDecoder()
         self._closed = False
+        SocketBus._session_seq += 1
+        #: this client's op-id namespace on the broker.
+        self.session = "%s@%d" % (name, SocketBus._session_seq)
+        self._op_seq = 0
+        self._pending: dict[str, Any] | None = None
+        self._resume_in_flight = resume_in_flight
+        #: (queue, msg_id) pairs this client received and has not yet
+        #: acked/nacked/dead-lettered — re-registered on broker restart.
+        self._in_flight: set[tuple[str, str]] = set()
+        self._instance: str | None = None
+        #: serializes the event loop between caller and heartbeat
+        #: threads (at most one of them drives the loop at a time).
+        self._lock = threading.RLock()
         #: consecutive-reconnect accounting, surfaced for tests and
         #: the monitor: total reconnects over the client's life.
         self.reconnects = 0
+        #: how many reconnects landed on a different broker
+        #: incarnation (i.e. the broker restarted underneath us).
+        self.broker_restarts = 0
+        self.heartbeats = 0
         self.server_info: dict[str, Any] = {}
+        self._hb_stop: threading.Event | None = None
+        self._hb_thread: threading.Thread | None = None
         self._connect_initial()
+        if heartbeat_interval is not None:
+            self._hb_stop = threading.Event()
+            self._hb_thread = threading.Thread(
+                target=self._heartbeat_loop,
+                args=(heartbeat_interval,),
+                name="socketbus-heartbeat-%s" % name,
+                daemon=True,
+            )
+            self._hb_thread.start()
 
     # -- connection management --------------------------------------------
 
@@ -109,9 +161,28 @@ class SocketBus:
         self._reader = reader
         self._writer = writer
         self._decoder = FrameDecoder()
-        self.server_info = await self._roundtrip(
-            {"op": "hello", "name": self.name}
+        info = await self._roundtrip({"op": "hello", "name": self.name})
+        instance = (info or {}).get("instance")
+        restarted = (
+            self._instance is not None and instance != self._instance
         )
+        self._instance = instance
+        self.server_info = info
+        if restarted:
+            # The broker we knew died; this is a new incarnation whose
+            # recovery cleared every in-flight reservation.  Re-claim
+            # ours before any other consumer can be delivered them.
+            self.broker_restarts += 1
+            if self._resume_in_flight and self._in_flight:
+                await self._roundtrip(
+                    {
+                        "op": "resume",
+                        "name": self.name,
+                        "in_flight": [
+                            list(pair) for pair in sorted(self._in_flight)
+                        ],
+                    }
+                )
 
     def _drop_connection(self) -> None:
         if self._writer is not None:
@@ -150,15 +221,11 @@ class SocketBus:
             raise LoadShedded(message, queue=response.get("queue", ""))
         raise NetError(message)
 
-    def _call(self, op: str, **params: Any) -> Any:
-        """Issue one operation, reconnecting and replaying on
-        connection failure.  Safe for injected resets (the broker
-        never serves a frame it resets on); real mid-reply losses are
-        covered by the application-level exactly-once request ids."""
-        if self._closed:
-            raise NetError("SocketBus %r is closed" % self.name)
-        request = dict(params)
-        request["op"] = op
+    def _issue(self, request: dict[str, Any]) -> Any:
+        """Drive one request to a reply, reconnecting and replaying on
+        connection failure.  The replayed frame carries the *same op
+        id*, so an operation that applied before the drop is answered
+        from the broker's dedup table, never applied twice."""
         failure: Exception | None = None
         for attempt in range(self._connect_retries):
             try:
@@ -179,6 +246,95 @@ class SocketBus:
             "lost broker %s:%d and exhausted %d reconnect attempts (%s)"
             % (self._host, self._port, self._connect_retries, failure)
         )
+
+    def _perform(self, request: dict[str, Any]) -> Any:
+        """Issue ``request`` (kept pending until a reply arrives) and
+        update the in-flight ledger from the outcome."""
+        self._pending = request
+        try:
+            value = self._issue(request)
+        except ConnectionLost:
+            # Keep the request pending: the caller may restart the
+            # broker and retry_pending() it (same op id — still safe).
+            raise
+        except NetError:
+            # A typed broker reply: the round-trip completed.
+            self._pending = None
+            raise
+        self._pending = None
+        self._track(request, value)
+        return value
+
+    def _track(self, request: dict[str, Any], value: Any) -> None:
+        op = request.get("op")
+        if op == "receive":
+            if isinstance(value, dict) and value.get("msg_id"):
+                self._in_flight.add((request["queue"], value["msg_id"]))
+        elif op in ("ack", "nack", "dead_letter"):
+            self._in_flight.discard((request["queue"], request["msg_id"]))
+        elif op == "recover_in_flight":
+            queue = request.get("queue")
+            if queue is None:
+                self._in_flight.clear()
+            else:
+                self._in_flight = {
+                    pair for pair in self._in_flight if pair[0] != queue
+                }
+
+    def _call(self, op: str, **params: Any) -> Any:
+        """Issue one operation with a fresh op id."""
+        if self._closed:
+            raise NetError("SocketBus %r is closed" % self.name)
+        request = dict(params)
+        request["op"] = op
+        self._op_seq += 1
+        request["op_id"] = "%s#%d" % (self.session, self._op_seq)
+        with self._lock:
+            return self._perform(request)
+
+    def retry_pending(self) -> Any:
+        """Re-issue the request a :class:`~repro.errors.
+        ConnectionLost` left pending — same op id, so it is safe even
+        if the lost broker had already applied it.  Chaos drivers call
+        this after restarting a durable broker."""
+        with self._lock:
+            if self._pending is None:
+                raise NetError(
+                    "SocketBus %r has no pending request to retry" % self.name
+                )
+            return self._perform(self._pending)
+
+    @property
+    def pending_op(self) -> str | None:
+        """Operation name of the request a ConnectionLost left pending."""
+        return self._pending.get("op") if self._pending else None
+
+    def in_flight(self) -> list[tuple[str, str]]:
+        """The (queue, msg_id) pairs this client currently holds."""
+        return sorted(self._in_flight)
+
+    # -- heartbeats --------------------------------------------------------
+
+    def _heartbeat_loop(self, interval: float) -> None:
+        assert self._hb_stop is not None
+        while not self._hb_stop.wait(interval):
+            # Never contend with a real call (that *is* liveness), and
+            # never touch a pending request awaiting retry_pending().
+            if not self._lock.acquire(blocking=False):
+                continue
+            try:
+                if self._closed or self._pending is not None:
+                    continue
+                try:
+                    if self._reader is None:
+                        self._loop.run_until_complete(self._open())
+                    self._loop.run_until_complete(self._roundtrip({"op": "ping"}))
+                    self.heartbeats += 1
+                except Exception:
+                    # Best effort: the next real call reconnects.
+                    self._drop_connection()
+            finally:
+                self._lock.release()
 
     # -- the MessageBus interface -----------------------------------------
 
@@ -277,9 +433,14 @@ class SocketBus:
     def close(self) -> None:
         if self._closed:
             return
-        self._closed = True
-        self._drop_connection()
-        self._loop.close()
+        if self._hb_stop is not None:
+            self._hb_stop.set()
+            if self._hb_thread is not None:
+                self._hb_thread.join(timeout=5)
+        with self._lock:
+            self._closed = True
+            self._drop_connection()
+            self._loop.close()
 
     def __enter__(self) -> "SocketBus":
         return self

@@ -38,20 +38,58 @@ The server is single-loop asyncio with synchronous op handlers, so
 operations apply in frame-arrival order — with clients issuing one
 blocking request at a time, that order is the callers' issue order,
 which is what keeps multi-process chaos runs replayable.
+
+Durability (``durable_dir``): every state-mutating op is journaled to
+a write-ahead :class:`~repro.net.buslog.BusLog` *after* it applied
+and *before* the reply frame goes out.  A broker restarted over the
+same directory rebuilds queues, DLQ, stats, the id sequence and the
+per-session op-id dedup table from checkpoint + log suffix, so an
+acknowledged send can never be lost and a request replayed across the
+restart can never double-apply.  The ``broker.crash`` fault site
+(consulted post-journal, pre-reply — the worst window) and a failing
+bus log both kill the broker abruptly: ``os._exit`` in a broker
+process (``hard_crash``), an immediate stop-without-replies in a
+thread.
+
+Session hygiene: with ``heartbeat_timeout`` set, connections silent
+for that long (no frames — well-behaved idle clients send ``ping``
+heartbeats) are reaped, so half-open sockets don't pin broker state
+forever; ``reaped_total`` lands in the monitor NET view.
 """
 
 from __future__ import annotations
 
 import asyncio
+import os
 from typing import Any
 
-from repro.errors import LoadShedded, NetError, QueueOverflow, WorkflowError
+from repro.errors import (
+    JournalError,
+    LoadShedded,
+    NetError,
+    QueueOverflow,
+    RecoveryError,
+    WorkflowError,
+)
+from repro.net.buslog import BusLog
 from repro.net.frames import FrameDecoder, FrameError, encode_envelope, encode_frame
 from repro.obs import resolve_observability
 from repro.wfms.messaging import DLQ_PREFIX, MessageBus
 
-#: Protocol version spoken by this server.
-PROTOCOL = 1
+#: Protocol version spoken by this server (2 adds op-id dedup, the
+#: ``resume`` op and the instance/epoch restart token in ``hello``).
+PROTOCOL = 2
+
+
+class _BrokerDied(BaseException):
+    """Internal control flow for an abrupt broker death (injected
+    ``broker.crash`` or a failing bus log).  BaseException-derived so
+    no ``except WorkflowError`` handler can accidentally survive it."""
+
+
+def _session_of(op_id: str) -> str:
+    """The client-session prefix of an op id (``session#seq``)."""
+    return op_id.rsplit("#", 1)[0]
 
 
 def _rule_to_wire(rule) -> dict[str, Any]:
@@ -94,8 +132,20 @@ class BusServer:
     :class:`~repro.resilience.policies.CircuitBreaker`) enables load
     shedding per queue.  ``fault_injector`` is installed on the bus
     (drop/duplicate/delay behind the transport) and consulted at the
-    ``net.connection`` site once per received frame.
+    ``net.connection`` site once per received frame, ``net.reply``
+    once per served frame, and ``broker.crash`` after apply+journal.
+
+    ``durable_dir`` arms the write-ahead bus log (recovery runs in
+    the constructor); ``durable_sync`` / ``checkpoint_every`` /
+    ``keep_checkpoints`` forward to :class:`~repro.net.buslog.BusLog`.
+    ``heartbeat_timeout`` reaps connections silent for that many
+    seconds.  ``hard_crash`` makes a fatal broker death ``os._exit``
+    the process (the broker-process configuration — indistinguishable
+    from SIGKILL).
     """
+
+    #: process-wide incarnation counter for non-durable instance tokens.
+    _incarnations = 0
 
     def __init__(
         self,
@@ -109,6 +159,12 @@ class BusServer:
         breaker_factory=None,
         fault_injector=None,
         observability=None,
+        durable_dir: str | None = None,
+        durable_sync: str = "always",
+        checkpoint_every: int | None = None,
+        keep_checkpoints: int = 2,
+        heartbeat_timeout: float | None = None,
+        hard_crash: bool = False,
     ):
         if queue_capacity is not None and queue_capacity < 1:
             raise NetError("queue_capacity must be >= 1")
@@ -125,6 +181,44 @@ class BusServer:
         self._injector = fault_injector
         if fault_injector is not None:
             self.bus.install_injector(fault_injector)
+        self._hard_crash = hard_crash
+        self.crashed = False
+        self._heartbeat_timeout = heartbeat_timeout
+        self._reaper_task: Any = None
+        self._reaped_total = 0
+        self._resumed_total = 0
+        self._dedup_hits = 0
+        #: latest (op_id, reply) per client session — the idempotency
+        #: table a replayed request hits instead of re-applying.
+        self._sessions: dict[str, dict[str, Any]] = {}
+        self._pending_record: dict[str, Any] | None = None
+        self._log: BusLog | None = None
+        self.recovery: dict[str, Any] | None = None
+        epoch = 0
+        if durable_dir is not None:
+            self._log = BusLog(
+                durable_dir,
+                sync=durable_sync,
+                checkpoint_every=checkpoint_every,
+                keep_checkpoints=keep_checkpoints,
+                injector=fault_injector,
+                obs=observability,
+            )
+            info = self._log.recover_into(self.bus)
+            self._sessions = info.pop("sessions")
+            self.recovery = info
+            epoch = self._log.epoch
+        self.epoch = epoch
+        BusServer._incarnations += 1
+        #: restart token clients compare across reconnects: stable for
+        #: one broker incarnation, different for the next.  Durable
+        #: brokers use the persisted epoch (survives the process);
+        #: volatile ones a process-local incarnation id.
+        self.instance = (
+            "%s#%d" % (name, epoch)
+            if self._log is not None
+            else "%s#%d.%d" % (name, os.getpid(), BusServer._incarnations)
+        )
         self._server: asyncio.AbstractServer | None = None
         self._closing: asyncio.Event | None = None
         self._conn_ids = 0
@@ -179,6 +273,10 @@ class BusServer:
         )
         sockets = self._server.sockets or []
         self.address = sockets[0].getsockname()[:2]
+        if self._heartbeat_timeout is not None:
+            self._reaper_task = asyncio.get_running_loop().create_task(
+                self._reap_idle()
+            )
         return self.address
 
     async def stop(self) -> None:
@@ -188,6 +286,13 @@ class BusServer:
         self._server.close()
         await self._server.wait_closed()
         self._server = None
+        if self._reaper_task is not None:
+            self._reaper_task.cancel()
+            try:
+                await self._reaper_task
+            except asyncio.CancelledError:
+                pass
+            self._reaper_task = None
         for task in list(self._conn_tasks):
             task.cancel()
         if self._conn_tasks:
@@ -195,6 +300,36 @@ class BusServer:
         self._conn_tasks.clear()
         self._connections.clear()
         self._g_connections.set(0)
+        if self._log is not None and not self.crashed:
+            # Clean shutdown: make the log suffix durable.  A crashed
+            # broker already abandoned the log (the disk is the
+            # problem, or the crash was the point).
+            self._log.close()
+
+    async def _reap_idle(self) -> None:
+        """Close connections that went silent for ``heartbeat_timeout``
+        seconds — clients missing N heartbeats, or half-open sockets
+        whose peer is gone.  The reaped task cleans itself up through
+        the normal connection-handler exit path."""
+        assert self._heartbeat_timeout is not None
+        loop = asyncio.get_running_loop()
+        interval = max(self._heartbeat_timeout / 2.0, 0.01)
+        while True:
+            await asyncio.sleep(interval)
+            now = loop.time()
+            for row in list(self._connections.values()):
+                if row.get("_reaped"):
+                    continue
+                last = row.get("_last_frame")
+                if last is None or now - last <= self._heartbeat_timeout:
+                    continue
+                row["_reaped"] = True
+                row["state"] = "reaped"
+                self._reaped_total += 1
+                try:
+                    row["_writer"].close()
+                except Exception:
+                    pass
 
     def request_stop(self) -> None:
         """Ask the serve loop to exit (same-loop safe; from another
@@ -232,6 +367,7 @@ class BusServer:
             "last_op": "",
             "resets": 0,
             "_writer": writer,
+            "_last_frame": None,
         }
         self._connections[conn_id] = row
         self._g_connections.set(len(self._connections))
@@ -257,6 +393,7 @@ class BusServer:
                 for request in requests:
                     self._frames_in_total += 1
                     row["frames_in"] += 1
+                    row["_last_frame"] = asyncio.get_running_loop().time()
                     if self._injector is not None and self._injector.on_connection(
                         row["name"]
                     ):
@@ -267,6 +404,17 @@ class BusServer:
                         reset = True
                         break
                     response, shutdown = self._dispatch(row, request)
+                    if self._injector is not None and self._injector.on_reply(
+                        row["name"]
+                    ):
+                        # Injected reply loss: the op *applied* (and
+                        # was journaled), the client never hears back.
+                        # Its replayed request must hit the op-id
+                        # dedup, not re-apply.
+                        row["resets"] += 1
+                        self._resets_total += 1
+                        reset = True
+                        break
                     payload = encode_frame(response)
                     self._c_bytes.labels("out").inc(len(payload))
                     self._frames_out_total += 1
@@ -278,6 +426,8 @@ class BusServer:
                 if shutdown:
                     self.request_stop()
                     break
+        except _BrokerDied:
+            self._abrupt_stop()
         except (ConnectionError, asyncio.IncompleteReadError):
             pass
         except asyncio.CancelledError:
@@ -292,6 +442,32 @@ class BusServer:
             except Exception:
                 pass
 
+    # -- crash path --------------------------------------------------------
+
+    def _die(self, reason: str) -> None:
+        """Fatal broker failure: raise the internal control exception
+        the connection handler turns into an abrupt stop (or
+        ``os._exit`` when ``hard_crash``)."""
+        raise _BrokerDied(reason)
+
+    def _abrupt_stop(self) -> None:
+        """Die without replying to anyone.  In a broker process this
+        is ``os._exit`` — no atexit, no flushes, exactly a SIGKILL; in
+        a thread the log is abandoned (its durable prefix stays
+        replayable), every connection dropped, and the serve loop
+        asked to exit."""
+        if self._hard_crash:
+            os._exit(137)
+        self.crashed = True
+        if self._log is not None:
+            self._log.abandon()
+        for row in list(self._connections.values()):
+            try:
+                row["_writer"].close()
+            except Exception:
+                pass
+        self.request_stop()
+
     # -- dispatch ----------------------------------------------------------
 
     def _dispatch(
@@ -302,6 +478,16 @@ class BusServer:
         op = request["op"]
         conn["last_op"] = op
         self._c_requests.labels(op).inc()
+        op_id = request.get("op_id")
+        session = _session_of(op_id) if op_id else None
+        if session is not None:
+            cached = self._sessions.get(session)
+            if cached is not None and cached.get("op_id") == op_id:
+                # The client replayed a request whose reply it never
+                # saw (reconnect after a mid-op drop, or a broker
+                # restart): return the original outcome, apply nothing.
+                self._dedup_hits += 1
+                return dict(cached["reply"]), False
         span = None
         if self.obs.tracer.enabled:
             span = self.obs.tracer.start_span(
@@ -309,31 +495,59 @@ class BusServer:
                 kind="server",
                 attributes={"queue": request.get("queue", "")},
             )
+        self._pending_record = None
         try:
             value, shutdown = self._apply(conn, op, request)
             if span is not None:
                 span.finish()
-            return {"ok": True, "value": value}, shutdown
+            response: dict[str, Any] = {"ok": True, "value": value}
         except QueueOverflow as exc:
             if span is not None:
                 span.finish("overflow")
-            return (
-                {"ok": False, "code": "overflow", "error": str(exc),
-                 "queue": exc.queue},
-                False,
-            )
+            shutdown = False
+            response = {"ok": False, "code": "overflow", "error": str(exc),
+                        "queue": exc.queue}
         except LoadShedded as exc:
             if span is not None:
                 span.finish("shed")
-            return (
-                {"ok": False, "code": "shed", "error": str(exc),
-                 "queue": exc.queue},
-                False,
-            )
+            shutdown = False
+            response = {"ok": False, "code": "shed", "error": str(exc),
+                        "queue": exc.queue}
         except WorkflowError as exc:
             if span is not None:
                 span.finish("error")
-            return {"ok": False, "code": "error", "error": str(exc)}, False
+            shutdown = False
+            response = {"ok": False, "code": "error", "error": str(exc)}
+        record, self._pending_record = self._pending_record, None
+        if record is not None and self._log is not None:
+            # Journal the applied mutation (with the reply, so
+            # recovery rebuilds the dedup table) *before* the reply
+            # frame can go out.  A failing bus log is fatal — the
+            # broker must not acknowledge what it cannot make durable.
+            if session is not None:
+                record["client"] = session
+                record["op_id"] = op_id
+                record["reply"] = response
+            try:
+                self._log.record(record)
+            except JournalError as exc:
+                self._die("bus log failed: %s" % exc)
+            if self._log.due():
+                try:
+                    self._log.checkpoint(
+                        self.bus.export_state(), self._sessions
+                    )
+                except (JournalError, RecoveryError):
+                    # A torn/aborted checkpoint is survivable: the log
+                    # keeps growing and recovery falls back to the
+                    # previous snapshot.
+                    self._log.checkpoint_failures += 1
+        if session is not None:
+            self._sessions[session] = {"op_id": op_id, "reply": response}
+        if self._injector is not None and self._injector.on_broker_crash(op):
+            # The worst window: applied and journaled, reply unsent.
+            self._die("injected broker crash on %r" % op)
+        return response, shutdown
 
     def _apply(
         self, conn: dict[str, Any], op: str, request: dict[str, Any]
@@ -360,23 +574,51 @@ class BusServer:
             )
         if op == "ack":
             queue = request.get("queue", "")
-            bus.ack(queue, request.get("msg_id", ""))
+            msg_id = request.get("msg_id", "")
+            bus.ack(queue, msg_id)
+            self._note({"type": "ack", "queue": queue, "msg_id": msg_id})
             self._g_queue_depth.labels(queue).set(bus.depth(queue))
             return None, False
         if op == "nack":
-            bus.nack(request.get("queue", ""), request.get("msg_id", ""))
+            queue = request.get("queue", "")
+            msg_id = request.get("msg_id", "")
+            bus.nack(queue, msg_id)
+            self._note({"type": "nack", "queue": queue, "msg_id": msg_id})
             return None, False
         if op == "dead_letter":
-            return (
-                bus.dead_letter(
-                    request.get("queue", ""),
-                    request.get("msg_id", ""),
-                    request.get("reason", ""),
-                ),
-                False,
+            queue = request.get("queue", "")
+            msg_id = request.get("msg_id", "")
+            reason = request.get("reason", "")
+            target = bus.dead_letter(queue, msg_id, reason)
+            self._note(
+                {
+                    "type": "dead_letter",
+                    "queue": queue,
+                    "msg_id": msg_id,
+                    "reason": reason,
+                }
             )
+            return target, False
         if op == "recover_in_flight":
-            return bus.recover_in_flight(request.get("queue")), False
+            queue = request.get("queue")
+            recovered = bus.recover_in_flight(queue)
+            self._note({"type": "recover_in_flight", "queue": queue})
+            return recovered, False
+        if op == "resume":
+            # Session resume after a broker restart: the consumer
+            # re-registers the messages it held in flight, so nobody
+            # else is delivered them while it finishes.  Idempotent —
+            # unknown or already-reserved ids are skipped.
+            resumed = 0
+            for pair in request.get("in_flight") or []:
+                if (
+                    isinstance(pair, (list, tuple))
+                    and len(pair) == 2
+                    and bus.mark_in_flight(str(pair[0]), str(pair[1]))
+                ):
+                    resumed += 1
+            self._resumed_total += resumed
+            return resumed, False
         if op == "depth":
             return bus.depth(request.get("queue", "")), False
         if op == "deliveries":
@@ -393,13 +635,19 @@ class BusServer:
         if op == "dlq_inspect":
             return bus.dlq_entries(request.get("queue")), False
         if op == "dlq_drain":
-            return (
-                bus.dlq_drain(
-                    request.get("queue", ""),
-                    requeue=bool(request.get("requeue", True)),
-                ),
-                False,
-            )
+            queue = request.get("queue", "")
+            requeue = bool(request.get("requeue", True))
+            drained = bus.dlq_drain(queue, requeue=requeue)
+            if drained:
+                self._note(
+                    {
+                        "type": "dlq_drain",
+                        "queue": queue,
+                        "requeue": requeue,
+                        "drained": drained,
+                    }
+                )
+            return drained, False
         if op == "install_injector":
             from repro.resilience.faults import FaultInjector
 
@@ -409,6 +657,8 @@ class BusServer:
             )
             self._injector = injector
             bus.install_injector(injector)
+            if self._log is not None:
+                self._log.set_injector(injector)
             return None, False
         if op == "injector_trace":
             if self._injector is None:
@@ -420,12 +670,26 @@ class BusServer:
             name = request.get("name")
             if name:
                 conn["name"] = str(name)
-            return {"server": self.name, "proto": PROTOCOL}, False
+            return {
+                "server": self.name,
+                "proto": PROTOCOL,
+                "instance": self.instance,
+                "epoch": self.epoch,
+                "durable": self._log is not None,
+            }, False
         if op == "ping":
             return "pong", False
         if op == "shutdown":
             return None, True
         raise NetError("unknown operation %r" % op)
+
+    def _note(self, record: dict[str, Any]) -> None:
+        """Stage the bus-log record for the operation that just
+        applied; ``_dispatch`` journals it (stamped with the client's
+        op id and the reply) before the reply frame goes out.  No-op
+        without a durable log."""
+        if self._log is not None:
+            self._pending_record = record
 
     # -- admission control -------------------------------------------------
 
@@ -441,6 +705,23 @@ class BusServer:
             breaker = self._breakers[queue] = self._breaker_factory()
         return breaker
 
+    def _send_journaled(
+        self, queue: str, body: dict[str, Any], headers: dict[str, str]
+    ) -> str:
+        """Send and stage the effect record (what the injector decided
+        — the enqueued envelopes — not the request, so recovery replay
+        never re-consults the RNG)."""
+        msg_id, effect, entries = self.bus.send_detailed(queue, body, headers)
+        self._note(
+            {
+                "type": "send",
+                "queue": queue,
+                "effect": effect,
+                "entries": entries,
+            }
+        )
+        return msg_id
+
     def _admit_send(
         self, queue: str, body: dict[str, Any], headers: dict[str, str]
     ) -> str:
@@ -448,7 +729,7 @@ class BusServer:
         ``MessageBus.send``.  DLQ queues are exempt (rejecting a
         rejection would lose it)."""
         if not queue or queue.startswith(DLQ_PREFIX):
-            return self.bus.send(queue, body, headers)
+            return self._send_journaled(queue, body, headers)
         self._admissions += 1
         now = float(self._admissions)
         breaker = self._breaker_for(queue)
@@ -461,12 +742,20 @@ class BusServer:
             )
         capacity = self._capacity_for(queue)
         if capacity is not None and self.bus.depth(queue) >= capacity:
-            self.bus.reject(
-                queue,
-                body,
-                headers,
-                "queue overflow: depth %d at capacity %d"
-                % (self.bus.depth(queue), capacity),
+            reason = "queue overflow: depth %d at capacity %d" % (
+                self.bus.depth(queue),
+                capacity,
+            )
+            msg_id = self.bus.reject(queue, body, headers, reason)
+            self._note(
+                {
+                    "type": "reject",
+                    "queue": queue,
+                    "msg_id": msg_id,
+                    "body": dict(body),
+                    "headers": dict(headers),
+                    "reason": reason,
+                }
             )
             if breaker is not None:
                 breaker.record_failure(now)
@@ -478,7 +767,7 @@ class BusServer:
             )
         if breaker is not None:
             breaker.record_success(now)
-        return self.bus.send(queue, body, headers)
+        return self._send_journaled(queue, body, headers)
 
     # -- monitoring --------------------------------------------------------
 
@@ -503,12 +792,22 @@ class BusServer:
                 "rules": len(self._injector.rules),
                 "fired": len(self._injector.fired),
             }
+        durable = None
+        if self._log is not None:
+            durable = self._log.status()
+            durable["recovery"] = dict(self.recovery or {})
         return {
             "broker": self.name,
             "address": list(self.address) if self.address else None,
+            "instance": self.instance,
+            "epoch": self.epoch,
             "connections": connections,
             "accepted_total": self._accepted_total,
             "resets_total": self._resets_total,
+            "reaped_total": self._reaped_total,
+            "resumed_total": self._resumed_total,
+            "dedup_hits": self._dedup_hits,
+            "sessions": len(self._sessions),
             "frames_in_total": self._frames_in_total,
             "frames_out_total": self._frames_out_total,
             "queue_capacity": self._capacity,
@@ -519,6 +818,7 @@ class BusServer:
             },
             "queues": queues,
             "injector": injector,
+            "durable": durable,
         }
 
 
@@ -593,7 +893,10 @@ def _broker_main(connection, config: dict[str, Any]) -> None:
             _rules_from_wire(rules), seed=config.get("seed", 0)
         )
     server = BusServer(
-        MessageBus(), fault_injector=injector, **config.get("server", {})
+        MessageBus(),
+        fault_injector=injector,
+        hard_crash=True,
+        **config.get("server", {}),
     )
 
     async def main() -> None:
@@ -668,6 +971,20 @@ class BrokerProcess:
 
     def alive(self) -> bool:
         return self._process.is_alive()
+
+    def kill(self) -> None:
+        """SIGKILL the broker — no shutdown op, no flushes, no
+        goodbyes.  The chaos suites use this to model a hard host
+        failure; a durable broker restarted over the same directory
+        must recover everything the log made durable."""
+        if self._process.is_alive():
+            self._process.kill()
+        self._process.join(timeout=10)
+
+    def wait(self, timeout: float = 10.0) -> None:
+        """Join the broker process (e.g. after an injected
+        ``broker.crash`` killed it from the inside)."""
+        self._process.join(timeout=timeout)
 
     def close(self) -> None:
         if self._process.is_alive():

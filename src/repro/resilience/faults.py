@@ -23,7 +23,19 @@ site               key matched against ``FaultRule.match``       actions
 ``compact``        journal directory basename                    raise (JournalError)
 ``scope.commit``   transaction-scope handle                      raise (JournalError)
 ``net.connection`` broker-side client connection name            reset
+``net.reply``      broker-side client connection name            reset
+``buslog.append``  bus-log record type                           raise (JournalError)
+``buslog.fsync``   durability-point reason                       raise (JournalError)
+``broker.crash``   bus operation name                            crash
 =================  ============================================  ==================
+
+``net.connection`` resets *before* the frame is served (nothing
+applied); ``net.reply`` resets *after* the operation applied but
+before the reply frame is written — the worst reconnect window, which
+the broker's op-id dedup must make safe.  ``broker.crash`` kills the
+whole broker after the operation applied (and was journaled) but
+before the reply: a durable broker restarted over the same directory
+must recover without losing or double-applying it.
 
 A rule fires on a **schedule** (1-based match counts), with a
 **probability** drawn from the injector's seeded RNG, or both; an
@@ -59,6 +71,10 @@ SITES: dict[str, tuple[str, ...]] = {
     "compact": ("raise",),
     "scope.commit": ("raise",),
     "net.connection": ("reset",),
+    "net.reply": ("reset",),
+    "buslog.append": ("raise",),
+    "buslog.fsync": ("raise",),
+    "broker.crash": ("crash",),
 }
 
 
@@ -201,12 +217,16 @@ class FaultInjector:
                 "activity %s)" % (program, instance_id, activity)
             )
 
-    def on_journal(self, operation: str, key: str) -> None:
+    def on_journal(
+        self, operation: str, key: str, scope: str = "journal"
+    ) -> None:
         """Journal site (``operation`` is ``append`` or ``fsync``):
-        raises :class:`JournalError` when a rule fires."""
-        if self.decide("journal.%s" % operation, key) is not None:
+        raises :class:`JournalError` when a rule fires.  ``scope``
+        selects the site family — the engine journal consults
+        ``journal.*``, the broker's write-ahead bus log ``buslog.*``."""
+        if self.decide("%s.%s" % (scope, operation), key) is not None:
             raise JournalError(
-                "injected fault: journal %s failed (%s)" % (operation, key)
+                "injected fault: %s %s failed (%s)" % (scope, operation, key)
             )
 
     def on_pump(self, node: str) -> bool:
@@ -230,6 +250,21 @@ class FaultInjector:
         reconnect-with-backoff takes over; the retried request is a
         fresh frame and is consulted again."""
         return self.decide("net.connection", name) is not None
+
+    def on_reply(self, name: str) -> bool:
+        """Socket-broker reply site, consulted *after* an operation
+        applied (and, durably, journaled) but before the reply frame is
+        written: True when the broker must reset the connection with
+        the reply unsent.  The retried request hits the broker's op-id
+        dedup and returns the cached reply without re-applying."""
+        return self.decide("net.reply", name) is not None
+
+    def on_broker_crash(self, op: str) -> bool:
+        """Broker-crash site, consulted after an operation applied and
+        was journaled but before the reply: True when the whole broker
+        must die on the spot (``os._exit`` in a broker process — the
+        SIGKILL window the durable-broker chaos suite exercises)."""
+        return self.decide("broker.crash", op) is not None
 
     def on_scope_commit(self, handle: str) -> None:
         """Transaction-scope commit site: raises :class:`JournalError`

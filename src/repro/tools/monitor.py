@@ -245,6 +245,44 @@ def render_net(snapshot: dict[str, Any]) -> list[str]:
             else "none",
         )
     )
+    lines.append(
+        "sessions %d | dedup hits %d | resumed %d | reaped %d"
+        % (
+            snapshot.get("sessions", 0),
+            snapshot.get("dedup_hits", 0),
+            snapshot.get("resumed_total", 0),
+            snapshot.get("reaped_total", 0),
+        )
+    )
+    durable = snapshot.get("durable")
+    if durable:
+        lines.append(
+            "DURABLE epoch %d | sync %s | %d records (%d unflushed) | "
+            "%d segments | %d checkpoints (last @%d, %d since, %d failed)"
+            % (
+                durable.get("epoch", 0),
+                durable.get("sync", "?"),
+                durable.get("records", 0),
+                durable.get("unflushed", 0),
+                durable.get("segments_live", 0),
+                durable.get("checkpoints", 0),
+                durable.get("last_checkpoint_offset") or 0,
+                durable.get("records_since_checkpoint", 0),
+                durable.get("checkpoint_failures", 0),
+            )
+        )
+        recovery = durable.get("recovery") or {}
+        if recovery:
+            lines.append(
+                "recovered: checkpoint @%d (%d skipped) + %d replayed | "
+                "%d messages restored"
+                % (
+                    recovery.get("checkpoint_offset", 0),
+                    recovery.get("checkpoints_skipped", 0),
+                    recovery.get("replayed_records", 0),
+                    recovery.get("restored_messages", 0),
+                )
+            )
     lines.append("")
 
     connections = snapshot.get("connections", [])

@@ -56,7 +56,16 @@ class Journal:
     only added to memory *after* the file write succeeded, so a failing
     disk write cannot leave memory claiming a record that was never
     durable.
+
+    Subclasses journaling a different domain override two class
+    attributes: ``record_types`` (the legal ``type`` values) and
+    ``fault_scope`` (the injector site family — the engine journal
+    consults ``journal.append``/``journal.fsync``, the broker's bus
+    log ``buslog.append``/``buslog.fsync``).
     """
+
+    record_types = RECORD_TYPES
+    fault_scope = "journal"
 
     def __init__(
         self,
@@ -120,7 +129,7 @@ class Journal:
         return self._sync
 
     def append(self, record: dict[str, Any]) -> None:
-        if record.get("type") not in RECORD_TYPES:
+        if record.get("type") not in self.record_types:
             raise RecoveryError(
                 "illegal journal record type %r" % record.get("type")
             )
@@ -128,7 +137,9 @@ class Journal:
             # A failing disk surfaces before anything is written, so
             # neither file nor memory claims the record
             # (write-then-record stays honest under injection).
-            self._injector.on_journal("append", str(record.get("type")))
+            self._injector.on_journal(
+                "append", str(record.get("type")), self.fault_scope
+            )
         if self._file is not None:
             line = json.dumps(record, sort_keys=True)
             if self._sync == "always":
@@ -168,7 +179,7 @@ class Journal:
         """One durability point; the injector may turn it into a
         :class:`~repro.errors.JournalError` (disk failure)."""
         if self._injector is not None:
-            self._injector.on_journal("fsync", reason)
+            self._injector.on_journal("fsync", reason, self.fault_scope)
         os.fsync(self._file.fileno())
 
     def _commit(self, reason: str = "flush") -> None:

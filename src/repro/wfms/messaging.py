@@ -33,7 +33,6 @@ Two resilience extensions (:mod:`repro.resilience`):
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -81,7 +80,10 @@ class MessageBus:
     """Named durable queues with ack/nack semantics."""
 
     _queues: dict[str, list[_Envelope]] = field(default_factory=dict)
-    _counter: itertools.count = field(default_factory=itertools.count)
+    #: message-id sequence — a plain int so a durable broker can
+    #: checkpoint and restore it (an ``itertools.count`` cannot be
+    #: serialized, let alone rewound to a replayed position).
+    _counter: int = 0
     #: queue -> counter bucket (see ``_STAT_KEYS``) — cheap always-on
     #: accounting for the monitor.
     _stats: dict[str, dict[str, int]] = field(default_factory=dict)
@@ -98,6 +100,11 @@ class MessageBus:
             bucket = self._stats[queue] = dict.fromkeys(_STAT_KEYS, 0)
         bucket[key] += amount
 
+    def _next_id(self) -> str:
+        msg_id = "m%06d" % self._counter
+        self._counter += 1
+        return msg_id
+
     def send(
         self,
         queue: str,
@@ -106,14 +113,34 @@ class MessageBus:
     ) -> str:
         """Append a message; returns its id.  ``headers`` ride along
         out-of-band (trace context propagation)."""
+        msg_id, __, __ = self.send_detailed(queue, body, headers)
+        return msg_id
+
+    def send_detailed(
+        self,
+        queue: str,
+        body: dict[str, Any],
+        headers: dict[str, str] | None = None,
+    ) -> tuple[str, str, list[dict[str, Any]]]:
+        """:meth:`send`, but reporting what actually happened.
+
+        Returns ``(msg_id, effect, entries)`` where ``effect`` is one
+        of ``enqueued | dropped | duplicated | delayed`` (the injector's
+        decision, ``enqueued`` for a clean send) and ``entries`` lists
+        every envelope that joined the queue as ``{msg_id, body,
+        headers, hold}`` — empty for a drop, two rows for a duplicate.
+        The durable broker journals these *effects*, so replay never
+        re-consults the injector's RNG."""
         if not queue:
             raise WorkflowError("queue name must be non-empty")
         envelope = _Envelope(
-            "m%06d" % next(self._counter),
+            self._next_id(),
             dict(body),
             dict(headers) if headers else {},
         )
         self._stat(queue, "sent")
+        effect = "enqueued"
+        entries: list[_Envelope] = [envelope]
         if self._injector is not None:
             rule = self._injector.on_send(queue)
             if rule is not None:
@@ -121,20 +148,35 @@ class MessageBus:
                     # Lost datagram: the sender got an id, the network
                     # ate the message.
                     self._stat(queue, "dropped")
-                    return envelope.msg_id
+                    return envelope.msg_id, "dropped", []
                 if rule.action == "duplicate":
                     twin = _Envelope(
-                        "m%06d" % next(self._counter),
+                        self._next_id(),
                         dict(envelope.body),
                         dict(envelope.headers),
                     )
                     self._queues.setdefault(queue, []).append(twin)
                     self._stat(queue, "duplicated")
+                    effect = "duplicated"
+                    entries.insert(0, twin)
                 elif rule.action == "delay":
                     envelope.hold = rule.delay
                     self._stat(queue, "delayed")
+                    effect = "delayed"
         self._queues.setdefault(queue, []).append(envelope)
-        return envelope.msg_id
+        return (
+            envelope.msg_id,
+            effect,
+            [
+                {
+                    "msg_id": entry.msg_id,
+                    "body": dict(entry.body),
+                    "headers": dict(entry.headers),
+                    "hold": entry.hold,
+                }
+                for entry in entries
+            ],
+        )
 
     def receive(self, queue: str) -> tuple[str, dict[str, Any]] | None:
         """Take the oldest available message (marks it in-flight)."""
@@ -202,7 +244,7 @@ class MessageBus:
         in its headers — the nack-on-overflow path of the socket
         broker's bounded queues.  Returns the message id."""
         envelope = _Envelope(
-            "m%06d" % next(self._counter),
+            self._next_id(),
             dict(body),
             dict(headers) if headers else {},
         )
@@ -286,6 +328,19 @@ class MessageBus:
                 return
         raise WorkflowError("unknown message %s on %s" % (msg_id, queue))
 
+    def mark_in_flight(self, queue: str, msg_id: str) -> bool:
+        """Re-reserve a deliverable message (session resume): a
+        consumer that held ``msg_id`` in flight when the broker
+        restarted re-registers its claim, so nobody else receives the
+        message while the original consumer finishes.  Returns whether
+        the message was found deliverable; already-in-flight or
+        unknown ids are a no-op (the call is idempotent)."""
+        for envelope in self._queues.get(queue, []):
+            if envelope.msg_id == msg_id and not envelope.in_flight:
+                envelope.in_flight = True
+                return True
+        return False
+
     def recover_in_flight(self, queue: str | None = None) -> int:
         """Mark every in-flight message deliverable again — what the
         queue manager does when a consumer crashes mid-processing."""
@@ -318,3 +373,62 @@ class MessageBus:
                 return dict.fromkeys(_STAT_KEYS, 0)
             return dict(bucket)
         return {name: dict(bucket) for name, bucket in sorted(self._stats.items())}
+
+    # -- durable-broker state transfer ---------------------------------
+
+    def export_state(self) -> dict[str, Any]:
+        """The bus as a JSON-native state dict (checkpoint capture).
+
+        In-flight flags are *not* exported: a broker restart severs
+        every consumer connection, so on restore each message must be
+        deliverable again (consumers re-reserve theirs via
+        :meth:`mark_in_flight` on session resume)."""
+        return {
+            "counter": self._counter,
+            "queues": {
+                name: [
+                    {
+                        "msg_id": envelope.msg_id,
+                        "body": dict(envelope.body),
+                        "headers": dict(envelope.headers),
+                        "deliveries": envelope.deliveries,
+                        "hold": envelope.hold,
+                    }
+                    for envelope in envelopes
+                ]
+                for name, envelopes in self._queues.items()
+            },
+            "stats": {
+                name: dict(bucket) for name, bucket in self._stats.items()
+            },
+        }
+
+    def restore_state(self, state: dict[str, Any]) -> int:
+        """Rebuild queues, stats and the id sequence from
+        :meth:`export_state` output; returns the number of messages
+        restored.  The bus must be empty (fresh broker start)."""
+        if self._queues or self._stats:
+            raise WorkflowError(
+                "restore_state needs an empty bus (%d queues live)"
+                % len(self._queues)
+            )
+        self._counter = int(state.get("counter", 0))
+        restored = 0
+        for name, rows in state.get("queues", {}).items():
+            envelopes = self._queues[name] = []
+            for row in rows:
+                envelopes.append(
+                    _Envelope(
+                        row["msg_id"],
+                        dict(row.get("body") or {}),
+                        dict(row.get("headers") or {}),
+                        deliveries=int(row.get("deliveries", 0)),
+                        hold=int(row.get("hold", 0)),
+                    )
+                )
+                restored += 1
+        for name, bucket in state.get("stats", {}).items():
+            merged = dict.fromkeys(_STAT_KEYS, 0)
+            merged.update(bucket)
+            self._stats[name] = merged
+        return restored

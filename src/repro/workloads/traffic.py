@@ -39,7 +39,7 @@ import threading
 import time
 from typing import Any
 
-from repro.errors import LoadShedded, NetError, QueueOverflow
+from repro.errors import ConnectionLost, LoadShedded, NetError, QueueOverflow
 from repro.obs.metrics import Histogram
 
 #: Latency buckets (seconds): exponential from 0.2 ms to ~28 s —
@@ -82,27 +82,37 @@ def arrival_offsets(
     )
 
 
-def _responder(make_bus, queue: str, stop: threading.Event) -> None:
+def _responder(
+    make_bus, queue: str, counters: dict[str, int], stop: threading.Event
+) -> None:
     """The echoing service: every request is answered to its
     ``reply_to`` queue with the original send stamp."""
     with make_bus("traffic-responder") as bus:
         while not stop.is_set():
-            taken = bus.receive(queue)
-            if taken is None:
-                time.sleep(_POLL)
-                continue
-            msg_id, body = taken
             try:
-                bus.send(
-                    body["reply_to"],
-                    {"id": body["id"], "sent_at": body["sent_at"]},
-                )
-            except (QueueOverflow, LoadShedded):
-                # Under overload the *reply* queue can reject too; the
-                # request is still consumed (the collector just never
-                # sees its reply) — the service must not die with it.
-                pass
-            bus.ack(queue, msg_id)
+                taken = bus.receive(queue)
+                if taken is None:
+                    time.sleep(_POLL)
+                    continue
+                msg_id, body = taken
+                try:
+                    bus.send(
+                        body["reply_to"],
+                        {"id": body["id"], "sent_at": body["sent_at"]},
+                    )
+                except (QueueOverflow, LoadShedded):
+                    # Under overload the *reply* queue can reject too;
+                    # the request is still consumed (the collector just
+                    # never sees its reply) — the service must not die
+                    # with it.
+                    pass
+                bus.ack(queue, msg_id)
+            except ConnectionLost:
+                # Broker bounce mid-sweep: count it and keep serving —
+                # the client reconnects (and resumes its in-flight
+                # claims) on the next call.
+                counters["lost"] += 1
+                time.sleep(_POLL)
 
 
 def _collector(
@@ -115,14 +125,18 @@ def _collector(
     """Drain replies, observing wall-clock latency per request."""
     with make_bus("traffic-collector") as bus:
         while not stop.is_set():
-            taken = bus.receive(reply_queue)
-            if taken is None:
+            try:
+                taken = bus.receive(reply_queue)
+                if taken is None:
+                    time.sleep(_POLL)
+                    continue
+                msg_id, body = taken
+                histogram.observe(time.perf_counter() - body["sent_at"])
+                bus.ack(reply_queue, msg_id)
+                counters["completed"] += 1
+            except ConnectionLost:
+                counters["lost"] += 1
                 time.sleep(_POLL)
-                continue
-            msg_id, body = taken
-            histogram.observe(time.perf_counter() - body["sent_at"])
-            bus.ack(reply_queue, msg_id)
-            counters["completed"] += 1
 
 
 def run_open_loop(
@@ -144,7 +158,7 @@ def run_open_loop(
     the broker's one-outstanding-request-per-connection discipline.
     """
     histogram = Histogram(buckets=LATENCY_BUCKETS)
-    counters = {"completed": 0}
+    counters = {"completed": 0, "lost": 0}
     stop = threading.Event()
     offsets = arrival_offsets(
         requests, rate, distribution=distribution, seed=seed
@@ -152,7 +166,7 @@ def run_open_loop(
     threads = [
         threading.Thread(
             target=_responder,
-            args=(make_bus, queue, stop),
+            args=(make_bus, queue, counters, stop),
             name="traffic-responder",
             daemon=True,
         ),
@@ -189,6 +203,11 @@ def run_open_loop(
                     overflowed += 1
                 except LoadShedded:
                     shed += 1
+                except ConnectionLost:
+                    # The broker is down *right now* (bounce window
+                    # longer than the reconnect budget).  Open loop:
+                    # drop this arrival, keep the schedule.
+                    counters["lost"] += 1
             deadline = time.perf_counter() + drain_timeout
             while (
                 counters["completed"] < sent
@@ -209,6 +228,7 @@ def run_open_loop(
         "sent": sent,
         "overflowed": overflowed,
         "shed": shed,
+        "lost": counters["lost"],
         "completed": completed,
         "elapsed_sec": round(elapsed, 4),
         "throughput_per_sec": round(completed / elapsed, 1) if elapsed else 0.0,

@@ -1,0 +1,340 @@
+"""Broker-kill chaos: SIGKILL the broker mid-traffic, restart it over
+the same durable directory, and hold the exactly-once line.
+
+Two families of seeded schedules, every one run twice with
+bit-identical logical traces:
+
+* **ledger seeds** — a scripted payment ledger drives the bus while an
+  in-process ``broker.crash`` rule ``os._exit(137)``\\ s the broker
+  *between journaling an op and replying* (the worst window;
+  indistinguishable from SIGKILL).  The driver restarts the broker on
+  the same port and ``retry_pending()``\\ s — the replayed op id must
+  hit the recovered dedup table, never double-apply.  At the end,
+  every payment is accounted for exactly once across acks, live
+  queues and the DLQ;
+* **saga seeds** — the distributed workflow demo (requester + worker
+  saga over real sockets) with a client-side node crash; at the crash
+  point the driver ``kill()``\\ s (SIGKILL) the broker, restarts it,
+  rebuilds the crashed nodes from their journals, and the saga still
+  completes with the request served exactly once.
+
+Why two runs of one seed are bit-identical despite OS processes dying:
+all bus traffic is blocking request/reply from a single driver thread,
+so every broker incarnation sees the same frame order; the crash rules
+are seeded schedules over that order; replay after restart applies
+journaled *effects* without consulting any RNG.  Session nonces and
+op ids differ between runs, so comparisons use the normalized state
+(queues, stats, epoch) and the logical outcome/fault traces.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConnectionLost, QueueOverflow
+from repro.net import BrokerProcess, SocketBus
+from repro.resilience.faults import (
+    FaultInjector,
+    FaultRule,
+    InjectedCrash,
+    chaos_rules,
+)
+from repro.wfms.distributed import run_cluster
+from repro.workloads.distributed_demo import (
+    configure_requester,
+    configure_worker,
+    make_requester,
+    make_worker,
+)
+
+LEDGER_SEEDS = range(4)
+SAGA_SEEDS = range(4)
+
+
+class DurableBroker:
+    """A restartable broker process pinned to one durable directory
+    and (after first start) one port."""
+
+    def __init__(self, directory, rules, seed, **server_kwargs):
+        self.directory = str(directory)
+        self.rules = rules
+        self.seed = seed
+        self.server_kwargs = server_kwargs
+        self.port = 0
+        self.proc: BrokerProcess | None = None
+        self.bounces = 0
+
+    def start(self) -> None:
+        self.proc = BrokerProcess(
+            rules=self.rules,
+            seed=self.seed,
+            durable_dir=self.directory,
+            port=self.port,
+            **self.server_kwargs,
+        )
+        self.port = self.proc.address[1]
+
+    def restart_after_crash(self) -> None:
+        """The injected ``broker.crash`` killed it from the inside
+        (``os._exit(137)``); reap the corpse and start a successor."""
+        assert self.proc is not None
+        self.proc.wait(10.0)
+        assert not self.proc.alive()
+        self.start()
+        self.bounces += 1
+
+    def kill_and_restart(self) -> None:
+        """External SIGKILL — no flushes, no goodbyes — then restart."""
+        assert self.proc is not None
+        self.proc.kill()
+        self.start()
+        self.bounces += 1
+
+    def close(self) -> None:
+        if self.proc is not None:
+            self.proc.close()
+
+
+def normalized(snapshot) -> dict:
+    """The cross-run comparable slice of a broker snapshot: queue
+    stats (minus the documented volatile delivery drift), epoch and
+    dedup accounting — no ports, pids, session nonces or paths."""
+    queues = {}
+    for name, stats in snapshot["queues"].items():
+        stats = dict(stats)
+        stats.pop("delivered", None)
+        stats.pop("redelivered", None)
+        queues[name] = stats
+    return {
+        "queues": queues,
+        "epoch": snapshot["epoch"],
+        "dedup_hits": snapshot["dedup_hits"],
+    }
+
+
+# ---------------------------------------------------------------------------
+# ledger seeds: in-flight broker.crash between journal and reply
+# ---------------------------------------------------------------------------
+
+
+def run_ledger(seed, root):
+    """One scripted ledger run; returns (outcomes, normalized state,
+    accounting, bounces, final-incarnation fault trace)."""
+    rules = [
+        FaultRule(
+            "broker.crash",
+            "crash",
+            match="send",
+            # fire on the first send once the op counter passes the
+            # seed-specific threshold — at most once per incarnation,
+            # so every send past the threshold kills one broker
+            schedule=frozenset(range(2 + seed, 64 + seed)),
+            max_fires=1,
+        )
+    ]
+    broker = DurableBroker(
+        root / "broker", rules, seed, queue_capacity=4
+    )
+    broker.start()
+    outcomes: list = []
+    bus = SocketBus(
+        "127.0.0.1",
+        broker.port,
+        name="ledger",
+        connect_retries=4,
+        backoff=0.02,
+    )
+    try:
+
+        def step(label, fn, *args):
+            """One ledger op, surviving any number of broker deaths:
+            on ConnectionLost restart the broker and replay the same
+            op id via retry_pending."""
+            attempt = 0
+            while True:
+                try:
+                    value = fn(*args) if attempt == 0 else bus.retry_pending()
+                except ConnectionLost:
+                    attempt += 1
+                    if attempt > 8:
+                        pytest.fail("ledger seed %d: broker kept dying" % seed)
+                    broker.restart_after_crash()
+                    outcomes.append(["bounce", broker.bounces])
+                    continue
+                except QueueOverflow:
+                    outcomes.append([label, "overflow"])
+                    return None
+                outcomes.append([label, value])
+                return value
+
+        for n in range(4):
+            step("send-%d" % n, bus.send, "pay", {"n": n})
+        step("spill", bus.send, "pay", {"n": 4})  # capacity 4 -> DLQ
+        taken = step("recv-a", bus.receive, "pay")
+        step("ack-a", bus.ack, "pay", taken[0])
+        acked = [taken[1]["n"]]
+        step("send-5", bus.send, "pay", {"n": 5})
+        taken = step("recv-b", bus.receive, "pay")
+        step("poison", bus.dead_letter, "pay", taken[0], "audit-hold")
+        poisoned = [taken[1]["n"]]
+        step("drain", lambda: bus.dlq_drain("pay", requeue=True))
+
+        snap = bus.snapshot()
+        state = normalized(snap)
+        trace = bus.injector_trace()
+
+        # exactly-once accounting: every payment 0..5 lands in exactly
+        # one of {acked, still queued (incl. requeued DLQ spill/poison)}
+        remaining = []
+        while True:
+            taken = bus.receive("pay")
+            if taken is None:
+                break
+            remaining.append(taken[1]["n"])
+        assert sorted(acked + remaining) == list(range(6)), (
+            "ledger seed %d lost or duplicated payments" % seed
+        )
+        accounting = {
+            "acked": acked,
+            "poisoned": poisoned,
+            "remaining": sorted(remaining),
+        }
+        assert bus.dlq_entries("pay") == []  # drained, durably
+        return outcomes, state, accounting, broker.bounces, trace
+    finally:
+        bus.close()
+        broker.close()
+
+
+def ledger_drain(fn_bus, queue):
+    rows = []
+    while True:
+        taken = fn_bus.receive(queue)
+        if taken is None:
+            return rows
+        rows.append(taken)
+
+
+@pytest.mark.parametrize("seed", LEDGER_SEEDS)
+def test_ledger_survives_repeated_broker_kills(seed, tmp_path):
+    outcomes, state, accounting, bounces, trace = run_ledger(
+        seed, tmp_path / "a"
+    )
+
+    # the broker actually died mid-traffic, at least once, and every
+    # completed op survived: no payment lost, none double-applied
+    assert bounces >= 1
+    assert any(entry[0] == "bounce" for entry in outcomes)
+    assert state["epoch"] == 1 + bounces
+    assert state["dedup_hits"] >= 1  # the interrupted op was replayed
+    # 5 direct sends (the spill was rejected at admission) + 2
+    # requeued by the drain
+    assert state["queues"]["pay"]["sent"] == 7
+    assert state["queues"]["pay"]["overflowed"] == 1
+    assert state["queues"]["pay"]["dead_lettered"] == 1
+
+    # bit-identical across a second run of the same schedule
+    outcomes2, state2, accounting2, bounces2, trace2 = run_ledger(
+        seed, tmp_path / "b"
+    )
+    assert outcomes == outcomes2
+    assert state == state2
+    assert accounting == accounting2
+    assert bounces == bounces2
+    assert trace == trace2
+
+
+# ---------------------------------------------------------------------------
+# saga seeds: external SIGKILL at the node-crash point
+# ---------------------------------------------------------------------------
+
+
+def run_saga(seed, directory):
+    """One saga run with a broker SIGKILL mid-workflow; returns
+    (result, served, crash trace, normalized broker state)."""
+    directory.mkdir(parents=True, exist_ok=True)
+    crash_injector = FaultInjector(
+        [FaultRule("node.pump", "crash", schedule=frozenset({3 + seed % 3}))],
+        seed=seed,
+    )
+    # half the seeds also run bus-level chaos (drop/duplicate real
+    # socket sends) on top of the kills
+    bus_rules = (
+        chaos_rules(drop_p=0.2, duplicate_p=0.2, max_fires=2)
+        if seed >= 2
+        else None
+    )
+    broker = DurableBroker(directory / "broker", bus_rules, seed)
+    broker.start()
+
+    def make(name):
+        return SocketBus(
+            "127.0.0.1",
+            broker.port,
+            name=name,
+            connect_retries=6,
+            backoff=0.02,
+        )
+
+    worker_bus, front_bus, control = make("worker"), make("front"), make("control")
+    try:
+        worker = make_worker(
+            worker_bus,
+            journal_path=str(directory / "worker.jsonl"),
+            fault_injector=crash_injector,
+        )
+        front = make_requester(
+            front_bus,
+            journal_path=str(directory / "front.jsonl"),
+            fault_injector=crash_injector,
+            request_timeout=5.0,
+            request_retries=8,
+        )
+        iid = front.engine.start_process("Front", {"N": 7})
+        killed = False
+        for __ in range(12):
+            try:
+                run_cluster([worker, front], watch=[(front, iid)])
+                break
+            except InjectedCrash:
+                if not killed:
+                    # the node crash is the seeded, deterministic
+                    # instant: SIGKILL the broker with the saga's
+                    # messages in its queues, then restart it
+                    broker.kill_and_restart()
+                    killed = True
+                if worker.engine.crashed:
+                    worker.rebuild(configure_worker)
+                if front.engine.crashed:
+                    front.rebuild(configure_requester)
+        else:
+            pytest.fail("saga did not converge (seed %d)" % seed)
+        assert killed, "the node-crash schedule never fired"
+        result = front.engine.output(iid)["Result"]
+        served = sorted(
+            i.instance_id
+            for i in worker.engine.navigator.instances()
+            if i.instance_id.startswith("req/")
+        )
+        state = normalized(control.snapshot())
+        return result, served, crash_injector.trace(), state
+    finally:
+        for bus in (worker_bus, front_bus, control):
+            bus.close()
+        broker.close()
+
+
+@pytest.mark.parametrize("seed", SAGA_SEEDS)
+def test_saga_survives_broker_sigkill(seed, tmp_path):
+    result, served, crash_trace, state = run_saga(seed, tmp_path / "a")
+
+    # the saga guarantee across a hard broker death: the right answer,
+    # served exactly once
+    assert result == 15  # 2*7 + 1
+    assert served == ["req/front/pi-0001/CallDouble"]
+    assert state["epoch"] == 2  # exactly one kill + restart
+
+    result2, served2, crash_trace2, state2 = run_saga(seed, tmp_path / "b")
+    assert (result, served) == (result2, served2)
+    assert crash_trace == crash_trace2
+    assert state == state2

@@ -1,0 +1,307 @@
+"""The write-ahead bus log in isolation: record/replay round-trips,
+checkpoint + compaction, torn tails, corrupt-checkpoint fallback, the
+epoch counter, and the fault sites.
+
+The invariant every test circles: a fresh :class:`MessageBus` fed the
+checkpoint + log suffix converges on the live bus's durable state —
+same queues (ids, bodies, headers, order), same DLQ, same stat
+buckets modulo the documented volatile drift (``delivered`` /
+``redelivered`` counters and delay holds live in the replay window
+only up to the last checkpoint; in-flight reservations never
+survive).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import JournalError, RecoveryError, WorkflowError
+from repro.net.buslog import (
+    BUS_RECORD_TYPES,
+    BusLog,
+    replay_into,
+)
+from repro.resilience.faults import FaultInjector, FaultRule
+from repro.wfms.messaging import MessageBus
+
+
+def record_send(log, bus, queue, body, headers=None):
+    """Send on the live bus and journal the effect, exactly as
+    ``BusServer._send_journaled`` does."""
+    msg_id, effect, entries = bus.send_detailed(queue, body, headers)
+    log.record(
+        {"type": "send", "queue": queue, "effect": effect, "entries": entries}
+    )
+    return msg_id
+
+
+def durable_state(bus):
+    """Export minus the volatile drift replay is allowed to lose."""
+    state = bus.export_state()
+    for bucket in state["stats"].values():
+        bucket.pop("delivered", None)
+        bucket.pop("redelivered", None)
+    for rows in state["queues"].values():
+        for row in rows:
+            row.pop("deliveries", None)
+    return state
+
+
+def recovered_bus(directory):
+    """A fresh bus rebuilt from the durable directory (fresh BusLog —
+    a new broker incarnation — so the epoch bumps too)."""
+    log = BusLog(directory)
+    bus = MessageBus()
+    info = log.recover_into(bus)
+    log.close()
+    return bus, info
+
+
+# ---------------------------------------------------------------------------
+# record/replay round-trip
+# ---------------------------------------------------------------------------
+
+
+def test_replay_converges_on_live_state(tmp_path):
+    log = BusLog(tmp_path)
+    live = MessageBus()
+    record_send(log, live, "orders", {"n": 1}, {"trace-id": "t1"})
+    m2 = record_send(log, live, "orders", {"n": 2})
+    record_send(log, live, "billing", {"amount": 9})
+
+    # consume one (receives are volatile: not journaled)
+    msg_id, __ = live.receive("orders")
+    live.ack("orders", msg_id)
+    log.record({"type": "ack", "queue": "orders", "msg_id": msg_id})
+
+    # poison another
+    live.receive("orders")
+    live.dead_letter("orders", m2, "poison")
+    log.record(
+        {"type": "dead_letter", "queue": "orders", "msg_id": m2,
+         "reason": "poison"}
+    )
+    log.close()
+
+    rebuilt, info = recovered_bus(tmp_path)
+    assert durable_state(rebuilt) == durable_state(live)
+    assert info["replayed_records"] == 5
+    assert info["checkpoint_offset"] == 0
+
+    # the DLQ entry kept its id, body, and reason header
+    [entry] = rebuilt.dlq_entries("orders")
+    assert entry["msg_id"] == m2
+    assert entry["headers"]["dead-letter-reason"] == "poison"
+
+
+def test_replay_applies_journaled_injector_effects(tmp_path):
+    """Drop/duplicate/delay outcomes are journaled as effects; replay
+    applies them without any injector installed."""
+    log = BusLog(tmp_path)
+    live = MessageBus()
+    live.install_injector(
+        FaultInjector(
+            [
+                FaultRule("bus.send", "drop", schedule=frozenset({1})),
+                FaultRule("bus.send", "duplicate", schedule=frozenset({2})),
+                FaultRule("bus.send", "delay", schedule=frozenset({3}), delay=2),
+            ],
+            seed=3,
+        )
+    )
+    record_send(log, live, "q", {"n": 0})  # dropped
+    record_send(log, live, "q", {"n": 1})  # duplicated
+    record_send(log, live, "q", {"n": 2})  # delayed (hold=2)
+    log.close()
+
+    rebuilt, __ = recovered_bus(tmp_path)
+    assert durable_state(rebuilt) == durable_state(live)
+    stats = rebuilt.stats("q")
+    assert stats["dropped"] == 1
+    assert stats["duplicated"] == 1
+    assert stats["delayed"] == 1
+    # duplicate made two envelopes, drop none: 3 live messages
+    assert rebuilt.depth("q") == 3
+
+
+def test_replay_reject_and_drain(tmp_path):
+    log = BusLog(tmp_path)
+    live = MessageBus()
+    msg_id = live.reject("q", {"n": 1}, {"k": "v"}, "queue overflow")
+    log.record(
+        {"type": "reject", "queue": "q", "msg_id": msg_id,
+         "body": {"n": 1}, "headers": {"k": "v"}, "reason": "queue overflow"}
+    )
+    drained = live.dlq_drain("q", requeue=True)
+    log.record(
+        {"type": "dlq_drain", "queue": "q", "requeue": True,
+         "drained": drained}
+    )
+    log.close()
+
+    rebuilt, __ = recovered_bus(tmp_path)
+    assert durable_state(rebuilt) == durable_state(live)
+    assert rebuilt.depth("q") == 1
+
+
+def test_replay_rejects_divergence_and_unknown_records(tmp_path):
+    bus = MessageBus()
+    with pytest.raises(RecoveryError):
+        replay_into(bus, {"type": "ack", "queue": "q", "msg_id": "m000000"})
+    with pytest.raises(RecoveryError):
+        replay_into(
+            bus, {"type": "dead_letter", "queue": "q", "msg_id": "m000000"}
+        )
+    with pytest.raises(RecoveryError):
+        replay_into(bus, {"type": "receive", "queue": "q"})
+    # a dlq_drain whose journaled count disagrees with what replay moved
+    with pytest.raises(RecoveryError):
+        replay_into(
+            bus, {"type": "dlq_drain", "queue": "q", "requeue": True,
+                  "drained": 5}
+        )
+
+
+def test_id_sequence_restored_past_replayed_ids(tmp_path):
+    log = BusLog(tmp_path)
+    live = MessageBus()
+    for n in range(3):
+        record_send(log, live, "q", {"n": n})
+    log.close()
+
+    rebuilt, __ = recovered_bus(tmp_path)
+    fresh_id = rebuilt.send("q", {"n": 99})
+    existing = {row["msg_id"] for row in rebuilt.export_state()["queues"]["q"]}
+    assert fresh_id in existing
+    assert len(existing) == 4  # no collision
+
+
+# ---------------------------------------------------------------------------
+# checkpoints
+# ---------------------------------------------------------------------------
+
+
+def test_checkpoint_compacts_and_recovery_is_suffix_only(tmp_path):
+    log = BusLog(tmp_path, segment_max_records=4)
+    live = MessageBus()
+    for n in range(10):
+        record_send(log, live, "q", {"n": n})
+    offset = log.checkpoint(live.export_state(), {})
+    assert offset == 10
+    # post-checkpoint delta
+    record_send(log, live, "q", {"n": 10})
+    status = log.status()
+    assert status["checkpoints"] == 1
+    assert status["last_checkpoint_offset"] == 10
+    assert status["records_since_checkpoint"] == 1
+    log.close()
+
+    rebuilt, info = recovered_bus(tmp_path)
+    assert info["checkpoint_offset"] == 10
+    assert info["restored_messages"] == 10
+    assert info["replayed_records"] == 1
+    assert durable_state(rebuilt) == durable_state(live)
+
+
+def test_corrupt_newest_checkpoint_falls_back(tmp_path):
+    log = BusLog(tmp_path)
+    live = MessageBus()
+    record_send(log, live, "q", {"n": 0})
+    log.checkpoint(live.export_state(), {})
+    record_send(log, live, "q", {"n": 1})
+    second = log.checkpoint(live.export_state(), {})
+    log.close()
+
+    # tear the newest checkpoint the way a crash mid-write would
+    with open(
+        os.path.join(tmp_path, "buscheck-%08d.json" % second), "w"
+    ) as handle:
+        handle.write('{"torn":')
+
+    rebuilt, info = recovered_bus(tmp_path)
+    assert info["checkpoints_skipped"] == 1
+    assert info["checkpoint_offset"] == 1
+    assert durable_state(rebuilt) == durable_state(live)
+
+
+def test_checkpoint_rebuilds_session_dedup_table(tmp_path):
+    log = BusLog(tmp_path)
+    live = MessageBus()
+    msg_id, effect, entries = live.send_detailed("q", {"n": 1}, None)
+    log.record(
+        {"type": "send", "queue": "q", "effect": effect, "entries": entries,
+         "client": "producer@1", "op_id": "producer@1#4",
+         "reply": {"ok": True, "value": msg_id}}
+    )
+    log.close()
+
+    __, info = recovered_bus(tmp_path)
+    assert info["sessions"] == {
+        "producer@1": {
+            "op_id": "producer@1#4",
+            "reply": {"ok": True, "value": msg_id},
+        }
+    }
+
+
+# ---------------------------------------------------------------------------
+# torn tails, epoch, validation, fault sites
+# ---------------------------------------------------------------------------
+
+
+def test_torn_tail_is_trimmed_on_recovery(tmp_path):
+    log = BusLog(tmp_path)
+    live = MessageBus()
+    record_send(log, live, "q", {"n": 0})
+    record_send(log, live, "q", {"n": 1})
+    log.close()
+
+    log_dir = os.path.join(tmp_path, "log")
+    segments = sorted(
+        name for name in os.listdir(log_dir) if name.endswith(".jsonl")
+    )
+    with open(os.path.join(log_dir, segments[-1]), "a") as handle:
+        handle.write('{"type": "send", "queue": "q", "entr')  # torn append
+
+    rebuilt, info = recovered_bus(tmp_path)
+    assert info["replayed_records"] == 2
+    assert rebuilt.depth("q") == 2
+
+
+def test_epoch_bumps_per_open(tmp_path):
+    epochs = []
+    for __ in range(3):
+        log = BusLog(tmp_path)
+        epochs.append(log.epoch)
+        log.close()
+    assert epochs == [1, 2, 3]
+
+
+def test_constructor_validation(tmp_path):
+    with pytest.raises(ValueError):
+        BusLog(tmp_path / "a", checkpoint_every=0)
+    with pytest.raises(ValueError):
+        BusLog(tmp_path / "b", keep_checkpoints=1)
+
+
+def test_record_type_allowlist(tmp_path):
+    log = BusLog(tmp_path)
+    with pytest.raises(RecoveryError):
+        log.record({"type": "receive", "queue": "q"})
+    assert "receive" not in BUS_RECORD_TYPES
+    log.close()
+
+
+def test_buslog_append_fault_site(tmp_path):
+    injector = FaultInjector(
+        [FaultRule("buslog.append", "raise", schedule=frozenset({2}))],
+        seed=0,
+    )
+    log = BusLog(tmp_path, injector=injector)
+    log.record({"type": "nack", "queue": "q", "msg_id": "m000000"})
+    with pytest.raises(JournalError):
+        log.record({"type": "nack", "queue": "q", "msg_id": "m000001"})
+    assert injector.trace() == [("buslog.append", "nack", "raise", 2)]
+    log.abandon()

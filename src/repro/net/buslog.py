@@ -406,6 +406,9 @@ class BusLog:
                 counter = max(counter, _msg_seq(record["msg_id"]) + 1)
             session = record.get("client")
             if session and record.get("op_id"):
+                # Re-insertion keeps the table's LRU order: the
+                # broker's session cap evicts oldest-first.
+                sessions.pop(session, None)
                 sessions[session] = {
                     "op_id": record["op_id"],
                     "reply": record.get("reply"),

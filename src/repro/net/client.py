@@ -10,10 +10,12 @@ method would have returned — including the same typed errors
 (``unknown message`` acks, empty-queue ``None``\\ s), so caller code
 and its tests cannot tell the transports apart.
 
-The client owns a private asyncio event loop and drives it to
-completion per call, which keeps the public surface synchronous (the
-workflow engine is synchronous by design — determinism before
-concurrency) and guarantees at most one request in flight per client.
+The client is a plain blocking socket — no event loop.  The public
+surface is synchronous (the workflow engine is synchronous by design —
+determinism before concurrency), every blocking-socket call is
+documented thread-safe, and a lock serializing callers (including the
+heartbeat thread) guarantees at most one request in flight per
+client.
 That single-outstanding-request discipline is what makes multi-process
 chaos runs replayable: the broker serves frames in arrival order, and
 arrival order equals the driver's issue order.
@@ -50,7 +52,8 @@ Failure handling:
 
 from __future__ import annotations
 
-import asyncio
+import itertools
+import socket
 import threading
 import time
 from typing import Any
@@ -72,7 +75,10 @@ class SocketBus:
 
     #: process-wide session nonce: two clients sharing a ``name`` must
     #: not share an op-id namespace on the broker's dedup table.
-    _session_seq = 0
+    #: ``itertools.count`` hands out values atomically, so clients
+    #: constructed concurrently from different threads (the traffic
+    #: driver does) can never draw the same nonce.
+    _session_seq = itertools.count(1)
 
     def __init__(
         self,
@@ -94,14 +100,11 @@ class SocketBus:
         self._backoff = backoff
         self._max_backoff = max_backoff
         self._timeout = timeout
-        self._loop = asyncio.new_event_loop()
-        self._reader: asyncio.StreamReader | None = None
-        self._writer: asyncio.StreamWriter | None = None
+        self._sock: socket.socket | None = None
         self._decoder = FrameDecoder()
         self._closed = False
-        SocketBus._session_seq += 1
         #: this client's op-id namespace on the broker.
-        self.session = "%s@%d" % (name, SocketBus._session_seq)
+        self.session = "%s@%d" % (name, next(SocketBus._session_seq))
         self._op_seq = 0
         self._pending: dict[str, Any] | None = None
         self._resume_in_flight = resume_in_flight
@@ -109,8 +112,8 @@ class SocketBus:
         #: acked/nacked/dead-lettered — re-registered on broker restart.
         self._in_flight: set[tuple[str, str]] = set()
         self._instance: str | None = None
-        #: serializes the event loop between caller and heartbeat
-        #: threads (at most one of them drives the loop at a time).
+        #: serializes requests between caller and heartbeat threads
+        #: (at most one request in flight per client).
         self._lock = threading.RLock()
         #: consecutive-reconnect accounting, surfaced for tests and
         #: the monitor: total reconnects over the client's life.
@@ -139,9 +142,9 @@ class SocketBus:
         failure: Exception | None = None
         for attempt in range(self._connect_retries):
             try:
-                self._loop.run_until_complete(self._open())
+                self._open()
                 return
-            except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
+            except OSError as exc:
                 failure = exc
                 self._drop_connection()
                 time.sleep(self._sleep_for(attempt))
@@ -153,15 +156,16 @@ class SocketBus:
     def _sleep_for(self, attempt: int) -> float:
         return min(self._backoff * (2**attempt), self._max_backoff)
 
-    async def _open(self) -> None:
-        reader, writer = await asyncio.wait_for(
-            asyncio.open_connection(self._host, self._port),
-            timeout=self._timeout,
+    def _open(self) -> None:
+        sock = socket.create_connection(
+            (self._host, self._port), timeout=self._timeout
         )
-        self._reader = reader
-        self._writer = writer
+        # Request/reply over small frames: never wait out Nagle.
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        sock.settimeout(self._timeout)
+        self._sock = sock
         self._decoder = FrameDecoder()
-        info = await self._roundtrip({"op": "hello", "name": self.name})
+        info = self._roundtrip({"op": "hello", "name": self.name})
         instance = (info or {}).get("instance")
         restarted = (
             self._instance is not None and instance != self._instance
@@ -174,7 +178,7 @@ class SocketBus:
             # ours before any other consumer can be delivered them.
             self.broker_restarts += 1
             if self._resume_in_flight and self._in_flight:
-                await self._roundtrip(
+                self._roundtrip(
                     {
                         "op": "resume",
                         "name": self.name,
@@ -185,26 +189,24 @@ class SocketBus:
                 )
 
     def _drop_connection(self) -> None:
-        if self._writer is not None:
-            try:
-                self._writer.close()
-            except Exception:
-                pass
-        self._reader = None
-        self._writer = None
+        sock, self._sock = self._sock, None
         self._decoder = FrameDecoder()
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
 
-    async def _roundtrip(self, request: dict[str, Any]) -> Any:
+    def _roundtrip(self, request: dict[str, Any]) -> Any:
         """One frame out, one frame in; raises the typed error a
-        non-ok reply encodes."""
-        assert self._reader is not None and self._writer is not None
-        self._writer.write(encode_frame(request))
-        await self._writer.drain()
+        non-ok reply encodes.  A ``recv``/``sendall`` past ``timeout``
+        raises :class:`TimeoutError` (an ``OSError``), which the retry
+        loops treat like any other connection failure."""
+        assert self._sock is not None
+        self._sock.sendall(encode_frame(request))
         frames: list[Any] = []
         while not frames:
-            data = await asyncio.wait_for(
-                self._reader.read(65536), timeout=self._timeout
-            )
+            data = self._sock.recv(65536)
             if not data:
                 raise ConnectionResetError("broker closed the connection")
             frames = self._decoder.feed(data)
@@ -229,15 +231,10 @@ class SocketBus:
         failure: Exception | None = None
         for attempt in range(self._connect_retries):
             try:
-                if self._reader is None:
-                    self._loop.run_until_complete(self._open())
-                return self._loop.run_until_complete(self._roundtrip(request))
-            except (
-                ConnectionError,
-                OSError,
-                asyncio.TimeoutError,
-                asyncio.IncompleteReadError,
-            ) as exc:
+                if self._sock is None:
+                    self._open()
+                return self._roundtrip(request)
+            except OSError as exc:
                 failure = exc
                 self._drop_connection()
                 self.reconnects += 1
@@ -326,9 +323,9 @@ class SocketBus:
                 if self._closed or self._pending is not None:
                     continue
                 try:
-                    if self._reader is None:
-                        self._loop.run_until_complete(self._open())
-                    self._loop.run_until_complete(self._roundtrip({"op": "ping"}))
+                    if self._sock is None:
+                        self._open()
+                    self._roundtrip({"op": "ping"})
                     self.heartbeats += 1
                 except Exception:
                     # Best effort: the next real call reconnects.
@@ -440,7 +437,6 @@ class SocketBus:
         with self._lock:
             self._closed = True
             self._drop_connection()
-            self._loop.close()
 
     def __enter__(self) -> "SocketBus":
         return self

@@ -139,7 +139,10 @@ class BusServer:
     the constructor); ``durable_sync`` / ``checkpoint_every`` /
     ``keep_checkpoints`` forward to :class:`~repro.net.buslog.BusLog`.
     ``heartbeat_timeout`` reaps connections silent for that many
-    seconds.  ``hard_crash`` makes a fatal broker death ``os._exit``
+    seconds.  ``session_cap`` bounds the per-session op-id dedup
+    table (LRU by op order — deterministic), so client churn cannot
+    grow it, or the checkpoints that serialize it, without bound.
+    ``hard_crash`` makes a fatal broker death ``os._exit``
     the process (the broker-process configuration — indistinguishable
     from SIGKILL).
     """
@@ -164,10 +167,13 @@ class BusServer:
         checkpoint_every: int | None = None,
         keep_checkpoints: int = 2,
         heartbeat_timeout: float | None = None,
+        session_cap: int = 1024,
         hard_crash: bool = False,
     ):
         if queue_capacity is not None and queue_capacity < 1:
             raise NetError("queue_capacity must be >= 1")
+        if session_cap < 1:
+            raise NetError("session_cap must be >= 1")
         self.bus = bus if bus is not None else MessageBus()
         self.name = name
         self._host = host
@@ -190,7 +196,13 @@ class BusServer:
         self._dedup_hits = 0
         #: latest (op_id, reply) per client session — the idempotency
         #: table a replayed request hits instead of re-applying.
+        #: Insertion-ordered LRU, bounded by ``session_cap`` so client
+        #: churn cannot grow the table (and every checkpoint
+        #: re-serializing it) without bound.  Eviction follows op
+        #: order, so same-seed runs evict identically.
         self._sessions: dict[str, dict[str, Any]] = {}
+        self._session_cap = session_cap
+        self._sessions_evicted = 0
         self._pending_record: dict[str, Any] | None = None
         self._log: BusLog | None = None
         self.recovery: dict[str, Any] | None = None
@@ -206,6 +218,8 @@ class BusServer:
             )
             info = self._log.recover_into(self.bus)
             self._sessions = info.pop("sessions")
+            while len(self._sessions) > self._session_cap:
+                del self._sessions[next(iter(self._sessions))]
             self.recovery = info
             epoch = self._log.epoch
         self.epoch = epoch
@@ -320,8 +334,7 @@ class BusServer:
             for row in list(self._connections.values()):
                 if row.get("_reaped"):
                     continue
-                last = row.get("_last_frame")
-                if last is None or now - last <= self._heartbeat_timeout:
+                if now - row["_last_frame"] <= self._heartbeat_timeout:
                     continue
                 row["_reaped"] = True
                 row["state"] = "reaped"
@@ -367,7 +380,9 @@ class BusServer:
             "last_op": "",
             "resets": 0,
             "_writer": writer,
-            "_last_frame": None,
+            # Accept time, so a peer that never sends a frame (a
+            # half-open socket dead from birth) is still reaped.
+            "_last_frame": asyncio.get_running_loop().time(),
         }
         self._connections[conn_id] = row
         self._g_connections.set(len(self._connections))
@@ -485,7 +500,11 @@ class BusServer:
             if cached is not None and cached.get("op_id") == op_id:
                 # The client replayed a request whose reply it never
                 # saw (reconnect after a mid-op drop, or a broker
-                # restart): return the original outcome, apply nothing.
+                # restart): return the original outcome, apply
+                # nothing.  The session is demonstrably live, so
+                # refresh its LRU position.
+                del self._sessions[session]
+                self._sessions[session] = cached
                 self._dedup_hits += 1
                 return dict(cached["reply"]), False
         span = None
@@ -519,6 +538,19 @@ class BusServer:
             shutdown = False
             response = {"ok": False, "code": "error", "error": str(exc)}
         record, self._pending_record = self._pending_record, None
+        if session is not None:
+            # Store the dedup entry *before* journaling: a checkpoint
+            # taken below covers the just-appended record, so its
+            # session table must already include this op — otherwise a
+            # crash between checkpoint and reply recovers a table
+            # missing exactly the op the client is about to replay.
+            # LRU order: re-insertion moves the session to the back.
+            self._sessions.pop(session, None)
+            self._sessions[session] = {"op_id": op_id, "reply": response}
+            while len(self._sessions) > self._session_cap:
+                evicted = next(iter(self._sessions))
+                del self._sessions[evicted]
+                self._sessions_evicted += 1
         if record is not None and self._log is not None:
             # Journal the applied mutation (with the reply, so
             # recovery rebuilds the dedup table) *before* the reply
@@ -542,8 +574,6 @@ class BusServer:
                     # keeps growing and recovery falls back to the
                     # previous snapshot.
                     self._log.checkpoint_failures += 1
-        if session is not None:
-            self._sessions[session] = {"op_id": op_id, "reply": response}
         if self._injector is not None and self._injector.on_broker_crash(op):
             # The worst window: applied and journaled, reply unsent.
             self._die("injected broker crash on %r" % op)
@@ -808,6 +838,8 @@ class BusServer:
             "resumed_total": self._resumed_total,
             "dedup_hits": self._dedup_hits,
             "sessions": len(self._sessions),
+            "session_cap": self._session_cap,
+            "sessions_evicted": self._sessions_evicted,
             "frames_in_total": self._frames_in_total,
             "frames_out_total": self._frames_out_total,
             "queue_capacity": self._capacity,

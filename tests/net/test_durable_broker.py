@@ -174,11 +174,100 @@ def test_dedup_survives_broker_crash_via_retry_pending(tmp_path):
                 assert restarted.server.recovery["replayed_records"] == 1
 
 
+def test_dedup_survives_crash_when_checkpoint_lands_on_crashing_op(tmp_path):
+    """Regression: the checkpoint used to snapshot the session table
+    *before* the current op's dedup entry was stored, while its offset
+    covered the op's journal record.  With ``checkpoint_every`` landing
+    exactly on the op that crashes the broker, recovery replayed an
+    empty journal suffix over a session table missing that op — and the
+    client's replay double-applied.  The entry is now stored before the
+    checkpoint, so the recovered table always includes the op covered
+    by the checkpoint offset."""
+    durable = str(tmp_path / "broker")
+    with BusServerThread(
+        durable_dir=durable, name="d", checkpoint_every=1
+    ) as server:
+        address = server.address
+        with connect(address, name="payer", connect_retries=3) as bus:
+            bus.install_injector(
+                FaultInjector(
+                    [
+                        FaultRule(
+                            "broker.crash",
+                            "crash",
+                            match="send",
+                            schedule=frozenset({1}),
+                        )
+                    ],
+                    seed=0,
+                )
+            )
+            with pytest.raises(ConnectionLost):
+                bus.send("pay", {"amount": 9})
+            assert server.server.crashed
+
+            with BusServerThread(
+                durable_dir=durable, name="d", port=address[1]
+            ) as restarted:
+                # the crashing op is inside the checkpoint, not the
+                # journal suffix
+                assert restarted.server.recovery["replayed_records"] == 0
+                assert bus.retry_pending() == "m000000"
+                snap = bus.snapshot()
+                assert snap["dedup_hits"] == 1
+                assert snap["queues"]["pay"]["depth"] == 1
+                assert snap["queues"]["pay"]["sent"] == 1
+
+
 def test_retry_pending_without_pending_raises():
     with BusServerThread() as server:
         with connect(server.address) as bus:
             with pytest.raises(NetError):
                 bus.retry_pending()
+
+
+def test_session_table_is_bounded_lru(tmp_path):
+    """Client churn must not grow the dedup table (and every
+    checkpoint re-serializing it) without bound: beyond ``session_cap``
+    the oldest-by-op-order session is evicted."""
+    with BusServerThread(
+        durable_dir=str(tmp_path / "b"), session_cap=2
+    ) as server:
+        clients = [
+            connect(server.address, name="c%d" % n) for n in range(3)
+        ]
+        try:
+            for n, bus in enumerate(clients):
+                bus.send("q", {"n": n})
+            snap = clients[0].snapshot()
+            assert snap["session_cap"] == 2
+            assert snap["sessions"] == 2
+            assert snap["sessions_evicted"] == 1
+        finally:
+            for bus in clients:
+                bus.close()
+
+
+def test_concurrent_clients_never_share_a_session():
+    """The session nonce is drawn atomically: same-named clients
+    constructed concurrently from different threads (the traffic
+    driver does this) get distinct op-id namespaces."""
+    import concurrent.futures
+
+    with BusServerThread() as server:
+        with concurrent.futures.ThreadPoolExecutor(max_workers=8) as pool:
+            clients = list(
+                pool.map(
+                    lambda __: connect(server.address, name="twin"),
+                    range(16),
+                )
+            )
+        try:
+            assert len({bus.session for bus in clients}) == 16
+            assert all(bus.ping() == "pong" for bus in clients)
+        finally:
+            for bus in clients:
+                bus.close()
 
 
 # ---------------------------------------------------------------------------
@@ -239,6 +328,32 @@ def test_idle_connections_are_reaped_heartbeats_survive():
             # next call transparently reconnects
             assert sleeper.ping() == "pong"
             assert sleeper.reconnects == 1
+
+
+def test_half_open_connection_that_never_speaks_is_reaped():
+    """A peer that connects and dies before sending any frame must
+    still be reaped — the silent-from-birth half-open socket."""
+    import socket
+
+    with BusServerThread(heartbeat_timeout=0.3) as server:
+        host, port = server.address
+        mute = socket.create_connection((host, port))
+        try:
+            with connect(
+                server.address, name="watcher", heartbeat_interval=0.05
+            ) as watcher:
+                deadline = time.time() + 3.0
+                while time.time() < deadline:
+                    snap = watcher.snapshot()
+                    if snap["reaped_total"] >= 1:
+                        break
+                    time.sleep(0.05)
+                assert snap["reaped_total"] == 1
+                assert "watcher" in [
+                    row["name"] for row in snap["connections"]
+                ]
+        finally:
+            mute.close()
 
 
 # ---------------------------------------------------------------------------

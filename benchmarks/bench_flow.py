@@ -1,0 +1,147 @@
+"""FLOW — the durable decorator front end (``repro.flow``).
+
+Two claims, one per measured number:
+
+* **Replay is cheap.**  Each workflow attempt re-runs the Python body
+  from the top and answers every already-journaled step from the
+  journal map — an n-step flow performs O(n^2) replays, so replay must
+  be a dict probe, not a re-execution.  The table reports journal
+  replays/sec; ``compare.py`` gates it.
+* **Zero overhead when off.**  Flows are opt-in: an engine without
+  ``install_flows`` has no flow service, no ``flow_drive`` program,
+  and no per-activity hook.  ``compare.py`` gates the flow-less 8x8
+  DAG throughput so the front end can never tax plain workflows.
+"""
+
+import time
+
+from repro.flow import install_flows, step, workflow
+from repro.wfms import Engine
+
+from _helpers import print_table
+
+#: Steps per flow — attempt k replays k-1 steps, so one flow performs
+#: STEPS * (STEPS - 1) / 2 journal replays.
+STEPS = 24
+#: Flows per timed run.
+FLOWS = 8
+#: Journal replays one run performs (the unit behind
+#: ``flow.step_replay.ops_per_sec``).
+REPLAYS_PER_RUN = FLOWS * STEPS * (STEPS - 1) // 2
+
+
+def build_runtime():
+    @step
+    def bump(x):
+        return x + 1
+
+    @workflow
+    def ladder(flow, n):
+        total = 0
+        for __ in range(n):
+            total = bump(total)
+        return total
+
+    engine = Engine()
+    return engine, install_flows(engine, [ladder], seed=0)
+
+
+def step_replay_throughput(flows=FLOWS):
+    """journal replays/sec across ``flows`` sequential ladder flows.
+
+    The deferred-suspend loop's hot path: canonicalize the call,
+    probe the journal map by function id, hand back the recorded
+    result.  ``compare.py`` gates it.
+    """
+    engine, rt = build_runtime()
+    for i in range(flows):
+        rt.start("ladder", STEPS)
+    start = time.perf_counter()
+    engine.run()
+    elapsed = time.perf_counter() - start
+    replayed = rt.counters["steps_replayed_loop"]
+    assert replayed == flows * STEPS * (STEPS - 1) // 2
+    return replayed / elapsed
+
+
+def flow_disabled_dag_throughput(runs=30):
+    """activities/sec on the 8x8 DAG with *no* flow runtime installed.
+
+    Flows ride ordinary definitions and a dedicated program; an engine
+    that never calls ``install_flows`` must run plain workflows at
+    full speed.  This number regresses if the front end ever grows a
+    hook on the navigator hot path.
+    """
+    from repro.workloads.generator import DAG_PROGRAM, random_dag_process
+
+    layers, width = 8, 8
+    definition = random_dag_process(layers=layers, width=width, seed=42)
+    engine = Engine()
+    engine.register_program(DAG_PROGRAM, lambda ctx: 0)
+    engine.register_definition(definition)
+    engine.run_process(definition.name)  # warmup
+    start = time.perf_counter()
+    for __ in range(runs):
+        assert engine.run_process(definition.name).finished
+    elapsed = time.perf_counter() - start
+    return layers * width * runs / elapsed
+
+
+def test_replay_scales_quadratically_but_stays_cheap():
+    """The replay-cost claim: doubling the step count quadruples the
+    replays but the per-replay cost stays flat (same order)."""
+    rows = []
+    per_replay = {}
+    for steps in (8, 16, 24):
+        @step
+        def bump(x):
+            return x + 1
+
+        @workflow
+        def ladder(flow, n):
+            total = 0
+            for __ in range(n):
+                total = bump(total)
+            return total
+
+        engine = Engine()
+        rt = install_flows(engine, [ladder], seed=0)
+        rt.start("ladder", steps)
+        start = time.perf_counter()
+        engine.run()
+        elapsed = time.perf_counter() - start
+        replays = rt.counters["steps_replayed_loop"]
+        assert replays == steps * (steps - 1) // 2
+        per_replay[steps] = elapsed / max(replays, 1)
+        rows.append(
+            (steps, replays, "%.1f" % (replays / elapsed))
+        )
+    # Flat per-replay cost within an order of magnitude.
+    assert per_replay[24] < per_replay[8] * 10
+    print_table(
+        "FLOW: ladder replay cost vs step count",
+        ["steps", "replays", "replays/sec"],
+        rows,
+    )
+
+
+def test_step_replay_throughput(benchmark):
+    engine, rt = build_runtime()
+
+    def one_flow():
+        rt.start("ladder", STEPS)
+        engine.run()
+
+    benchmark(one_flow)
+    assert rt.counters["steps_replayed_loop"] > 0
+
+
+def test_flow_disabled_dag_throughput(benchmark):
+    from repro.workloads.generator import DAG_PROGRAM, random_dag_process
+
+    definition = random_dag_process(layers=8, width=8, seed=42)
+    engine = Engine()
+    engine.register_program(DAG_PROGRAM, lambda ctx: 0)
+    engine.register_definition(definition)
+    result = benchmark(lambda: engine.run_process(definition.name))
+    assert result.finished

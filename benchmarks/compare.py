@@ -366,6 +366,40 @@ def measure_scope_disabled() -> float:
     return best
 
 
+def measure_flow_step_replay() -> float:
+    """journal replays/sec in the decorator front end's drive loop.
+
+    Every workflow attempt re-runs the Python body and answers each
+    already-journaled step from the journal map, so an n-step flow
+    performs O(n^2) replays.  Regresses if replay ever grows beyond
+    canonicalize + dict probe — the property that makes re-running the
+    body from the top affordable.
+    """
+    from bench_flow import step_replay_throughput
+
+    best = 0.0
+    step_replay_throughput(flows=1)  # warmup
+    for __ in range(REPEATS):
+        best = max(best, step_replay_throughput())
+    return best
+
+
+def measure_flow_disabled() -> float:
+    """activities/sec with no flow runtime installed (the default).
+
+    Flows are opt-in: an engine that never calls ``install_flows`` has
+    no flow service, program, or hook.  This metric regresses if the
+    decorator front end ever taxes plain workflows.
+    """
+    from bench_flow import flow_disabled_dag_throughput
+
+    best = 0.0
+    flow_disabled_dag_throughput(runs=2)  # warmup
+    for __ in range(REPEATS):
+        best = max(best, flow_disabled_dag_throughput())
+    return best
+
+
 def measure_net_request_reply() -> float:
     """bus RPC round-trips/sec over a live loopback broker.
 
@@ -435,6 +469,8 @@ METRICS = {
     "store.disabled_dag_8x8.activities_per_sec": measure_store_disabled,
     "tx.scope_chain.ops_per_sec": measure_tx_scope_chain,
     "scope.disabled_dag_8x8.activities_per_sec": measure_scope_disabled,
+    "flow.step_replay.ops_per_sec": measure_flow_step_replay,
+    "flow.disabled_dag_8x8.activities_per_sec": measure_flow_disabled,
     "net.request_reply.roundtrips_per_sec": measure_net_request_reply,
     "net.durable_request_reply.roundtrips_per_sec": (
         measure_net_durable_request_reply

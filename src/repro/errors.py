@@ -59,6 +59,31 @@ class JournalError(WorkflowError):
 
 
 # ---------------------------------------------------------------------------
+# Durable flows (repro.flow)
+# ---------------------------------------------------------------------------
+
+class FlowError(WorkflowError):
+    """Misuse of the durable-flow front end (repro.flow): calling a
+    transaction step outside a flow, a non-JSON-serializable step
+    result, a determinism violation on replay."""
+
+
+class StepFailure(FlowError):
+    """A journaled flow step raised.  The failure is part of the flow's
+    durable history: replay re-raises it at the same ``function_id``
+    with the same type name and message, so ``except StepFailure``
+    control flow in workflow code is deterministic across resumes."""
+
+    def __init__(self, step: str, error_type: str, message: str):
+        super().__init__(
+            "step %r failed: %s: %s" % (step, error_type, message)
+        )
+        self.step = step
+        self.error_type = error_type
+        self.error_message = message
+
+
+# ---------------------------------------------------------------------------
 # Socket transport (repro.net)
 # ---------------------------------------------------------------------------
 

@@ -1,0 +1,175 @@
+"""The decorator front end: ``@workflow`` / ``@step`` / ``@transaction``.
+
+Following the DBOS ``WorkflowContext`` exemplar, any plain Python
+function becomes a durable workflow::
+
+    @step
+    def fetch(order_id):
+        return {"order": order_id, "total": 42}
+
+    @transaction
+    def debit(scope, account, amount):
+        scope.increment(account, -amount)
+        return scope.read(account)
+
+    @workflow
+    def checkout(flow, order_id):
+        order = fetch(order_id)
+        balance = debit("acct:alice", order["total"])
+        return {"order": order, "balance": balance}
+
+A workflow function receives the :class:`~repro.flow.context.FlowContext`
+as its first argument; steps are called as ordinary functions inside
+the body and find the context implicitly.  A ``@transaction`` step
+receives a scope proxy as *its* first argument — the caller does not
+pass one.  Outside a running flow a ``@step`` behaves as the plain
+function (unit tests call it directly); a ``@transaction`` has no
+scope to run in and raises :class:`~repro.errors.FlowError`.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable
+
+from repro.errors import FlowError
+from repro.flow.compile import compile_flow
+from repro.flow.context import current_context
+from repro.tx.scope import IsolationLevel
+
+
+class StepSpec:
+    """One decorated step (plain or transactional)."""
+
+    __slots__ = ("fn", "name", "transactional", "__wrapped__")
+
+    def __init__(self, fn: Callable, name: str, transactional: bool):
+        self.fn = fn
+        self.name = name
+        self.transactional = transactional
+        self.__wrapped__ = fn
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
+        ctx = current_context()
+        if ctx is not None:
+            return ctx.call(self, args, kwargs)
+        if self.transactional:
+            raise FlowError(
+                "transaction step %r requires a running flow (it is "
+                "invoked with a scope proxy the flow provides)"
+                % self.name
+            )
+        return self.fn(*args, **kwargs)
+
+    def __repr__(self) -> str:
+        kind = "transaction" if self.transactional else "step"
+        return "<%s %s>" % (kind, self.name)
+
+
+class Flow:
+    """One decorated workflow function plus its compiled definition."""
+
+    def __init__(
+        self,
+        fn: Callable,
+        *,
+        name: str,
+        version: str,
+        description: str,
+        max_steps: int,
+        isolation: IsolationLevel,
+        scope_timeout: int | None,
+        failure_rc: int,
+    ):
+        functools.update_wrapper(self, fn)
+        self.fn = fn
+        self.name = name
+        self.version = version
+        self.description = description
+        self.max_steps = max_steps
+        self.isolation = isolation
+        self.scope_timeout = scope_timeout
+        self.failure_rc = failure_rc
+        self._definition = None
+
+    @property
+    def definition(self):
+        """The compiled ProcessDefinition (built once, cached)."""
+        if self._definition is None:
+            self._definition = compile_flow(self)
+        return self._definition
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
+        raise FlowError(
+            "flow %r is started through a FlowRuntime "
+            "(runtime.start(%r, ...)), not called directly"
+            % (self.name, self.name)
+        )
+
+    def __repr__(self) -> str:
+        return "<workflow %s v%s>" % (self.name, self.version)
+
+
+def step(fn: Callable | None = None, *, name: str | None = None):
+    """Mark a function as a journaled flow step.
+
+    Inside a flow its result is recorded under the next
+    ``(workflow_uuid, function_id)`` key and returned from the journal
+    on every replay; outside a flow it is the plain function.
+    """
+
+    def wrap(f: Callable) -> StepSpec:
+        return StepSpec(f, name or f.__name__, transactional=False)
+
+    return wrap(fn) if fn is not None else wrap
+
+
+def transaction(fn: Callable | None = None, *, name: str | None = None):
+    """Mark a function as a transactional flow step.
+
+    The body receives a scope proxy as its first argument and runs
+    inside the flow's shared :class:`~repro.tx.scope.TransactionScope`
+    under a per-step savepoint: a step failure rolls back only its own
+    writes.  Write effects are journaled with the result so a resumed
+    flow re-applies them without re-running the body.
+    """
+
+    def wrap(f: Callable) -> StepSpec:
+        return StepSpec(f, name or f.__name__, transactional=True)
+
+    return wrap(fn) if fn is not None else wrap
+
+
+def workflow(
+    fn: Callable | None = None,
+    *,
+    name: str | None = None,
+    version: str = "1",
+    description: str = "",
+    max_steps: int = 10_000,
+    isolation: IsolationLevel = IsolationLevel.SERIALIZABLE,
+    scope_timeout: int | None = None,
+    failure_rc: int = 1,
+):
+    """Mark a function as a durable workflow.
+
+    The function receives a :class:`FlowContext` as its first argument
+    and may use any Python control flow; every ``@step`` /
+    ``@transaction`` call inside it is journaled by invocation order.
+    ``failure_rc`` is the process return code when the function raises
+    (0 is reserved for success).
+    """
+
+    def wrap(f: Callable) -> Flow:
+        return Flow(
+            f,
+            name=name or f.__name__,
+            version=version,
+            description=description or (f.__doc__ or "").strip(),
+            max_steps=max_steps,
+            isolation=isolation,
+            scope_timeout=scope_timeout,
+            failure_rc=failure_rc,
+        )
+
+    return wrap(fn) if fn is not None else wrap

@@ -1,0 +1,60 @@
+"""Deterministic workflow-uuid allocation.
+
+Chaos runs replay the same schedule twice and diff the traces, so a
+flow start may never mint a ``uuid4``: the allocator draws ids from a
+seeded PRNG, which makes the id sequence a pure function of the seed
+and the allocation order.  Collisions — against ids this allocator
+already issued *and* against ids the engine already knows (a fresh
+allocator after crash-resume restarts its PRNG, but the journal
+remembers the pre-crash flows) — are checked and burned, never
+returned twice.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Callable
+
+
+class FlowIdAllocator:
+    """Seeded, collision-checked ``workflow_uuid`` source.
+
+    ``allocate`` is atomic under an internal lock, so concurrent
+    starts of the same flow name from multiple threads each get a
+    distinct id (the interleaving may vary, the issued *set* may not
+    collide).
+    """
+
+    def __init__(self, seed: int = 0, prefix: str = "wf"):
+        self._rng = random.Random(seed)
+        self._prefix = prefix
+        self._lock = threading.Lock()
+        self._issued: set[str] = set()
+
+    def allocate(
+        self,
+        flow_name: str,
+        is_taken: Callable[[str], bool] | None = None,
+    ) -> str:
+        """A fresh ``<prefix>-<flow>-<token>`` id.
+
+        ``is_taken`` lets the caller veto ids that exist outside this
+        allocator's memory (live or archived engine instances); vetoed
+        ids are burned so the PRNG stream stays aligned with the
+        allocation count.
+        """
+        with self._lock:
+            while True:
+                token = "%08x" % self._rng.getrandbits(32)
+                uuid = "%s-%s-%s" % (self._prefix, flow_name, token)
+                if uuid in self._issued:
+                    continue
+                self._issued.add(uuid)
+                if is_taken is not None and is_taken(uuid):
+                    continue  # burned: stays in _issued, never reused
+                return uuid
+
+    def issued(self) -> int:
+        with self._lock:
+            return len(self._issued)

@@ -39,6 +39,8 @@ from repro.obs.events import (
     BreakerTransition,
     EngineCrashed,
     EngineRecovered,
+    FlowStepExecuted,
+    FlowStepReplayed,
     HookBus,
     HookFailure,
     JournalSynced,
@@ -143,6 +145,8 @@ __all__ = [
     "DISABLED",
     "EngineCrashed",
     "EngineRecovered",
+    "FlowStepExecuted",
+    "FlowStepReplayed",
     "Gauge",
     "Histogram",
     "HookBus",

@@ -155,6 +155,30 @@ class MessageDeadLettered:
 
 
 @dataclass(frozen=True)
+class FlowStepExecuted:
+    """A durable-flow step body ran live (repro.flow)."""
+
+    workflow_uuid: str
+    flow: str
+    step: str
+    function_id: int
+    kind: str  # step | transaction
+    at: float
+
+
+@dataclass(frozen=True)
+class FlowStepReplayed:
+    """A durable-flow step returned its journaled result (no body)."""
+
+    workflow_uuid: str
+    flow: str
+    step: str
+    function_id: int
+    mode: str  # loop | resume
+    at: float
+
+
+@dataclass(frozen=True)
 class HookFailure:
     """One subscriber exception, isolated and recorded."""
 

@@ -343,6 +343,62 @@ def render_net(snapshot: dict[str, Any]) -> list[str]:
     return lines
 
 
+def render_flows(snapshot: dict[str, Any]) -> list[str]:
+    """Render a :meth:`FlowRuntime.snapshot` dump: one row per
+    registered flow (starts, completions, live executions vs journal
+    replays) plus the runtime-wide durability counters."""
+    flows = snapshot.get("flows", [])
+    lines = ["FLOWS (%d registered)" % len(flows)]
+    lines.append(
+        "  %-24s %-4s %8s %10s %7s %8s %10s %9s"
+        % (
+            "FLOW",
+            "VER",
+            "STARTED",
+            "COMPLETED",
+            "FAILED",
+            "RESUMED",
+            "STEPS RUN",
+            "REPLAYED",
+        )
+    )
+    for row in flows:
+        lines.append(
+            "  %-24s %-4s %8d %10d %7d %8d %10d %9d"
+            % (
+                row.get("name", ""),
+                row.get("version", ""),
+                row.get("started", 0),
+                row.get("completed", 0),
+                row.get("failed", 0),
+                row.get("resumed", 0),
+                row.get("steps_executed", 0),
+                row.get("steps_replayed", 0),
+            )
+        )
+    counters = snapshot.get("counters", {})
+    lines.append("")
+    lines.append(
+        "STEPS executed %d (%d transactional, %d failed) | "
+        "replayed %d loop / %d resume"
+        % (
+            counters.get("steps_executed", 0),
+            counters.get("txn_steps", 0),
+            counters.get("steps_failed", 0),
+            counters.get("steps_replayed_loop", 0),
+            counters.get("steps_replayed_resume", 0),
+        )
+    )
+    lines.append(
+        "FLOWS resumed after crash %d | scopes re-established %d"
+        % (
+            counters.get("flows_resumed", 0),
+            counters.get("scopes_reestablished", 0),
+        )
+    )
+    return lines
+
+
 def render_dlq(rows: list[dict[str, Any]]) -> list[str]:
     """Render DLQ entries (from :meth:`MessageBus.dlq_entries` or the
     broker's ``dlq_inspect`` op)."""
@@ -413,7 +469,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "command",
-        choices=["view", "prom", "spans", "shards", "net", "dlq", "demo"],
+        choices=[
+            "view", "prom", "spans", "shards", "flows", "net", "dlq", "demo"
+        ],
     )
     parser.add_argument(
         "file",
@@ -519,6 +577,10 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return 0
     if args.command == "shards":
         for line in render_shards(snapshot):
+            print(line, file=out)
+        return 0
+    if args.command == "flows":
+        for line in render_flows(snapshot):
             print(line, file=out)
         return 0
     for line in render_snapshot(snapshot, max_spans=args.max_spans):

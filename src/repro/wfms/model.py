@@ -312,3 +312,93 @@ class ProcessDefinition:
             self.name,
             len(self.activities),
         )
+
+
+# ---------------------------------------------------------------------------
+# structural fingerprint
+# ---------------------------------------------------------------------------
+
+def _decl_payload(decl: VariableDecl) -> list:
+    kind = decl.type.value if not isinstance(decl.type, str) else decl.type
+    return [decl.name, kind, decl.array_size, decl.description]
+
+
+def _activity_payload(activity: Activity) -> dict:
+    return {
+        "name": activity.name,
+        "kind": activity.kind.value,
+        "program": activity.program,
+        "subprocess": activity.subprocess,
+        "block": (
+            _definition_payload(activity.block)
+            if activity.block is not None
+            else None
+        ),
+        "in": [_decl_payload(d) for d in activity.input_spec],
+        "out": [_decl_payload(d) for d in activity.output_spec],
+        "start": activity.start_condition.value,
+        "exit": activity.exit_condition.source,
+        "mode": activity.start_mode.value,
+        "staff": [
+            list(activity.staff.roles),
+            list(activity.staff.users),
+            activity.staff.notify_after,
+            activity.staff.notify_role,
+        ],
+        "desc": activity.description,
+        "prio": activity.priority,
+        "max_iter": activity.max_iterations,
+    }
+
+
+def _definition_payload(definition: "ProcessDefinition") -> dict:
+    types = definition.types
+    return {
+        "name": definition.name,
+        "version": definition.version,
+        "desc": definition.description,
+        "types": [
+            [
+                name,
+                [_decl_payload(m) for m in types.get(name).members],
+                types.get(name).description,
+            ]
+            for name in sorted(types.names())
+        ],
+        "in": [_decl_payload(d) for d in definition.input_spec],
+        "out": [_decl_payload(d) for d in definition.output_spec],
+        "activities": [
+            _activity_payload(definition.activities[name])
+            for name in sorted(definition.activities)
+        ],
+        "control": sorted(
+            [c.source, c.target, c.condition.source]
+            for c in definition.control_connectors
+        ),
+        "data": sorted(
+            [c.source, c.target, [list(pair) for pair in c.mappings]]
+            for c in definition.data_connectors
+        ),
+    }
+
+
+def definition_fingerprint(definition: "ProcessDefinition") -> str:
+    """Canonical structural digest of a definition.
+
+    Two definitions with equal fingerprints compile to identical
+    navigation plans and execute identically: the digest covers the
+    name/version/description, container specs, structure types, every
+    activity's full configuration (conditions by source text, programs
+    by name, embedded blocks recursively) and both connector sets.
+    The registry uses it to make re-registration of a byte-identical
+    definition a cache-preserving no-op — decorated flows re-register
+    on every module re-import."""
+    import hashlib
+    import json
+
+    payload = json.dumps(
+        _definition_payload(definition),
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -675,6 +675,14 @@ class Navigator:
         )
         self._finish(instance, ai, forced=True, user=user)
 
+    def activity_span(self, instance_id: str, activity: str):
+        """The live span of a RUNNING activity, or None.
+
+        Services invoked from inside a program (e.g. the flow runtime)
+        use it to parent their own spans under the activity's span
+        without reaching into navigator internals."""
+        return self._activity_spans.get((instance_id, activity))
+
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
@@ -753,6 +761,17 @@ class Navigator:
         for connector in plan.data_into.get(ai.name, ()):
             if connector.source == PROCESS_INPUT:
                 source = instance.input
+            elif connector.source == ai.name:
+                # Loop-carried self connector: feed the previous
+                # attempt's output into this attempt's input.  The
+                # generic branch below would always skip it — a
+                # rescheduled activity is READY/RUNNING, never
+                # ``executed`` — so the iteration case reads the
+                # retained output directly.  First attempt: nothing
+                # to carry yet, keep the declared defaults.
+                if ai.attempt <= 1 or ai.output is None:
+                    continue
+                source = ai.output
             else:
                 source_ai = instance.activity(connector.source)
                 if not source_ai.executed or source_ai.output is None:

@@ -11,7 +11,7 @@ new instances default to the latest version.
 from __future__ import annotations
 
 from repro.errors import DefinitionError
-from repro.wfms.model import ProcessDefinition
+from repro.wfms.model import ProcessDefinition, definition_fingerprint
 from repro.wfms.plan import NavigationPlan, compile_plan
 
 
@@ -54,10 +54,21 @@ class DefinitionRegistry:
 
     def register(self, definition: ProcessDefinition) -> None:
         versions = self._definitions.setdefault(definition.name, {})
-        if definition.version in versions:
+        existing = versions.get(definition.version)
+        if existing is not None:
+            if existing is definition or definition_fingerprint(
+                existing
+            ) == definition_fingerprint(definition):
+                # Idempotent re-registration: a structurally identical
+                # definition (same name/version — e.g. a decorated flow
+                # re-registered on module re-import) changes nothing,
+                # so the verify memo and plan cache stay warm and the
+                # already-pinned definition object stays canonical.
+                return
             raise DefinitionError(
                 "a definition named %r with version %r is already "
-                "registered" % (definition.name, definition.version)
+                "registered with a different body"
+                % (definition.name, definition.version)
             )
         versions[definition.version] = definition
         self.invalidate_verified()

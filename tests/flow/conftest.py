@@ -1,0 +1,17 @@
+"""Shared fixtures for the durable-flow suite."""
+
+import pytest
+
+from repro.tx import SimDatabase
+
+from tests.flow.harness import flow_engine
+
+
+@pytest.fixture
+def db():
+    return SimDatabase()
+
+
+@pytest.fixture
+def engine(db):
+    return flow_engine(db)

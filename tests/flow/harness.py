@@ -1,0 +1,51 @@
+"""Shared builders for the durable-flow suite."""
+
+import json
+
+from repro.core.scoped import install_scope_service
+from repro.tx import ScopeManager, SimDatabase
+from repro.wfms import Engine
+
+
+def flow_engine(db, journal_path=None, **engine_kwargs):
+    """An Engine with the scope service installed (flows with
+    ``@transaction`` steps need it)."""
+    engine = Engine(journal_path=journal_path, **engine_kwargs)
+    install_scope_service(engine, ScopeManager(db))
+    return engine
+
+
+def normalized_audit(engine, uuid):
+    """Audit tuples modulo the one legal crash divergence: an attempt
+    that was in flight at the crash is journaled as started twice (the
+    interrupted start, then the resumed one) — same logical attempt,
+    so consecutive duplicate starts collapse."""
+    rows = []
+    for r in engine.audit.records(uuid):
+        row = (r.event.value, r.activity, json.dumps(r.detail, sort_keys=True))
+        if rows and r.event.value == "activity_started" and rows[-1] == row:
+            continue
+        rows.append(row)
+    return rows
+
+
+def assert_exactly_once(calls):
+    """Every recorded step-body invocation must be unique — re-running
+    a journaled body is the bug this whole subsystem exists to
+    prevent."""
+    seen = {}
+    for c in calls:
+        key = repr(c)
+        seen[key] = seen.get(key, 0) + 1
+    dupes = {k: n for k, n in seen.items() if n > 1}
+    assert not dupes, "step bodies re-executed: %r" % dupes
+
+
+__all__ = [
+    "flow_engine",
+    "normalized_audit",
+    "assert_exactly_once",
+    "ScopeManager",
+    "SimDatabase",
+    "Engine",
+]

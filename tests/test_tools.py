@@ -214,6 +214,33 @@ class TestMonitorNetViews:
                 assert bus.depth("node:w") == 2
                 assert bus.dlq_entries() == []
 
+    def test_flows_view_from_snapshot_dump(self, tmp_path, capsys):
+        import json
+
+        from repro.flow import install_flows, step, workflow
+        from repro.tools.monitor import main as monitor_main
+        from repro.wfms import Engine
+
+        @step
+        def double(x):
+            return x * 2
+
+        @workflow
+        def doubler(flow, x):
+            return double(double(x))
+
+        engine = Engine()
+        rt = install_flows(engine, [doubler], seed=11)
+        rt.start("doubler", 21)
+        engine.run()
+        path = tmp_path / "flows.json"
+        path.write_text(json.dumps(rt.snapshot()))
+        assert monitor_main(["flows", str(path)]) == 0
+        shown = capsys.readouterr().out
+        assert "FLOWS (1 registered)" in shown
+        assert "doubler" in shown
+        assert "replayed 1 loop / 0 resume" in shown
+
     def test_dlq_requires_live_target(self, capsys):
         from repro.tools.monitor import main as monitor_main
 

@@ -106,11 +106,25 @@ class TestPlanCache:
         engine.register_program("q", lambda ctx: 0)
         assert engine._definitions.plan_for(d) is not before
 
-    def test_duplicate_name_version_still_rejected(self):
+    def test_identical_duplicate_is_a_cache_preserving_noop(self):
+        # Re-registering a byte-identical definition (same name/version,
+        # e.g. a decorated flow on module re-import) is a no-op: the
+        # first object stays canonical and cached plans stay warm.
+        registry = DefinitionRegistry()
+        first = diamond()
+        registry.register(first)
+        plan = registry.plan_for(first)
+        registry.register(diamond())
+        assert registry.get("Diamond") is first
+        assert registry.plan_for(first) is plan
+
+    def test_changed_duplicate_name_version_still_rejected(self):
         registry = DefinitionRegistry()
         registry.register(diamond())
+        changed = diamond()
+        changed.connect("B", "C", condition="RC = 0")
         with pytest.raises(DefinitionError):
-            registry.register(diamond())
+            registry.register(changed)
 
 
 class TestStalePlansNeverUsed:

@@ -424,11 +424,18 @@ class TestEngineChecks:
             engine.start_process("P")
 
     def test_duplicate_definition_rejected(self):
+        # A *different* body under the same name/version is rejected;
+        # a byte-identical one is an idempotent no-op (see the
+        # registry tests for the full contract).
         engine = make_engine()
         d = ProcessDefinition("P")
         d.add_activity(Activity("A", program="ok"))
         engine.register_definition(d)
         d2 = ProcessDefinition("P")
-        d2.add_activity(Activity("A", program="ok"))
+        d2.add_activity(Activity("A", program="ok", priority=3))
         with pytest.raises(Exception):
             engine.register_definition(d2)
+        identical = ProcessDefinition("P")
+        identical.add_activity(Activity("A", program="ok"))
+        engine.register_definition(identical)  # no-op
+        assert engine.definition("P") is d

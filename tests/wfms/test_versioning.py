@@ -44,7 +44,14 @@ class TestRegistry:
         registry = DefinitionRegistry()
         registry.register(make("1"))
         with pytest.raises(DefinitionError, match="already"):
-            registry.register(make("1"))
+            registry.register(make("1", activity="B"))
+
+    def test_identical_name_version_is_idempotent(self):
+        registry = DefinitionRegistry()
+        first = make("1")
+        registry.register(first)
+        registry.register(make("1"))  # structurally identical: no-op
+        assert registry.get("P", "1") is first
 
     def test_versions_sorted_numerically(self):
         registry = DefinitionRegistry()
